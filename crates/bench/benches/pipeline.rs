@@ -1,0 +1,222 @@
+//! Criterion micro/throughput benchmarks for every pipeline stage, plus
+//! the ablation benches DESIGN.md §5 calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jmake_core::{mutate, mutate_naive, JMake, Options};
+use jmake_diff::{diff_to_patch, DiffOptions};
+use jmake_kbuild::{BuildEngine, ConfigKind};
+use jmake_synth::WorkloadProfile;
+use jmake_vcs::LogOptions;
+
+fn bench_profile() -> WorkloadProfile {
+    WorkloadProfile {
+        commits: 40,
+        ..WorkloadProfile::tiny()
+    }
+}
+
+/// Substrate: unified diff of two medium files.
+fn bench_diff(c: &mut Criterion) {
+    let old: String = (0..400).map(|i| format!("line number {i};\n")).collect();
+    let new = old
+        .replace("line number 37;", "changed 37;")
+        .replace("line number 201;", "changed 201;")
+        .replace("line number 322;", "changed 322;");
+    c.bench_function("diff/myers_400_lines", |b| {
+        b.iter(|| diff_to_patch("f.c", &old, &new, &DiffOptions::default()))
+    });
+}
+
+/// Substrate: preprocessing a driver with its headers.
+fn bench_preprocess(c: &mut Criterion) {
+    let (tree, layout) = jmake_synth::generate_tree(&bench_profile());
+    let mut engine = BuildEngine::new(tree.clone());
+    let cfg = engine.make_config("x86_64", &ConfigKind::AllYes).unwrap();
+    let file = layout
+        .drivers
+        .iter()
+        .find(|d| d.arch_specific.is_none())
+        .map(|d| d.c_path.clone())
+        .expect("host driver exists");
+    c.bench_function("cpp/make_i_one_driver", |b| {
+        b.iter(|| {
+            engine
+                .make_i(&cfg, &tree, std::slice::from_ref(&file))
+                .unwrap()
+        })
+    });
+}
+
+/// Substrate: Kconfig allyesconfig resolution.
+fn bench_kconfig(c: &mut Criterion) {
+    let (tree, _) = jmake_synth::generate_tree(&bench_profile());
+    c.bench_function("kconfig/allyesconfig", |b| {
+        b.iter(|| {
+            let mut engine = BuildEngine::new(tree.clone());
+            engine.make_config("x86_64", &ConfigKind::AllYes).unwrap()
+        })
+    });
+}
+
+/// Core: the mutation engine on a realistic file.
+fn bench_mutation(c: &mut Criterion) {
+    let (tree, layout) = jmake_synth::generate_tree(&bench_profile());
+    let path = &layout.drivers[0].c_path;
+    let content = tree.get(path).unwrap();
+    let changed: jmake_diff::ChangedLines = (1..=content.lines().count() as u32)
+        .step_by(4)
+        .map(jmake_diff::ChangedLine::Line)
+        .collect();
+    c.bench_function("core/mutation_engine", |b| {
+        b.iter(|| mutate(path, content, &changed))
+    });
+}
+
+/// Core: one full patch check, end to end.
+fn bench_check_patch(c: &mut Criterion) {
+    let (tree, layout) = jmake_synth::generate_tree(&bench_profile());
+    let path = layout.drivers[0].c_path.clone();
+    let old = tree.get(&path).unwrap().to_string();
+    let new = old.replace("+ 0;", "+ 1;");
+    let patch = diff_to_patch(&path, &old, &new, &DiffOptions::default());
+    let mut patched = tree.clone();
+    patched.insert(&path, new);
+    c.bench_function("core/check_patch_end_to_end", |b| {
+        b.iter(|| {
+            let mut engine = BuildEngine::new(patched.clone());
+            JMake::new().check_patch(&mut engine, &patch, "bench")
+        })
+    });
+}
+
+/// Ablation 1 (DESIGN.md §5): minimized vs naive mutation placement.
+fn ablation_mutation_density(c: &mut Criterion) {
+    let (tree, layout) = jmake_synth::generate_tree(&bench_profile());
+    let path = &layout.drivers[0].c_path;
+    let content = tree.get(path).unwrap();
+    let changed: jmake_diff::ChangedLines = (1..=content.lines().count() as u32)
+        .map(jmake_diff::ChangedLine::Line)
+        .collect();
+    let mut group = c.benchmark_group("ablation/mutation_density");
+    group.bench_function("paper_placement", |b| {
+        b.iter(|| mutate(path, content, &changed))
+    });
+    group.bench_function("naive_per_line", |b| {
+        b.iter(|| mutate_naive(path, content, &changed))
+    });
+    // The quantity the paper optimizes: token count (reported via
+    // criterion's output as iterations are equal-cost here).
+    let minimized = mutate(path, content, &changed).mutations.len();
+    let naive = mutate_naive(path, content, &changed).mutations.len();
+    assert!(minimized <= naive);
+    group.finish();
+}
+
+/// Ablation 2: grouped .i invocations (≤50) vs one file per invocation.
+fn ablation_grouping(c: &mut Criterion) {
+    let workload = jmake_synth::generate(&bench_profile());
+    let commits = workload
+        .repo
+        .log(&LogOptions::paper_defaults().range("v4.3", "v4.4"))
+        .unwrap();
+    let commit = commits[0];
+    let tree = workload.repo.checkout(commit).unwrap();
+    let patch = workload.repo.show(commit).unwrap();
+    let mut group = c.benchmark_group("ablation/grouping");
+    for (name, limit) in [("grouped_50", 50usize), ("one_per_invocation", 1)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &limit, |b, &limit| {
+            let jmake = JMake::with_options(Options {
+                group_limit: limit,
+                ..Options::default()
+            });
+            b.iter(|| {
+                let mut engine = BuildEngine::new(tree.clone());
+                jmake.check_patch(&mut engine, &patch, "bench")
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 3: header-candidate ranking with vs without macro hints.
+fn ablation_hint_ranking(c: &mut Criterion) {
+    let (tree, layout) = jmake_synth::generate_tree(&bench_profile());
+    let header = &layout.headers[0];
+    let old = tree.get(&header.path).unwrap().to_string();
+    let new = old.replace("<< 1)", "<< 2)");
+    let patch = diff_to_patch(&header.path, &old, &new, &DiffOptions::default());
+    let mut patched = tree.clone();
+    patched.insert(&header.path, new);
+    let mut group = c.benchmark_group("ablation/hint_ranking");
+    for (name, hints) in [("with_hints", true), ("without_hints", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &hints, |b, &hints| {
+            let jmake = JMake::with_options(Options {
+                use_header_hints: hints,
+                ..Options::default()
+            });
+            b.iter(|| {
+                let mut engine = BuildEngine::new(patched.clone());
+                jmake.check_patch(&mut engine, &patch, "bench")
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 4: prepared configurations on/off, and allmodconfig on/off.
+fn ablation_config_sets(c: &mut Criterion) {
+    let (tree, layout) = jmake_synth::generate_tree(&bench_profile());
+    let drv = layout
+        .drivers
+        .iter()
+        .find(|d| d.arch_specific.is_some())
+        .expect("arch-specific driver");
+    let old = tree.get(&drv.c_path).unwrap().to_string();
+    let new = old.replace("+ 0;", "+ 1;");
+    let patch = diff_to_patch(&drv.c_path, &old, &new, &DiffOptions::default());
+    let mut patched = tree.clone();
+    patched.insert(&drv.c_path, new);
+    let mut group = c.benchmark_group("ablation/config_sets");
+    let variants: [(&str, Options); 3] = [
+        (
+            "allyes_only",
+            Options {
+                use_defconfigs: false,
+                ..Options::default()
+            },
+        ),
+        ("with_defconfigs", Options::default()),
+        (
+            "with_allmodconfig",
+            Options {
+                use_allmodconfig: true,
+                ..Options::default()
+            },
+        ),
+    ];
+    for (name, opts) in variants {
+        group.bench_function(name, |b| {
+            let jmake = JMake::with_options(opts.clone());
+            b.iter(|| {
+                let mut engine = BuildEngine::new(patched.clone());
+                jmake.check_patch(&mut engine, &patch, "bench")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_diff,
+        bench_preprocess,
+        bench_kconfig,
+        bench_mutation,
+        bench_check_patch,
+        ablation_mutation_density,
+        ablation_grouping,
+        ablation_hint_ranking,
+        ablation_config_sets
+);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Regenerate the paper's tables and figures over the synthetic workload.
+//!
+//! ```text
+//! jmake-eval [OPTIONS] <table1|table2|table3|table4|fig4a|fig4b|fig4c|fig5|fig6|summary|all>
+//!
+//!   --commits N     window size (default 1200; paper scale ~12000)
+//!   --seed S        workload seed
+//!   --workers W     parallel workers (default 4; the paper used 25)
+//!   --full          shorthand for --commits 12000
+//!   --allmodconfig  also try allmodconfig (the paper's Table IV remedy)
+//! ```
+
+use jmake_bench::{
+    build_context_with, render_fig4, render_fig5_fig6, render_summary, render_table1,
+    render_table2, render_table3, render_table4,
+};
+use jmake_synth::WorkloadProfile;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut profile = WorkloadProfile::default();
+    let mut workers = 4usize;
+    let mut command = String::from("all");
+    let mut jmake_opts = jmake_core::Options::default();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--commits" => {
+                profile.commits = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(profile.commits);
+            }
+            "--seed" => {
+                profile.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(profile.seed);
+            }
+            "--workers" => {
+                workers = it.next().and_then(|v| v.parse().ok()).unwrap_or(workers);
+            }
+            "--full" => profile.commits = 12_000,
+            "--allmodconfig" => jmake_opts.use_allmodconfig = true,
+            "--coverage" => jmake_opts.use_coverage_configs = true,
+            cmd if !cmd.starts_with("--") => command = cmd.to_string(),
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!(
+        "generating workload (seed {:#x}, {} commits) and running JMake with {workers} workers…",
+        profile.seed, profile.commits
+    );
+    let started = std::time::Instant::now();
+    let ctx = build_context_with(&profile, workers, jmake_opts);
+    eprintln!(
+        "evaluation finished in {:.1}s wall clock ({} patches)",
+        started.elapsed().as_secs_f64(),
+        ctx.all.patches
+    );
+
+    let print_all = command == "all";
+    let mut printed = false;
+    let mut emit = |name: &str, text: String| {
+        if print_all || command == name {
+            println!("{text}");
+            printed = true;
+        }
+    };
+    emit("table1", render_table1(&ctx));
+    emit("table2", render_table2(&ctx));
+    emit("table3", render_table3(&ctx));
+    emit("table4", render_table4(&ctx));
+    let (f4a, f4b, f4c) = render_fig4(&ctx);
+    emit("fig4a", f4a);
+    emit("fig4b", f4b);
+    emit("fig4c", f4c);
+    let (f5, f6) = render_fig5_fig6(&ctx);
+    emit("fig5", f5);
+    emit("fig6", f6);
+    emit("summary", render_summary(&ctx));
+    if !printed {
+        eprintln!("unknown command {command:?}");
+        std::process::exit(2);
+    }
+}

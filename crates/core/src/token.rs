@@ -1,0 +1,165 @@
+//! The mutation token (paper §III.A).
+//!
+//! JMake mutates source by inserting `≡"kind:file:line"` at change sites.
+//! The glyph `≡` is not valid C, so a mutated file can never produce a
+//! `.o`; the payload is wrapped in a string literal so the preprocessor
+//! passes it through unmodified — including through macro expansion at the
+//! macro's *use* sites, which is what makes macro-definition changes
+//! trackable.
+
+use std::fmt;
+
+/// The invalid character marking a mutation. Matches the paper's figures.
+pub const MUTATION_GLYPH: char = '\u{2261}';
+
+/// What kind of change site a token marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MutationKind {
+    /// The change is inside a macro definition (paper Fig. 2).
+    Define,
+    /// Any other (non-comment) change (paper Fig. 3).
+    Context,
+}
+
+impl MutationKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MutationKind::Define => "define",
+            MutationKind::Context => "context",
+        }
+    }
+
+    fn parse(s: &str) -> Option<MutationKind> {
+        match s {
+            "define" => Some(MutationKind::Define),
+            "context" => Some(MutationKind::Context),
+            _ => None,
+        }
+    }
+}
+
+/// One mutation token: a unique, recognizable marker for one change site.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MutationToken {
+    /// Change-site kind.
+    pub kind: MutationKind,
+    /// Source file the mutation was placed in.
+    pub file: String,
+    /// 1-based line of the changed code the token certifies.
+    pub line: u32,
+}
+
+impl MutationToken {
+    /// Construct a token.
+    pub fn new(kind: MutationKind, file: impl Into<String>, line: u32) -> Self {
+        MutationToken {
+            kind,
+            file: file.into(),
+            line,
+        }
+    }
+
+    /// The exact text inserted into the source:
+    /// `≡"kind:file:line"`.
+    pub fn render(&self) -> String {
+        format!(
+            "{MUTATION_GLYPH}\"{}:{}:{}\"",
+            self.kind.as_str(),
+            self.file,
+            self.line
+        )
+    }
+
+    /// Parse a token from the payload between the quotes.
+    fn from_payload(payload: &str) -> Option<MutationToken> {
+        // file may contain ':' only if someone names files that way; the
+        // last segment is the line, the first the kind.
+        let (kind_str, rest) = payload.split_once(':')?;
+        let (file, line_str) = rest.rsplit_once(':')?;
+        Some(MutationToken {
+            kind: MutationKind::parse(kind_str)?,
+            file: file.to_string(),
+            line: line_str.parse().ok()?,
+        })
+    }
+
+    /// Scan arbitrary text (a `.i` file) for every mutation token present.
+    pub fn scan(text: &str) -> Vec<MutationToken> {
+        let mut out = Vec::new();
+        let mut rest = text;
+        while let Some(i) = rest.find(MUTATION_GLYPH) {
+            rest = &rest[i + MUTATION_GLYPH.len_utf8()..];
+            let Some(quoted) = rest.strip_prefix('"') else {
+                continue;
+            };
+            let Some(end) = quoted.find('"') else {
+                continue;
+            };
+            if let Some(tok) = MutationToken::from_payload(&quoted[..end]) {
+                out.push(tok);
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+impl fmt::Display for MutationToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_matches_paper_format() {
+        let t = MutationToken::new(
+            MutationKind::Define,
+            "drivers/staging/comedi/drivers/cb_das16_cs.c",
+            49,
+        );
+        assert_eq!(
+            t.render(),
+            "\u{2261}\"define:drivers/staging/comedi/drivers/cb_das16_cs.c:49\""
+        );
+    }
+
+    #[test]
+    fn scan_finds_tokens_in_i_text() {
+        let i_text = format!(
+            "# 1 \"f.c\"\nint x;\n{}\nsome code {} more\n",
+            MutationToken::new(MutationKind::Context, "f.c", 12).render(),
+            MutationToken::new(MutationKind::Define, "g.h", 3).render(),
+        );
+        let found = MutationToken::scan(&i_text);
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].kind, MutationKind::Define);
+        assert_eq!(found[0].file, "g.h");
+        assert_eq!(found[1].line, 12);
+    }
+
+    #[test]
+    fn scan_deduplicates_macro_expansions() {
+        // A macro mutation shows up at every use site; one token suffices.
+        let tok = MutationToken::new(MutationKind::Define, "f.c", 49).render();
+        let text = format!("{tok} a\n{tok} b\n{tok} c\n");
+        assert_eq!(MutationToken::scan(&text).len(), 1);
+    }
+
+    #[test]
+    fn scan_ignores_malformed_markers() {
+        let text = "\u{2261}no quote\n\u{2261}\"unterminated\n\u{2261}\"badkind:f:1\"\n\u{2261}\"context:f:notanumber\"\n";
+        assert!(MutationToken::scan(text).is_empty());
+    }
+
+    #[test]
+    fn roundtrip_through_scan() {
+        let t = MutationToken::new(MutationKind::Context, "a/b/c.h", 4096);
+        let found = MutationToken::scan(&t.render());
+        assert_eq!(found, vec![t]);
+    }
+}

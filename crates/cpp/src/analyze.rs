@@ -1,0 +1,335 @@
+//! Lexical source mapping for the mutation engine.
+//!
+//! Paper §III.B distinguishes three kinds of changed lines: (1) lines
+//! within a comment — never mutated; (2) lines within a macro definition —
+//! one mutation per changed macro; (3) other lines — one mutation per
+//! conditional-compilation section. Placement also needs to know whether a
+//! `#define` line ends in a continuation backslash and whether a changed
+//! line starts inside a comment that closes on that line.
+//!
+//! [`analyze`] computes all of that in one pass, per physical line.
+
+use crate::lines::logical_lines;
+
+/// Lexical facts about one physical source line.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LineInfo {
+    /// The line begins inside a block comment.
+    pub starts_in_comment: bool,
+    /// When [`LineInfo::starts_in_comment`] and the comment closes on this
+    /// line: byte column just past the closing `*/`.
+    pub comment_close_col: Option<usize>,
+    /// Every non-whitespace character of the line is comment text.
+    pub comment_only: bool,
+    /// Index into [`SourceMap::macro_defs`] when the line is part of a
+    /// macro definition (the `#define` logical line, including
+    /// continuations).
+    pub in_macro_def: Option<usize>,
+    /// The line is (part of) a preprocessing directive.
+    pub is_directive: bool,
+    /// The line opens a conditional-compilation section boundary:
+    /// `#if`, `#ifdef`, `#ifndef`, `#elif`, or `#else`.
+    pub is_conditional: bool,
+    /// The physical line ends with a `\` continuation.
+    pub ends_with_continuation: bool,
+}
+
+/// A macro definition's span in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MacroDefSpan {
+    /// Macro name.
+    pub name: String,
+    /// 1-based physical line of the `#define`.
+    pub define_line: u32,
+    /// 1-based last physical line of the definition (equals
+    /// [`MacroDefSpan::define_line`] when there are no continuations).
+    pub end_line: u32,
+}
+
+impl MacroDefSpan {
+    /// True when `line` (1-based) is within this definition.
+    pub fn contains(&self, line: u32) -> bool {
+        line >= self.define_line && line <= self.end_line
+    }
+}
+
+/// The full lexical map of a source file.
+#[derive(Debug, Clone, Default)]
+pub struct SourceMap {
+    /// Per-physical-line facts; index 0 is line 1.
+    pub lines: Vec<LineInfo>,
+    /// All macro definitions, in source order.
+    pub macro_defs: Vec<MacroDefSpan>,
+}
+
+impl SourceMap {
+    /// Facts for 1-based `line`, if it exists.
+    pub fn line(&self, line: u32) -> Option<&LineInfo> {
+        self.lines.get((line as usize).checked_sub(1)?)
+    }
+
+    /// The macro definition containing 1-based `line`, if any.
+    pub fn macro_def_at(&self, line: u32) -> Option<&MacroDefSpan> {
+        let idx = self.line(line)?.in_macro_def?;
+        self.macro_defs.get(idx)
+    }
+
+    /// Number of physical lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True for an empty file.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+/// Build the [`SourceMap`] of `src`.
+pub fn analyze(src: &str) -> SourceMap {
+    let mut lines = comment_scan(src);
+
+    // Directive and macro-definition facts come from logical lines, which
+    // already splice continuations and strip comments.
+    let mut macro_defs = Vec::new();
+    for ll in logical_lines(src) {
+        if !ll.is_directive() {
+            continue;
+        }
+        let (name, rest) = ll.directive().unwrap_or(("", ""));
+        let first = ll.first_line as usize - 1;
+        let last = (ll.last_line as usize - 1).min(lines.len().saturating_sub(1));
+        for info in &mut lines[first..=last] {
+            info.is_directive = true;
+        }
+        if matches!(name, "if" | "ifdef" | "ifndef" | "elif" | "else") {
+            lines[first].is_conditional = true;
+        }
+        if name == "define" {
+            let macro_name: String = rest
+                .chars()
+                .take_while(|c| *c == '_' || c.is_ascii_alphanumeric())
+                .collect();
+            if !macro_name.is_empty() {
+                let idx = macro_defs.len();
+                macro_defs.push(MacroDefSpan {
+                    name: macro_name,
+                    define_line: ll.first_line,
+                    end_line: ll.last_line,
+                });
+                for info in &mut lines[first..=last] {
+                    info.in_macro_def = Some(idx);
+                }
+            }
+        }
+    }
+
+    SourceMap { lines, macro_defs }
+}
+
+/// Per-line comment facts via a char-level scan of the raw source.
+fn comment_scan(src: &str) -> Vec<LineInfo> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum St {
+        Code,
+        Str,
+        Chr,
+        LineComment,
+        BlockComment,
+    }
+    let mut out = Vec::new();
+    let mut st = St::Code;
+    for raw in src.lines() {
+        let mut info = LineInfo {
+            starts_in_comment: st == St::BlockComment,
+            ends_with_continuation: raw.ends_with('\\'),
+            ..LineInfo::default()
+        };
+        let mut has_code = false;
+        let bytes: Vec<(usize, char)> = raw.char_indices().collect();
+        let mut i = 0;
+        while i < bytes.len() {
+            let (pos, c) = bytes[i];
+            let next = bytes.get(i + 1).map(|&(_, c)| c);
+            match st {
+                St::Code => match c {
+                    '/' if next == Some('/') => {
+                        st = St::LineComment;
+                        i += 2;
+                        continue;
+                    }
+                    '/' if next == Some('*') => {
+                        st = St::BlockComment;
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        has_code = true;
+                        st = St::Str;
+                    }
+                    '\'' => {
+                        has_code = true;
+                        st = St::Chr;
+                    }
+                    c if c.is_whitespace() => {}
+                    '\\' => {} // continuation backslash
+                    _ => has_code = true,
+                },
+                St::Str => {
+                    if c == '\\' {
+                        i += 2;
+                        continue;
+                    }
+                    if c == '"' {
+                        st = St::Code;
+                    }
+                }
+                St::Chr => {
+                    if c == '\\' {
+                        i += 2;
+                        continue;
+                    }
+                    if c == '\'' {
+                        st = St::Code;
+                    }
+                }
+                St::LineComment => {}
+                St::BlockComment => {
+                    if c == '*' && next == Some('/') {
+                        st = St::Code;
+                        if info.starts_in_comment && info.comment_close_col.is_none() {
+                            info.comment_close_col = Some(pos + 2);
+                        }
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+        // Line comments and unterminated string/char states end at newline.
+        if st == St::LineComment {
+            st = St::Code;
+        }
+        if st == St::Str || st == St::Chr {
+            st = St::Code;
+        }
+        info.comment_only = !has_code && !raw.trim().is_empty();
+        out.push(info);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_code_lines() {
+        let m = analyze("int a;\nint b;\n");
+        assert_eq!(m.len(), 2);
+        let l1 = m.line(1).unwrap();
+        assert!(!l1.comment_only && !l1.is_directive && !l1.starts_in_comment);
+        assert!(m.line(3).is_none());
+    }
+
+    #[test]
+    fn comment_only_lines_detected() {
+        let src = "/* block\n   middle\n   end */\nint code; // trailing\n// whole line\n";
+        let m = analyze(src);
+        assert!(m.line(1).unwrap().comment_only);
+        assert!(m.line(2).unwrap().comment_only);
+        assert!(m.line(2).unwrap().starts_in_comment);
+        assert!(m.line(3).unwrap().comment_only);
+        assert!(!m.line(4).unwrap().comment_only);
+        assert!(m.line(5).unwrap().comment_only);
+    }
+
+    #[test]
+    fn comment_close_col_points_past_star_slash() {
+        let src = "/* open\nend */ int x;\n";
+        let m = analyze(src);
+        let l2 = m.line(2).unwrap();
+        assert!(l2.starts_in_comment);
+        assert_eq!(l2.comment_close_col, Some(6));
+        assert_eq!(&"end */ int x;"[6..], " int x;");
+    }
+
+    #[test]
+    fn macro_def_span_single_line() {
+        let m = analyze("#define HI(x) (((x) & 0xf) << 4)\nint y;\n");
+        assert_eq!(m.macro_defs.len(), 1);
+        let d = &m.macro_defs[0];
+        assert_eq!(d.name, "HI");
+        assert_eq!((d.define_line, d.end_line), (1, 1));
+        assert!(m.line(1).unwrap().is_directive);
+        assert_eq!(m.line(1).unwrap().in_macro_def, Some(0));
+        assert_eq!(m.line(2).unwrap().in_macro_def, None);
+    }
+
+    #[test]
+    fn macro_def_span_with_continuations() {
+        let src = "#define SINGLE(x) \\\n (HI(x) | \\\n  LO(x))\nint z;\n";
+        let m = analyze(src);
+        let d = &m.macro_defs[0];
+        assert_eq!((d.define_line, d.end_line), (1, 3));
+        assert!(d.contains(2));
+        assert!(!d.contains(4));
+        assert!(m.line(1).unwrap().ends_with_continuation);
+        assert!(m.line(2).unwrap().ends_with_continuation);
+        assert!(!m.line(3).unwrap().ends_with_continuation);
+        assert_eq!(m.line(2).unwrap().in_macro_def, Some(0));
+        assert_eq!(m.macro_def_at(3).unwrap().name, "SINGLE");
+    }
+
+    #[test]
+    fn conditional_directives_flagged() {
+        let src = "#ifdef A\nint a;\n#elif defined(B)\nint b;\n#else\nint c;\n#endif\n";
+        let m = analyze(src);
+        assert!(m.line(1).unwrap().is_conditional);
+        assert!(!m.line(2).unwrap().is_conditional);
+        assert!(m.line(3).unwrap().is_conditional);
+        assert!(m.line(5).unwrap().is_conditional);
+        // #endif closes a section but does not open one.
+        assert!(!m.line(7).unwrap().is_conditional);
+        assert!(m.line(7).unwrap().is_directive);
+    }
+
+    #[test]
+    fn comment_markers_in_strings_ignored() {
+        let m = analyze("char *s = \"/* not a comment\";\nint x;\n");
+        assert!(!m.line(1).unwrap().comment_only);
+        assert!(!m.line(2).unwrap().starts_in_comment);
+    }
+
+    #[test]
+    fn two_macros_indexed_in_order() {
+        let src = "#define A 1\n#define B 2\n";
+        let m = analyze(src);
+        assert_eq!(m.macro_defs.len(), 2);
+        assert_eq!(m.macro_def_at(1).unwrap().name, "A");
+        assert_eq!(m.macro_def_at(2).unwrap().name, "B");
+    }
+
+    #[test]
+    fn blank_lines_are_not_comment_only() {
+        let m = analyze("\n  \nint x;\n");
+        assert!(!m.line(1).unwrap().comment_only);
+        assert!(!m.line(2).unwrap().comment_only);
+    }
+
+    #[test]
+    fn define_inside_conditional() {
+        let src = "#ifdef CONFIG_PM\n#define PM_OPS &pm_ops\n#endif\n";
+        let m = analyze(src);
+        assert!(m.line(1).unwrap().is_conditional);
+        assert_eq!(m.macro_def_at(2).unwrap().name, "PM_OPS");
+    }
+
+    #[test]
+    fn empty_source() {
+        let m = analyze("");
+        assert!(m.is_empty());
+        assert!(m.macro_defs.is_empty());
+    }
+}

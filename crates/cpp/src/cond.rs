@@ -1,0 +1,202 @@
+//! Conditional-compilation state tracking.
+
+/// Where a conditional group currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchState {
+    /// This branch is the live one; lines are emitted.
+    Active,
+    /// No branch has been taken yet; a later `#elif`/`#else` may activate.
+    Pending,
+    /// A branch was already taken; all remaining branches are dead.
+    Done,
+}
+
+/// One open `#if`/`#ifdef`/`#ifndef` group.
+#[derive(Debug, Clone, Copy)]
+pub struct CondFrame {
+    /// State of the current branch.
+    pub state: BranchState,
+    /// Whether the *enclosing* context was active (a nested conditional in
+    /// a dead region can never activate).
+    pub parent_active: bool,
+    /// Whether `#else` has been seen (further `#elif`/`#else` is an error).
+    pub saw_else: bool,
+    /// Line of the opening directive (for unterminated-conditional
+    /// diagnostics).
+    pub opened_at: u32,
+}
+
+/// The conditional stack of a file being preprocessed.
+#[derive(Debug, Clone, Default)]
+pub struct CondStack {
+    frames: Vec<CondFrame>,
+}
+
+impl CondStack {
+    /// Empty stack.
+    pub fn new() -> Self {
+        CondStack::default()
+    }
+
+    /// True when the current position of the file is live.
+    pub fn active(&self) -> bool {
+        self.frames.iter().all(|f| f.state == BranchState::Active)
+    }
+
+    /// Open a group: `cond` is the evaluated controlling expression.
+    pub fn push(&mut self, cond: bool, line: u32) {
+        let parent_active = self.active();
+        self.frames.push(CondFrame {
+            state: if parent_active && cond {
+                BranchState::Active
+            } else if parent_active {
+                BranchState::Pending
+            } else {
+                BranchState::Done
+            },
+            parent_active,
+            saw_else: false,
+            opened_at: line,
+        });
+    }
+
+    /// True when the next `#elif`'s expression actually needs evaluating
+    /// (the group is still pending and the enclosing context is live).
+    /// Expressions in branches that can never activate are skipped, like
+    /// gcc skips them — they may contain garbage.
+    pub fn elif_needs_eval(&self) -> bool {
+        matches!(
+            self.frames.last(),
+            Some(f) if f.state == BranchState::Pending && f.parent_active && !f.saw_else
+        )
+    }
+
+    /// Handle `#elif cond`. Returns false when no group is open or `#else`
+    /// was already seen.
+    pub fn elif(&mut self, cond: bool) -> bool {
+        let Some(top) = self.frames.last_mut() else {
+            return false;
+        };
+        if top.saw_else {
+            return false;
+        }
+        top.state = match top.state {
+            BranchState::Active => BranchState::Done,
+            BranchState::Pending if top.parent_active && cond => BranchState::Active,
+            s => s,
+        };
+        true
+    }
+
+    /// Handle `#else`. Returns false when no group is open or `#else` was
+    /// already seen.
+    pub fn toggle_else(&mut self) -> bool {
+        let Some(top) = self.frames.last_mut() else {
+            return false;
+        };
+        if top.saw_else {
+            return false;
+        }
+        top.saw_else = true;
+        top.state = match top.state {
+            BranchState::Active => BranchState::Done,
+            BranchState::Pending if top.parent_active => BranchState::Active,
+            s => s,
+        };
+        true
+    }
+
+    /// Handle `#endif`. Returns false when no group is open.
+    pub fn pop(&mut self) -> bool {
+        self.frames.pop().is_some()
+    }
+
+    /// Number of open groups (non-zero at end of file is an error).
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Line of the innermost open group, if any.
+    pub fn innermost_open_line(&self) -> Option<u32> {
+        self.frames.last().map(|f| f.opened_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_if_else() {
+        let mut s = CondStack::new();
+        assert!(s.active());
+        s.push(false, 1);
+        assert!(!s.active());
+        assert!(s.toggle_else());
+        assert!(s.active());
+        assert!(s.pop());
+        assert!(s.active());
+    }
+
+    #[test]
+    fn taken_branch_kills_else() {
+        let mut s = CondStack::new();
+        s.push(true, 1);
+        assert!(s.active());
+        s.toggle_else();
+        assert!(!s.active());
+        s.pop();
+    }
+
+    #[test]
+    fn elif_chain_takes_first_true() {
+        let mut s = CondStack::new();
+        s.push(false, 1);
+        assert!(!s.active());
+        assert!(s.elif(true));
+        assert!(s.active());
+        assert!(s.elif(true)); // already taken: stays done
+        assert!(!s.active());
+        s.toggle_else();
+        assert!(!s.active());
+    }
+
+    #[test]
+    fn nested_dead_region_never_activates() {
+        let mut s = CondStack::new();
+        s.push(false, 1);
+        s.push(true, 2); // nested in dead region
+        assert!(!s.active());
+        s.toggle_else();
+        assert!(!s.active());
+        s.pop();
+        s.toggle_else(); // outer else
+        assert!(s.active());
+    }
+
+    #[test]
+    fn double_else_rejected() {
+        let mut s = CondStack::new();
+        s.push(true, 1);
+        assert!(s.toggle_else());
+        assert!(!s.toggle_else());
+        assert!(!s.elif(true));
+    }
+
+    #[test]
+    fn stray_endif_rejected() {
+        let mut s = CondStack::new();
+        assert!(!s.pop());
+        assert!(!s.toggle_else());
+        assert!(!s.elif(false));
+    }
+
+    #[test]
+    fn depth_and_open_line() {
+        let mut s = CondStack::new();
+        s.push(true, 10);
+        s.push(false, 20);
+        assert_eq!(s.depth(), 2);
+        assert_eq!(s.innermost_open_line(), Some(20));
+    }
+}

@@ -1,0 +1,142 @@
+//! Error types for preprocessing and front-end validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// A diagnostic produced during preprocessing.
+///
+/// Preprocessing is error-tolerant: diagnostics are collected in
+/// [`crate::PreprocessOutput::errors`] and the offending construct is
+/// skipped, mirroring how a kernel build surfaces cascades of messages
+/// rather than stopping at the first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CppError {
+    /// File in which the problem occurred.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What went wrong.
+    pub kind: CppErrorKind,
+}
+
+/// The kinds of preprocessing diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CppErrorKind {
+    /// `#include` target could not be resolved.
+    IncludeNotFound(String),
+    /// Include nesting exceeded the implementation limit.
+    IncludeDepthExceeded,
+    /// A malformed directive (bad `#define` syntax, stray `#endif`, …).
+    MalformedDirective(String),
+    /// `#if`/`#elif` expression did not evaluate.
+    BadExpression(String),
+    /// `#error` directive reached in an active region.
+    UserError(String),
+    /// A conditional was still open at end of file.
+    UnterminatedConditional,
+    /// Function-like macro invocation with mismatched argument count.
+    WrongArgumentCount {
+        /// Macro name.
+        name: String,
+        /// Parameters declared.
+        expected: usize,
+        /// Arguments supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for CppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: ", self.file, self.line)?;
+        match &self.kind {
+            CppErrorKind::IncludeNotFound(t) => write!(f, "include not found: {t}"),
+            CppErrorKind::IncludeDepthExceeded => write!(f, "include nesting too deep"),
+            CppErrorKind::MalformedDirective(d) => write!(f, "malformed directive: {d}"),
+            CppErrorKind::BadExpression(e) => write!(f, "bad #if expression: {e}"),
+            CppErrorKind::UserError(m) => write!(f, "#error {m}"),
+            CppErrorKind::UnterminatedConditional => write!(f, "unterminated conditional"),
+            CppErrorKind::WrongArgumentCount {
+                name,
+                expected,
+                got,
+            } => write!(f, "macro {name} expects {expected} argument(s), got {got}"),
+        }
+    }
+}
+
+impl Error for CppError {}
+
+/// A front-end validation failure: the preprocessed translation unit is not
+/// acceptable C at the lexical/bracketing level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyntaxError {
+    /// A character with no place in the C grammar (JMake's mutation glyph
+    /// triggers this).
+    InvalidCharacter {
+        /// The offending character.
+        ch: char,
+        /// 1-based line in the preprocessed text.
+        line: u32,
+    },
+    /// `(`/`[`/`{` with no matching closer, or a mismatched closer.
+    UnbalancedDelimiter {
+        /// The delimiter at fault.
+        ch: char,
+        /// 1-based line in the preprocessed text.
+        line: u32,
+    },
+    /// A string or character literal ran to end of line unterminated.
+    UnterminatedLiteral {
+        /// 1-based line in the preprocessed text.
+        line: u32,
+    },
+    /// The translation unit is empty (no tokens at all) — a kernel object
+    /// must define something.
+    EmptyTranslationUnit,
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyntaxError::InvalidCharacter { ch, line } => {
+                write!(f, "line {line}: invalid character {ch:?} in program text")
+            }
+            SyntaxError::UnbalancedDelimiter { ch, line } => {
+                write!(f, "line {line}: unbalanced delimiter {ch:?}")
+            }
+            SyntaxError::UnterminatedLiteral { line } => {
+                write!(f, "line {line}: unterminated string or character literal")
+            }
+            SyntaxError::EmptyTranslationUnit => write!(f, "empty translation unit"),
+        }
+    }
+}
+
+impl Error for SyntaxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = CppError {
+            file: "a.c".into(),
+            line: 12,
+            kind: CppErrorKind::IncludeNotFound("x.h".into()),
+        };
+        assert_eq!(e.to_string(), "a.c:12: include not found: x.h");
+    }
+
+    #[test]
+    fn syntax_error_display() {
+        let e = SyntaxError::InvalidCharacter {
+            ch: '\u{2261}',
+            line: 3,
+        };
+        assert!(e.to_string().contains("invalid character"));
+        assert!(SyntaxError::EmptyTranslationUnit
+            .to_string()
+            .contains("empty"));
+    }
+}

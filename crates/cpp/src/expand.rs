@@ -1,0 +1,511 @@
+//! Macro expansion: substitution, stringification, pasting, rescanning.
+
+use crate::error::CppErrorKind;
+use crate::lexer::lex;
+use crate::macros::MacroTable;
+use crate::token::{render_tokens, Token, TokenKind};
+use std::collections::HashSet;
+
+/// Expands macro invocations in token sequences.
+///
+/// Recursion is prevented with an active-macro stack (a macro name is not
+/// re-expanded while its own expansion is being processed), the same
+/// strategy that makes `#define x x` terminate in real preprocessors.
+#[derive(Debug)]
+pub struct Expander<'t> {
+    table: &'t MacroTable,
+    /// Names of every macro that was actually expanded — JMake's unused-
+    /// macro classification consumes this.
+    pub expanded_names: HashSet<String>,
+    /// Diagnostics raised during expansion (wrong argument counts).
+    pub errors: Vec<CppErrorKind>,
+}
+
+impl<'t> Expander<'t> {
+    /// Create an expander over `table`.
+    pub fn new(table: &'t MacroTable) -> Self {
+        Expander {
+            table,
+            expanded_names: HashSet::new(),
+            errors: Vec::new(),
+        }
+    }
+
+    /// Fully expand `tokens`.
+    pub fn expand(&mut self, tokens: &[Token]) -> Vec<Token> {
+        let mut active = Vec::new();
+        self.expand_inner(tokens, &mut active)
+    }
+
+    fn expand_inner(&mut self, tokens: &[Token], active: &mut Vec<String>) -> Vec<Token> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            let t = &tokens[i];
+            if t.kind != TokenKind::Ident {
+                out.push(t.clone());
+                i += 1;
+                continue;
+            }
+            let name = t.text.clone();
+            if active.contains(&name) {
+                out.push(t.clone());
+                i += 1;
+                continue;
+            }
+            let Some(def) = self.table.get(&name) else {
+                out.push(t.clone());
+                i += 1;
+                continue;
+            };
+            let def = def.clone();
+            match &def.params {
+                None => {
+                    self.expanded_names.insert(name.clone());
+                    let substituted = self.substitute(&def.body, &[], &[], def.variadic);
+                    active.push(name);
+                    let mut rescanned = self.expand_inner(&substituted, active);
+                    active.pop();
+                    fix_leading_space(&mut rescanned, t.space_before);
+                    out.extend(rescanned);
+                    i += 1;
+                }
+                Some(params) => {
+                    // Function-like: only an invocation if `(` follows.
+                    if !matches!(tokens.get(i + 1), Some(n) if n.is_punct("(")) {
+                        out.push(t.clone());
+                        i += 1;
+                        continue;
+                    }
+                    let (args, consumed) = collect_args(&tokens[i + 1..]);
+                    let Some(args) = args else {
+                        // Unbalanced parens: give up on this invocation.
+                        out.push(t.clone());
+                        i += 1;
+                        continue;
+                    };
+                    let arity_ok = if def.variadic {
+                        args.len() >= params.len()
+                    } else {
+                        args.len() == params.len()
+                            || (params.is_empty() && args.len() == 1 && args[0].is_empty())
+                    };
+                    if !arity_ok {
+                        self.errors.push(CppErrorKind::WrongArgumentCount {
+                            name: name.clone(),
+                            expected: params.len(),
+                            got: args.len(),
+                        });
+                    }
+                    self.expanded_names.insert(name.clone());
+                    // Pre-expand arguments (C99 6.10.3.1) for ordinary use.
+                    let expanded_args: Vec<Vec<Token>> =
+                        args.iter().map(|a| self.expand_inner(a, active)).collect();
+                    let (named, varargs) = split_args(params, &args, def.variadic);
+                    let (named_exp, varargs_exp) = split_args(params, &expanded_args, def.variadic);
+                    let substituted = self.substitute_fn(
+                        &def.body,
+                        params,
+                        &named,
+                        &named_exp,
+                        &varargs,
+                        &varargs_exp,
+                    );
+                    active.push(name);
+                    let mut rescanned = self.expand_inner(&substituted, active);
+                    active.pop();
+                    fix_leading_space(&mut rescanned, t.space_before);
+                    out.extend(rescanned);
+                    i += 1 + consumed;
+                }
+            }
+        }
+        out
+    }
+
+    /// Object-like substitution: only `##` pasting applies.
+    fn substitute(
+        &mut self,
+        body: &[Token],
+        _params: &[String],
+        _args: &[Vec<Token>],
+        _variadic: bool,
+    ) -> Vec<Token> {
+        paste_pass(body.to_vec())
+    }
+
+    /// Function-like substitution: parameter replacement, `#`, `##`.
+    #[allow(clippy::too_many_arguments)]
+    fn substitute_fn(
+        &mut self,
+        body: &[Token],
+        params: &[String],
+        raw: &[Vec<Token>],
+        expanded: &[Vec<Token>],
+        varargs_raw: &[Vec<Token>],
+        varargs_expanded: &[Vec<Token>],
+    ) -> Vec<Token> {
+        let param_index = |name: &str| params.iter().position(|p| p == name);
+        let mut out: Vec<Token> = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            let t = &body[i];
+            // Stringification: # param
+            if t.is_punct("#") {
+                if let Some(next) = body.get(i + 1) {
+                    if next.kind == TokenKind::Ident {
+                        let arg = if next.text == "__VA_ARGS__" {
+                            Some(join_varargs(varargs_raw))
+                        } else {
+                            param_index(&next.text)
+                                .map(|idx| raw.get(idx).cloned().unwrap_or_default())
+                        };
+                        if let Some(arg) = arg {
+                            out.push(Token {
+                                kind: TokenKind::Str,
+                                text: stringify(&arg),
+                                space_before: t.space_before,
+                                line: t.line,
+                            });
+                            i += 2;
+                            continue;
+                        }
+                    }
+                }
+            }
+            // Paste operands use RAW (unexpanded) arguments.
+            let next_is_paste = matches!(body.get(i + 1), Some(n) if n.is_punct("##"));
+            let prev_was_paste = !out.is_empty() && i > 0 && body[i - 1].is_punct("##");
+            if t.kind == TokenKind::Ident {
+                let replacement = if t.text == "__VA_ARGS__" {
+                    if next_is_paste || prev_was_paste {
+                        Some(join_varargs(varargs_raw))
+                    } else {
+                        Some(join_varargs(varargs_expanded))
+                    }
+                } else if let Some(idx) = param_index(&t.text) {
+                    let source = if next_is_paste || prev_was_paste {
+                        raw
+                    } else {
+                        expanded
+                    };
+                    Some(source.get(idx).cloned().unwrap_or_default())
+                } else {
+                    None
+                };
+                if let Some(mut rep) = replacement {
+                    fix_leading_space(&mut rep, t.space_before);
+                    out.extend(rep);
+                    i += 1;
+                    continue;
+                }
+            }
+            out.push(t.clone());
+            i += 1;
+        }
+        paste_pass(out)
+    }
+}
+
+/// Give the first token of an expansion the spacing of the macro name it
+/// replaces, so rendered output keeps word boundaries.
+fn fix_leading_space(tokens: &mut [Token], space: bool) {
+    if let Some(first) = tokens.first_mut() {
+        first.space_before = space;
+    }
+}
+
+/// Collect macro arguments starting at the `(` token. Returns the argument
+/// token lists and the number of tokens consumed (including both parens),
+/// or `None` if the parens never balance.
+fn collect_args(tokens: &[Token]) -> (Option<Vec<Vec<Token>>>, usize) {
+    debug_assert!(tokens[0].is_punct("("));
+    let mut depth = 0usize;
+    let mut args: Vec<Vec<Token>> = vec![Vec::new()];
+    for (i, t) in tokens.iter().enumerate() {
+        if t.is_punct("(") {
+            depth += 1;
+            if depth == 1 {
+                continue;
+            }
+        } else if t.is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                return (Some(args), i + 1);
+            }
+        } else if t.is_punct(",") && depth == 1 {
+            args.push(Vec::new());
+            continue;
+        }
+        args.last_mut().expect("args never empty").push(t.clone());
+    }
+    (None, tokens.len())
+}
+
+/// Partition collected arguments into named parameters and varargs.
+fn split_args(
+    params: &[String],
+    args: &[Vec<Token>],
+    variadic: bool,
+) -> (Vec<Vec<Token>>, Vec<Vec<Token>>) {
+    if variadic {
+        let n = params.len();
+        let named = args.iter().take(n).cloned().collect();
+        let rest = args.iter().skip(n).cloned().collect();
+        (named, rest)
+    } else {
+        (args.to_vec(), Vec::new())
+    }
+}
+
+/// Join vararg argument lists with comma tokens (for `__VA_ARGS__`).
+fn join_varargs(varargs: &[Vec<Token>]) -> Vec<Token> {
+    let mut out = Vec::new();
+    for (i, arg) in varargs.iter().enumerate() {
+        if i > 0 {
+            out.push(Token::punct(","));
+        }
+        out.extend(arg.iter().cloned());
+    }
+    out
+}
+
+/// C99 stringification: render, collapse internal whitespace to single
+/// spaces, escape `\` and `"` inside string/char literals.
+fn stringify(tokens: &[Token]) -> String {
+    let rendered = render_tokens(tokens);
+    let mut out = String::from("\"");
+    for c in rendered.trim().chars() {
+        match c {
+            '"' | '\\' => {
+                out.push('\\');
+                out.push(c);
+            }
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Resolve `##` pasting in a substituted body.
+fn paste_pass(tokens: Vec<Token>) -> Vec<Token> {
+    if !tokens.iter().any(|t| t.is_punct("##")) {
+        return tokens;
+    }
+    let mut out: Vec<Token> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct("##") && !out.is_empty() && i + 1 < tokens.len() {
+            let left = out.pop().expect("checked non-empty");
+            let right = &tokens[i + 1];
+            let fused_text = format!("{}{}", left.text, right.text);
+            let relexed = lex(&fused_text, left.line);
+            if relexed.len() == 1 {
+                let mut fused = relexed.into_iter().next().expect("len checked");
+                fused.space_before = left.space_before;
+                fused.line = left.line;
+                out.push(fused);
+            } else {
+                // Invalid paste: keep both tokens (gcc diagnoses; we tolerate).
+                out.push(left);
+                out.push(right.clone());
+            }
+            i += 2;
+        } else {
+            out.push(tokens[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::macros::MacroDef;
+
+    fn expand_str(table: &MacroTable, src: &str) -> String {
+        let mut e = Expander::new(table);
+        let toks = e.expand(&lex(src, 1));
+        render_tokens(&toks)
+    }
+
+    #[test]
+    fn object_macro_expands() {
+        let mut t = MacroTable::new();
+        t.define(MacroDef::object("N", "42"));
+        assert_eq!(expand_str(&t, "int x = N;"), "int x = 42;");
+    }
+
+    #[test]
+    fn nested_object_macros() {
+        let mut t = MacroTable::new();
+        t.define(MacroDef::object("A", "B"));
+        t.define(MacroDef::object("B", "7"));
+        assert_eq!(expand_str(&t, "A"), "7");
+    }
+
+    #[test]
+    fn self_reference_terminates() {
+        let mut t = MacroTable::new();
+        t.define(MacroDef::object("x", "x + 1"));
+        assert_eq!(expand_str(&t, "x"), "x + 1");
+    }
+
+    #[test]
+    fn mutual_recursion_terminates() {
+        let mut t = MacroTable::new();
+        t.define(MacroDef::object("P", "Q"));
+        t.define(MacroDef::object("Q", "P"));
+        // Expansion must terminate; P -> Q -> P(blocked).
+        assert_eq!(expand_str(&t, "P"), "P");
+    }
+
+    #[test]
+    fn function_macro_substitutes_args() {
+        let mut t = MacroTable::new();
+        t.define(MacroDef::function(
+            "MUX",
+            vec!["x".into()],
+            "(((x) & 0xf) << 4)",
+        ));
+        assert_eq!(expand_str(&t, "MUX(chan)"), "(((chan) & 0xf) << 4)");
+    }
+
+    #[test]
+    fn paper_figure1_macro_chain() {
+        // The comedi example from Fig. 1: nested single-channel mux macros.
+        let mut t = MacroTable::new();
+        t.define(MacroDef::function(
+            "HI",
+            vec!["x".into()],
+            "(((x) & 0xf) << 4)",
+        ));
+        t.define(MacroDef::function(
+            "LO",
+            vec!["x".into()],
+            "(((x) & 0xf) << 0)",
+        ));
+        t.define(MacroDef::function(
+            "SINGLE",
+            vec!["x".into()],
+            "(HI(x) | LO(x))",
+        ));
+        assert_eq!(
+            expand_str(&t, "SINGLE(chan)"),
+            "((((chan) & 0xf) << 4) | (((chan) & 0xf) << 0))"
+        );
+    }
+
+    #[test]
+    fn macro_name_without_parens_is_not_invoked() {
+        let mut t = MacroTable::new();
+        t.define(MacroDef::function("F", vec!["x".into()], "x"));
+        assert_eq!(expand_str(&t, "int F;"), "int F;");
+    }
+
+    #[test]
+    fn arguments_are_pre_expanded() {
+        let mut t = MacroTable::new();
+        t.define(MacroDef::object("K", "9"));
+        t.define(MacroDef::function("ID", vec!["x".into()], "x"));
+        assert_eq!(expand_str(&t, "ID(K)"), "9");
+    }
+
+    #[test]
+    fn stringify_operator() {
+        let mut t = MacroTable::new();
+        t.define(MacroDef::function("S", vec!["x".into()], "#x"));
+        assert_eq!(expand_str(&t, "S(a + b)"), "\"a + b\"");
+    }
+
+    #[test]
+    fn stringify_escapes_quotes() {
+        let mut t = MacroTable::new();
+        t.define(MacroDef::function("S", vec!["x".into()], "#x"));
+        assert_eq!(expand_str(&t, "S(\"hi\")"), "\"\\\"hi\\\"\"");
+    }
+
+    #[test]
+    fn paste_operator_fuses_idents() {
+        let mut t = MacroTable::new();
+        t.define(MacroDef::function(
+            "GLUE",
+            vec!["a".into(), "b".into()],
+            "a##b",
+        ));
+        assert_eq!(expand_str(&t, "GLUE(dev, _init)"), "dev_init");
+    }
+
+    #[test]
+    fn paste_uses_raw_arguments() {
+        let mut t = MacroTable::new();
+        t.define(MacroDef::object("X", "expanded"));
+        t.define(MacroDef::function("CAT", vec!["a".into()], "a##_t"));
+        // Raw arg "X" is pasted, producing X_t (not expanded_t).
+        assert_eq!(expand_str(&t, "CAT(X)"), "X_t");
+    }
+
+    #[test]
+    fn variadic_macro() {
+        let mut t = MacroTable::new();
+        t.define(MacroDef {
+            name: "pr".into(),
+            params: Some(vec!["fmt".into()]),
+            variadic: true,
+            body: lex("printk(fmt, __VA_ARGS__)", 0),
+        });
+        assert_eq!(expand_str(&t, "pr(\"%d\", a, b)"), "printk(\"%d\", a, b)");
+    }
+
+    #[test]
+    fn wrong_arity_is_diagnosed() {
+        let mut t = MacroTable::new();
+        t.define(MacroDef::function("F", vec!["a".into(), "b".into()], "a+b"));
+        let mut e = Expander::new(&t);
+        e.expand(&lex("F(1)", 1));
+        assert_eq!(e.errors.len(), 1);
+    }
+
+    #[test]
+    fn zero_arg_invocation_of_nullary_macro() {
+        let mut t = MacroTable::new();
+        t.define(MacroDef::function("F", vec![], "0"));
+        let mut e = Expander::new(&t);
+        let out = e.expand(&lex("F()", 1));
+        assert_eq!(render_tokens(&out), "0");
+        assert!(e.errors.is_empty());
+    }
+
+    #[test]
+    fn expanded_names_are_recorded() {
+        let mut t = MacroTable::new();
+        t.define(MacroDef::object("USED", "1"));
+        t.define(MacroDef::object("UNUSED", "2"));
+        let mut e = Expander::new(&t);
+        e.expand(&lex("int a = USED;", 1));
+        assert!(e.expanded_names.contains("USED"));
+        assert!(!e.expanded_names.contains("UNUSED"));
+    }
+
+    #[test]
+    fn mutation_glyph_in_macro_body_propagates_to_use_site() {
+        // Core JMake mechanism (paper Fig. 2): a mutation inserted in a
+        // macro body shows up wherever the macro is used.
+        let mut t = MacroTable::new();
+        let mut def = MacroDef::function("HI", vec!["x".into()], "(((x) & 0xf) << 4)");
+        def.body.extend(lex("\u{2261}\"define:f.c:49\"", 0));
+        t.define(def);
+        let out = expand_str(&t, "HI(chan)");
+        assert!(out.contains("\u{2261}\"define:f.c:49\""), "{out}");
+        assert!(out.contains("(((chan) & 0xf) << 4)"));
+    }
+
+    #[test]
+    fn unbalanced_invocation_left_alone() {
+        let mut t = MacroTable::new();
+        t.define(MacroDef::function("F", vec!["x".into()], "x"));
+        assert_eq!(expand_str(&t, "F(1"), "F(1");
+    }
+}

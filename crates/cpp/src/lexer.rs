@@ -1,0 +1,231 @@
+//! Preprocessing-token lexer.
+//!
+//! Operates on *clean* text (comments already removed by
+//! [`crate::lines::logical_lines`]) but tolerates raw text too: `//` and
+//! `/*` sequences are lexed as punctuators in that case, so callers that
+//! need comment semantics must clean first.
+
+use crate::token::{Token, TokenKind};
+
+/// Multi-character punctuators, longest first so maximal munch works.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "...", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=",
+    "-=", "*=", "/=", "%=", "&=", "^=", "|=", "##", "#", "[", "]", "(", ")", "{", "}", ".", "&",
+    "*", "+", "-", "~", "!", "/", "%", "<", ">", "^", "|", "?", ":", ";", "=", ",",
+];
+
+/// Lex `text` into preprocessing tokens.
+///
+/// `line` is the 1-based source line attributed to the tokens (callers
+/// lexing a logical line pass its first physical line).
+///
+/// Characters that cannot begin any C token become [`TokenKind::Other`]
+/// tokens — this is what makes JMake's mutation glyph detectable and what
+/// makes the front-end validator reject mutated files.
+pub fn lex(text: &str, line: u32) -> Vec<Token> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut space_before = false;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            space_before = true;
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let kind;
+        if c == '_' || c.is_ascii_alphabetic() {
+            while i < chars.len() && (chars[i] == '_' || chars[i].is_ascii_alphanumeric()) {
+                i += 1;
+            }
+            // Wide/encoded string or char prefixes: L"..." u8"..." etc.
+            if i < chars.len()
+                && (chars[i] == '"' || chars[i] == '\'')
+                && is_literal_prefix(&chars[start..i])
+            {
+                let quote = chars[i];
+                i = scan_quoted(&chars, i, quote);
+                kind = if quote == '"' {
+                    TokenKind::Str
+                } else {
+                    TokenKind::Char
+                };
+            } else {
+                kind = TokenKind::Ident;
+            }
+        } else if c.is_ascii_digit()
+            || (c == '.' && matches!(chars.get(i + 1), Some(d) if d.is_ascii_digit()))
+        {
+            // pp-number: digits, letters, dots, and exponent signs.
+            i += 1;
+            while i < chars.len() {
+                let d = chars[i];
+                let continues = d == '_'
+                    || d.is_ascii_alphanumeric()
+                    || d == '.'
+                    || ((d == '+' || d == '-') && matches!(chars[i - 1], 'e' | 'E' | 'p' | 'P'));
+                if !continues {
+                    break;
+                }
+                i += 1;
+            }
+            kind = TokenKind::Number;
+        } else if c == '"' {
+            i = scan_quoted(&chars, i, '"');
+            kind = TokenKind::Str;
+        } else if c == '\'' {
+            i = scan_quoted(&chars, i, '\'');
+            kind = TokenKind::Char;
+        } else if let Some(p) = match_punct(&chars[i..]) {
+            i += p.chars().count();
+            kind = TokenKind::Punct;
+        } else {
+            i += 1;
+            kind = TokenKind::Other(c);
+        }
+        out.push(Token {
+            kind,
+            text: chars[start..i].iter().collect(),
+            space_before,
+            line,
+        });
+        space_before = false;
+    }
+    out
+}
+
+fn is_literal_prefix(chars: &[char]) -> bool {
+    let s: String = chars.iter().collect();
+    matches!(s.as_str(), "L" | "u" | "U" | "u8")
+}
+
+/// Scan a quoted literal starting at the opening quote index; returns the
+/// index just past the closing quote (or end of text if unterminated).
+fn scan_quoted(chars: &[char], open: usize, quote: char) -> usize {
+    let mut i = open + 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            c if c == quote => return i + 1,
+            _ => i += 1,
+        }
+    }
+    chars.len()
+}
+
+fn match_punct(rest: &[char]) -> Option<&'static str> {
+    PUNCTS.iter().copied().find(|p| {
+        p.chars().zip(rest.iter()).filter(|(a, b)| a == *b).count() == p.chars().count()
+            && rest.len() >= p.chars().count()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(text: &str) -> Vec<(TokenKind, String)> {
+        lex(text, 1).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        let ts = kinds("static int x = 42;");
+        assert_eq!(
+            ts,
+            vec![
+                (TokenKind::Ident, "static".into()),
+                (TokenKind::Ident, "int".into()),
+                (TokenKind::Ident, "x".into()),
+                (TokenKind::Punct, "=".into()),
+                (TokenKind::Number, "42".into()),
+                (TokenKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn maximal_munch_on_punctuators() {
+        let ts = kinds("a<<=b>>c##d");
+        let puncts: Vec<String> = ts
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(puncts, vec!["<<=", ">>", "##"]);
+    }
+
+    #[test]
+    fn pp_numbers_include_suffixes_and_exponents() {
+        assert_eq!(kinds("0xFFUL")[0], (TokenKind::Number, "0xFFUL".into()));
+        assert_eq!(kinds("1.5e-3f")[0], (TokenKind::Number, "1.5e-3f".into()));
+        assert_eq!(kinds(".5")[0], (TokenKind::Number, ".5".into()));
+    }
+
+    #[test]
+    fn dot_alone_is_punct() {
+        assert_eq!(kinds("a.b")[1], (TokenKind::Punct, ".".into()));
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(
+            kinds("\"a\\\"b\"")[0],
+            (TokenKind::Str, "\"a\\\"b\"".into())
+        );
+        assert_eq!(kinds("'\\n'")[0], (TokenKind::Char, "'\\n'".into()));
+    }
+
+    #[test]
+    fn wide_string_prefix() {
+        assert_eq!(kinds("L\"x\"")[0], (TokenKind::Str, "L\"x\"".into()));
+        // But a normal identifier before a string stays separate.
+        let ts = kinds("Lx \"y\"");
+        assert_eq!(ts[0], (TokenKind::Ident, "Lx".into()));
+        assert_eq!(ts[1], (TokenKind::Str, "\"y\"".into()));
+    }
+
+    #[test]
+    fn mutation_glyph_is_other() {
+        let ts = kinds("\u{2261}\"define:f.c:49\"");
+        assert_eq!(ts[0], (TokenKind::Other('\u{2261}'), "\u{2261}".into()));
+        assert_eq!(ts[1], (TokenKind::Str, "\"define:f.c:49\"".into()));
+        assert!(!ts[1].1.is_empty());
+    }
+
+    #[test]
+    fn at_sign_and_backtick_are_other() {
+        assert!(matches!(kinds("@")[0].0, TokenKind::Other('@')));
+        assert!(matches!(kinds("`")[0].0, TokenKind::Other('`')));
+    }
+
+    #[test]
+    fn space_before_is_tracked() {
+        let ts = lex("a + b", 7);
+        assert!(!ts[0].space_before);
+        assert!(ts[1].space_before);
+        assert!(ts[2].space_before);
+        assert_eq!(ts[0].line, 7);
+    }
+
+    #[test]
+    fn unterminated_string_consumes_rest() {
+        let ts = kinds("\"abc");
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0], (TokenKind::Str, "\"abc".into()));
+    }
+
+    #[test]
+    fn hash_variants() {
+        let ts = kinds("# ## #");
+        let texts: Vec<_> = ts.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, vec!["#", "##", "#"]);
+    }
+
+    #[test]
+    fn ellipsis() {
+        assert_eq!(kinds("...")[0], (TokenKind::Punct, "...".into()));
+    }
+}

@@ -1,0 +1,299 @@
+//! Translation phases 2 and 3: line splicing and comment removal.
+//!
+//! Produces *logical lines*: physical lines joined by backslash-newline,
+//! with comments replaced by a single space, each annotated with the range
+//! of physical lines it came from.
+
+/// A logical source line after splicing and comment removal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogicalLine {
+    /// The cleaned text (no comments, no continuations, no trailing newline).
+    pub text: String,
+    /// 1-based first physical line.
+    pub first_line: u32,
+    /// 1-based last physical line (≥ `first_line` when continuations or a
+    /// block comment spanned lines).
+    pub last_line: u32,
+}
+
+impl LogicalLine {
+    /// True when nothing but whitespace remains.
+    pub fn is_blank(&self) -> bool {
+        self.text.trim().is_empty()
+    }
+
+    /// True when the line is a preprocessing directive (first non-blank
+    /// char is `#`).
+    pub fn is_directive(&self) -> bool {
+        self.text.trim_start().starts_with('#')
+    }
+
+    /// For a directive line, the directive name (`define`, `if`, …) and the
+    /// rest of the line.
+    pub fn directive(&self) -> Option<(&str, &str)> {
+        let t = self.text.trim_start();
+        let t = t.strip_prefix('#')?;
+        let t = t.trim_start();
+        let end = t
+            .find(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+            .unwrap_or(t.len());
+        Some((&t[..end], t[end..].trim_start()))
+    }
+}
+
+/// Split source into logical lines: splice `\`-newline, strip comments
+/// (string- and char-literal aware), and record physical line ranges.
+///
+/// Unterminated block comments run to end of file, like gcc with a warning;
+/// unterminated string literals end at the newline (the front-end validator
+/// reports those).
+pub fn logical_lines(src: &str) -> Vec<LogicalLine> {
+    // Phase 2: splice. Build (char, physical_line) stream.
+    let mut spliced: Vec<(char, u32)> = Vec::with_capacity(src.len());
+    let mut line = 1u32;
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\\' && matches!(bytes.get(i + 1), Some('\n')) {
+            line += 1;
+            i += 2;
+            continue;
+        }
+        if c == '\\'
+            && matches!(bytes.get(i + 1), Some('\r'))
+            && matches!(bytes.get(i + 2), Some('\n'))
+        {
+            line += 1;
+            i += 3;
+            continue;
+        }
+        spliced.push((c, line));
+        if c == '\n' {
+            line += 1;
+        }
+        i += 1;
+    }
+
+    // Phase 3: comments → single space.
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        Str,
+        Chr,
+        LineComment,
+        BlockComment,
+    }
+    let mut st = St::Code;
+    let mut clean: Vec<(char, u32)> = Vec::with_capacity(spliced.len());
+    let mut i = 0;
+    while i < spliced.len() {
+        let (c, ln) = spliced[i];
+        let next = spliced.get(i + 1).map(|&(c, _)| c);
+        match st {
+            St::Code => match c {
+                '/' if next == Some('/') => {
+                    st = St::LineComment;
+                    clean.push((' ', ln));
+                    i += 2;
+                    continue;
+                }
+                '/' if next == Some('*') => {
+                    st = St::BlockComment;
+                    clean.push((' ', ln));
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    st = St::Str;
+                    clean.push((c, ln));
+                }
+                '\'' => {
+                    st = St::Chr;
+                    clean.push((c, ln));
+                }
+                _ => clean.push((c, ln)),
+            },
+            St::Str => {
+                clean.push((c, ln));
+                if c == '\\' {
+                    if let Some(&(nc, nln)) = spliced.get(i + 1) {
+                        clean.push((nc, nln));
+                        i += 2;
+                        continue;
+                    }
+                } else if c == '"' || c == '\n' {
+                    st = St::Code;
+                }
+            }
+            St::Chr => {
+                clean.push((c, ln));
+                if c == '\\' {
+                    if let Some(&(nc, nln)) = spliced.get(i + 1) {
+                        clean.push((nc, nln));
+                        i += 2;
+                        continue;
+                    }
+                } else if c == '\'' || c == '\n' {
+                    st = St::Code;
+                }
+            }
+            St::LineComment => {
+                if c == '\n' {
+                    st = St::Code;
+                    clean.push((c, ln));
+                }
+                // else: drop comment char
+            }
+            St::BlockComment => {
+                if c == '*' && next == Some('/') {
+                    st = St::Code;
+                    i += 2;
+                    continue;
+                }
+                if c == '\n' {
+                    // Keep the newline so a directive cannot absorb the
+                    // following line, but the logical line range records it.
+                    clean.push((c, ln));
+                }
+            }
+        }
+        i += 1;
+    }
+
+    // Split at newlines into logical lines. A block comment that spanned
+    // lines left its newlines in place, so directives stay line-bounded.
+    let mut out = Vec::new();
+    let mut text = String::new();
+    let mut first: Option<u32> = None;
+    let mut last = 1u32;
+    for (c, ln) in clean {
+        if first.is_none() {
+            first = Some(ln);
+        }
+        last = ln;
+        if c == '\n' {
+            out.push(LogicalLine {
+                text: std::mem::take(&mut text),
+                first_line: first.take().unwrap_or(ln),
+                last_line: ln,
+            });
+        } else {
+            text.push(c);
+        }
+    }
+    if first.is_some() || !text.is_empty() {
+        out.push(LogicalLine {
+            text,
+            first_line: first.unwrap_or(last),
+            last_line: last,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_lines_pass_through() {
+        let lls = logical_lines("int a;\nint b;\n");
+        assert_eq!(lls.len(), 2);
+        assert_eq!(lls[0].text, "int a;");
+        assert_eq!((lls[0].first_line, lls[0].last_line), (1, 1));
+        assert_eq!(lls[1].first_line, 2);
+    }
+
+    #[test]
+    fn continuation_splices_and_tracks_range() {
+        let lls = logical_lines("#define M(x) \\\n  ((x) + 1)\nint a;\n");
+        assert_eq!(lls.len(), 2);
+        assert_eq!(lls[0].text, "#define M(x)   ((x) + 1)");
+        assert_eq!((lls[0].first_line, lls[0].last_line), (1, 2));
+        assert_eq!(lls[1].first_line, 3);
+    }
+
+    #[test]
+    fn line_comment_is_stripped() {
+        let lls = logical_lines("int a; // trailing\nint b;\n");
+        assert_eq!(lls[0].text, "int a;  ");
+    }
+
+    #[test]
+    fn block_comment_becomes_space() {
+        let lls = logical_lines("int/*x*/a;\n");
+        assert_eq!(lls[0].text, "int a;");
+    }
+
+    #[test]
+    fn multiline_block_comment_keeps_line_count() {
+        let lls = logical_lines("a /* one\ntwo\nthree */ b\nnext\n");
+        assert_eq!(lls.len(), 4);
+        assert_eq!(lls[0].text, "a  ");
+        assert_eq!(lls[1].text, "");
+        assert_eq!(lls[2].text, " b");
+        assert_eq!(lls[3].text, "next");
+        assert_eq!(lls[3].first_line, 4);
+    }
+
+    #[test]
+    fn comment_markers_inside_strings_are_ignored() {
+        let lls = logical_lines("char *s = \"/* not a comment // \";\n");
+        assert_eq!(lls[0].text, "char *s = \"/* not a comment // \";");
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let lls = logical_lines("char *s = \"a\\\"b/*c*/\";\nint x;\n");
+        assert_eq!(lls[0].text, "char *s = \"a\\\"b/*c*/\";");
+        assert_eq!(lls[1].text, "int x;");
+    }
+
+    #[test]
+    fn char_literal_with_quote() {
+        let lls = logical_lines("char c = '\\''; /* x */ int y;\n");
+        assert_eq!(lls[0].text, "char c = '\\'';   int y;");
+    }
+
+    #[test]
+    fn directive_detection() {
+        let lls = logical_lines("  #  define FOO 1\nbar\n");
+        assert!(lls[0].is_directive());
+        assert_eq!(lls[0].directive(), Some(("define", "FOO 1")));
+        assert!(!lls[1].is_directive());
+        assert_eq!(lls[1].directive(), None);
+    }
+
+    #[test]
+    fn directive_with_no_rest() {
+        let lls = logical_lines("#endif\n");
+        assert_eq!(lls[0].directive(), Some(("endif", "")));
+    }
+
+    #[test]
+    fn splice_inside_string_literal() {
+        let lls = logical_lines("char *s = \"ab\\\ncd\";\n");
+        assert_eq!(lls[0].text, "char *s = \"abcd\";");
+        assert_eq!((lls[0].first_line, lls[0].last_line), (1, 2));
+    }
+
+    #[test]
+    fn unterminated_block_comment_runs_out() {
+        let lls = logical_lines("a /* never closed\nmore\n");
+        assert_eq!(lls[0].text, "a  ");
+        assert_eq!(lls[1].text, "");
+    }
+
+    #[test]
+    fn no_trailing_newline_still_yields_line() {
+        let lls = logical_lines("int x;");
+        assert_eq!(lls.len(), 1);
+        assert_eq!(lls[0].text, "int x;");
+    }
+
+    #[test]
+    fn empty_input_yields_nothing() {
+        assert!(logical_lines("").is_empty());
+    }
+}

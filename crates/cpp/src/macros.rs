@@ -1,0 +1,126 @@
+//! Macro definitions and the macro table.
+
+use crate::lexer::lex;
+use crate::token::Token;
+use std::collections::HashMap;
+
+/// A macro definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MacroDef {
+    /// Macro name.
+    pub name: String,
+    /// `None` for object-like macros; parameter names for function-like.
+    pub params: Option<Vec<String>>,
+    /// Whether the parameter list ended with `...` (`__VA_ARGS__`).
+    pub variadic: bool,
+    /// Replacement-list tokens.
+    pub body: Vec<Token>,
+}
+
+impl MacroDef {
+    /// An object-like macro whose body is lexed from `body`.
+    pub fn object(name: impl Into<String>, body: &str) -> Self {
+        MacroDef {
+            name: name.into(),
+            params: None,
+            variadic: false,
+            body: lex(body, 0),
+        }
+    }
+
+    /// A function-like macro whose body is lexed from `body`.
+    pub fn function(name: impl Into<String>, params: Vec<String>, body: &str) -> Self {
+        MacroDef {
+            name: name.into(),
+            params: Some(params),
+            variadic: false,
+            body: lex(body, 0),
+        }
+    }
+
+    /// True for function-like macros.
+    pub fn is_function_like(&self) -> bool {
+        self.params.is_some()
+    }
+}
+
+/// The set of live macro definitions during preprocessing.
+#[derive(Debug, Clone, Default)]
+pub struct MacroTable {
+    defs: HashMap<String, MacroDef>,
+}
+
+impl MacroTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        MacroTable::default()
+    }
+
+    /// Define (or redefine) a macro.
+    pub fn define(&mut self, def: MacroDef) {
+        self.defs.insert(def.name.clone(), def);
+    }
+
+    /// Remove a macro; silently ignores unknown names (like `#undef`).
+    pub fn undef(&mut self, name: &str) {
+        self.defs.remove(name);
+    }
+
+    /// Look up a macro.
+    pub fn get(&self, name: &str) -> Option<&MacroDef> {
+        self.defs.get(name)
+    }
+
+    /// `defined(name)`.
+    pub fn is_defined(&self, name: &str) -> bool {
+        self.defs.contains_key(name)
+    }
+
+    /// Number of live definitions.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// True when no macros are defined.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// Iterate over the defined names (arbitrary order).
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.defs.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn define_lookup_undef() {
+        let mut t = MacroTable::new();
+        t.define(MacroDef::object("FOO", "1"));
+        assert!(t.is_defined("FOO"));
+        assert_eq!(t.get("FOO").unwrap().body[0].text, "1");
+        t.undef("FOO");
+        assert!(!t.is_defined("FOO"));
+        t.undef("FOO"); // idempotent
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn redefinition_replaces() {
+        let mut t = MacroTable::new();
+        t.define(MacroDef::object("X", "1"));
+        t.define(MacroDef::object("X", "2"));
+        assert_eq!(t.get("X").unwrap().body[0].text, "2");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn function_like_detection() {
+        let m = MacroDef::function("MAX", vec!["a".into(), "b".into()], "((a)>(b)?(a):(b))");
+        assert!(m.is_function_like());
+        assert!(!MacroDef::object("Y", "").is_function_like());
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests over the preprocessor stack.
+
+use crate::lexer::lex;
+use crate::lines::logical_lines;
+use crate::preprocess::{MapResolver, Preprocessor};
+use crate::syntax::validate;
+use crate::token::{render_tokens, TokenKind};
+use proptest::prelude::*;
+
+/// A small C-ish source generator: lines of declarations, macro defs,
+/// conditionals, and comments.
+fn c_source() -> impl Strategy<Value = String> {
+    let line = prop_oneof![
+        "[a-z]{1,6}".prop_map(|v| format!("int {v};")),
+        "[a-z]{1,6}".prop_map(|v| format!("static long {v} = 42;")),
+        ("[A-Z]{1,6}", 0u32..99).prop_map(|(n, v)| format!("#define {n} {v}")),
+        "[A-Z]{1,6}".prop_map(|n| format!("#ifdef {n}")),
+        Just("#else".to_string()),
+        Just("#endif".to_string()),
+        Just("/* a comment */".to_string()),
+        Just("// line comment".to_string()),
+        ("[a-z]{1,4}", "[a-z]{1,4}").prop_map(|(a, b)| format!("{a}({b});")),
+    ];
+    prop::collection::vec(line, 0..30).prop_map(|ls| {
+        // Balance conditionals so the source is well-formed.
+        let mut depth = 0i32;
+        let mut out = Vec::new();
+        for l in ls {
+            if l.starts_with("#ifdef") {
+                depth += 1;
+            } else if l == "#endif" {
+                if depth == 0 {
+                    continue;
+                }
+                depth -= 1;
+            } else if l == "#else" && depth == 0 {
+                continue;
+            }
+            out.push(l);
+        }
+        for _ in 0..depth {
+            out.push("#endif".to_string());
+        }
+        if out.is_empty() {
+            String::new()
+        } else {
+            out.join("\n") + "\n"
+        }
+    })
+}
+
+proptest! {
+    /// Preprocessing well-formed conditional structure raises no
+    /// conditional-nesting diagnostics and terminates.
+    #[test]
+    fn preprocess_never_panics_and_conditionals_balance(src in c_source()) {
+        let out = Preprocessor::new(MapResolver::new()).preprocess("p.c", &src);
+        for e in &out.errors {
+            prop_assert!(
+                !matches!(e.kind, crate::error::CppErrorKind::UnterminatedConditional),
+                "balanced source produced {e}"
+            );
+        }
+    }
+
+    /// The .i output of a clean run re-validates (no invalid characters,
+    /// balanced or at worst unbalanced the same way the source was).
+    #[test]
+    fn clean_output_has_no_directives(src in c_source()) {
+        let out = Preprocessor::new(MapResolver::new()).preprocess("p.c", &src);
+        for line in out.text.lines() {
+            let t = line.trim_start();
+            if let Some(rest) = t.strip_prefix('#') {
+                // Only line markers may remain.
+                prop_assert!(rest.trim_start().chars().next().is_none_or(|c| c.is_ascii_digit()),
+                    "directive leaked into .i: {line}");
+            }
+        }
+    }
+
+    /// Lexing is total and every non-whitespace char lands in some token.
+    #[test]
+    fn lexer_is_total(s in "[ -~]{0,60}") {
+        let toks = lex(&s, 1);
+        let nonws: usize = s.chars().filter(|c| !c.is_whitespace()).count();
+        // Unterminated literals may absorb whitespace; count non-whitespace
+        // coverage, which must be exact.
+        let covered: usize = toks
+            .iter()
+            .flat_map(|t| t.text.chars())
+            .filter(|c| !c.is_whitespace())
+            .count();
+        prop_assert_eq!(nonws, covered);
+    }
+
+    /// render ∘ lex preserves the token stream (lex(render(lex(s))) == lex(s)).
+    #[test]
+    fn relex_of_render_is_stable(s in "[ -~]{0,60}") {
+        let toks = lex(&s, 1);
+        let rendered = render_tokens(&toks);
+        let again = lex(&rendered, 1);
+        let a: Vec<(&TokenKind, &str)> = toks.iter().map(|t| (&t.kind, t.text.as_str())).collect();
+        let b: Vec<(&TokenKind, &str)> = again.iter().map(|t| (&t.kind, t.text.as_str())).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// logical_lines covers every physical line exactly once, in order.
+    #[test]
+    fn logical_lines_cover_all_physical_lines(src in c_source()) {
+        let lls = logical_lines(&src);
+        let physical = src.lines().count() as u32;
+        let mut next = 1u32;
+        for ll in &lls {
+            prop_assert!(ll.first_line >= next);
+            prop_assert!(ll.last_line >= ll.first_line);
+            next = ll.last_line + 1;
+        }
+        prop_assert!(next >= physical, "lost trailing lines");
+    }
+
+    /// validate accepts everything a clean preprocess of generated C emits.
+    #[test]
+    fn validator_accepts_clean_i_files(src in c_source()) {
+        let out = Preprocessor::new(MapResolver::new()).preprocess("p.c", &src);
+        if out.is_clean() {
+            match validate(&out.text) {
+                Ok(()) | Err(crate::error::SyntaxError::EmptyTranslationUnit) => {}
+                Err(e) => {
+                    // Generated code has balanced parens per line only when
+                    // parens appear in calls; our generator always closes.
+                    prop_assert!(false, "validator rejected clean output: {e}\n{}", out.text);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Strict application of file patches.
+
+use crate::error::ApplyError;
+use crate::hunk::DiffLine;
+use crate::patch::FilePatch;
+
+/// Apply `patch` to `content`, producing the new file text.
+///
+/// Application is strict (fuzz 0): every context and removed line must match
+/// the target exactly at the position the hunk header names. This mirrors
+/// how JMake applies its own mutation patches to pristine checkouts, where
+/// any drift indicates a bug.
+///
+/// Output is in canonical form: non-empty results are always
+/// newline-terminated (source trees in this workspace store text that way).
+///
+/// # Errors
+///
+/// [`ApplyError::OutOfBounds`] when a hunk names lines past the end of the
+/// target, [`ApplyError::ContextMismatch`] when the target's text disagrees
+/// with the hunk.
+pub fn apply(content: &str, patch: &FilePatch) -> Result<String, ApplyError> {
+    apply_inner(content, patch, false)
+}
+
+/// Apply `patch` in reverse (undo it): added lines are expected and removed,
+/// removed lines are re-inserted.
+///
+/// # Errors
+///
+/// Same conditions as [`apply`].
+pub fn apply_reverse(content: &str, patch: &FilePatch) -> Result<String, ApplyError> {
+    apply_inner(content, patch, true)
+}
+
+fn apply_inner(content: &str, patch: &FilePatch, reverse: bool) -> Result<String, ApplyError> {
+    let src: Vec<&str> = content.lines().collect();
+    let mut out: Vec<String> = Vec::with_capacity(src.len());
+    let mut cursor = 0usize; // index into src of next unconsumed line
+
+    for (hunk_idx, hunk) in patch.hunks.iter().enumerate() {
+        let (start, len) = if reverse {
+            (hunk.new_start, hunk.new_len)
+        } else {
+            (hunk.old_start, hunk.old_len)
+        };
+        // `start` is 1-based. For a zero-length consume side, git's
+        // convention is that `start` names the line *after which* the
+        // insertion happens (0 = top of file).
+        let target = if len == 0 {
+            start as usize
+        } else {
+            start.saturating_sub(1) as usize
+        };
+        if target < cursor {
+            return Err(ApplyError::OutOfBounds {
+                hunk: hunk_idx,
+                line: start,
+            });
+        }
+        if target > src.len() {
+            return Err(ApplyError::OutOfBounds {
+                hunk: hunk_idx,
+                line: start,
+            });
+        }
+        out.extend(src[cursor..target].iter().map(|s| s.to_string()));
+        cursor = target;
+
+        for line in &hunk.lines {
+            let (consume, emit) = match (line, reverse) {
+                (DiffLine::Context(s), _) => (Some(s), Some(s)),
+                (DiffLine::Added(s), false) | (DiffLine::Removed(s), true) => (None, Some(s)),
+                (DiffLine::Removed(s), false) | (DiffLine::Added(s), true) => (Some(s), None),
+            };
+            if let Some(expected) = consume {
+                let found = src.get(cursor).copied().ok_or(ApplyError::OutOfBounds {
+                    hunk: hunk_idx,
+                    line: (cursor + 1) as u32,
+                })?;
+                if found != expected {
+                    return Err(ApplyError::ContextMismatch {
+                        hunk: hunk_idx,
+                        line: (cursor + 1) as u32,
+                        expected: expected.clone(),
+                        found: found.to_string(),
+                    });
+                }
+                cursor += 1;
+            }
+            if let Some(text) = emit {
+                out.push(text.clone());
+            }
+        }
+    }
+    out.extend(src[cursor..].iter().map(|s| s.to_string()));
+
+    // Canonical form: a non-empty file is always newline-terminated.
+    if out.is_empty() {
+        Ok(String::new())
+    } else {
+        let mut result = out.join("\n");
+        result.push('\n');
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hunk::Hunk;
+
+    fn hunk(old_start: u32, new_start: u32, lines: Vec<DiffLine>) -> Hunk {
+        let mut h = Hunk {
+            old_start,
+            new_start,
+            lines,
+            ..Hunk::default()
+        };
+        h.recount();
+        h
+    }
+
+    #[test]
+    fn applies_simple_replacement() {
+        let patch = FilePatch::modify(
+            "f.c",
+            vec![hunk(
+                2,
+                2,
+                vec![
+                    DiffLine::Context("a".into()),
+                    DiffLine::Removed("b".into()),
+                    DiffLine::Added("B".into()),
+                    DiffLine::Context("c".into()),
+                ],
+            )],
+        );
+        assert_eq!(apply("x\na\nb\nc\ny\n", &patch).unwrap(), "x\na\nB\nc\ny\n");
+    }
+
+    #[test]
+    fn reverse_undoes_apply() {
+        let patch = FilePatch::modify(
+            "f.c",
+            vec![hunk(
+                1,
+                1,
+                vec![
+                    DiffLine::Removed("old".into()),
+                    DiffLine::Added("new1".into()),
+                    DiffLine::Added("new2".into()),
+                ],
+            )],
+        );
+        let original = "old\ntail\n";
+        let applied = apply(original, &patch).unwrap();
+        assert_eq!(applied, "new1\nnew2\ntail\n");
+        assert_eq!(apply_reverse(&applied, &patch).unwrap(), original);
+    }
+
+    #[test]
+    fn insertion_at_top_with_zero_start() {
+        let patch = FilePatch::modify(
+            "f.c",
+            vec![hunk(0, 1, vec![DiffLine::Added("first".into())])],
+        );
+        assert_eq!(apply("rest\n", &patch).unwrap(), "first\nrest\n");
+    }
+
+    #[test]
+    fn insertion_into_empty_file() {
+        let patch = FilePatch::modify(
+            "f.c",
+            vec![hunk(0, 1, vec![DiffLine::Added("only".into())])],
+        );
+        assert_eq!(apply("", &patch).unwrap(), "only\n");
+    }
+
+    #[test]
+    fn context_mismatch_is_reported_with_position() {
+        let patch = FilePatch::modify(
+            "f.c",
+            vec![hunk(1, 1, vec![DiffLine::Context("expected".into())])],
+        );
+        match apply("actual\n", &patch).unwrap_err() {
+            ApplyError::ContextMismatch {
+                line,
+                expected,
+                found,
+                ..
+            } => {
+                assert_eq!(line, 1);
+                assert_eq!(expected, "expected");
+                assert_eq!(found, "actual");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn hunk_past_eof_is_out_of_bounds() {
+        let patch = FilePatch::modify(
+            "f.c",
+            vec![hunk(10, 10, vec![DiffLine::Context("x".into())])],
+        );
+        assert!(matches!(
+            apply("a\n", &patch).unwrap_err(),
+            ApplyError::OutOfBounds { .. }
+        ));
+    }
+
+    #[test]
+    fn multi_hunk_offsets_accumulate() {
+        // Two hunks; the second one's old_start refers to the ORIGINAL file.
+        let patch = FilePatch::modify(
+            "f.c",
+            vec![
+                hunk(
+                    1,
+                    1,
+                    vec![DiffLine::Added("top".into()), DiffLine::Context("a".into())],
+                ),
+                hunk(
+                    3,
+                    4,
+                    vec![DiffLine::Removed("c".into()), DiffLine::Added("C".into())],
+                ),
+            ],
+        );
+        assert_eq!(apply("a\nb\nc\nd\n", &patch).unwrap(), "top\na\nb\nC\nd\n");
+    }
+
+    #[test]
+    fn deletion_of_whole_content_yields_empty() {
+        let patch = FilePatch::modify("f.c", vec![hunk(1, 0, vec![DiffLine::Removed("a".into())])]);
+        assert_eq!(apply("a\n", &patch).unwrap(), "");
+    }
+
+    #[test]
+    fn normalizes_missing_trailing_newline() {
+        let patch = FilePatch::modify(
+            "f.c",
+            vec![hunk(
+                1,
+                1,
+                vec![DiffLine::Removed("a".into()), DiffLine::Added("b".into())],
+            )],
+        );
+        assert_eq!(apply("a", &patch).unwrap(), "b\n");
+    }
+}

@@ -1,0 +1,98 @@
+//! Error types for parsing and applying patches.
+
+use std::error::Error;
+use std::fmt;
+
+/// A unified-diff parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the diff text where parsing failed.
+    pub line: usize,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "diff parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl Error for ParseError {}
+
+/// A patch-application failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApplyError {
+    /// A hunk referred to a line past the end of the target.
+    OutOfBounds {
+        /// Index of the offending hunk within the file patch.
+        hunk: usize,
+        /// Old-file line the hunk expected to exist.
+        line: u32,
+    },
+    /// The target's content did not match the hunk's context/removed lines.
+    ContextMismatch {
+        /// Index of the offending hunk within the file patch.
+        hunk: usize,
+        /// Old-file line where the mismatch occurred.
+        line: u32,
+        /// What the hunk expected there.
+        expected: String,
+        /// What the target actually contained.
+        found: String,
+    },
+}
+
+impl fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApplyError::OutOfBounds { hunk, line } => {
+                write!(f, "hunk #{hunk} refers past end of file (line {line})")
+            }
+            ApplyError::ContextMismatch {
+                hunk,
+                line,
+                expected,
+                found,
+            } => write!(
+                f,
+                "hunk #{hunk} mismatch at line {line}: expected {expected:?}, found {found:?}"
+            ),
+        }
+    }
+}
+
+impl Error for ApplyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ParseError::new(3, "bad header");
+        assert_eq!(e.to_string(), "diff parse error at line 3: bad header");
+        let a = ApplyError::ContextMismatch {
+            hunk: 0,
+            line: 7,
+            expected: "x".into(),
+            found: "y".into(),
+        };
+        assert!(a.to_string().contains("line 7"));
+        let o = ApplyError::OutOfBounds { hunk: 2, line: 99 };
+        assert!(o.to_string().contains("hunk #2"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Unified-diff machinery for JMake.
+//!
+//! The Linux kernel development process reasons about changes in terms of
+//! *patches* (paper §II.C): sequences of hunks in which lines are annotated
+//! with `-` (removed), `+` (added), or unannotated (context). JMake consumes
+//! patches produced by `git show` and *produces* patches to mutate source
+//! files (paper §III).
+//!
+//! This crate provides everything JMake needs from a diff toolchain, built
+//! from scratch:
+//!
+//! - [`Patch`], [`FilePatch`], [`Hunk`], [`DiffLine`] — the patch model;
+//! - [`parse_patch`] — a parser for `git show`-style unified diffs;
+//! - [`Patch::render`] — the inverse, producing unified-diff text;
+//! - [`apply`] / [`apply_reverse`] — strict patch application;
+//! - [`diff_lines`] — a Myers O(ND) diff between two texts, with optional
+//!   whitespace-insensitive comparison (the `-w` of `git log -w`);
+//! - [`changed_lines`] — extraction of the *changed lines* of a file patch
+//!   using exactly the rules of paper §III.B (added lines for hunks that add,
+//!   the first surviving line — or end of file — for removal-only hunks).
+//!
+//! # Example
+//!
+//! ```
+//! use jmake_diff::{diff_to_patch, apply, DiffOptions};
+//!
+//! let old = "a\nb\nc\n";
+//! let new = "a\nB\nc\n";
+//! let patch = diff_to_patch("f.c", old, new, &DiffOptions::default());
+//! let round = apply(old, &patch.files[0]).unwrap();
+//! assert_eq!(round, new);
+//! ```
+
+mod apply;
+mod changed;
+mod error;
+mod hunk;
+mod myers;
+mod parse;
+mod patch;
+mod render;
+
+pub use apply::{apply, apply_reverse};
+pub use changed::{changed_lines, ChangedLine, ChangedLines};
+pub use error::{ApplyError, ParseError};
+pub use hunk::{DiffLine, Hunk};
+pub use myers::{diff_lines, diff_to_patch, DiffOptions, Edit};
+pub use parse::parse_patch;
+pub use patch::{ChangeKind, FilePatch, Patch};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,367 @@
+//! Line-based Myers diff and patch construction.
+
+use crate::hunk::{DiffLine, Hunk};
+use crate::patch::{FilePatch, Patch};
+
+/// Options controlling diff computation.
+#[derive(Debug, Clone)]
+pub struct DiffOptions {
+    /// Compare lines with all ASCII whitespace removed, like `git log -w`.
+    ///
+    /// The paper's evaluation collects patches with `-w` so that
+    /// indentation-only churn does not count as a change (§V.A).
+    pub ignore_whitespace: bool,
+    /// Number of context lines around each change when grouping into hunks.
+    pub context: usize,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions {
+            ignore_whitespace: false,
+            context: 3,
+        }
+    }
+}
+
+/// One element of a line-level edit script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Edit {
+    /// Line `old_index` (0-based) is kept; it is line `new_index` in the new file.
+    Keep { old_index: usize, new_index: usize },
+    /// Line `old_index` (0-based) of the old file is deleted.
+    Delete { old_index: usize },
+    /// Line `new_index` (0-based) of the new file is inserted.
+    Insert { new_index: usize },
+}
+
+/// Compute a minimal line-level edit script from `old` to `new` using the
+/// Myers O(ND) algorithm.
+///
+/// When [`DiffOptions::ignore_whitespace`] is set, two lines compare equal
+/// if they agree after every ASCII whitespace character is removed; the
+/// *old* text is kept for context lines in that case.
+pub fn diff_lines(old: &str, new: &str, opts: &DiffOptions) -> Vec<Edit> {
+    let a: Vec<&str> = old.lines().collect();
+    let b: Vec<&str> = new.lines().collect();
+    let key = |s: &str| -> String {
+        if opts.ignore_whitespace {
+            s.chars().filter(|c| !c.is_ascii_whitespace()).collect()
+        } else {
+            s.to_string()
+        }
+    };
+    let ka: Vec<String> = a.iter().map(|s| key(s)).collect();
+    let kb: Vec<String> = b.iter().map(|s| key(s)).collect();
+    myers(&ka, &kb)
+}
+
+/// Compute a [`Patch`] (one modify-kind [`FilePatch`]) describing the change
+/// from `old` to `new` at `path`.
+pub fn diff_to_patch(path: &str, old: &str, new: &str, opts: &DiffOptions) -> Patch {
+    let edits = diff_lines(old, new, opts);
+    let a: Vec<&str> = old.lines().collect();
+    let b: Vec<&str> = new.lines().collect();
+    let hunks = group_hunks(&edits, &a, &b, opts.context);
+    if hunks.is_empty() {
+        return Patch::new();
+    }
+    vec![FilePatch::modify(path, hunks)].into_iter().collect()
+}
+
+/// Classic Myers greedy algorithm over pre-keyed lines.
+fn myers(a: &[String], b: &[String]) -> Vec<Edit> {
+    let n = a.len();
+    let m = b.len();
+    let max = n + m;
+    if max == 0 {
+        return Vec::new();
+    }
+    let off = max as isize;
+    // v[(k + off) as usize] = furthest x reached on diagonal k.
+    let mut v = vec![0usize; 2 * max + 1];
+    // trace[d] = v as it stood *before* round d's writes.
+    let mut trace: Vec<Vec<usize>> = Vec::new();
+    let mut d_final = 0;
+
+    'outer: for d in 0..=max as isize {
+        trace.push(v.clone());
+        let mut k = -d;
+        while k <= d {
+            let ku = (k + off) as usize;
+            let mut x = if k == -d || (k != d && v[ku - 1] < v[ku + 1]) {
+                v[ku + 1] // move down (insertion)
+            } else {
+                v[ku - 1] + 1 // move right (deletion)
+            };
+            let mut y = (x as isize - k) as usize;
+            while x < n && y < m && a[x] == b[y] {
+                x += 1;
+                y += 1;
+            }
+            v[ku] = x;
+            if x >= n && y >= m {
+                d_final = d;
+                break 'outer;
+            }
+            k += 2;
+        }
+    }
+
+    // Backtrack from (n, m) to (0, 0).
+    let mut edits = Vec::new();
+    let (mut x, mut y) = (n, m);
+    for d in (1..=d_final).rev() {
+        let vd = &trace[d as usize];
+        let k = x as isize - y as isize;
+        let ku = (k + off) as usize;
+        let prev_k = if k == -d || (k != d && vd[ku - 1] < vd[ku + 1]) {
+            k + 1
+        } else {
+            k - 1
+        };
+        let prev_ku = (prev_k + off) as usize;
+        let prev_x = vd[prev_ku];
+        let prev_y = (prev_x as isize - prev_k) as usize;
+        // Walk back along the snake.
+        while x > prev_x && y > prev_y {
+            x -= 1;
+            y -= 1;
+            edits.push(Edit::Keep {
+                old_index: x,
+                new_index: y,
+            });
+        }
+        if prev_k > k {
+            // vertical move: insertion of b[y-1]
+            y -= 1;
+            edits.push(Edit::Insert { new_index: y });
+        } else {
+            // horizontal move: deletion of a[x-1]
+            x -= 1;
+            edits.push(Edit::Delete { old_index: x });
+        }
+        debug_assert_eq!((x, y), (prev_x, prev_y));
+    }
+    // Leading snake down to the origin.
+    while x > 0 && y > 0 {
+        x -= 1;
+        y -= 1;
+        edits.push(Edit::Keep {
+            old_index: x,
+            new_index: y,
+        });
+    }
+    debug_assert_eq!((x, y), (0, 0));
+    edits.reverse();
+    debug_assert!(verify_edits(&edits, a.len(), b.len()));
+    edits
+}
+
+fn verify_edits(edits: &[Edit], n: usize, m: usize) -> bool {
+    let (mut x, mut y) = (0usize, 0usize);
+    for e in edits {
+        match e {
+            Edit::Keep {
+                old_index,
+                new_index,
+            } => {
+                if *old_index != x || *new_index != y {
+                    return false;
+                }
+                x += 1;
+                y += 1;
+            }
+            Edit::Delete { old_index } => {
+                if *old_index != x {
+                    return false;
+                }
+                x += 1;
+            }
+            Edit::Insert { new_index } => {
+                if *new_index != y {
+                    return false;
+                }
+                y += 1;
+            }
+        }
+    }
+    x == n && y == m
+}
+
+/// Group an edit script into hunks with `context` lines of surrounding
+/// context, merging changes whose gaps are ≤ 2 × context.
+fn group_hunks(edits: &[Edit], a: &[&str], b: &[&str], context: usize) -> Vec<Hunk> {
+    // Indices in `edits` that are changes.
+    let change_idx: Vec<usize> = edits
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| !matches!(e, Edit::Keep { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    if change_idx.is_empty() {
+        return Vec::new();
+    }
+
+    // Partition change indices into groups separated by > 2*context keeps.
+    let mut groups: Vec<(usize, usize)> = Vec::new(); // inclusive ranges into edits
+    let mut start = change_idx[0];
+    let mut prev = change_idx[0];
+    for &i in &change_idx[1..] {
+        // `i - prev - 1` intervening Keep lines; split when more than twice
+        // the context width would separate the changes.
+        if i - prev > 2 * context + 1 {
+            groups.push((start, prev));
+            start = i;
+        }
+        prev = i;
+    }
+    groups.push((start, prev));
+
+    // Running 1-based (old_line, new_line) position *before* consuming each edit.
+    let mut positions = Vec::with_capacity(edits.len());
+    let (mut x, mut y) = (1u32, 1u32);
+    for e in edits {
+        positions.push((x, y));
+        match e {
+            Edit::Keep { .. } => {
+                x += 1;
+                y += 1;
+            }
+            Edit::Delete { .. } => x += 1,
+            Edit::Insert { .. } => y += 1,
+        }
+    }
+
+    let mut hunks = Vec::new();
+    for (g_start, g_end) in groups {
+        let lo = g_start.saturating_sub(context);
+        let hi = (g_end + context).min(edits.len().saturating_sub(1));
+        let (old_start, new_start) = positions[lo];
+        let lines = edits[lo..=hi]
+            .iter()
+            .map(|e| match e {
+                Edit::Keep { old_index, .. } => DiffLine::Context(a[*old_index].to_string()),
+                Edit::Delete { old_index } => DiffLine::Removed(a[*old_index].to_string()),
+                Edit::Insert { new_index } => DiffLine::Added(b[*new_index].to_string()),
+            })
+            .collect();
+        let mut h = Hunk {
+            old_start,
+            new_start,
+            lines,
+            ..Hunk::default()
+        };
+        h.recount();
+        // git convention: an empty side gets start = previous line (0 at top).
+        if h.old_len == 0 {
+            h.old_start -= 1;
+        }
+        if h.new_len == 0 {
+            h.new_start -= 1;
+        }
+        hunks.push(h);
+    }
+    hunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply::apply;
+
+    fn roundtrip(old: &str, new: &str) {
+        let patch = diff_to_patch("f", old, new, &DiffOptions::default());
+        if patch.files.is_empty() {
+            assert_eq!(old, new, "empty patch but texts differ");
+            return;
+        }
+        let applied = apply(old, &patch.files[0]).unwrap();
+        assert_eq!(
+            applied,
+            new,
+            "patch did not reproduce target\n{}",
+            patch.render()
+        );
+    }
+
+    #[test]
+    fn identical_texts_produce_empty_patch() {
+        let p = diff_to_patch("f", "a\nb\n", "a\nb\n", &DiffOptions::default());
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn simple_replacement_roundtrips() {
+        roundtrip("a\nb\nc\n", "a\nB\nc\n");
+    }
+
+    #[test]
+    fn insertion_and_deletion_roundtrip() {
+        roundtrip("a\nb\nc\nd\ne\n", "a\nc\nX\nd\ne\nf\n");
+    }
+
+    #[test]
+    fn empty_to_content_and_back() {
+        roundtrip("", "x\ny\n");
+        roundtrip("x\ny\n", "");
+    }
+
+    #[test]
+    fn distant_changes_make_separate_hunks() {
+        let old: String = (0..40).map(|i| format!("line{i}\n")).collect();
+        let new = old
+            .replace("line3\n", "LINE3\n")
+            .replace("line30\n", "LINE30\n");
+        let p = diff_to_patch("f", &old, &new, &DiffOptions::default());
+        assert_eq!(p.files[0].hunks.len(), 2);
+        roundtrip(&old, &new);
+    }
+
+    #[test]
+    fn nearby_changes_merge_into_one_hunk() {
+        let old = "a\nb\nc\nd\ne\nf\ng\n";
+        let new = "a\nB\nc\nd\ne\nF\ng\n";
+        let p = diff_to_patch("f", old, new, &DiffOptions::default());
+        assert_eq!(p.files[0].hunks.len(), 1);
+        roundtrip(old, new);
+    }
+
+    #[test]
+    fn ignore_whitespace_suppresses_indent_changes() {
+        let opts = DiffOptions {
+            ignore_whitespace: true,
+            ..DiffOptions::default()
+        };
+        let p = diff_to_patch("f", "int x;\n  y();\n", "int x;\n\ty();\n", &opts);
+        assert!(p.is_empty());
+        // But real changes still show.
+        let p2 = diff_to_patch("f", "int x;\n  y();\n", "int x;\n  z();\n", &opts);
+        assert_eq!(p2.files[0].hunks.len(), 1);
+    }
+
+    #[test]
+    fn minimality_on_known_case() {
+        // Classic ABCABBA -> CBABAC example: minimal script has 5 edits.
+        let a = "A\nB\nC\nA\nB\nB\nA\n";
+        let b = "C\nB\nA\nB\nA\nC\n";
+        let edits = diff_lines(a, b, &DiffOptions::default());
+        let changes = edits
+            .iter()
+            .filter(|e| !matches!(e, Edit::Keep { .. }))
+            .count();
+        assert_eq!(changes, 5);
+        roundtrip(a, b);
+    }
+
+    #[test]
+    fn context_zero_produces_tight_hunks() {
+        let opts = DiffOptions {
+            context: 0,
+            ..DiffOptions::default()
+        };
+        let p = diff_to_patch("f", "a\nb\nc\n", "a\nB\nc\n", &opts);
+        let h = &p.files[0].hunks[0];
+        assert_eq!(h.lines.len(), 2); // -b +B only
+    }
+}

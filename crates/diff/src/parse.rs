@@ -1,0 +1,415 @@
+//! Parser for `git show`-style unified diffs.
+
+use crate::error::ParseError;
+use crate::hunk::{DiffLine, Hunk};
+use crate::patch::{ChangeKind, FilePatch, Patch};
+
+/// Parse the output of `git show` / `git diff` / `diff -u` into a [`Patch`].
+///
+/// Recognized structure, per file:
+///
+/// ```text
+/// diff --git a/path b/path        (optional for plain `diff -u` output)
+/// index 0123abc..456def 100644    (ignored)
+/// old/new mode lines              (ignored)
+/// --- a/path  |  --- /dev/null
+/// +++ b/path  |  +++ /dev/null
+/// @@ -os[,ol] +ns[,nl] @@ [section heading]
+///  context / +added / -removed lines
+/// \ No newline at end of file     (ignored)
+/// ```
+///
+/// Leading commit headers (`commit …`, `Author: …`, message body) before the
+/// first `diff --git` or `---` line are skipped, so raw `git show` output can
+/// be fed in directly.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] when hunk headers are malformed, hunk bodies are
+/// shorter than their declared lengths, or annotated lines appear outside a
+/// hunk.
+pub fn parse_patch(input: &str) -> Result<Patch, ParseError> {
+    Parser::new(input).run()
+}
+
+struct Parser<'a> {
+    lines: Vec<&'a str>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            lines: input.lines().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&'a str> {
+        self.lines.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<&'a str> {
+        let l = self.peek();
+        if l.is_some() {
+            self.pos += 1;
+        }
+        l
+    }
+
+    fn here(&self) -> usize {
+        self.pos + 1
+    }
+
+    fn run(mut self) -> Result<Patch, ParseError> {
+        let mut patch = Patch::new();
+        while let Some(line) = self.peek() {
+            if line.starts_with("diff --git ") || is_old_header(line) {
+                patch.files.push(self.file_patch()?);
+            } else {
+                self.pos += 1; // commit header, message, index line, etc.
+            }
+        }
+        Ok(patch)
+    }
+
+    fn file_patch(&mut self) -> Result<FilePatch, ParseError> {
+        let mut git_paths: Option<(String, String)> = None;
+        if let Some(line) = self.peek() {
+            if let Some(rest) = line.strip_prefix("diff --git ") {
+                git_paths = split_git_paths(rest);
+                self.pos += 1;
+            }
+        }
+        // Skip metadata until `---`. A file patch may have no hunks at all
+        // (mode-only change); then the next `diff --git` ends it.
+        let mut old_header = None;
+        while let Some(line) = self.peek() {
+            if is_old_header(line) {
+                old_header = Some(line);
+                self.pos += 1;
+                break;
+            }
+            if line.starts_with("diff --git ") {
+                break;
+            }
+            self.pos += 1;
+        }
+        let (old_path, new_path, kind) = match old_header {
+            Some(old) => {
+                let new = self
+                    .bump()
+                    .ok_or_else(|| ParseError::new(self.here(), "missing +++ header after ---"))?;
+                let new = new.strip_prefix("+++ ").ok_or_else(|| {
+                    ParseError::new(self.here(), format!("expected +++ header, got {new:?}"))
+                })?;
+                let old = old.strip_prefix("--- ").expect("checked by is_old_header");
+                header_paths(old, new, &git_paths)
+            }
+            None => {
+                let (o, n) = git_paths.ok_or_else(|| {
+                    ParseError::new(self.here(), "file patch with neither git nor --- header")
+                })?;
+                (o, n, ChangeKind::Modify)
+            }
+        };
+
+        let mut hunks = Vec::new();
+        while let Some(line) = self.peek() {
+            if line.starts_with("@@") {
+                hunks.push(self.hunk()?);
+            } else {
+                break;
+            }
+        }
+        Ok(FilePatch {
+            old_path,
+            new_path,
+            kind,
+            hunks,
+        })
+    }
+
+    fn hunk(&mut self) -> Result<Hunk, ParseError> {
+        let header_line_no = self.here();
+        let header = self.bump().expect("caller checked @@");
+        let (old_start, old_len, new_start, new_len) =
+            parse_hunk_header(header).ok_or_else(|| {
+                ParseError::new(header_line_no, format!("malformed hunk header {header:?}"))
+            })?;
+        let mut lines = Vec::new();
+        let (mut seen_old, mut seen_new) = (0u32, 0u32);
+        while seen_old < old_len || seen_new < new_len {
+            let line_no = self.here();
+            let raw = self.bump().ok_or_else(|| {
+                ParseError::new(
+                    line_no,
+                    format!("hunk body ended early: saw {seen_old}/{old_len} old, {seen_new}/{new_len} new lines"),
+                )
+            })?;
+            if raw.starts_with('\\') {
+                continue; // "\ No newline at end of file"
+            }
+            let (sigil, text) = split_sigil(raw);
+            match sigil {
+                ' ' => {
+                    seen_old += 1;
+                    seen_new += 1;
+                    lines.push(DiffLine::Context(text.to_string()));
+                }
+                '+' => {
+                    seen_new += 1;
+                    lines.push(DiffLine::Added(text.to_string()));
+                }
+                '-' => {
+                    seen_old += 1;
+                    lines.push(DiffLine::Removed(text.to_string()));
+                }
+                other => {
+                    return Err(ParseError::new(
+                        line_no,
+                        format!("unexpected hunk line sigil {other:?}"),
+                    ));
+                }
+            }
+        }
+        // Trailing "\ No newline" marker after the last line.
+        if matches!(self.peek(), Some(l) if l.starts_with('\\')) {
+            self.pos += 1;
+        }
+        Ok(Hunk {
+            old_start,
+            old_len,
+            new_start,
+            new_len,
+            lines,
+        })
+    }
+}
+
+fn is_old_header(line: &str) -> bool {
+    line.starts_with("--- ")
+}
+
+/// Split `a/path b/path` from a `diff --git` header. Paths with spaces are
+/// handled by looking for the ` b/` separator.
+fn split_git_paths(rest: &str) -> Option<(String, String)> {
+    let a = rest
+        .strip_prefix("a/")
+        .or_else(|| rest.strip_prefix("\"a/"))?;
+    let idx = a.find(" b/")?;
+    let old = a[..idx].trim_end_matches('"').to_string();
+    let new = a[idx + 3..].trim_end_matches('"').to_string();
+    Some((old, new))
+}
+
+fn strip_prefix_path(p: &str) -> &str {
+    let p = p.split('\t').next().unwrap_or(p); // git appends "\t" + timestamp sometimes
+    p.strip_prefix("a/")
+        .or_else(|| p.strip_prefix("b/"))
+        .unwrap_or(p)
+}
+
+fn header_paths(
+    old: &str,
+    new: &str,
+    git_paths: &Option<(String, String)>,
+) -> (String, String, ChangeKind) {
+    let old = old.trim();
+    let new = new.trim();
+    if old == "/dev/null" {
+        let path = strip_prefix_path(new).to_string();
+        return (path.clone(), path, ChangeKind::Create);
+    }
+    if new == "/dev/null" {
+        let path = strip_prefix_path(old).to_string();
+        return (path, "/dev/null".to_string(), ChangeKind::Delete);
+    }
+    match git_paths {
+        Some((o, n)) => (o.clone(), n.clone(), ChangeKind::Modify),
+        None => (
+            strip_prefix_path(old).to_string(),
+            strip_prefix_path(new).to_string(),
+            ChangeKind::Modify,
+        ),
+    }
+}
+
+/// Parse `@@ -os[,ol] +ns[,nl] @@ …` into its four numbers.
+fn parse_hunk_header(header: &str) -> Option<(u32, u32, u32, u32)> {
+    let rest = header.strip_prefix("@@ -")?;
+    let end = rest.find(" @@")?;
+    let nums = &rest[..end];
+    let mut parts = nums.split(" +");
+    let old = parts.next()?;
+    let new = parts.next()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    let (os, ol) = parse_range(old)?;
+    let (ns, nl) = parse_range(new)?;
+    Some((os, ol, ns, nl))
+}
+
+fn parse_range(s: &str) -> Option<(u32, u32)> {
+    match s.split_once(',') {
+        Some((a, b)) => Some((a.parse().ok()?, b.parse().ok()?)),
+        None => Some((s.parse().ok()?, 1)),
+    }
+}
+
+/// Split a hunk body line into its sigil and payload. An entirely empty line
+/// inside a hunk is a context line whose payload is empty (git emits a lone
+/// newline for those).
+fn split_sigil(raw: &str) -> (char, &str) {
+    let mut chars = raw.chars();
+    match chars.next() {
+        None => (' ', ""),
+        Some(c) => (c, chars.as_str()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+commit 95ea3e760ef8f7b09823f394e19ea06f08ba7b41
+Author: Someone <someone@example.com>
+
+    staging: comedi: tidy up register defs
+
+diff --git a/drivers/staging/comedi/drivers/cb_das16_cs.c b/drivers/staging/comedi/drivers/cb_das16_cs.c
+index 0123abc..456def 100644
+--- a/drivers/staging/comedi/drivers/cb_das16_cs.c
++++ b/drivers/staging/comedi/drivers/cb_das16_cs.c
+@@ -49,2 +49,3 @@ header context
+ unchanged
+-old line
++new line
++extra line
+@@ -107,2 +108,2 @@
+-foo
++bar
+ tail
+";
+
+    #[test]
+    fn parses_git_show_output() {
+        let p = parse_patch(SAMPLE).unwrap();
+        assert_eq!(p.files.len(), 1);
+        let f = &p.files[0];
+        assert_eq!(f.path(), "drivers/staging/comedi/drivers/cb_das16_cs.c");
+        assert_eq!(f.kind, ChangeKind::Modify);
+        assert_eq!(f.hunks.len(), 2);
+        let h0 = &f.hunks[0];
+        assert_eq!(
+            (h0.old_start, h0.old_len, h0.new_start, h0.new_len),
+            (49, 2, 49, 3)
+        );
+        assert_eq!(h0.lines.len(), 4);
+        assert_eq!(f.added_count(), 3);
+        assert_eq!(f.removed_count(), 2);
+    }
+
+    #[test]
+    fn parses_creation_and_deletion() {
+        let text = "\
+--- /dev/null
++++ b/new.c
+@@ -0,0 +1,2 @@
++int x;
++int y;
+--- a/old.c
++++ /dev/null
+@@ -1,1 +0,0 @@
+-int z;
+";
+        let p = parse_patch(text).unwrap();
+        assert_eq!(p.files[0].kind, ChangeKind::Create);
+        assert_eq!(p.files[0].path(), "new.c");
+        assert_eq!(p.files[1].kind, ChangeKind::Delete);
+        assert_eq!(p.files[1].path(), "old.c");
+    }
+
+    #[test]
+    fn handles_no_newline_marker() {
+        let text = "\
+--- a/f.c
++++ b/f.c
+@@ -1,1 +1,1 @@
+-old
+\\ No newline at end of file
++new
+\\ No newline at end of file
+";
+        let p = parse_patch(text).unwrap();
+        assert_eq!(p.files[0].hunks[0].lines.len(), 2);
+    }
+
+    #[test]
+    fn empty_context_lines_are_preserved() {
+        let text = "\
+--- a/f.c
++++ b/f.c
+@@ -1,3 +1,3 @@
+ a
+
+-b
++B
+";
+        let p = parse_patch(text).unwrap();
+        let h = &p.files[0].hunks[0];
+        assert_eq!(h.lines[1], DiffLine::Context(String::new()));
+    }
+
+    #[test]
+    fn rejects_truncated_hunk() {
+        let text = "\
+--- a/f.c
++++ b/f.c
+@@ -1,5 +1,5 @@
+ a
+";
+        let err = parse_patch(text).unwrap_err();
+        assert!(err.message.contains("ended early"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_header() {
+        let text = "\
+--- a/f.c
++++ b/f.c
+@@ nonsense @@
+";
+        assert!(parse_patch(text).is_err());
+    }
+
+    #[test]
+    fn single_line_ranges_default_len_one() {
+        assert_eq!(parse_hunk_header("@@ -5 +7 @@"), Some((5, 1, 7, 1)));
+        assert_eq!(
+            parse_hunk_header("@@ -5,0 +7,2 @@ fn ctx"),
+            Some((5, 0, 7, 2))
+        );
+    }
+
+    #[test]
+    fn mode_only_file_patch_has_no_hunks() {
+        let text = "\
+diff --git a/script.sh b/script.sh
+old mode 100644
+new mode 100755
+diff --git a/f.c b/f.c
+--- a/f.c
++++ b/f.c
+@@ -1,1 +1,1 @@
+-a
++b
+";
+        let p = parse_patch(text).unwrap();
+        assert_eq!(p.files.len(), 2);
+        assert!(p.files[0].hunks.is_empty());
+        assert_eq!(p.files[1].hunks.len(), 1);
+    }
+}

@@ -1,0 +1,182 @@
+//! File-level and patch-level containers.
+
+use crate::hunk::Hunk;
+use std::fmt;
+
+/// What a [`FilePatch`] does to its file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChangeKind {
+    /// The file exists before and after; its content changes.
+    Modify,
+    /// The file is created (`--- /dev/null`).
+    Create,
+    /// The file is deleted (`+++ /dev/null`).
+    Delete,
+}
+
+impl fmt::Display for ChangeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ChangeKind::Modify => "modify",
+            ChangeKind::Create => "create",
+            ChangeKind::Delete => "delete",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The changes a patch makes to a single file.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FilePatch {
+    /// Path of the file before the change (without the `a/` prefix).
+    ///
+    /// Equal to [`FilePatch::new_path`] except for renames; for created
+    /// files it still records the destination path for convenience.
+    pub old_path: String,
+    /// Path of the file after the change (without the `b/` prefix).
+    pub new_path: String,
+    /// Create / modify / delete.
+    pub kind: ChangeKind,
+    /// The hunks, in ascending order of position.
+    pub hunks: Vec<Hunk>,
+}
+
+impl FilePatch {
+    /// A modification patch for `path` with the given hunks.
+    pub fn modify(path: impl Into<String>, hunks: Vec<Hunk>) -> Self {
+        let path = path.into();
+        FilePatch {
+            old_path: path.clone(),
+            new_path: path,
+            kind: ChangeKind::Modify,
+            hunks,
+        }
+    }
+
+    /// The path this patch is best known by (the new path, or the old path
+    /// for deletions).
+    pub fn path(&self) -> &str {
+        match self.kind {
+            ChangeKind::Delete => &self.old_path,
+            _ => &self.new_path,
+        }
+    }
+
+    /// Number of added lines across all hunks.
+    pub fn added_count(&self) -> usize {
+        self.hunks
+            .iter()
+            .flat_map(|h| &h.lines)
+            .filter(|l| l.is_added())
+            .count()
+    }
+
+    /// Number of removed lines across all hunks.
+    pub fn removed_count(&self) -> usize {
+        self.hunks
+            .iter()
+            .flat_map(|h| &h.lines)
+            .filter(|l| l.is_removed())
+            .count()
+    }
+}
+
+/// A whole patch: the changes one commit makes to a set of files.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Patch {
+    /// Per-file changes, in the order they appeared.
+    pub files: Vec<FilePatch>,
+}
+
+impl Patch {
+    /// An empty patch.
+    pub fn new() -> Self {
+        Patch::default()
+    }
+
+    /// Look up the patch for a specific path (matched against
+    /// [`FilePatch::path`]).
+    pub fn file(&self, path: &str) -> Option<&FilePatch> {
+        self.files.iter().find(|f| f.path() == path)
+    }
+
+    /// Paths touched by this patch, in order.
+    pub fn paths(&self) -> impl Iterator<Item = &str> {
+        self.files.iter().map(|f| f.path())
+    }
+
+    /// True when no file is touched.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+}
+
+impl FromIterator<FilePatch> for Patch {
+    fn from_iter<T: IntoIterator<Item = FilePatch>>(iter: T) -> Self {
+        Patch {
+            files: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<FilePatch> for Patch {
+    fn extend<T: IntoIterator<Item = FilePatch>>(&mut self, iter: T) {
+        self.files.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hunk::DiffLine;
+
+    #[test]
+    fn modify_constructor_mirrors_paths() {
+        let fp = FilePatch::modify("drivers/net/a.c", vec![]);
+        assert_eq!(fp.old_path, fp.new_path);
+        assert_eq!(fp.path(), "drivers/net/a.c");
+        assert_eq!(fp.kind, ChangeKind::Modify);
+    }
+
+    #[test]
+    fn deletion_reports_old_path() {
+        let fp = FilePatch {
+            old_path: "gone.c".into(),
+            new_path: "/dev/null".into(),
+            kind: ChangeKind::Delete,
+            hunks: vec![],
+        };
+        assert_eq!(fp.path(), "gone.c");
+    }
+
+    #[test]
+    fn counts_added_and_removed() {
+        let mut h = Hunk {
+            old_start: 1,
+            new_start: 1,
+            lines: vec![
+                DiffLine::Added("x".into()),
+                DiffLine::Added("y".into()),
+                DiffLine::Removed("z".into()),
+            ],
+            ..Hunk::default()
+        };
+        h.recount();
+        let fp = FilePatch::modify("f.c", vec![h]);
+        assert_eq!(fp.added_count(), 2);
+        assert_eq!(fp.removed_count(), 1);
+    }
+
+    #[test]
+    fn patch_lookup_by_path() {
+        let p: Patch = vec![
+            FilePatch::modify("a.c", vec![]),
+            FilePatch::modify("b.h", vec![]),
+        ]
+        .into_iter()
+        .collect();
+        assert!(p.file("b.h").is_some());
+        assert!(p.file("c.c").is_none());
+        assert_eq!(p.paths().collect::<Vec<_>>(), vec!["a.c", "b.h"]);
+    }
+}

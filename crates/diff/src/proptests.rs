@@ -1,0 +1,104 @@
+//! Property-based tests tying the whole diff stack together.
+
+use crate::{apply, apply_reverse, changed_lines, diff_to_patch, parse_patch, DiffOptions};
+use proptest::prelude::*;
+
+/// Strategy: a text of 0..40 short lines drawn from a small alphabet so
+/// duplicate lines (the hard case for diffs) are common.
+fn text() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop_oneof![
+            Just("alpha".to_string()),
+            Just("beta".to_string()),
+            Just("gamma".to_string()),
+            Just("{".to_string()),
+            Just("}".to_string()),
+            Just(String::new()),
+            "[a-z]{1,8}",
+        ],
+        0..40,
+    )
+    .prop_map(|lines| {
+        if lines.is_empty() {
+            String::new()
+        } else {
+            lines.join("\n") + "\n"
+        }
+    })
+}
+
+proptest! {
+    /// diff ∘ apply reproduces the target text exactly.
+    #[test]
+    fn diff_then_apply_is_identity(old in text(), new in text()) {
+        let patch = diff_to_patch("f.c", &old, &new, &DiffOptions::default());
+        let applied = match patch.files.first() {
+            Some(fp) => apply(&old, fp).unwrap(),
+            None => old.clone(),
+        };
+        prop_assert_eq!(applied, new);
+    }
+
+    /// Reverse-applying the patch restores the original text.
+    #[test]
+    fn apply_then_reverse_is_identity(old in text(), new in text()) {
+        let patch = diff_to_patch("f.c", &old, &new, &DiffOptions::default());
+        if let Some(fp) = patch.files.first() {
+            let applied = apply(&old, fp).unwrap();
+            let reversed = apply_reverse(&applied, fp).unwrap();
+            prop_assert_eq!(reversed, old);
+        }
+    }
+
+    /// parse ∘ render is the identity on the patch model.
+    #[test]
+    fn render_then_parse_round_trips(old in text(), new in text()) {
+        let patch = diff_to_patch("f.c", &old, &new, &DiffOptions::default());
+        let text = patch.render();
+        let back = parse_patch(&text).unwrap();
+        prop_assert_eq!(back, patch);
+    }
+
+    /// Changed lines are always within the new file (or EOF), and every
+    /// added line is covered.
+    #[test]
+    fn changed_lines_are_in_bounds(old in text(), new in text()) {
+        let patch = diff_to_patch("f.c", &old, &new, &DiffOptions::default());
+        if let Some(fp) = patch.files.first() {
+            let new_len = new.lines().count() as u32;
+            let cl = changed_lines(fp, new_len);
+            for n in cl.line_numbers() {
+                prop_assert!(n >= 1 && n <= new_len.max(1),
+                    "changed line {} out of bounds (len {})", n, new_len);
+            }
+            let added = fp.added_count();
+            // Each position is an added line or the seam of a removal run,
+            // and every removal run contains at least one removed line.
+            prop_assert!(cl.len() <= added + fp.removed_count(),
+                "more changed positions than possible");
+            if added > 0 {
+                prop_assert!(!cl.is_empty());
+            }
+        }
+    }
+
+    /// Whitespace-insensitive diff never reports pure-indentation edits.
+    #[test]
+    fn ignore_ws_is_quiet_on_reindent(base in text()) {
+        let reindented: String = base
+            .lines()
+            .map(|l| format!("\t{l}\n"))
+            .collect();
+        let opts = DiffOptions { ignore_whitespace: true, ..DiffOptions::default() };
+        let patch = diff_to_patch("f.c", &base, &reindented, &opts);
+        prop_assert!(patch.is_empty(), "reindent produced hunks: {}", patch.render());
+    }
+
+    /// The edit script is minimal enough to never exceed the trivial bound.
+    #[test]
+    fn edit_count_bounded(old in text(), new in text()) {
+        let edits = crate::diff_lines(&old, &new, &DiffOptions::default());
+        let changes = edits.iter().filter(|e| !matches!(e, crate::Edit::Keep{..})).count();
+        prop_assert!(changes <= old.lines().count() + new.lines().count());
+    }
+}

@@ -1,0 +1,126 @@
+//! Rendering patches back to unified-diff text.
+
+use crate::hunk::Hunk;
+use crate::patch::{ChangeKind, FilePatch, Patch};
+use std::fmt::Write as _;
+
+impl Patch {
+    /// Render this patch as `git diff`-style unified-diff text.
+    ///
+    /// [`crate::parse_patch`] ∘ [`Patch::render`] is the identity on the
+    /// patch model (verified by property test).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.files {
+            f.render_into(&mut out);
+        }
+        out
+    }
+}
+
+impl FilePatch {
+    fn render_into(&self, out: &mut String) {
+        let (a, b) = match self.kind {
+            ChangeKind::Create => (self.new_path.as_str(), self.new_path.as_str()),
+            ChangeKind::Delete => (self.old_path.as_str(), self.old_path.as_str()),
+            ChangeKind::Modify => (self.old_path.as_str(), self.new_path.as_str()),
+        };
+        let _ = writeln!(out, "diff --git a/{a} b/{b}");
+        match self.kind {
+            ChangeKind::Create => {
+                let _ = writeln!(out, "--- /dev/null");
+                let _ = writeln!(out, "+++ b/{b}");
+            }
+            ChangeKind::Delete => {
+                let _ = writeln!(out, "--- a/{a}");
+                let _ = writeln!(out, "+++ /dev/null");
+            }
+            ChangeKind::Modify => {
+                let _ = writeln!(out, "--- a/{a}");
+                let _ = writeln!(out, "+++ b/{b}");
+            }
+        }
+        for h in &self.hunks {
+            h.render_into(out);
+        }
+    }
+}
+
+impl Hunk {
+    fn render_into(&self, out: &mut String) {
+        let _ = writeln!(
+            out,
+            "@@ -{} +{} @@",
+            render_range(self.old_start, self.old_len),
+            render_range(self.new_start, self.new_len)
+        );
+        for line in &self.lines {
+            let _ = writeln!(out, "{}{}", line.sigil(), line.text());
+        }
+    }
+}
+
+fn render_range(start: u32, len: u32) -> String {
+    if len == 1 {
+        format!("{start}")
+    } else {
+        format!("{start},{len}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hunk::DiffLine;
+    use crate::parse::parse_patch;
+
+    #[test]
+    fn render_then_parse_round_trips() {
+        let mut h = Hunk {
+            old_start: 3,
+            new_start: 3,
+            lines: vec![
+                DiffLine::Context("keep".into()),
+                DiffLine::Removed("drop".into()),
+                DiffLine::Added("add".into()),
+            ],
+            ..Hunk::default()
+        };
+        h.recount();
+        let patch: Patch = vec![FilePatch::modify("x/y.c", vec![h])]
+            .into_iter()
+            .collect();
+        let text = patch.render();
+        let back = parse_patch(&text).unwrap();
+        assert_eq!(back, patch);
+    }
+
+    #[test]
+    fn create_and_delete_render_dev_null() {
+        let mut h = Hunk {
+            old_start: 0,
+            new_start: 1,
+            lines: vec![DiffLine::Added("x".into())],
+            ..Hunk::default()
+        };
+        h.recount();
+        let create = FilePatch {
+            old_path: "n.c".into(),
+            new_path: "n.c".into(),
+            kind: ChangeKind::Create,
+            hunks: vec![h],
+        };
+        let patch: Patch = vec![create].into_iter().collect();
+        let text = patch.render();
+        assert!(text.contains("--- /dev/null"));
+        let back = parse_patch(&text).unwrap();
+        assert_eq!(back.files[0].kind, ChangeKind::Create);
+    }
+
+    #[test]
+    fn range_of_len_one_omits_count() {
+        assert_eq!(render_range(5, 1), "5");
+        assert_eq!(render_range(5, 0), "5,0");
+        assert_eq!(render_range(5, 3), "5,3");
+    }
+}

@@ -1,0 +1,34 @@
+//! Janitor identification for JMake (paper §IV).
+//!
+//! A *janitor* works on the code base breadth-first: many files, many
+//! subsystems, roughly the same small amount of work on each. The paper
+//! operationalizes this with the MAINTAINERS file (entries ≈ subsystems,
+//! mailing lists as a coarser grouping) and four thresholds (Table I),
+//! then ranks qualifying developers by the *coefficient of variation* of
+//! their per-file patch counts — low cv means evenly spread attention.
+//!
+//! # Example
+//!
+//! ```
+//! use jmake_janitor::{Maintainers, Thresholds};
+//!
+//! let m = Maintainers::parse("\
+//! NETWORKING DRIVERS
+//! M:\tDavid Miller <davem@example.org>
+//! L:\tnetdev@vger.example.org
+//! F:\tdrivers/net/
+//! ");
+//! let entries = m.entries_for("drivers/net/e1000.c");
+//! assert_eq!(entries.len(), 1);
+//! assert!(Thresholds::default().min_patches >= 10);
+//! ```
+
+pub mod activity;
+pub mod maintainers;
+pub mod metrics;
+pub mod select;
+
+pub use activity::{ActivityLog, ActivityRecord};
+pub use maintainers::{Entry, Maintainers};
+pub use metrics::{compute_metrics, AuthorMetrics};
+pub use select::{identify_janitors, JanitorReport, Thresholds};

@@ -1,0 +1,247 @@
+//! MAINTAINERS file parsing and path matching.
+
+/// One MAINTAINERS entry — the paper's working approximation of a
+/// *subsystem* (§IV).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Subsystem title line.
+    pub name: String,
+    /// `M:` maintainer names (angle-bracket emails stripped).
+    pub maintainers: Vec<String>,
+    /// `L:` mailing lists.
+    pub lists: Vec<String>,
+    /// `F:` file patterns.
+    pub patterns: Vec<String>,
+}
+
+impl Entry {
+    /// True when `path` matches one of this entry's `F:` patterns.
+    ///
+    /// Pattern semantics follow MAINTAINERS practice: a trailing `/` means
+    /// the whole directory subtree, a `*` matches within one path segment,
+    /// and anything else is an exact path.
+    pub fn matches(&self, path: &str) -> bool {
+        self.patterns.iter().any(|p| pattern_matches(p, path))
+    }
+}
+
+fn pattern_matches(pattern: &str, path: &str) -> bool {
+    if let Some(dir) = pattern.strip_suffix('/') {
+        return path.starts_with(pattern) || path == dir;
+    }
+    if pattern.contains('*') {
+        return glob_matches(pattern, path);
+    }
+    pattern == path
+}
+
+/// Minimal glob: `*` matches any run of non-`/` characters.
+fn glob_matches(pattern: &str, path: &str) -> bool {
+    fn rec(p: &[u8], s: &[u8]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some(b'*') => {
+                // Try all spans not crossing '/'.
+                for k in 0..=s.len() {
+                    if rec(&p[1..], &s[k..]) {
+                        return true;
+                    }
+                    if k < s.len() && s[k] == b'/' {
+                        break;
+                    }
+                }
+                false
+            }
+            Some(c) => s.first() == Some(c) && rec(&p[1..], &s[1..]),
+        }
+    }
+    rec(pattern.as_bytes(), path.as_bytes())
+}
+
+/// The parsed MAINTAINERS database.
+#[derive(Debug, Clone, Default)]
+pub struct Maintainers {
+    entries: Vec<Entry>,
+}
+
+impl Maintainers {
+    /// Parse MAINTAINERS text: blank-line-separated entries, each headed
+    /// by a title line followed by `M:`/`L:`/`F:` (and other, ignored)
+    /// tagged lines.
+    pub fn parse(text: &str) -> Maintainers {
+        let mut entries = Vec::new();
+        let mut current: Option<Entry> = None;
+        for line in text.lines() {
+            let trimmed = line.trim_end();
+            if trimmed.is_empty() {
+                if let Some(e) = current.take() {
+                    if !e.patterns.is_empty() {
+                        entries.push(e);
+                    }
+                }
+                continue;
+            }
+            if let Some((tag, value)) = tagged(trimmed) {
+                if let Some(e) = current.as_mut() {
+                    match tag {
+                        'M' => e.maintainers.push(strip_email(value)),
+                        'L' => e.lists.push(value.to_string()),
+                        'F' => e.patterns.push(value.to_string()),
+                        _ => {}
+                    }
+                }
+            } else if current.is_none() {
+                current = Some(Entry {
+                    name: trimmed.to_string(),
+                    maintainers: Vec::new(),
+                    lists: Vec::new(),
+                    patterns: Vec::new(),
+                });
+            }
+        }
+        if let Some(e) = current.take() {
+            if !e.patterns.is_empty() {
+                entries.push(e);
+            }
+        }
+        Maintainers { entries }
+    }
+
+    /// All entries whose patterns match `path`.
+    pub fn entries_for(&self, path: &str) -> Vec<&Entry> {
+        self.entries.iter().filter(|e| e.matches(path)).collect()
+    }
+
+    /// True when `author` is a registered maintainer for any entry
+    /// matching `path`.
+    pub fn is_maintainer_of(&self, author: &str, path: &str) -> bool {
+        self.entries_for(path)
+            .iter()
+            .any(|e| e.maintainers.iter().any(|m| m == author))
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries were parsed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+fn tagged(line: &str) -> Option<(char, &str)> {
+    let mut chars = line.chars();
+    let tag = chars.next()?;
+    if !tag.is_ascii_uppercase() {
+        return None;
+    }
+    let rest = chars.as_str();
+    let rest = rest.strip_prefix(':')?;
+    Some((tag, rest.trim()))
+}
+
+fn strip_email(value: &str) -> String {
+    match value.find('<') {
+        Some(i) => value[..i].trim().to_string(),
+        None => value.trim().to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+NETWORKING DRIVERS
+M:\tDavid Miller <davem@example.org>
+L:\tnetdev@vger.example.org
+S:\tMaintained
+F:\tdrivers/net/
+F:\tinclude/linux/netdevice.h
+
+STAGING SUBSYSTEM
+M:\tGreg KH <gregkh@example.org>
+L:\tdevel@driverdev.example.org
+F:\tdrivers/staging/
+
+COMEDI DRIVERS
+M:\tIan Abbott <abbotti@example.org>
+M:\tH Hartley Sweeten <hsweeten@example.org>
+L:\tdevel@driverdev.example.org
+F:\tdrivers/staging/comedi/
+
+WILDCARD ENTRY
+M:\tSomeone <s@example.org>
+L:\tmisc@example.org
+F:\tdrivers/char/ipmi_*.c
+";
+
+    #[test]
+    fn parses_entries() {
+        let m = Maintainers::parse(SAMPLE);
+        assert_eq!(m.len(), 4);
+        let net = &m.entries()[0];
+        assert_eq!(net.name, "NETWORKING DRIVERS");
+        assert_eq!(net.maintainers, vec!["David Miller"]);
+        assert_eq!(net.lists, vec!["netdev@vger.example.org"]);
+        assert_eq!(net.patterns.len(), 2);
+    }
+
+    #[test]
+    fn directory_pattern_matches_subtree() {
+        let m = Maintainers::parse(SAMPLE);
+        let hits = m.entries_for("drivers/net/ethernet/intel/e1000/main.c");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].name, "NETWORKING DRIVERS");
+    }
+
+    #[test]
+    fn overlapping_entries_both_match() {
+        let m = Maintainers::parse(SAMPLE);
+        let hits = m.entries_for("drivers/staging/comedi/drivers/cb_das16_cs.c");
+        let names: Vec<&str> = hits.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["STAGING SUBSYSTEM", "COMEDI DRIVERS"]);
+    }
+
+    #[test]
+    fn exact_file_pattern() {
+        let m = Maintainers::parse(SAMPLE);
+        assert_eq!(m.entries_for("include/linux/netdevice.h").len(), 1);
+        assert!(m.entries_for("include/linux/other.h").is_empty());
+    }
+
+    #[test]
+    fn glob_pattern_within_segment() {
+        let m = Maintainers::parse(SAMPLE);
+        assert_eq!(m.entries_for("drivers/char/ipmi_si.c").len(), 1);
+        // * must not cross a path segment.
+        assert!(m.entries_for("drivers/char/ipmi_sub/x.c").is_empty());
+    }
+
+    #[test]
+    fn maintainer_detection() {
+        let m = Maintainers::parse(SAMPLE);
+        assert!(m.is_maintainer_of("Greg KH", "drivers/staging/foo.c"));
+        assert!(!m.is_maintainer_of("Greg KH", "drivers/net/a.c"));
+        assert!(m.is_maintainer_of("Ian Abbott", "drivers/staging/comedi/x.c"));
+    }
+
+    #[test]
+    fn entries_without_patterns_are_dropped() {
+        let m = Maintainers::parse("ORPHANED THING\nM:\tNobody <n@e.org>\n\n");
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn multiple_maintainers_parsed() {
+        let m = Maintainers::parse(SAMPLE);
+        assert_eq!(m.entries()[2].maintainers.len(), 2);
+    }
+}

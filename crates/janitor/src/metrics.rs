@@ -1,0 +1,199 @@
+//! Per-author activity metrics (paper §IV, Table II columns).
+
+use crate::activity::ActivityLog;
+use crate::maintainers::Maintainers;
+use std::collections::BTreeMap;
+
+/// Metrics for one author over the observation period.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuthorMetrics {
+    /// Author name.
+    pub author: String,
+    /// Total patches contributed.
+    pub patches: usize,
+    /// Distinct MAINTAINERS entries (≈ subsystems) touched.
+    pub subsystems: usize,
+    /// Distinct mailing lists reached.
+    pub lists: usize,
+    /// Patches for which the author is a registered maintainer of a
+    /// touched file (excluded from janitor analysis; Table I caps their
+    /// share at 5%).
+    pub maintainer_patches: usize,
+    /// Patches in the evaluation window (v4.3→v4.4).
+    pub window_patches: usize,
+    /// Patch count per file ever touched.
+    pub per_file: BTreeMap<String, u32>,
+}
+
+impl AuthorMetrics {
+    /// Fraction of patches where the author acted as maintainer.
+    pub fn maintainer_fraction(&self) -> f64 {
+        if self.patches == 0 {
+            0.0
+        } else {
+            self.maintainer_patches as f64 / self.patches as f64
+        }
+    }
+
+    /// The coefficient of variation of per-file patch counts: standard
+    /// deviation over mean. Low cv ⇒ evenly spread attention ⇒
+    /// janitor-like (paper §IV).
+    pub fn file_cv(&self) -> f64 {
+        let n = self.per_file.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let counts: Vec<f64> = self.per_file.values().map(|&c| f64::from(c)).collect();
+        let mean = counts.iter().sum::<f64>() / n as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / n as f64;
+        var.sqrt() / mean
+    }
+}
+
+/// Compute metrics for every author in `log`.
+pub fn compute_metrics(log: &ActivityLog, maintainers: &Maintainers) -> Vec<AuthorMetrics> {
+    let mut by_author: BTreeMap<&str, AuthorMetrics> = BTreeMap::new();
+    for record in &log.records {
+        let m = by_author
+            .entry(record.author.as_str())
+            .or_insert_with(|| AuthorMetrics {
+                author: record.author.clone(),
+                patches: 0,
+                subsystems: 0,
+                lists: 0,
+                maintainer_patches: 0,
+                window_patches: 0,
+                per_file: BTreeMap::new(),
+            });
+        m.patches += 1;
+        if record.in_window {
+            m.window_patches += 1;
+        }
+        let mut is_maintainer_patch = false;
+        for file in &record.files {
+            *m.per_file.entry(file.clone()).or_insert(0) += 1;
+            if maintainers.is_maintainer_of(&record.author, file) {
+                is_maintainer_patch = true;
+            }
+        }
+        if is_maintainer_patch {
+            m.maintainer_patches += 1;
+        }
+    }
+    // Second pass for distinct subsystem/list counts (set-valued, so
+    // recomputed from the records per author).
+    let mut out: Vec<AuthorMetrics> = Vec::new();
+    for (author, mut metrics) in by_author {
+        let mut subsystems = std::collections::BTreeSet::new();
+        let mut lists = std::collections::BTreeSet::new();
+        for record in log.by_author(author) {
+            for file in &record.files {
+                for entry in maintainers.entries_for(file) {
+                    subsystems.insert(entry.name.clone());
+                    for l in &entry.lists {
+                        lists.insert(l.clone());
+                    }
+                }
+            }
+        }
+        metrics.subsystems = subsystems.len();
+        metrics.lists = lists.len();
+        out.push(metrics);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::ActivityRecord;
+
+    fn maintainers() -> Maintainers {
+        Maintainers::parse(
+            "NET\nM:\tDave\nL:\tnetdev@l\nF:\tdrivers/net/\n\nUSB\nM:\tGreg\nL:\tusb@l\nF:\tdrivers/usb/\n\nSOUND\nM:\tTakashi\nL:\talsa@l\nF:\tsound/\n",
+        )
+    }
+
+    fn record(author: &str, files: &[&str], in_window: bool) -> ActivityRecord {
+        ActivityRecord {
+            author: author.to_string(),
+            files: files.iter().map(|s| s.to_string()).collect(),
+            in_window,
+        }
+    }
+
+    #[test]
+    fn counts_patches_subsystems_lists() {
+        let mut log = ActivityLog::default();
+        log.push(record("alice", &["drivers/net/a.c"], false));
+        log.push(record("alice", &["drivers/usb/b.c"], true));
+        log.push(record("alice", &["sound/c.c"], true));
+        let ms = compute_metrics(&log, &maintainers());
+        assert_eq!(ms.len(), 1);
+        let a = &ms[0];
+        assert_eq!(a.patches, 3);
+        assert_eq!(a.subsystems, 3);
+        assert_eq!(a.lists, 3);
+        assert_eq!(a.window_patches, 2);
+        assert_eq!(a.maintainer_patches, 0);
+    }
+
+    #[test]
+    fn maintainer_patches_detected() {
+        let mut log = ActivityLog::default();
+        log.push(record("Dave", &["drivers/net/a.c"], true));
+        log.push(record("Dave", &["sound/c.c"], true));
+        let ms = compute_metrics(&log, &maintainers());
+        let d = &ms[0];
+        assert_eq!(d.maintainer_patches, 1);
+        assert!((d.maintainer_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_zero_for_even_spread() {
+        let mut log = ActivityLog::default();
+        log.push(record("j", &["drivers/net/a.c"], true));
+        log.push(record("j", &["drivers/net/b.c"], true));
+        log.push(record("j", &["drivers/net/c.c"], true));
+        let ms = compute_metrics(&log, &maintainers());
+        assert!(ms[0].file_cv().abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_grows_with_concentration() {
+        // Concentrated: 4 patches on one file, 1 on another.
+        let mut log = ActivityLog::default();
+        for _ in 0..4 {
+            log.push(record("m", &["drivers/net/hot.c"], true));
+        }
+        log.push(record("m", &["drivers/net/cold.c"], true));
+        let concentrated = compute_metrics(&log, &maintainers())[0].file_cv();
+
+        let mut even = ActivityLog::default();
+        for f in ["a", "b", "c", "d", "e"] {
+            even.push(record("m", &[&format!("drivers/net/{f}.c")], true));
+        }
+        let spread = compute_metrics(&even, &maintainers())[0].file_cv();
+        assert!(concentrated > spread);
+        // cv of {4,1}: mean 2.5, sd 1.5 → 0.6.
+        assert!((concentrated - 0.6).abs() < 1e-9, "{concentrated}");
+    }
+
+    #[test]
+    fn empty_metrics_are_safe() {
+        let m = AuthorMetrics {
+            author: "x".into(),
+            patches: 0,
+            subsystems: 0,
+            lists: 0,
+            maintainer_patches: 0,
+            window_patches: 0,
+            per_file: BTreeMap::new(),
+        };
+        assert_eq!(m.maintainer_fraction(), 0.0);
+        assert_eq!(m.file_cv(), 0.0);
+    }
+}

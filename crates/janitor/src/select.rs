@@ -1,0 +1,184 @@
+//! Janitor selection: thresholds (Table I) and cv ranking (Table II).
+
+use crate::metrics::AuthorMetrics;
+
+/// The activity thresholds of paper Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thresholds {
+    /// Minimum patches over the observation period (paper: ≥ 10).
+    pub min_patches: usize,
+    /// Minimum distinct subsystems (paper: ≥ 20).
+    pub min_subsystems: usize,
+    /// Minimum distinct mailing lists (paper: ≥ 3).
+    pub min_lists: usize,
+    /// Maximum maintainer-patch share (paper: < 5%).
+    pub max_maintainer_fraction: f64,
+    /// Minimum patches inside the evaluation window — the paper
+    /// additionally requires ≥ 20 patches between v4.3 and v4.4 so the
+    /// janitor subset is large enough to study.
+    pub min_window_patches: usize,
+    /// How many ranked developers to keep (paper: top 10).
+    pub top: usize,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            min_patches: 10,
+            min_subsystems: 20,
+            min_lists: 3,
+            max_maintainer_fraction: 0.05,
+            min_window_patches: 20,
+            top: 10,
+        }
+    }
+}
+
+/// One row of the Table II analogue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JanitorReport {
+    /// Developer name.
+    pub author: String,
+    /// Total patches over the observation period.
+    pub patches: usize,
+    /// Distinct subsystems touched.
+    pub subsystems: usize,
+    /// Distinct mailing lists reached.
+    pub lists: usize,
+    /// Maintainer-patch share (0.0–1.0).
+    pub maintainer_fraction: f64,
+    /// Coefficient of variation of per-file patch counts (the ranking
+    /// key; low = breadth-first).
+    pub file_cv: f64,
+    /// Patches inside the evaluation window.
+    pub window_patches: usize,
+}
+
+/// Apply Table I thresholds and rank by ascending file cv, keeping the top
+/// `thresholds.top` developers (Table II).
+pub fn identify_janitors(metrics: &[AuthorMetrics], thresholds: &Thresholds) -> Vec<JanitorReport> {
+    let mut qualifying: Vec<JanitorReport> = metrics
+        .iter()
+        .filter(|m| {
+            m.patches >= thresholds.min_patches
+                && m.subsystems >= thresholds.min_subsystems
+                && m.lists >= thresholds.min_lists
+                && m.maintainer_fraction() < thresholds.max_maintainer_fraction
+                && m.window_patches >= thresholds.min_window_patches
+        })
+        .map(|m| JanitorReport {
+            author: m.author.clone(),
+            patches: m.patches,
+            subsystems: m.subsystems,
+            lists: m.lists,
+            maintainer_fraction: m.maintainer_fraction(),
+            file_cv: m.file_cv(),
+            window_patches: m.window_patches,
+        })
+        .collect();
+    qualifying.sort_by(|a, b| {
+        a.file_cv
+            .partial_cmp(&b.file_cv)
+            .expect("cv is never NaN")
+            .then_with(|| a.author.cmp(&b.author))
+    });
+    qualifying.truncate(thresholds.top);
+    qualifying
+}
+
+/// Render the Table II analogue as fixed-width text.
+pub fn render_table(reports: &[JanitorReport]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>8} {:>11} {:>6} {:>11} {:>8}\n",
+        "developer", "patches", "subsystems", "lists", "maintainer", "file cv"
+    ));
+    for r in reports {
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>11} {:>6} {:>10.0}% {:>8.2}\n",
+            r.author,
+            r.patches,
+            r.subsystems,
+            r.lists,
+            r.maintainer_fraction * 100.0,
+            r.file_cv
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn metrics(
+        author: &str,
+        patches: usize,
+        subsystems: usize,
+        lists: usize,
+        maintainer: usize,
+        window: usize,
+        per_file: &[u32],
+    ) -> AuthorMetrics {
+        AuthorMetrics {
+            author: author.to_string(),
+            patches,
+            subsystems,
+            lists,
+            maintainer_patches: maintainer,
+            window_patches: window,
+            per_file: per_file
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (format!("f{i}.c"), *c))
+                .collect::<BTreeMap<_, _>>(),
+        }
+    }
+
+    #[test]
+    fn thresholds_match_table_one() {
+        let t = Thresholds::default();
+        assert_eq!(t.min_patches, 10);
+        assert_eq!(t.min_subsystems, 20);
+        assert_eq!(t.min_lists, 3);
+        assert!((t.max_maintainer_fraction - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filters_and_ranks_by_cv() {
+        let ms = vec![
+            metrics("spread", 100, 40, 10, 0, 30, &[1; 50]), // cv 0
+            metrics("lumpy", 100, 40, 10, 0, 30, &[20, 1, 1, 1]), // high cv
+            metrics("narrow", 100, 5, 10, 0, 30, &[1; 50]),  // too few subsystems
+            metrics("maintainer", 100, 40, 10, 50, 30, &[1; 50]), // 50% maintainer
+            metrics("quiet", 100, 40, 10, 0, 3, &[1; 50]),   // too few in window
+        ];
+        let js = identify_janitors(&ms, &Thresholds::default());
+        let names: Vec<&str> = js.iter().map(|j| j.author.as_str()).collect();
+        assert_eq!(names, vec!["spread", "lumpy"]);
+        assert!(js[0].file_cv < js[1].file_cv);
+    }
+
+    #[test]
+    fn top_n_truncation() {
+        let ms: Vec<AuthorMetrics> = (0..15)
+            .map(|i| metrics(&format!("dev{i:02}"), 50, 30, 5, 0, 25, &[1; 30]))
+            .collect();
+        let t = Thresholds {
+            top: 10,
+            ..Thresholds::default()
+        };
+        assert_eq!(identify_janitors(&ms, &t).len(), 10);
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let ms = vec![metrics("dan carpenter", 1554, 400, 146, 0, 40, &[2; 700])];
+        let js = identify_janitors(&ms, &Thresholds::default());
+        let table = render_table(&js);
+        assert!(table.contains("dan carpenter"));
+        assert!(table.contains("1554"));
+        assert!(table.lines().count() == 2);
+    }
+}

@@ -1,0 +1,180 @@
+//! The architecture registry.
+//!
+//! Paper footnote 3: the `make.cross` script supports 34 architectures, of
+//! which the authors could make 24 work. The registry reproduces both
+//! lists; requesting a broken architecture fails the way a missing
+//! cross-compiler does.
+
+/// The 24 architectures whose cross-compilers worked for the paper.
+pub const SUPPORTED: &[&str] = &[
+    "i386",
+    "x86_64",
+    "alpha",
+    "arm",
+    "avr32",
+    "blackfin",
+    "cris",
+    "ia64",
+    "m32r",
+    "m68k",
+    "microblaze",
+    "mips",
+    "mn10300",
+    "openrisc",
+    "parisc",
+    "powerpc",
+    "s390",
+    "sh",
+    "sparc",
+    "sparc64",
+    "tile",
+    "tilegx",
+    "um",
+    "xtensa",
+];
+
+/// The 10 architectures whose cross-compilers failed for the paper.
+pub const UNSUPPORTED: &[&str] = &[
+    "arm64",
+    "c6x",
+    "frv",
+    "h8300",
+    "hexagon",
+    "score",
+    "sh64",
+    "sparc32",
+    "tilepro",
+    "unicore32",
+];
+
+/// One architecture's build personality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arch {
+    /// Directory name under `arch/`.
+    pub name: &'static str,
+    /// Whether a working cross-compiler exists (paper footnote 3).
+    pub cross_compiler_works: bool,
+    /// Set-up operations the kernel Makefile performs per fresh
+    /// configuration — the paper measured over 80 for x86 and over 60 for
+    /// arm (§III.D); these dominate per-invocation cost.
+    pub setup_ops: u32,
+}
+
+/// Lookup over all known architectures.
+#[derive(Debug, Clone, Default)]
+pub struct ArchRegistry;
+
+impl ArchRegistry {
+    /// The registry (stateless; all data is static).
+    pub fn new() -> Self {
+        ArchRegistry
+    }
+
+    /// The architecture of the host machine the evaluation models — the
+    /// first one JMake tries (paper §V.B: "the architecture of our host
+    /// machine and thus the first architecture tried by JMake").
+    pub fn host(&self) -> Arch {
+        self.get("x86_64").expect("x86_64 is always registered")
+    }
+
+    /// Look up an architecture by `arch/` directory name.
+    pub fn get(&self, name: &str) -> Option<Arch> {
+        let supported = SUPPORTED.iter().position(|a| *a == name);
+        let unsupported = UNSUPPORTED.contains(&name);
+        if let Some(idx) = supported {
+            Some(Arch {
+                name: SUPPORTED[idx],
+                cross_compiler_works: true,
+                setup_ops: setup_ops_for(name),
+            })
+        } else if unsupported {
+            let name = UNSUPPORTED
+                .iter()
+                .find(|a| **a == name)
+                .expect("checked by contains");
+            Some(Arch {
+                name,
+                cross_compiler_works: false,
+                setup_ops: setup_ops_for(name),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// All architectures with working cross-compilers, host first (JMake's
+    /// trial order starts with the host, paper §V.B).
+    pub fn working(&self) -> Vec<Arch> {
+        let mut out: Vec<Arch> = SUPPORTED
+            .iter()
+            .map(|n| self.get(n).expect("static list"))
+            .collect();
+        out.sort_by_key(|a| (a.name != "x86_64", a.name));
+        out
+    }
+
+    /// Every known architecture name (working or not).
+    pub fn all_names(&self) -> impl Iterator<Item = &'static str> {
+        SUPPORTED.iter().chain(UNSUPPORTED.iter()).copied()
+    }
+}
+
+/// Deterministic per-arch setup-op count: x86 flavours over 80, arm over
+/// 60 (paper §III.D), the rest spread in between by a stable hash.
+fn setup_ops_for(name: &str) -> u32 {
+    match name {
+        "x86_64" | "i386" | "um" => 84,
+        "arm" | "arm64" => 62,
+        other => {
+            let h: u32 = other.bytes().fold(0x811c9dc5u32, |acc, b| {
+                (acc ^ u32::from(b)).wrapping_mul(16777619)
+            });
+            50 + h % 26
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_architecture_counts() {
+        assert_eq!(SUPPORTED.len(), 24);
+        assert_eq!(UNSUPPORTED.len(), 10);
+        assert_eq!(ArchRegistry::new().all_names().count(), 34);
+    }
+
+    #[test]
+    fn host_is_x86_64() {
+        let host = ArchRegistry::new().host();
+        assert_eq!(host.name, "x86_64");
+        assert!(host.cross_compiler_works);
+        assert!(host.setup_ops > 80);
+    }
+
+    #[test]
+    fn broken_cross_compilers_flagged() {
+        let r = ArchRegistry::new();
+        assert!(!r.get("arm64").unwrap().cross_compiler_works);
+        assert!(r.get("powerpc").unwrap().cross_compiler_works);
+        assert!(r.get("not_an_arch").is_none());
+    }
+
+    #[test]
+    fn working_list_starts_with_host() {
+        let w = ArchRegistry::new().working();
+        assert_eq!(w[0].name, "x86_64");
+        assert_eq!(w.len(), 24);
+        assert!(w.iter().all(|a| a.cross_compiler_works));
+    }
+
+    #[test]
+    fn arm_setup_ops_match_paper() {
+        assert_eq!(setup_ops_for("arm"), 62);
+        assert!(setup_ops_for("x86_64") > 80);
+        let ops = setup_ops_for("mips");
+        assert!((50..=76).contains(&ops));
+        assert_eq!(ops, setup_ops_for("mips"), "deterministic");
+    }
+}

@@ -1,0 +1,814 @@
+//! The build engine: `make allyesconfig`, `make file.i`, `make file.o`.
+
+use crate::arch::{Arch, ArchRegistry};
+use crate::clock::{CostModel, SampleKind, VirtualClock};
+use crate::objgraph::ObjGraph;
+use crate::tree::SourceTree;
+use jmake_cpp::{validate, CppError, IncludeResolver, PreprocessOutput, Preprocessor, SyntaxError};
+use jmake_kconfig::{Config, KconfigModel, Tristate};
+use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error;
+use std::fmt;
+
+/// Which configuration to create (paper §II.B).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ConfigKind {
+    /// `make allyesconfig` — JMake's primary choice.
+    AllYes,
+    /// `make allmodconfig` — measured as the paper's suggested extension.
+    AllMod,
+    /// A prepared configuration file from an `arch/*/configs` directory.
+    Defconfig(String),
+    /// A synthesized configuration (coverage-maximizing generation, the
+    /// §VII extension): `.config`-format content under a display name.
+    Custom {
+        /// Short label shown in reports (`cover-1`).
+        name: String,
+        /// `.config`-format assignments.
+        content: String,
+    },
+}
+
+impl ConfigKind {
+    fn cache_key(&self) -> String {
+        match self {
+            ConfigKind::AllYes => "allyesconfig".to_string(),
+            ConfigKind::AllMod => "allmodconfig".to_string(),
+            ConfigKind::Defconfig(p) => format!("defconfig:{p}"),
+            ConfigKind::Custom { name, .. } => format!("custom:{name}"),
+        }
+    }
+}
+
+impl fmt::Display for ConfigKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.cache_key())
+    }
+}
+
+/// A created configuration, ready to compile against.
+#[derive(Debug, Clone)]
+pub struct BuildConfig {
+    /// The architecture it was created for.
+    pub arch: Arch,
+    /// How it was created.
+    pub kind: ConfigKind,
+    /// Resolved symbol values.
+    pub config: Config,
+    /// The Kconfig model it was solved against (the failure classifier
+    /// needs symbol declarations).
+    pub model: KconfigModel,
+}
+
+/// Why a build operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// No `arch/<name>` is known at all.
+    UnknownArch(String),
+    /// The architecture exists but its cross-compiler does not work
+    /// (paper footnote 3).
+    CrossCompilerMissing(String),
+    /// `arch/<name>/Kconfig` is missing from the tree.
+    NoKconfig(String),
+    /// A Kconfig file failed to parse.
+    KconfigParse(String),
+    /// The target file does not exist.
+    MissingFile(String),
+    /// No Makefile covers the file's directory (paper §III.D lists this
+    /// among JMake's reported errors).
+    NoMakefile(String),
+    /// The configuration does not enable compilation of the file.
+    NotEnabled(String),
+    /// A file involved in the build system's own preliminary compilation
+    /// carries a mutation; no make invocation can run (paper §V.D).
+    SetupCompilationFailed(String),
+    /// The preprocessor reported errors (missing headers, `#error`, …).
+    PreprocessFailed {
+        /// The file being preprocessed.
+        file: String,
+        /// The first diagnostic (enough to report; the full set is large).
+        first_error: String,
+    },
+    /// The compiler front end rejected the translation unit.
+    FrontEndRejected {
+        /// The file being compiled.
+        file: String,
+        /// What the front end objected to.
+        error: SyntaxError,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnknownArch(a) => write!(f, "unknown architecture {a}"),
+            BuildError::CrossCompilerMissing(a) => {
+                write!(f, "cross-compiler for {a} does not work")
+            }
+            BuildError::NoKconfig(a) => write!(f, "arch/{a}/Kconfig not found"),
+            BuildError::KconfigParse(m) => write!(f, "Kconfig parse failure: {m}"),
+            BuildError::MissingFile(p) => write!(f, "no such file: {p}"),
+            BuildError::NoMakefile(p) => write!(f, "no Makefile covers {p}"),
+            BuildError::NotEnabled(p) => write!(f, "configuration does not build {p}"),
+            BuildError::SetupCompilationFailed(p) => {
+                write!(f, "build-system bootstrap file {p} does not compile")
+            }
+            BuildError::PreprocessFailed { file, first_error } => {
+                write!(f, "preprocessing {file} failed: {first_error}")
+            }
+            BuildError::FrontEndRejected { file, error } => {
+                write!(f, "compiling {file} failed: {error}")
+            }
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// Per-file outcomes of one grouped `.i` invocation, in input order.
+pub type IResults = Vec<(String, Result<IFile, BuildError>)>;
+
+/// The result of `make file.i`.
+#[derive(Debug, Clone)]
+pub struct IFile {
+    /// Source path.
+    pub path: String,
+    /// The preprocessed text — where JMake scans for its mutation tokens.
+    pub text: String,
+    /// Macros expanded during preprocessing.
+    pub expanded_macros: std::collections::HashSet<String>,
+    /// Headers pulled in.
+    pub includes: Vec<String>,
+}
+
+/// Resolver over a [`SourceTree`] with kernel-style include paths.
+struct TreeResolver<'t> {
+    tree: &'t SourceTree,
+    search_paths: Vec<String>,
+}
+
+impl<'t> IncludeResolver for TreeResolver<'t> {
+    fn resolve(
+        &self,
+        target: &str,
+        quoted: bool,
+        including_file: &str,
+    ) -> Option<(String, String)> {
+        let mut candidates = Vec::new();
+        if quoted {
+            let dir = crate::tree::dir_of(including_file);
+            candidates.push(if dir.is_empty() {
+                target.to_string()
+            } else {
+                format!("{dir}/{target}")
+            });
+        }
+        for sp in &self.search_paths {
+            candidates.push(format!("{sp}/{target}"));
+        }
+        candidates.push(target.to_string());
+        for c in candidates {
+            if let Some(content) = self.tree.get(&c) {
+                return Some((c, content.to_string()));
+            }
+        }
+        None
+    }
+}
+
+/// The engine. Owns the *pristine* tree (configs, Kconfig, Makefiles are
+/// always read from it); `make_i`/`make_o` take the possibly mutated tree
+/// to compile, exactly as JMake patches a checkout and invokes make.
+#[derive(Debug)]
+pub struct BuildEngine {
+    base: SourceTree,
+    registry: ArchRegistry,
+    cost: CostModel,
+    /// The simulated clock; the evaluation driver reads its samples.
+    pub clock: VirtualClock,
+    config_cache: BTreeMap<(String, String), BuildConfig>,
+    warm: BTreeSet<(String, String)>,
+    bootstrap: BTreeSet<String>,
+    heavy: BTreeSet<String>,
+}
+
+impl BuildEngine {
+    /// Create an engine over `tree` with the default cost model.
+    ///
+    /// Files under `scripts/` are treated as bootstrap files (the build
+    /// system compiles them before doing anything else), as are
+    /// `kernel/bounds.c` and each `arch/*/kernel/asm-offsets.c` when
+    /// present. `arch/powerpc/kernel/prom_init.c` is registered as a
+    /// heavy file when present (paper §V.C: compiling it triggers
+    /// compilation of the entire kernel).
+    pub fn new(tree: SourceTree) -> Self {
+        let mut bootstrap: BTreeSet<String> = tree
+            .files_under("scripts")
+            .filter(|p| p.ends_with(".c") || p.ends_with(".h"))
+            .map(str::to_string)
+            .collect();
+        for candidate in ["kernel/bounds.c"] {
+            if tree.contains(candidate) {
+                bootstrap.insert(candidate.to_string());
+            }
+        }
+        let mut heavy = BTreeSet::new();
+        for p in tree.paths() {
+            if p.starts_with("arch/") && p.ends_with("/kernel/asm-offsets.c") {
+                bootstrap.insert(p.to_string());
+            }
+            if p == "arch/powerpc/kernel/prom_init.c" {
+                heavy.insert(p.to_string());
+            }
+        }
+        BuildEngine {
+            base: tree,
+            registry: ArchRegistry::new(),
+            cost: CostModel::default(),
+            clock: VirtualClock::new(),
+            config_cache: BTreeMap::new(),
+            warm: BTreeSet::new(),
+            bootstrap,
+            heavy,
+        }
+    }
+
+    /// The pristine tree.
+    pub fn tree(&self) -> &SourceTree {
+        &self.base
+    }
+
+    /// The architecture registry.
+    pub fn registry(&self) -> &ArchRegistry {
+        &self.registry
+    }
+
+    /// Register an additional bootstrap file.
+    pub fn add_bootstrap_file(&mut self, path: impl Into<String>) {
+        self.bootstrap.insert(path.into());
+    }
+
+    /// Register an additional heavy file (whole-kernel compile trigger).
+    pub fn add_heavy_file(&mut self, path: impl Into<String>) {
+        self.heavy.insert(path.into());
+    }
+
+    /// The registered bootstrap files.
+    pub fn bootstrap_files(&self) -> impl Iterator<Item = &str> {
+        self.bootstrap.iter().map(String::as_str)
+    }
+
+    /// True when `path` is involved in the build system's own setup
+    /// compilation (paper §V.D — JMake cannot mutate these).
+    pub fn is_bootstrap(&self, path: &str) -> bool {
+        self.bootstrap.contains(path)
+    }
+
+    /// Prepared configuration files for `arch` (its `configs/` directory).
+    pub fn defconfig_paths(&self, arch: &str) -> Vec<String> {
+        self.base
+            .files_under(&format!("arch/{arch}/configs"))
+            .map(str::to_string)
+            .collect()
+    }
+
+    /// `make ARCH=<arch> <kind>` — create (or fetch the cached)
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::UnknownArch`], [`BuildError::CrossCompilerMissing`],
+    /// [`BuildError::NoKconfig`], [`BuildError::KconfigParse`], or
+    /// [`BuildError::MissingFile`] for a bad defconfig path.
+    pub fn make_config(
+        &mut self,
+        arch: &str,
+        kind: &ConfigKind,
+    ) -> Result<BuildConfig, BuildError> {
+        let key = (arch.to_string(), kind.cache_key());
+        if let Some(cfg) = self.config_cache.get(&key) {
+            return Ok(cfg.clone());
+        }
+        let arch_info = self
+            .registry
+            .get(arch)
+            .ok_or_else(|| BuildError::UnknownArch(arch.to_string()))?;
+        if !arch_info.cross_compiler_works {
+            return Err(BuildError::CrossCompilerMissing(arch.to_string()));
+        }
+        let model = self.kconfig_model(arch)?;
+        let config = match kind {
+            ConfigKind::AllYes => model.allyesconfig(),
+            ConfigKind::AllMod => model.allmodconfig(),
+            ConfigKind::Defconfig(path) => {
+                let content = self
+                    .base
+                    .get(path)
+                    .ok_or_else(|| BuildError::MissingFile(path.clone()))?;
+                model.defconfig(content)
+            }
+            ConfigKind::Custom { content, .. } => model.defconfig(content),
+        };
+        // Configuration creation pays the Makefile's per-arch setup
+        // sequence too (a fraction of the ops run during *config), which
+        // is what spreads Fig. 4a across architectures.
+        self.clock.charge(
+            SampleKind::Config,
+            self.cost.config_base_us
+                + model.len() as u64 * self.cost.config_per_symbol_us
+                + u64::from(arch_info.setup_ops) * self.cost.setup_op_us / 8,
+        );
+        let built = BuildConfig {
+            arch: arch_info,
+            kind: kind.clone(),
+            config,
+            model,
+        };
+        self.config_cache.insert(key, built.clone());
+        Ok(built)
+    }
+
+    /// Assemble the Kconfig model for `arch`: the top-level `Kconfig` plus
+    /// `arch/<arch>/Kconfig`, chasing `source` directives.
+    fn kconfig_model(&self, arch: &str) -> Result<KconfigModel, BuildError> {
+        let arch_root = format!("arch/{arch}/Kconfig");
+        if !self.base.contains(&arch_root) {
+            return Err(BuildError::NoKconfig(arch.to_string()));
+        }
+        let mut model = KconfigModel::new();
+        let mut queue = Vec::new();
+        if self.base.contains("Kconfig") {
+            queue.push("Kconfig".to_string());
+        }
+        queue.push(arch_root);
+        let mut seen = BTreeSet::new();
+        while let Some(path) = queue.pop() {
+            if !seen.insert(path.clone()) {
+                continue;
+            }
+            let Some(content) = self.base.get(&path) else {
+                continue; // missing sourced file: tolerated, like kconfig
+            };
+            let sources = model
+                .parse_str(&path, content)
+                .map_err(|e| BuildError::KconfigParse(e.to_string()))?;
+            queue.extend(sources);
+        }
+        Ok(model)
+    }
+
+    /// One `make file1.i file2.i …` invocation over (possibly mutated)
+    /// `tree`.
+    ///
+    /// Per-file results preserve input order. The whole invocation fails
+    /// when a bootstrap file cannot compile (paper §V.D).
+    ///
+    /// # Errors
+    ///
+    /// Invocation-level: [`BuildError::SetupCompilationFailed`].
+    pub fn make_i(
+        &mut self,
+        cfg: &BuildConfig,
+        tree: &SourceTree,
+        files: &[String],
+    ) -> Result<IResults, BuildError> {
+        self.check_bootstrap(tree)?;
+        let mut invocation_us = self.setup_cost(cfg);
+        let graph = ObjGraph::new(tree);
+        let mut out = Vec::with_capacity(files.len());
+        for file in files {
+            let result = if !tree.contains(file) {
+                Err(BuildError::MissingFile(file.clone()))
+            } else {
+                let pp = self.preprocess(cfg, tree, &graph, file);
+                invocation_us +=
+                    self.cost.i_base_us + pp.text.len() as u64 * self.cost.i_per_byte_us;
+                if let Some(first) = pp.errors.first() {
+                    Err(BuildError::PreprocessFailed {
+                        file: file.clone(),
+                        first_error: first.to_string(),
+                    })
+                } else {
+                    Ok(IFile {
+                        path: file.clone(),
+                        text: pp.text,
+                        expanded_macros: pp.expanded_macros,
+                        includes: pp.includes,
+                    })
+                }
+            };
+            out.push((file.clone(), result));
+        }
+        self.clock.charge(SampleKind::IGen, invocation_us);
+        Ok(out)
+    }
+
+    /// One `make file.o` invocation over `tree`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`BuildError`]; success means the configuration genuinely
+    /// compiles the file.
+    pub fn make_o(
+        &mut self,
+        cfg: &BuildConfig,
+        tree: &SourceTree,
+        file: &str,
+    ) -> Result<(), BuildError> {
+        self.check_bootstrap(tree)?;
+        let mut invocation_us = self.setup_cost(cfg);
+        let result = self.make_o_inner(cfg, tree, file, &mut invocation_us);
+        self.clock.charge(SampleKind::OGen, invocation_us);
+        result
+    }
+
+    fn make_o_inner(
+        &mut self,
+        cfg: &BuildConfig,
+        tree: &SourceTree,
+        file: &str,
+        invocation_us: &mut u64,
+    ) -> Result<(), BuildError> {
+        if !tree.contains(file) {
+            return Err(BuildError::MissingFile(file.to_string()));
+        }
+        let graph = ObjGraph::new(tree);
+        if !graph.has_makefile(file) {
+            return Err(BuildError::NoMakefile(file.to_string()));
+        }
+        if !graph.gating_value(file, &cfg.config).enabled() {
+            return Err(BuildError::NotEnabled(file.to_string()));
+        }
+        let pp = self.preprocess(cfg, tree, &graph, file);
+        let heavy = self.heavy.contains(file);
+        *invocation_us += self.cost.o_base_us + pp.text.len() as u64 * self.cost.o_per_byte_us;
+        if heavy {
+            // Compiling this file triggers compilation of the entire
+            // kernel, whether or not JMake is used (paper §V.C): charge a
+            // per-file base for every .c in the tree plus the whole tree's
+            // byte-proportional cost, scaled for synthetic file sizes.
+            let c_files = tree.paths().filter(|p| p.ends_with(".c")).count() as u64;
+            *invocation_us += crate::clock::HEAVY_REBUILD_FACTOR
+                * (c_files * self.cost.o_base_us + tree.total_bytes() * self.cost.o_per_byte_us);
+        }
+        if let Some(first) = pp.errors.first() {
+            return Err(BuildError::PreprocessFailed {
+                file: file.to_string(),
+                first_error: first.to_string(),
+            });
+        }
+        validate(&pp.text).map_err(|error| BuildError::FrontEndRejected {
+            file: file.to_string(),
+            error,
+        })
+    }
+
+    /// Run the preprocessor on `file` with the configuration's macro
+    /// environment and kernel include paths.
+    fn preprocess(
+        &self,
+        cfg: &BuildConfig,
+        tree: &SourceTree,
+        graph: &ObjGraph<'_>,
+        file: &str,
+    ) -> PreprocessOutput {
+        let resolver = TreeResolver {
+            tree,
+            search_paths: vec![
+                "include".to_string(),
+                format!("arch/{}/include", cfg.arch.name),
+            ],
+        };
+        let mut pp = Preprocessor::new(resolver);
+        pp.define_object("__KERNEL__", "1");
+        // The kernel's IS_ENABLED idiom: `#if IS_ENABLED(CONFIG_X)`
+        // expands to the CONFIG macro itself — 1 when the option is
+        // built in, an undefined identifier (hence 0 in #if) otherwise.
+        // (The real kernel also covers =m; module-only visibility is
+        // handled by the MODULE define below.)
+        pp.define_function("IS_ENABLED", vec!["option".to_string()], "(option)");
+        for (name, value) in cfg.config.cpp_defines() {
+            pp.define_object(&name, &value);
+        }
+        // Kbuild defines MODULE when the object is being built as a module.
+        if graph.gating_value(file, &cfg.config) == Tristate::M {
+            pp.define_object("MODULE", "1");
+        }
+        let content = tree.get(file).unwrap_or_default();
+        pp.preprocess(file, content)
+    }
+
+    /// Setup work for one make invocation: full operation sequence the
+    /// first time a configuration is used, a handful of checks afterwards
+    /// (paper §III.D).
+    fn setup_cost(&mut self, cfg: &BuildConfig) -> u64 {
+        let key = (cfg.arch.name.to_string(), cfg.kind.cache_key());
+        if self.warm.insert(key) {
+            u64::from(cfg.arch.setup_ops) * self.cost.setup_op_us
+        } else {
+            self.cost.warm_setup_us
+        }
+    }
+
+    /// Fail the invocation when any bootstrap file carries a mutation
+    /// glyph — the build system compiles those files before honouring any
+    /// target (paper §V.D).
+    fn check_bootstrap(&self, tree: &SourceTree) -> Result<(), BuildError> {
+        for path in &self.bootstrap {
+            if let Some(content) = tree.get(path) {
+                if content.contains('\u{2261}') {
+                    return Err(BuildError::SetupCompilationFailed(path.clone()));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Helpers for CppError conversion in messages.
+#[allow(dead_code)]
+fn first_error_text(errors: &[CppError]) -> String {
+    errors
+        .first()
+        .map(|e| e.to_string())
+        .unwrap_or_else(|| "unknown error".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature two-arch kernel: x86_64 and arm, one driver gated by
+    /// CONFIG_E1000 (needs NET), one arm-only driver.
+    fn mini_kernel() -> SourceTree {
+        let mut t = SourceTree::new();
+        t.insert("Kconfig", "config NET\n\tbool \"net\"\n\nconfig E1000\n\ttristate \"e1000\"\n\tdepends on NET\n\nconfig ARM_ONLY_DRV\n\tbool \"arm drv\"\n\tdepends on ARM\n");
+        t.insert("arch/x86_64/Kconfig", "config X86_64\n\tdef_bool y\n");
+        t.insert("arch/arm/Kconfig", "config ARM\n\tdef_bool y\n");
+        t.insert(
+            "arch/arm/configs/vexpress_defconfig",
+            "CONFIG_NET=y\nCONFIG_E1000=m\n",
+        );
+        t.insert("Makefile", "obj-y += drivers/ kernel/\n");
+        t.insert("drivers/Makefile", "obj-y += net/ misc/\n");
+        t.insert("drivers/net/Makefile", "obj-$(CONFIG_E1000) += e1000.o\n");
+        t.insert(
+            "drivers/net/e1000.c",
+            "#include <linux/kernel.h>\nint e1000_init(void)\n{\nreturn KERNEL_CONST;\n}\n",
+        );
+        t.insert(
+            "drivers/misc/Makefile",
+            "obj-$(CONFIG_ARM_ONLY_DRV) += armdrv.o\n",
+        );
+        t.insert(
+            "drivers/misc/armdrv.c",
+            "#include <asm/armspecific.h>\nint armdrv(void)\n{\nreturn ARM_MAGIC;\n}\n",
+        );
+        t.insert("include/linux/kernel.h", "#define KERNEL_CONST 42\n");
+        t.insert(
+            "arch/arm/include/asm/armspecific.h",
+            "#define ARM_MAGIC 7\n",
+        );
+        t.insert("kernel/Makefile", "obj-y += core.o\n");
+        t.insert("kernel/core.c", "int core;\n");
+        t.insert("kernel/bounds.c", "int bounds;\n");
+        t
+    }
+
+    #[test]
+    fn allyesconfig_for_host_arch() {
+        let mut e = BuildEngine::new(mini_kernel());
+        let cfg = e.make_config("x86_64", &ConfigKind::AllYes).unwrap();
+        assert_eq!(cfg.config.get("NET"), Tristate::Y);
+        assert_eq!(cfg.config.get("E1000"), Tristate::Y);
+        // ARM_ONLY_DRV depends on ARM, absent from the x86_64 model's arch
+        // symbols — never set.
+        assert_eq!(cfg.config.get("ARM_ONLY_DRV"), Tristate::N);
+        assert_eq!(e.clock.samples.config.len(), 1);
+    }
+
+    #[test]
+    fn config_is_cached_per_arch_and_kind() {
+        let mut e = BuildEngine::new(mini_kernel());
+        e.make_config("x86_64", &ConfigKind::AllYes).unwrap();
+        e.make_config("x86_64", &ConfigKind::AllYes).unwrap();
+        e.make_config("x86_64", &ConfigKind::AllMod).unwrap();
+        assert_eq!(e.clock.samples.config.len(), 2);
+    }
+
+    #[test]
+    fn unknown_and_broken_arches_fail() {
+        let mut e = BuildEngine::new(mini_kernel());
+        assert!(matches!(
+            e.make_config("z80", &ConfigKind::AllYes),
+            Err(BuildError::UnknownArch(_))
+        ));
+        assert!(matches!(
+            e.make_config("arm64", &ConfigKind::AllYes),
+            Err(BuildError::CrossCompilerMissing(_))
+        ));
+        assert!(matches!(
+            e.make_config("mips", &ConfigKind::AllYes),
+            Err(BuildError::NoKconfig(_))
+        ));
+    }
+
+    #[test]
+    fn make_i_produces_expanded_text() {
+        let mut e = BuildEngine::new(mini_kernel());
+        let cfg = e.make_config("x86_64", &ConfigKind::AllYes).unwrap();
+        let tree = e.tree().clone();
+        let results = e
+            .make_i(&cfg, &tree, &["drivers/net/e1000.c".to_string()])
+            .unwrap();
+        let ifile = results[0].1.as_ref().unwrap();
+        assert!(ifile.text.contains("return 42;"));
+        assert!(ifile
+            .includes
+            .contains(&"include/linux/kernel.h".to_string()));
+        assert_eq!(e.clock.samples.i_gen.len(), 1);
+    }
+
+    #[test]
+    fn arm_only_file_fails_preprocessing_on_x86() {
+        let mut e = BuildEngine::new(mini_kernel());
+        let cfg = e.make_config("x86_64", &ConfigKind::AllYes).unwrap();
+        let tree = e.tree().clone();
+        let results = e
+            .make_i(&cfg, &tree, &["drivers/misc/armdrv.c".to_string()])
+            .unwrap();
+        assert!(matches!(
+            results[0].1,
+            Err(BuildError::PreprocessFailed { .. })
+        ));
+        // …but preprocesses fine for arm.
+        let cfg_arm = e.make_config("arm", &ConfigKind::AllYes).unwrap();
+        let results = e
+            .make_i(&cfg_arm, &tree, &["drivers/misc/armdrv.c".to_string()])
+            .unwrap();
+        assert!(results[0].1.is_ok());
+    }
+
+    #[test]
+    fn make_o_success_and_not_enabled() {
+        let mut e = BuildEngine::new(mini_kernel());
+        let cfg = e.make_config("x86_64", &ConfigKind::AllYes).unwrap();
+        let tree = e.tree().clone();
+        assert!(e.make_o(&cfg, &tree, "drivers/net/e1000.c").is_ok());
+        // armdrv is not enabled on x86_64 (ARM_ONLY_DRV=n).
+        assert!(matches!(
+            e.make_o(&cfg, &tree, "drivers/misc/armdrv.c"),
+            Err(BuildError::NotEnabled(_))
+        ));
+        assert_eq!(e.clock.samples.o_gen.len(), 2);
+    }
+
+    #[test]
+    fn make_o_on_arm_defconfig_builds_module() {
+        let mut e = BuildEngine::new(mini_kernel());
+        let kind = ConfigKind::Defconfig("arch/arm/configs/vexpress_defconfig".to_string());
+        let cfg = e.make_config("arm", &kind).unwrap();
+        assert_eq!(cfg.config.get("E1000"), Tristate::M);
+        let tree = e.tree().clone();
+        assert!(e.make_o(&cfg, &tree, "drivers/net/e1000.c").is_ok());
+    }
+
+    #[test]
+    fn module_build_defines_module_macro() {
+        let mut e = BuildEngine::new(mini_kernel());
+        let kind = ConfigKind::Defconfig("arch/arm/configs/vexpress_defconfig".to_string());
+        let cfg = e.make_config("arm", &kind).unwrap();
+        let mut tree = e.tree().clone();
+        tree.insert(
+            "drivers/net/e1000.c",
+            "#ifdef MODULE\nint as_module;\n#else\nint builtin;\n#endif\n",
+        );
+        let results = e
+            .make_i(&cfg, &tree, &["drivers/net/e1000.c".to_string()])
+            .unwrap();
+        let text = &results[0].1.as_ref().unwrap().text;
+        assert!(text.contains("as_module"), "{text}");
+        assert!(!text.contains("builtin"));
+    }
+
+    #[test]
+    fn mutated_file_fails_front_end_but_not_preprocessing() {
+        let mut e = BuildEngine::new(mini_kernel());
+        let cfg = e.make_config("x86_64", &ConfigKind::AllYes).unwrap();
+        let mut tree = e.tree().clone();
+        tree.insert(
+            "drivers/net/e1000.c",
+            "\u{2261}\"context:drivers/net/e1000.c:1\"\nint x;\n",
+        );
+        let results = e
+            .make_i(&cfg, &tree, &["drivers/net/e1000.c".to_string()])
+            .unwrap();
+        let ifile = results[0].1.as_ref().unwrap();
+        assert!(ifile
+            .text
+            .contains("\u{2261}\"context:drivers/net/e1000.c:1\""));
+        assert!(matches!(
+            e.make_o(&cfg, &tree, "drivers/net/e1000.c"),
+            Err(BuildError::FrontEndRejected { .. })
+        ));
+    }
+
+    #[test]
+    fn bootstrap_mutation_fails_every_invocation() {
+        let mut e = BuildEngine::new(mini_kernel());
+        let cfg = e.make_config("x86_64", &ConfigKind::AllYes).unwrap();
+        let mut tree = e.tree().clone();
+        tree.insert(
+            "kernel/bounds.c",
+            "\u{2261}\"context:kernel/bounds.c:1\"\nint b;\n",
+        );
+        assert!(matches!(
+            e.make_i(&cfg, &tree, &["kernel/core.c".to_string()]),
+            Err(BuildError::SetupCompilationFailed(_))
+        ));
+        assert!(matches!(
+            e.make_o(&cfg, &tree, "kernel/core.c"),
+            Err(BuildError::SetupCompilationFailed(_))
+        ));
+        assert!(e.is_bootstrap("kernel/bounds.c"));
+    }
+
+    #[test]
+    fn is_enabled_idiom_tracks_configuration() {
+        let mut e = BuildEngine::new(mini_kernel());
+        let cfg = e.make_config("x86_64", &ConfigKind::AllYes).unwrap();
+        let mut tree = e.tree().clone();
+        tree.insert(
+            "drivers/net/e1000.c",
+            "#if IS_ENABLED(CONFIG_NET)\nint net_on;\n#endif\n#if IS_ENABLED(CONFIG_TOTALLY_ABSENT)\nint absent_on;\n#endif\nint base;\n",
+        );
+        let results = e
+            .make_i(&cfg, &tree, &["drivers/net/e1000.c".to_string()])
+            .unwrap();
+        let text = &results[0].1.as_ref().unwrap().text;
+        assert!(text.contains("net_on"), "{text}");
+        assert!(!text.contains("absent_on"), "{text}");
+        assert!(text.contains("base"));
+    }
+
+    #[test]
+    fn cold_invocation_costs_more_than_warm() {
+        let mut e = BuildEngine::new(mini_kernel());
+        let cfg = e.make_config("x86_64", &ConfigKind::AllYes).unwrap();
+        let tree = e.tree().clone();
+        let files = vec!["kernel/core.c".to_string()];
+        e.make_i(&cfg, &tree, &files).unwrap();
+        e.make_i(&cfg, &tree, &files).unwrap();
+        let s = &e.clock.samples.i_gen;
+        assert!(s[0] > s[1], "cold {} should exceed warm {}", s[0], s[1]);
+    }
+
+    #[test]
+    fn heavy_file_dominates_o_times() {
+        let mut t = mini_kernel();
+        t.insert("arch/powerpc/Kconfig", "config PPC\n\tdef_bool y\n");
+        t.insert("arch/powerpc/kernel/Makefile", "obj-y += prom_init.o\n");
+        t.insert("arch/powerpc/kernel/prom_init.c", "int prom_init;\n");
+        let mut e = BuildEngine::new(t);
+        let cfg = e.make_config("powerpc", &ConfigKind::AllYes).unwrap();
+        let tree = e.tree().clone();
+        e.make_o(&cfg, &tree, "arch/powerpc/kernel/prom_init.c")
+            .unwrap();
+        e.make_o(&cfg, &tree, "kernel/core.c").unwrap();
+        let s = &e.clock.samples.o_gen;
+        // The heavy file's invocation includes a whole-kernel compile; even
+        // on this miniature tree it must dwarf an ordinary .o.
+        assert!(s[0] > 3 * s[1], "heavy {} vs normal {}", s[0], s[1]);
+        assert!(
+            s[0] > 2_000_000,
+            "heavy compile should exceed 2 s, got {}",
+            s[0]
+        );
+    }
+
+    #[test]
+    fn defconfig_paths_listed() {
+        let e = BuildEngine::new(mini_kernel());
+        assert_eq!(
+            e.defconfig_paths("arm"),
+            vec!["arch/arm/configs/vexpress_defconfig".to_string()]
+        );
+        assert!(e.defconfig_paths("x86_64").is_empty());
+    }
+
+    #[test]
+    fn missing_file_and_no_makefile_errors() {
+        let mut e = BuildEngine::new(mini_kernel());
+        let cfg = e.make_config("x86_64", &ConfigKind::AllYes).unwrap();
+        let mut tree = e.tree().clone();
+        assert!(matches!(
+            e.make_o(&cfg, &tree, "drivers/net/ghost.c"),
+            Err(BuildError::MissingFile(_))
+        ));
+        tree.insert("lonely/file.c", "int x;\n");
+        assert!(matches!(
+            e.make_o(&cfg, &tree, "lonely/file.c"),
+            Err(BuildError::NoMakefile(_))
+        ));
+    }
+}

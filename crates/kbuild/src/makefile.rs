@@ -1,0 +1,293 @@
+//! Kbuild makefile parsing.
+//!
+//! The subset Kbuild actually uses for object lists:
+//!
+//! ```make
+//! obj-$(CONFIG_E1000) += e1000.o
+//! obj-y               += built_in.o subdir/
+//! obj-m               += mod.o
+//! e1000-objs          := main.o hw.o
+//! e1000-y             += param.o
+//! ccflags-y           += -DDEBUG
+//! ```
+
+use crate::tree::SourceTree;
+use std::collections::BTreeMap;
+
+/// The condition guarding an object list entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// `obj-y`: always built in.
+    Always,
+    /// `obj-m`: always built as module.
+    Module,
+    /// `obj-$(CONFIG_X)`: gated by a configuration variable (name without
+    /// the `CONFIG_` prefix).
+    Config(String),
+    /// `obj-n` or an unrecognized guard: never built.
+    Never,
+}
+
+impl Cond {
+    /// The configuration variable, if any.
+    pub fn config_var(&self) -> Option<&str> {
+        match self {
+            Cond::Config(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// One parsed Kbuild makefile.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Makefile {
+    /// `obj-…` entries: condition and targets (`x.o` objects or `dir/`
+    /// subdirectories), in order.
+    pub objs: Vec<(Cond, Vec<String>)>,
+    /// Composite objects: label → constituent objects
+    /// (`e1000-objs := main.o hw.o` and `label-y += x.o` both land here).
+    pub composites: BTreeMap<String, Vec<String>>,
+    /// Every configuration variable mentioned anywhere in the file — the
+    /// paper's fallback heuristic when no variable is tied to the target
+    /// object (§III.C).
+    pub all_config_vars: Vec<String>,
+}
+
+impl Makefile {
+    /// Parse makefile text.
+    ///
+    /// Unknown constructs are skipped: Kbuild files contain plenty of
+    /// machinery JMake never needs to understand.
+    pub fn parse(content: &str) -> Makefile {
+        let mut mk = Makefile::default();
+        for raw in content.lines() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            collect_config_vars(line, &mut mk.all_config_vars);
+            let Some((lhs, rhs)) = split_assign(line) else {
+                continue;
+            };
+            let targets: Vec<String> = rhs.split_whitespace().map(str::to_string).collect();
+            if let Some(guard) = lhs.strip_prefix("obj-") {
+                mk.objs.push((parse_guard(guard), targets));
+            } else if let Some(label) = lhs.strip_suffix("-objs") {
+                mk.composites
+                    .entry(label.to_string())
+                    .or_default()
+                    .extend(targets);
+            } else if let Some(label) = lhs.strip_suffix("-y").filter(|l| !l.is_empty()) {
+                // `foo-y += bar.o` composite form (skip ccflags-y etc.,
+                // whose targets are not objects).
+                if targets.iter().any(|t| t.ends_with(".o")) {
+                    mk.composites
+                        .entry(label.to_string())
+                        .or_default()
+                        .extend(targets.into_iter().filter(|t| t.ends_with(".o")));
+                }
+            }
+        }
+        mk.all_config_vars.dedup();
+        mk
+    }
+
+    /// Parse the makefile of directory `dir` in `tree`, if present.
+    pub fn of_dir(tree: &SourceTree, dir: &str) -> Option<Makefile> {
+        let path = if dir.is_empty() {
+            "Makefile".to_string()
+        } else {
+            format!("{dir}/Makefile")
+        };
+        let content = tree
+            .get(&path)
+            .or_else(|| tree.get(&format!("{dir}/Kbuild")))?;
+        Some(Makefile::parse(content))
+    }
+
+    /// The conditions directly guarding `object` (e.g. `e1000.o`),
+    /// including through composite labels, recursively.
+    pub fn conds_for_object(&self, object: &str) -> Vec<&Cond> {
+        let mut out = Vec::new();
+        let mut targets = vec![object.to_string()];
+        let mut seen = std::collections::BTreeSet::new();
+        while let Some(t) = targets.pop() {
+            if !seen.insert(t.clone()) {
+                continue;
+            }
+            for (cond, objs) in &self.objs {
+                if objs.contains(&t) {
+                    out.push(cond);
+                }
+            }
+            // If t is a member of a composite, chase the composite object.
+            for (label, members) in &self.composites {
+                if members.contains(&t) {
+                    targets.push(format!("{label}.o"));
+                }
+            }
+        }
+        out
+    }
+
+    /// The condition guarding descent into `subdir/` (name with trailing
+    /// slash as written in the makefile).
+    pub fn conds_for_subdir(&self, subdir: &str) -> Vec<&Cond> {
+        let needle = format!("{subdir}/");
+        self.objs
+            .iter()
+            .filter(|(_, targets)| targets.contains(&needle))
+            .map(|(c, _)| c)
+            .collect()
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn split_assign(line: &str) -> Option<(&str, &str)> {
+    for op in [":=", "+=", "="] {
+        if let Some(i) = line.find(op) {
+            // Avoid splitting `==` or similar; Kbuild files don't use them
+            // in object lists anyway.
+            return Some((line[..i].trim(), line[i + op.len()..].trim()));
+        }
+    }
+    None
+}
+
+fn parse_guard(guard: &str) -> Cond {
+    match guard {
+        "y" => Cond::Always,
+        "m" => Cond::Module,
+        "n" | "" => Cond::Never,
+        g => match g
+            .strip_prefix("$(CONFIG_")
+            .and_then(|v| v.strip_suffix(')'))
+        {
+            Some(var) => Cond::Config(var.to_string()),
+            None => Cond::Never,
+        },
+    }
+}
+
+fn collect_config_vars(line: &str, out: &mut Vec<String>) {
+    let mut rest = line;
+    while let Some(i) = rest.find("CONFIG_") {
+        let tail = &rest[i + "CONFIG_".len()..];
+        let end = tail
+            .find(|c: char| c != '_' && !c.is_ascii_alphanumeric())
+            .unwrap_or(tail.len());
+        if end > 0 {
+            let var = tail[..end].to_string();
+            if !out.contains(&var) {
+                out.push(var);
+            }
+        }
+        rest = &tail[end..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# SPDX-License-Identifier: GPL-2.0
+obj-$(CONFIG_E1000) += e1000.o
+obj-y += common.o helpers/
+obj-m += always_mod.o
+e1000-objs := main.o hw.o param.o
+ccflags-$(CONFIG_NET_DEBUG) += -DDEBUG
+";
+
+    #[test]
+    fn parses_obj_entries() {
+        let mk = Makefile::parse(SAMPLE);
+        assert_eq!(mk.objs.len(), 3);
+        assert_eq!(mk.objs[0].0, Cond::Config("E1000".into()));
+        assert_eq!(mk.objs[0].1, vec!["e1000.o"]);
+        assert_eq!(mk.objs[1].0, Cond::Always);
+        assert_eq!(mk.objs[2].0, Cond::Module);
+    }
+
+    #[test]
+    fn composites_resolve_recursively() {
+        let mk = Makefile::parse(SAMPLE);
+        // main.o is part of e1000-objs, so it is gated by CONFIG_E1000.
+        let conds = mk.conds_for_object("main.o");
+        assert_eq!(conds, vec![&Cond::Config("E1000".into())]);
+        // Directly listed object.
+        assert_eq!(mk.conds_for_object("common.o"), vec![&Cond::Always]);
+        // Unknown object: nothing.
+        assert!(mk.conds_for_object("nothere.o").is_empty());
+    }
+
+    #[test]
+    fn nested_composites() {
+        let mk =
+            Makefile::parse("obj-$(CONFIG_TOP) += top.o\ntop-objs := mid.o\nmid-objs := leaf.o\n");
+        assert_eq!(
+            mk.conds_for_object("leaf.o"),
+            vec![&Cond::Config("TOP".into())]
+        );
+    }
+
+    #[test]
+    fn label_dash_y_composite_form() {
+        let mk = Makefile::parse("obj-$(CONFIG_X) += drv.o\ndrv-y += core.o io.o\n");
+        assert_eq!(
+            mk.conds_for_object("core.o"),
+            vec![&Cond::Config("X".into())]
+        );
+    }
+
+    #[test]
+    fn subdir_descent_conditions() {
+        let mk = Makefile::parse("obj-$(CONFIG_NET) += net/\nobj-y += lib/\n");
+        assert_eq!(
+            mk.conds_for_subdir("net"),
+            vec![&Cond::Config("NET".into())]
+        );
+        assert_eq!(mk.conds_for_subdir("lib"), vec![&Cond::Always]);
+        assert!(mk.conds_for_subdir("sound").is_empty());
+    }
+
+    #[test]
+    fn all_config_vars_collects_everything() {
+        let mk = Makefile::parse(SAMPLE);
+        assert_eq!(
+            mk.all_config_vars,
+            vec!["E1000".to_string(), "NET_DEBUG".to_string()]
+        );
+    }
+
+    #[test]
+    fn comments_and_unknown_lines_skipped() {
+        let mk = Makefile::parse("# obj-$(CONFIG_FAKE) += fake.o\ninclude scripts/x.mk\n");
+        assert!(mk.objs.is_empty());
+        // But vars in comments are not collected either (comment stripped).
+        assert!(mk.all_config_vars.is_empty());
+    }
+
+    #[test]
+    fn of_dir_reads_makefile_or_kbuild() {
+        let mut t = SourceTree::new();
+        t.insert("drivers/a/Makefile", "obj-y += a.o\n");
+        t.insert("drivers/b/Kbuild", "obj-y += b.o\n");
+        assert!(Makefile::of_dir(&t, "drivers/a").is_some());
+        assert!(Makefile::of_dir(&t, "drivers/b").is_some());
+        assert!(Makefile::of_dir(&t, "drivers/c").is_none());
+    }
+
+    #[test]
+    fn composite_cycle_terminates() {
+        let mk = Makefile::parse("a-objs := b.o\nb-objs := a.o\n");
+        // No obj- line: no conditions, and no infinite loop.
+        assert!(mk.conds_for_object("a.o").is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! The in-memory source tree.
+
+use std::collections::BTreeMap;
+
+/// A kernel source tree held entirely in memory, path → content.
+///
+/// Paths are `/`-separated and relative to the tree root
+/// (`drivers/net/e1000.c`). The paper's evaluation kept 25 clones of the
+/// kernel tree in a tmpfs for the same reason: eliminate disk access.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SourceTree {
+    files: BTreeMap<String, String>,
+}
+
+impl SourceTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        SourceTree::default()
+    }
+
+    /// Insert or replace a file.
+    pub fn insert(&mut self, path: impl Into<String>, content: impl Into<String>) {
+        self.files.insert(path.into(), content.into());
+    }
+
+    /// Remove a file; returns its content if present.
+    pub fn remove(&mut self, path: &str) -> Option<String> {
+        self.files.remove(path)
+    }
+
+    /// Content of `path`.
+    pub fn get(&self, path: &str) -> Option<&str> {
+        self.files.get(path).map(String::as_str)
+    }
+
+    /// True when `path` exists.
+    pub fn contains(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// Iterate over `(path, content)` in path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.files.iter().map(|(p, c)| (p.as_str(), c.as_str()))
+    }
+
+    /// Iterate over paths under `prefix` (a directory path without a
+    /// trailing slash, or `""` for the whole tree).
+    pub fn files_under<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.files.keys().map(String::as_str).filter(move |p| {
+            prefix.is_empty() || p.strip_prefix(prefix).is_some_and(|r| r.starts_with('/'))
+        })
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True when the tree has no files.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Total bytes of content — the virtual clock's whole-kernel compile
+    /// cost scales with this.
+    pub fn total_bytes(&self) -> u64 {
+        self.files.values().map(|c| c.len() as u64).sum()
+    }
+
+    /// Paths of every file, in order.
+    pub fn paths(&self) -> impl Iterator<Item = &str> {
+        self.files.keys().map(String::as_str)
+    }
+}
+
+impl FromIterator<(String, String)> for SourceTree {
+    fn from_iter<T: IntoIterator<Item = (String, String)>>(iter: T) -> Self {
+        SourceTree {
+            files: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(String, String)> for SourceTree {
+    fn extend<T: IntoIterator<Item = (String, String)>>(&mut self, iter: T) {
+        self.files.extend(iter);
+    }
+}
+
+/// The directory part of a path (`""` for top-level files).
+pub fn dir_of(path: &str) -> &str {
+    path.rsplit_once('/').map(|(d, _)| d).unwrap_or("")
+}
+
+/// The file-name part of a path.
+pub fn file_name(path: &str) -> &str {
+    path.rsplit_once('/').map(|(_, f)| f).unwrap_or(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SourceTree {
+        let mut t = SourceTree::new();
+        t.insert("Makefile", "obj-y += drivers/\n");
+        t.insert("drivers/net/a.c", "int a;\n");
+        t.insert("drivers/net/ab.c", "int ab;\n");
+        t.insert("drivers/nvme/b.c", "int b;\n");
+        t
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = sample();
+        assert_eq!(t.get("drivers/net/a.c"), Some("int a;\n"));
+        assert!(t.contains("Makefile"));
+        assert_eq!(t.remove("Makefile"), Some("obj-y += drivers/\n".into()));
+        assert!(!t.contains("Makefile"));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn files_under_respects_boundaries() {
+        let t = sample();
+        let under: Vec<&str> = t.files_under("drivers/net").collect();
+        assert_eq!(under, vec!["drivers/net/a.c", "drivers/net/ab.c"]);
+        // "drivers/n" is not a directory prefix of drivers/net.
+        assert_eq!(t.files_under("drivers/n").count(), 0);
+        assert_eq!(t.files_under("").count(), 4);
+    }
+
+    #[test]
+    fn total_bytes_sums_content() {
+        let t = sample();
+        assert_eq!(
+            t.total_bytes(),
+            t.iter().map(|(_, c)| c.len() as u64).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn path_helpers() {
+        assert_eq!(dir_of("a/b/c.c"), "a/b");
+        assert_eq!(dir_of("top.c"), "");
+        assert_eq!(file_name("a/b/c.c"), "c.c");
+        assert_eq!(file_name("top.c"), "top.c");
+    }
+}

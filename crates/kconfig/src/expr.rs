@@ -1,0 +1,301 @@
+//! Dependency expressions: `FOO && !BAR || BAZ`.
+
+use crate::tristate::Tristate;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A Kconfig dependency expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A constant (`y` or `n` written literally).
+    Const(Tristate),
+    /// Reference to a symbol's value; undeclared symbols evaluate to `n`.
+    Sym(String),
+    /// `!e`.
+    Not(Box<Expr>),
+    /// `a && b`.
+    And(Box<Expr>, Box<Expr>),
+    /// `a || b`.
+    Or(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for a symbol reference.
+    pub fn sym(name: impl Into<String>) -> Expr {
+        Expr::Sym(name.into())
+    }
+
+    /// Evaluate under a value lookup.
+    pub fn eval(&self, lookup: &dyn Fn(&str) -> Tristate) -> Tristate {
+        match self {
+            Expr::Const(t) => *t,
+            Expr::Sym(name) => lookup(name),
+            Expr::Not(e) => e.eval(lookup).not(),
+            Expr::And(a, b) => a.eval(lookup).and(b.eval(lookup)),
+            Expr::Or(a, b) => a.eval(lookup).or(b.eval(lookup)),
+        }
+    }
+
+    /// All symbol names referenced.
+    pub fn symbols(&self) -> BTreeSet<&str> {
+        let mut out = BTreeSet::new();
+        self.collect_symbols(&mut out);
+        out
+    }
+
+    fn collect_symbols<'a>(&'a self, out: &mut BTreeSet<&'a str>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Sym(n) => {
+                out.insert(n);
+            }
+            Expr::Not(e) => e.collect_symbols(out),
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.collect_symbols(out);
+                b.collect_symbols(out);
+            }
+        }
+    }
+
+    /// Parse `A && !B || C` (precedence: `!` > `&&` > `||`; parens allowed).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the malformation.
+    pub fn parse(text: &str) -> Result<Expr, String> {
+        let tokens = tokenize(text)?;
+        let mut p = P { t: &tokens, i: 0 };
+        let e = p.or_expr()?;
+        if p.i != p.t.len() {
+            return Err(format!("trailing tokens in expression {text:?}"));
+        }
+        Ok(e)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(t) => write!(f, "{t}"),
+            Expr::Sym(n) => f.write_str(n),
+            Expr::Not(e) => match **e {
+                Expr::Sym(_) | Expr::Const(_) => write!(f, "!{e}"),
+                _ => write!(f, "!({e})"),
+            },
+            Expr::And(a, b) => {
+                let wrap = |e: &Expr| matches!(e, Expr::Or(..));
+                let (wa, wb) = (wrap(a), wrap(b));
+                match (wa, wb) {
+                    (false, false) => write!(f, "{a} && {b}"),
+                    (true, false) => write!(f, "({a}) && {b}"),
+                    (false, true) => write!(f, "{a} && ({b})"),
+                    (true, true) => write!(f, "({a}) && ({b})"),
+                }
+            }
+            Expr::Or(a, b) => write!(f, "{a} || {b}"),
+        }
+    }
+}
+
+#[derive(Debug, PartialEq)]
+enum Tok {
+    Sym(String),
+    Not,
+    And,
+    Or,
+    LParen,
+    RParen,
+}
+
+fn tokenize(text: &str) -> Result<Vec<Tok>, String> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '!' => {
+                out.push(Tok::Not);
+                i += 1;
+            }
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            '&' => {
+                if chars.get(i + 1) != Some(&'&') {
+                    return Err("single & in expression".into());
+                }
+                out.push(Tok::And);
+                i += 2;
+            }
+            '|' => {
+                if chars.get(i + 1) != Some(&'|') {
+                    return Err("single | in expression".into());
+                }
+                out.push(Tok::Or);
+                i += 2;
+            }
+            c if c == '_' || c.is_ascii_alphanumeric() => {
+                let start = i;
+                while i < chars.len() && (chars[i] == '_' || chars[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.push(Tok::Sym(chars[start..i].iter().collect()));
+            }
+            other => return Err(format!("unexpected character {other:?} in expression")),
+        }
+    }
+    Ok(out)
+}
+
+struct P<'a> {
+    t: &'a [Tok],
+    i: usize,
+}
+
+impl<'a> P<'a> {
+    fn or_expr(&mut self) -> Result<Expr, String> {
+        let mut e = self.and_expr()?;
+        while matches!(self.t.get(self.i), Some(Tok::Or)) {
+            self.i += 1;
+            e = Expr::Or(Box::new(e), Box::new(self.and_expr()?));
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, String> {
+        let mut e = self.unary()?;
+        while matches!(self.t.get(self.i), Some(Tok::And)) {
+            self.i += 1;
+            e = Expr::And(Box::new(e), Box::new(self.unary()?));
+        }
+        Ok(e)
+    }
+
+    fn unary(&mut self) -> Result<Expr, String> {
+        match self.t.get(self.i) {
+            Some(Tok::Not) => {
+                self.i += 1;
+                Ok(Expr::Not(Box::new(self.unary()?)))
+            }
+            Some(Tok::LParen) => {
+                self.i += 1;
+                let e = self.or_expr()?;
+                if !matches!(self.t.get(self.i), Some(Tok::RParen)) {
+                    return Err("missing )".into());
+                }
+                self.i += 1;
+                Ok(e)
+            }
+            Some(Tok::Sym(name)) => {
+                self.i += 1;
+                Ok(match name.as_str() {
+                    "y" => Expr::Const(Tristate::Y),
+                    "m" => Expr::Const(Tristate::M),
+                    "n" => Expr::Const(Tristate::N),
+                    _ => Expr::Sym(name.clone()),
+                })
+            }
+            _ => Err("unexpected end of expression".into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env<'a>(pairs: &'a [(&'a str, Tristate)]) -> impl Fn(&str) -> Tristate + 'a {
+        move |name| {
+            pairs
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(Tristate::N)
+        }
+    }
+
+    #[test]
+    fn parses_and_evaluates() {
+        let e = Expr::parse("NET && !BROKEN").unwrap();
+        let f = env(&[("NET", Tristate::Y)]);
+        assert_eq!(e.eval(&f), Tristate::Y);
+        let g = env(&[("NET", Tristate::Y), ("BROKEN", Tristate::Y)]);
+        assert_eq!(e.eval(&g), Tristate::N);
+    }
+
+    #[test]
+    fn precedence_not_over_and_over_or() {
+        let e = Expr::parse("A || B && !C").unwrap();
+        assert_eq!(
+            e,
+            Expr::Or(
+                Box::new(Expr::sym("A")),
+                Box::new(Expr::And(
+                    Box::new(Expr::sym("B")),
+                    Box::new(Expr::Not(Box::new(Expr::sym("C"))))
+                ))
+            )
+        );
+    }
+
+    #[test]
+    fn parens_override() {
+        let e = Expr::parse("(A || B) && C").unwrap();
+        let f = env(&[("B", Tristate::Y), ("C", Tristate::Y)]);
+        assert_eq!(e.eval(&f), Tristate::Y);
+    }
+
+    #[test]
+    fn tristate_semantics_in_expressions() {
+        let e = Expr::parse("A && B").unwrap();
+        let f = env(&[("A", Tristate::Y), ("B", Tristate::M)]);
+        assert_eq!(e.eval(&f), Tristate::M);
+        let n = Expr::parse("!A").unwrap();
+        assert_eq!(n.eval(&env(&[("A", Tristate::M)])), Tristate::M);
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(Expr::parse("y").unwrap().eval(&env(&[])), Tristate::Y);
+        assert_eq!(Expr::parse("n").unwrap().eval(&env(&[])), Tristate::N);
+    }
+
+    #[test]
+    fn symbols_collected() {
+        let e = Expr::parse("A && (B || !C) && A").unwrap();
+        let syms: Vec<&str> = e.symbols().into_iter().collect();
+        assert_eq!(syms, vec!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn undeclared_symbol_is_n() {
+        let e = Expr::parse("NOWHERE").unwrap();
+        assert_eq!(e.eval(&env(&[])), Tristate::N);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Expr::parse("").is_err());
+        assert!(Expr::parse("A &&").is_err());
+        assert!(Expr::parse("A & B").is_err());
+        assert!(Expr::parse("(A").is_err());
+        assert!(Expr::parse("A B").is_err());
+        assert!(Expr::parse("A ? B").is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for src in ["A && B || C", "!(A || B) && C", "A && (B || C)", "!A"] {
+            let e = Expr::parse(src).unwrap();
+            let back = Expr::parse(&e.to_string()).unwrap();
+            assert_eq!(e, back, "{src} -> {e}");
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! A Kconfig-style configuration language and solvers for JMake.
+//!
+//! The Linux kernel's build system defines ~15,000 configuration variables
+//! (paper §I) whose values decide which lines of code the compiler ever
+//! sees. JMake leans on two Kbuild facilities this crate reproduces:
+//!
+//! - **`make allyesconfig`** — set as many variables as possible to `y`
+//!   ([`KconfigModel::allyesconfig`]), the configuration JMake tries first
+//!   (paper §II.B);
+//! - **prepared configurations** from `arch/*/configs/*_defconfig`
+//!   ([`KconfigModel::defconfig`]), which JMake samples when Makefile
+//!   heuristics point at architecture-specific variables (paper §III.C).
+//!
+//! `allmodconfig` ([`KconfigModel::allmodconfig`]) is also implemented —
+//! the paper's §V.B notes it would recover the `#ifdef MODULE` cases at the
+//! cost of doubling the configuration set, and our evaluation measures
+//! that trade-off.
+//!
+//! The crate additionally ships an undertaker-style satisfiability lint
+//! ([`lint::DeadSymbols`]) used by JMake's failure classifier to tell
+//! "variable not set by allyesconfig" apart from "variable never settable
+//! in the kernel at all" (Table IV rows 1–2).
+//!
+//! # Example
+//!
+//! ```
+//! use jmake_kconfig::{KconfigModel, Tristate};
+//!
+//! let mut model = KconfigModel::new();
+//! model.parse_str("Kconfig", "\
+//! config NET
+//! \tbool \"Networking\"
+//!
+//! config E1000
+//! \ttristate \"Intel e1000\"
+//! \tdepends on NET
+//! ").unwrap();
+//! let cfg = model.allyesconfig();
+//! assert_eq!(cfg.get("NET"), Tristate::Y);
+//! assert_eq!(cfg.get("E1000"), Tristate::Y);
+//! ```
+
+pub mod ast;
+pub mod expr;
+pub mod lint;
+pub mod model;
+pub mod parse;
+pub mod solve;
+pub mod tristate;
+
+pub use ast::{Symbol, SymbolType};
+pub use expr::Expr;
+pub use lint::{DeadSymbols, UndeadSymbols};
+pub use model::KconfigModel;
+pub use parse::ParseKconfigError;
+pub use solve::Config;
+pub use tristate::Tristate;
+
+#[cfg(test)]
+mod proptests;

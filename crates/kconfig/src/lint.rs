@@ -1,0 +1,329 @@
+//! Undertaker-style satisfiability lint.
+//!
+//! The Undertaker (related work, paper §VI) finds *dead* blocks — code
+//! whose configuration condition is a contradiction. JMake's Table IV
+//! needs a slice of that power: given a symbol referenced by an `#ifdef`,
+//! decide whether it is (a) settable but not set by allyesconfig, or
+//! (b) never settable in the kernel at all.
+
+use crate::model::KconfigModel;
+use crate::tristate::Tristate;
+use std::collections::BTreeSet;
+
+/// The set of symbols that can never be enabled under any configuration.
+#[derive(Debug, Clone, Default)]
+pub struct DeadSymbols {
+    dead: BTreeSet<String>,
+}
+
+impl DeadSymbols {
+    /// Compute dead symbols for `model`.
+    ///
+    /// A symbol is *live* when its dependencies are satisfiable assuming
+    /// every other live symbol could be driven to any value its own
+    /// liveness allows, or when something live selects it. The computation
+    /// is an optimistic fixed point: start with everything potentially
+    /// live, and strike symbols whose `depends` cannot reach `m`/`y` even
+    /// under the most favourable assignment of the surviving symbols.
+    pub fn compute(model: &KconfigModel) -> Self {
+        let mut live: BTreeSet<String> = model.symbols().map(|s| s.name.clone()).collect();
+        loop {
+            let mut changed = false;
+            let snapshot = live.clone();
+            for sym in model.symbols() {
+                if !snapshot.contains(&sym.name) {
+                    continue;
+                }
+                let satisfiable = match &sym.depends {
+                    None => true,
+                    Some(e) => {
+                        // Optimistic evaluation: a live symbol can be Y or N
+                        // at our pleasure, so `X` contributes Y if live and
+                        // `!X` always contributes Y (we may leave X off).
+                        // This over-approximates satisfiability — which is
+                        // the safe direction for the classifier: a symbol
+                        // reported dead really is dead.
+                        optimistic(e, &snapshot) == Tristate::Y
+                    }
+                };
+                let selected = model.symbols().any(|other| {
+                    snapshot.contains(&other.name)
+                        && other.selects.iter().any(|(t, _)| t == &sym.name)
+                });
+                if !satisfiable && !selected {
+                    live.remove(&sym.name);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let dead = model
+            .symbols()
+            .map(|s| s.name.clone())
+            .filter(|n| !live.contains(n))
+            .collect();
+        DeadSymbols { dead }
+    }
+
+    /// True when `name` can never be enabled. Undeclared symbols are dead
+    /// by definition — `#ifdef CONFIG_FOO` with no `config FOO` anywhere is
+    /// the paper's "variable never set in the kernel".
+    pub fn is_dead(&self, model: &KconfigModel, name: &str) -> bool {
+        !model.is_declared(name) || self.dead.contains(name)
+    }
+
+    /// The declared-but-unsatisfiable symbols.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.dead.iter().map(String::as_str)
+    }
+
+    /// Number of dead declared symbols.
+    pub fn len(&self) -> usize {
+        self.dead.len()
+    }
+
+    /// True when every declared symbol is satisfiable.
+    pub fn is_empty(&self) -> bool {
+        self.dead.is_empty()
+    }
+}
+
+/// The set of symbols enabled under *every* configuration — the
+/// Undertaker's "undead" class. Code under `#ifndef UNDEAD` is dead in
+/// the same sense code under `#ifdef DEAD` is.
+#[derive(Debug, Clone, Default)]
+pub struct UndeadSymbols {
+    undead: BTreeSet<String>,
+}
+
+impl UndeadSymbols {
+    /// Compute the undead set: promptless symbols whose unconditional
+    /// default is `y` and whose dependencies (if any) are themselves
+    /// undead, plus anything unconditionally selected by an undead
+    /// symbol. A conservative under-approximation: a symbol reported
+    /// undead really is always on.
+    pub fn compute(model: &KconfigModel) -> Self {
+        let mut undead: BTreeSet<String> = BTreeSet::new();
+        loop {
+            let mut changed = false;
+            for sym in model.symbols() {
+                if undead.contains(&sym.name) {
+                    continue;
+                }
+                let deps_undead = match &sym.depends {
+                    None => true,
+                    Some(e) => pessimistic(e, &undead) == Tristate::Y,
+                };
+                let forced_default = sym.prompt.is_none()
+                    && sym
+                        .defaults
+                        .first()
+                        .is_some_and(|(v, cond)| *v == Tristate::Y && cond.is_none());
+                let selected_by_undead = model.symbols().any(|other| {
+                    undead.contains(&other.name)
+                        && other
+                            .selects
+                            .iter()
+                            .any(|(t, cond)| t == &sym.name && cond.is_none())
+                });
+                if (forced_default && deps_undead) || selected_by_undead {
+                    undead.insert(sym.name.clone());
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        UndeadSymbols { undead }
+    }
+
+    /// True when `name` is enabled in every configuration.
+    pub fn is_undead(&self, name: &str) -> bool {
+        self.undead.contains(name)
+    }
+
+    /// Iterate over the undead names.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.undead.iter().map(String::as_str)
+    }
+
+    /// Number of undead symbols.
+    pub fn len(&self) -> usize {
+        self.undead.len()
+    }
+
+    /// True when no symbol is always-on.
+    pub fn is_empty(&self) -> bool {
+        self.undead.is_empty()
+    }
+}
+
+/// Least favourable value of `e`: undead symbols are pinned to `y`,
+/// everything else to `n` (so `Y` here means "true no matter what").
+fn pessimistic(e: &crate::expr::Expr, undead: &BTreeSet<String>) -> Tristate {
+    use crate::expr::Expr;
+    match e {
+        Expr::Const(t) => *t,
+        Expr::Sym(n) => {
+            if undead.contains(n) {
+                Tristate::Y
+            } else {
+                Tristate::N
+            }
+        }
+        // `!X` is only guaranteed when X is guaranteed off — which we do
+        // not track; stay conservative.
+        Expr::Not(inner) => match &**inner {
+            Expr::Const(t) => t.not(),
+            _ => Tristate::N,
+        },
+        Expr::And(a, b) => pessimistic(a, undead).and(pessimistic(b, undead)),
+        Expr::Or(a, b) => pessimistic(a, undead).or(pessimistic(b, undead)),
+    }
+}
+
+/// Most favourable value of `e` given the set of live symbols: live
+/// symbols may take any value, dead ones are pinned to `n`.
+fn optimistic(e: &crate::expr::Expr, live: &BTreeSet<String>) -> Tristate {
+    use crate::expr::Expr;
+    match e {
+        Expr::Const(t) => *t,
+        Expr::Sym(n) => {
+            if live.contains(n) {
+                Tristate::Y
+            } else {
+                Tristate::N
+            }
+        }
+        // A negation is always satisfiable at Y by leaving the symbol off —
+        // unless the operand is a constant.
+        Expr::Not(inner) => match &**inner {
+            Expr::Const(t) => t.not(),
+            _ => Tristate::Y,
+        },
+        Expr::And(a, b) => optimistic(a, live).and(optimistic(b, live)),
+        Expr::Or(a, b) => optimistic(a, live).or(optimistic(b, live)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> KconfigModel {
+        let mut m = KconfigModel::new();
+        m.parse_str("Kconfig", src).unwrap();
+        m
+    }
+
+    #[test]
+    fn healthy_symbols_are_live() {
+        let m = model("config A\n\tbool \"a\"\nconfig B\n\tbool \"b\"\n\tdepends on A\n");
+        let d = DeadSymbols::compute(&m);
+        assert!(d.is_empty());
+        assert!(!d.is_dead(&m, "A"));
+        assert!(!d.is_dead(&m, "B"));
+    }
+
+    #[test]
+    fn undeclared_symbol_is_dead() {
+        let m = model("config A\n\tbool \"a\"\n");
+        let d = DeadSymbols::compute(&m);
+        assert!(d.is_dead(&m, "NOT_IN_ANY_KCONFIG"));
+    }
+
+    #[test]
+    fn depends_on_undeclared_is_dead() {
+        let m = model("config BROKEN_DRV\n\tbool \"b\"\n\tdepends on MISSING\n");
+        let d = DeadSymbols::compute(&m);
+        assert!(d.is_dead(&m, "BROKEN_DRV"));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn transitive_death_propagates() {
+        let m = model(
+            "config DEAD1\n\tbool \"1\"\n\tdepends on MISSING\nconfig DEAD2\n\tbool \"2\"\n\tdepends on DEAD1\n",
+        );
+        let d = DeadSymbols::compute(&m);
+        assert!(d.is_dead(&m, "DEAD1"));
+        assert!(d.is_dead(&m, "DEAD2"));
+    }
+
+    #[test]
+    fn depends_on_constant_n_is_dead() {
+        let m = model("config NEVER\n\tbool \"n\"\n\tdepends on n\n");
+        let d = DeadSymbols::compute(&m);
+        assert!(d.is_dead(&m, "NEVER"));
+    }
+
+    #[test]
+    fn select_resurrects() {
+        let m = model(
+            "config TARGET\n\tbool \"t\"\n\tdepends on MISSING\nconfig DRIVER\n\tbool \"d\"\n\tselect TARGET\n",
+        );
+        let d = DeadSymbols::compute(&m);
+        // Selected by a live symbol: reachable despite dead depends.
+        assert!(!d.is_dead(&m, "TARGET"));
+    }
+
+    #[test]
+    fn negated_dependency_is_satisfiable() {
+        let m = model("config TINY\n\tbool \"t\"\n\tdepends on !FULL\nconfig FULL\n\tbool \"f\"\n");
+        let d = DeadSymbols::compute(&m);
+        // Not set by allyesconfig, but perfectly settable — the distinction
+        // Table IV rows 1 and 2 hinge on.
+        assert!(!d.is_dead(&m, "TINY"));
+        let cfg = m.allyesconfig();
+        assert_eq!(cfg.get("TINY"), Tristate::N);
+    }
+
+    #[test]
+    fn undead_detection_basics() {
+        let m = model(
+            "config ALWAYS\n\tdef_bool y\nconfig OPTIONAL\n\tbool \"opt\"\nconfig CHAINED\n\tdef_bool y\n\tdepends on ALWAYS\nconfig GATED\n\tdef_bool y\n\tdepends on OPTIONAL\n",
+        );
+        let u = UndeadSymbols::compute(&m);
+        assert!(u.is_undead("ALWAYS"));
+        assert!(u.is_undead("CHAINED"), "transitively undead");
+        assert!(!u.is_undead("OPTIONAL"), "prompted symbols can be off");
+        assert!(!u.is_undead("GATED"), "dep on optional symbol");
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn unconditional_select_by_undead_is_undead() {
+        let m = model("config CORE\n\tdef_bool y\nconfig HELPER\n\tbool \"h\"\n");
+        // HELPER has a prompt, but CORE (undead) selects it.
+        let mut m = m;
+        let mut core = m.symbol("CORE").cloned().unwrap();
+        core.selects.push(("HELPER".to_string(), None));
+        m.insert(core);
+        let u = UndeadSymbols::compute(&m);
+        assert!(u.is_undead("HELPER"));
+    }
+
+    #[test]
+    fn undead_symbols_are_on_in_every_solver_output() {
+        let m = model(
+            "config ALWAYS\n\tdef_bool y\nconfig A\n\tbool \"a\"\nconfig B\n\ttristate \"b\"\n\tdepends on A\n",
+        );
+        let u = UndeadSymbols::compute(&m);
+        for cfg in [m.allyesconfig(), m.allmodconfig(), m.defconfig("")] {
+            for name in u.iter() {
+                assert!(cfg.is_builtin(name), "{name} off in some config");
+            }
+        }
+    }
+
+    #[test]
+    fn disjunction_with_one_live_arm_is_live() {
+        let m =
+            model("config X\n\tbool \"x\"\n\tdepends on MISSING || A\nconfig A\n\tbool \"a\"\n");
+        let d = DeadSymbols::compute(&m);
+        assert!(!d.is_dead(&m, "X"));
+    }
+}

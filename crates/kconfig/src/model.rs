@@ -1,0 +1,181 @@
+//! The assembled configuration model for one architecture.
+
+use crate::ast::Symbol;
+use crate::parse::{parse_kconfig, ParseKconfigError};
+use crate::solve::{solve_allconfig, solve_defconfig, Config, Goal};
+use std::collections::BTreeMap;
+
+/// All symbols reachable from an architecture's root Kconfig, with the
+/// solvers operating over them.
+#[derive(Debug, Clone, Default)]
+pub struct KconfigModel {
+    symbols: BTreeMap<String, Symbol>,
+    /// Base for remapping per-file `choice` group ids to model-global ones.
+    next_choice: u32,
+}
+
+impl KconfigModel {
+    /// An empty model.
+    pub fn new() -> Self {
+        KconfigModel::default()
+    }
+
+    /// Parse `content` as a Kconfig file and add its symbols.
+    ///
+    /// `source` directives are returned for the caller to chase (the build
+    /// engine resolves them against its source tree); symbols already
+    /// present are replaced.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ParseKconfigError`].
+    pub fn parse_str(
+        &mut self,
+        file: &str,
+        content: &str,
+    ) -> Result<Vec<String>, ParseKconfigError> {
+        let parsed = parse_kconfig(file, content)?;
+        let mut max_local: Option<u32> = None;
+        for mut sym in parsed.symbols {
+            if let Some(local) = sym.choice_group {
+                max_local = Some(max_local.unwrap_or(0).max(local));
+                sym.choice_group = Some(self.next_choice + local);
+            }
+            self.symbols.insert(sym.name.clone(), sym);
+        }
+        if let Some(m) = max_local {
+            self.next_choice += m + 1;
+        }
+        Ok(parsed.sources)
+    }
+
+    /// Insert a symbol directly (used by generators and tests).
+    pub fn insert(&mut self, sym: Symbol) {
+        self.symbols.insert(sym.name.clone(), sym);
+    }
+
+    /// Look up a symbol.
+    pub fn symbol(&self, name: &str) -> Option<&Symbol> {
+        self.symbols.get(name)
+    }
+
+    /// Whether `name` is declared anywhere in the model — JMake's
+    /// classifier uses this for Table IV's "variable never set in the
+    /// kernel" row.
+    pub fn is_declared(&self, name: &str) -> bool {
+        self.symbols.contains_key(name)
+    }
+
+    /// Iterate over all symbols in name order.
+    pub fn symbols(&self) -> impl Iterator<Item = &Symbol> {
+        self.symbols.values()
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// True when no symbols are declared.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// `make allyesconfig`: drive every symbol as high as its dependencies
+    /// allow, preferring `y` (paper §II.B).
+    pub fn allyesconfig(&self) -> Config {
+        solve_allconfig(self, Goal::AllYes)
+    }
+
+    /// `make allmodconfig`: tristates become `m`, bools `y`.
+    pub fn allmodconfig(&self) -> Config {
+        solve_allconfig(self, Goal::AllMod)
+    }
+
+    /// Load a prepared configuration (`arch/*/configs/*_defconfig`
+    /// content: `CONFIG_X=y` lines plus `# CONFIG_X is not set` comments)
+    /// and complete it against dependencies.
+    pub fn defconfig(&self, content: &str) -> Config {
+        let mut wanted = BTreeMap::new();
+        for line in content.lines() {
+            let line = line.trim();
+            // Explicit negative assignments: `# CONFIG_X is not set` pins
+            // the symbol off even past its defaults (kconfig semantics).
+            if let Some(rest) = line.strip_prefix("# CONFIG_") {
+                if let Some(name) = rest.strip_suffix(" is not set") {
+                    wanted.insert(name.to_string(), crate::tristate::Tristate::N);
+                }
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("CONFIG_") {
+                if let Some((name, value)) = rest.split_once('=') {
+                    if let Some(t) = value
+                        .chars()
+                        .next()
+                        .and_then(crate::tristate::Tristate::from_config_char)
+                    {
+                        wanted.insert(name.to_string(), t);
+                    } else {
+                        // int/hex/string assignment: presence counts as y.
+                        wanted.insert(name.to_string(), crate::tristate::Tristate::Y);
+                    }
+                }
+            }
+        }
+        solve_defconfig(self, &wanted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tristate::Tristate;
+
+    fn model(src: &str) -> KconfigModel {
+        let mut m = KconfigModel::new();
+        m.parse_str("Kconfig", src).unwrap();
+        m
+    }
+
+    #[test]
+    fn declaration_lookup() {
+        let m = model("config NET\n\tbool \"net\"\n");
+        assert!(m.is_declared("NET"));
+        assert!(!m.is_declared("NOPE"));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn sources_returned_for_chasing() {
+        let mut m = KconfigModel::new();
+        let sources = m
+            .parse_str(
+                "Kconfig",
+                "source \"drivers/Kconfig\"\nconfig A\n\tbool \"a\"\n",
+            )
+            .unwrap();
+        assert_eq!(sources, vec!["drivers/Kconfig".to_string()]);
+        assert!(m.is_declared("A"));
+    }
+
+    #[test]
+    fn defconfig_parses_assignments() {
+        let m =
+            model("config A\n\tbool \"a\"\nconfig B\n\ttristate \"b\"\nconfig C\n\tbool \"c\"\n");
+        let cfg = m.defconfig("CONFIG_A=y\nCONFIG_B=m\n# CONFIG_C is not set\n");
+        assert_eq!(cfg.get("A"), Tristate::Y);
+        assert_eq!(cfg.get("B"), Tristate::M);
+        assert_eq!(cfg.get("C"), Tristate::N);
+    }
+
+    #[test]
+    fn defconfig_respects_dependencies() {
+        let m =
+            model("config NET\n\tbool \"net\"\nconfig VLAN\n\tbool \"vlan\"\n\tdepends on NET\n");
+        // VLAN requested without NET: clamped off.
+        let cfg = m.defconfig("CONFIG_VLAN=y\n");
+        assert_eq!(cfg.get("VLAN"), Tristate::N);
+        let cfg2 = m.defconfig("CONFIG_NET=y\nCONFIG_VLAN=y\n");
+        assert_eq!(cfg2.get("VLAN"), Tristate::Y);
+    }
+}

@@ -1,0 +1,435 @@
+//! Parser for the Kconfig subset the workload uses.
+//!
+//! Supported constructs:
+//!
+//! ```text
+//! config NAME
+//!     bool "prompt"          | tristate "prompt" | int | hex | string
+//!     def_bool y             | def_tristate m
+//!     depends on EXPR
+//!     select TARGET [if EXPR]
+//!     default y|m|n [if EXPR]
+//!     help                   (text swallowed until dedent)
+//!
+//! menu "title" … endmenu     (flattened; a `depends on` directly under
+//!                             `menu` applies to its contents)
+//! if EXPR … endif            (condition ANDed into enclosed symbols)
+//! source "path"              (resolved against the file map by the model)
+//! comment "…"                (ignored)
+//! mainmenu "…"               (ignored)
+//! ```
+
+use crate::ast::{Symbol, SymbolType};
+use crate::expr::Expr;
+use crate::tristate::Tristate;
+use std::error::Error;
+use std::fmt;
+
+/// A Kconfig parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseKconfigError {
+    /// File being parsed.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Reason.
+    pub message: String,
+}
+
+impl fmt::Display for ParseKconfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.file, self.line, self.message)
+    }
+}
+
+impl Error for ParseKconfigError {}
+
+/// Result of parsing one file: the symbols plus any `source` directives to
+/// chase.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    /// Symbols declared in this file (conditions from enclosing
+    /// `if`/`menu` already folded into `depends`).
+    pub symbols: Vec<Symbol>,
+    /// Targets of `source "…"` directives, in order.
+    pub sources: Vec<String>,
+}
+
+/// Parse one Kconfig file.
+///
+/// # Errors
+///
+/// [`ParseKconfigError`] on malformed blocks (property outside `config`,
+/// unbalanced `if`/`endif`, bad expressions).
+pub fn parse_kconfig(file: &str, content: &str) -> Result<ParsedFile, ParseKconfigError> {
+    let err = |line: usize, message: String| ParseKconfigError {
+        file: file.to_string(),
+        line,
+        message,
+    };
+    let mut out = ParsedFile::default();
+    let mut current: Option<Symbol> = None;
+    // Stack of enclosing conditions from `if` and `menu … depends on`.
+    // Each menu frame may have no condition.
+    enum Frame {
+        If(Expr),
+        Menu(Option<Expr>),
+    }
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut in_help = false;
+    let mut help_indent = 0usize;
+    // `choice` blocks: members are mutually exclusive.
+    let mut choice_stack: Vec<u32> = Vec::new();
+    let mut next_choice = 0u32;
+
+    let flush = |current: &mut Option<Symbol>,
+                 out: &mut ParsedFile,
+                 frames: &[Frame],
+                 choice_stack: &[u32]| {
+        if let Some(mut sym) = current.take() {
+            for f in frames {
+                let cond = match f {
+                    Frame::If(e) => Some(e),
+                    Frame::Menu(c) => c.as_ref(),
+                };
+                if let Some(e) = cond {
+                    sym.add_depends(e.clone());
+                }
+            }
+            sym.choice_group = choice_stack.last().copied();
+            sym.declared_in = file.to_string();
+            out.symbols.push(sym);
+        }
+    };
+
+    for (idx, raw) in content.lines().enumerate() {
+        let lineno = idx + 1;
+        let indent = raw.len() - raw.trim_start().len();
+        let line = raw.trim();
+        if in_help {
+            if line.is_empty() || indent > help_indent {
+                continue;
+            }
+            in_help = false;
+        }
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (word, rest) = split_word(line);
+        match word {
+            "config" | "menuconfig" => {
+                flush(&mut current, &mut out, &frames, &choice_stack);
+                let name = rest.trim();
+                if name.is_empty() || !name.chars().all(|c| c == '_' || c.is_ascii_alphanumeric()) {
+                    return Err(err(lineno, format!("bad config name {name:?}")));
+                }
+                current = Some(Symbol::new(name, SymbolType::Bool));
+            }
+            "bool" | "boolean" | "tristate" | "int" | "hex" | "string" => {
+                let sym = current
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, format!("{word} outside config block")))?;
+                sym.ty = match word {
+                    "tristate" => SymbolType::Tristate,
+                    "int" => SymbolType::Int,
+                    "hex" => SymbolType::Hex,
+                    "string" => SymbolType::String,
+                    _ => SymbolType::Bool,
+                };
+                let prompt = rest.trim().trim_matches('"');
+                if !prompt.is_empty() {
+                    sym.prompt = Some(prompt.to_string());
+                }
+            }
+            "def_bool" | "def_tristate" => {
+                let sym = current
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, format!("{word} outside config block")))?;
+                sym.ty = if word == "def_tristate" {
+                    SymbolType::Tristate
+                } else {
+                    SymbolType::Bool
+                };
+                let (value, cond) = parse_default(rest).map_err(|m| err(lineno, m))?;
+                sym.defaults.push((value, cond));
+            }
+            "depends" => {
+                let sym = current
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "depends outside config block".into()))?;
+                let expr_text = rest
+                    .trim()
+                    .strip_prefix("on")
+                    .ok_or_else(|| err(lineno, "expected `depends on`".into()))?;
+                let e = Expr::parse(expr_text).map_err(|m| err(lineno, m))?;
+                sym.add_depends(e);
+            }
+            "select" => {
+                let sym = current
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "select outside config block".into()))?;
+                let (target, cond) = split_if(rest).map_err(|m| err(lineno, m))?;
+                let target = target.trim();
+                if target.is_empty() {
+                    return Err(err(lineno, "select without target".into()));
+                }
+                sym.selects.push((target.to_string(), cond));
+            }
+            "default" => {
+                let sym = current
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "default outside config block".into()))?;
+                let (value, cond) = parse_default(rest).map_err(|m| err(lineno, m))?;
+                sym.defaults.push((value, cond));
+            }
+            "help" | "---help---" => {
+                in_help = true;
+                help_indent = indent;
+            }
+            "if" => {
+                flush(&mut current, &mut out, &frames, &choice_stack);
+                let e = Expr::parse(rest).map_err(|m| err(lineno, m))?;
+                frames.push(Frame::If(e));
+            }
+            "endif" => {
+                flush(&mut current, &mut out, &frames, &choice_stack);
+                match frames.pop() {
+                    Some(Frame::If(_)) => {}
+                    _ => return Err(err(lineno, "endif without if".into())),
+                }
+            }
+            "menu" => {
+                flush(&mut current, &mut out, &frames, &choice_stack);
+                frames.push(Frame::Menu(None));
+            }
+            "endmenu" => {
+                flush(&mut current, &mut out, &frames, &choice_stack);
+                match frames.pop() {
+                    Some(Frame::Menu(_)) => {}
+                    _ => return Err(err(lineno, "endmenu without menu".into())),
+                }
+            }
+            "visible" => {
+                // `visible if` on a menu: attach as menu condition.
+                let cond_text = rest.trim().strip_prefix("if").unwrap_or(rest);
+                let e = Expr::parse(cond_text).map_err(|m| err(lineno, m))?;
+                match frames.last_mut() {
+                    Some(Frame::Menu(c)) => *c = Some(e),
+                    _ => return Err(err(lineno, "visible if outside menu".into())),
+                }
+            }
+            "source" => {
+                flush(&mut current, &mut out, &frames, &choice_stack);
+                out.sources.push(rest.trim().trim_matches('"').to_string());
+            }
+            "choice" => {
+                flush(&mut current, &mut out, &frames, &choice_stack);
+                choice_stack.push(next_choice);
+                next_choice += 1;
+            }
+            "endchoice" => {
+                flush(&mut current, &mut out, &frames, &choice_stack);
+                if choice_stack.pop().is_none() {
+                    return Err(err(lineno, "endchoice without choice".into()));
+                }
+            }
+            "comment" | "mainmenu" | "prompt" | "range" | "option" | "optional" | "imply" => {
+                // Recognized but irrelevant properties.
+            }
+            other => {
+                return Err(err(lineno, format!("unknown keyword {other:?}")));
+            }
+        }
+    }
+    flush(&mut current, &mut out, &frames, &choice_stack);
+    if !frames.is_empty() {
+        return Err(err(
+            content.lines().count(),
+            "unterminated if/menu at end of file".into(),
+        ));
+    }
+    Ok(out)
+}
+
+fn split_word(line: &str) -> (&str, &str) {
+    match line.find(char::is_whitespace) {
+        Some(i) => (&line[..i], &line[i..]),
+        None => (line, ""),
+    }
+}
+
+/// Parse `default` operand: `y`, `m`, `n`, or an expression, plus `if COND`.
+fn parse_default(rest: &str) -> Result<(Tristate, Option<Expr>), String> {
+    let (value_text, cond) = split_if(rest)?;
+    let value_text = value_text.trim();
+    let value = match value_text {
+        "y" => Tristate::Y,
+        "m" => Tristate::M,
+        "n" => Tristate::N,
+        // Expression defaults (e.g. `default NET`): treat as y-if-expr.
+        _ => {
+            let e = Expr::parse(value_text)?;
+            let cond = match cond {
+                Some(c) => Some(Expr::And(Box::new(e), Box::new(c))),
+                None => Some(e),
+            };
+            return Ok((Tristate::Y, cond));
+        }
+    };
+    Ok((value, cond))
+}
+
+/// Split `TARGET if COND` into target text and optional parsed condition.
+fn split_if(rest: &str) -> Result<(&str, Option<Expr>), String> {
+    let rest = rest.trim();
+    match find_word(rest, "if") {
+        Some(i) => {
+            let cond = Expr::parse(&rest[i + 2..])?;
+            Ok((&rest[..i], Some(cond)))
+        }
+        None => Ok((rest, None)),
+    }
+}
+
+/// Find ` if ` as a standalone word.
+fn find_word(hay: &str, word: &str) -> Option<usize> {
+    let mut start = 0;
+    while let Some(rel) = hay[start..].find(word) {
+        let i = start + rel;
+        let before_ok = i == 0 || hay[..i].chars().last().is_some_and(|c| c.is_whitespace());
+        let after = hay[i + word.len()..].chars().next();
+        let after_ok = after.is_none_or(|c| c.is_whitespace() || c == '(');
+        if before_ok && after_ok {
+            return Some(i);
+        }
+        start = i + word.len();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_block() {
+        let p = parse_kconfig(
+            "Kconfig",
+            "config E1000\n\ttristate \"Intel PRO/1000\"\n\tdepends on PCI && NET\n\tselect CRC32\n\tdefault m if COMPILE_TEST\n",
+        )
+        .unwrap();
+        assert_eq!(p.symbols.len(), 1);
+        let s = &p.symbols[0];
+        assert_eq!(s.name, "E1000");
+        assert_eq!(s.ty, SymbolType::Tristate);
+        assert_eq!(s.prompt.as_deref(), Some("Intel PRO/1000"));
+        assert_eq!(s.selects.len(), 1);
+        assert_eq!(s.defaults.len(), 1);
+        assert_eq!(s.declared_in, "Kconfig");
+        assert!(s.depends.is_some());
+    }
+
+    #[test]
+    fn help_text_is_swallowed() {
+        let p = parse_kconfig(
+            "K",
+            "config A\n\tbool \"a\"\n\thelp\n\t  This help mentions config B\n\t  and depends on nonsense.\n\nconfig B\n\tbool \"b\"\n",
+        )
+        .unwrap();
+        assert_eq!(p.symbols.len(), 2);
+        assert!(p.symbols[0].depends.is_none());
+    }
+
+    #[test]
+    fn if_blocks_fold_into_depends() {
+        let p = parse_kconfig(
+            "K",
+            "if NET\nconfig VLAN\n\tbool \"vlan\"\nendif\nconfig OTHER\n\tbool \"o\"\n",
+        )
+        .unwrap();
+        let vlan = &p.symbols[0];
+        assert_eq!(vlan.depends, Some(Expr::sym("NET")));
+        assert!(p.symbols[1].depends.is_none());
+    }
+
+    #[test]
+    fn menus_flatten() {
+        let p = parse_kconfig("K", "menu \"Drivers\"\nconfig D1\n\tbool \"d\"\nendmenu\n").unwrap();
+        assert_eq!(p.symbols.len(), 1);
+        assert!(p.symbols[0].depends.is_none());
+    }
+
+    #[test]
+    fn nested_if_conjoins() {
+        let p = parse_kconfig("K", "if A\nif B\nconfig X\n\tbool \"x\"\nendif\nendif\n").unwrap();
+        let deps = p.symbols[0].depends.as_ref().unwrap();
+        let syms: Vec<&str> = deps.symbols().into_iter().collect();
+        assert_eq!(syms, vec!["A", "B"]);
+    }
+
+    #[test]
+    fn source_directives_collected() {
+        let p = parse_kconfig(
+            "K",
+            "source \"drivers/net/Kconfig\"\nsource \"fs/Kconfig\"\n",
+        )
+        .unwrap();
+        assert_eq!(
+            p.sources,
+            vec!["drivers/net/Kconfig".to_string(), "fs/Kconfig".to_string()]
+        );
+    }
+
+    #[test]
+    fn def_bool_shorthand() {
+        let p = parse_kconfig("K", "config HAVE_THING\n\tdef_bool y\n").unwrap();
+        assert_eq!(p.symbols[0].defaults, vec![(Tristate::Y, None)]);
+        assert_eq!(p.symbols[0].ty, SymbolType::Bool);
+    }
+
+    #[test]
+    fn default_expression_becomes_conditional_y() {
+        let p = parse_kconfig("K", "config X\n\tbool \"x\"\n\tdefault NET\n").unwrap();
+        assert_eq!(p.symbols[0].defaults[0].0, Tristate::Y);
+        assert_eq!(p.symbols[0].defaults[0].1, Some(Expr::sym("NET")));
+    }
+
+    #[test]
+    fn errors_on_dangling_property() {
+        assert!(parse_kconfig("K", "depends on FOO\n").is_err());
+        assert!(parse_kconfig("K", "bool \"x\"\n").is_err());
+    }
+
+    #[test]
+    fn errors_on_unbalanced_if() {
+        assert!(parse_kconfig("K", "if A\nconfig X\n\tbool \"x\"\n").is_err());
+        assert!(parse_kconfig("K", "endif\n").is_err());
+        assert!(parse_kconfig("K", "endmenu\n").is_err());
+    }
+
+    #[test]
+    fn errors_on_unknown_keyword() {
+        let e = parse_kconfig("K", "config X\n\tbool \"x\"\n\tfrobnicate\n").unwrap_err();
+        assert!(e.to_string().contains("frobnicate"));
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let p = parse_kconfig("K", "# header comment\n\nconfig X\n\tbool \"x\"\n").unwrap();
+        assert_eq!(p.symbols.len(), 1);
+    }
+
+    #[test]
+    fn select_with_condition() {
+        let p = parse_kconfig("K", "config X\n\tbool \"x\"\n\tselect Y if Z\n").unwrap();
+        assert_eq!(p.symbols[0].selects[0].0, "Y");
+        assert_eq!(p.symbols[0].selects[0].1, Some(Expr::sym("Z")));
+    }
+
+    #[test]
+    fn menuconfig_is_a_config() {
+        let p = parse_kconfig("K", "menuconfig MFD\n\tbool \"mfd\"\n").unwrap();
+        assert_eq!(p.symbols[0].name, "MFD");
+    }
+}

@@ -1,0 +1,176 @@
+//! Property tests for the Kconfig solvers.
+
+use crate::ast::{Symbol, SymbolType};
+use crate::expr::Expr;
+use crate::lint::DeadSymbols;
+use crate::model::KconfigModel;
+use crate::tristate::Tristate;
+use proptest::prelude::*;
+
+/// Strategy: a random dependency DAG of N symbols, where symbol `i` may
+/// depend (possibly negated) on symbols with smaller indices and may select
+/// a smaller-index symbol. Negation + select can form genuine constraint
+/// knots with no consistent maximal solution — exactly like real Kconfig.
+fn random_model() -> impl Strategy<Value = KconfigModel> {
+    let sym = (
+        prop::bool::ANY,             // tristate?
+        prop::option::of(0usize..8), // depends on S<k>
+        prop::bool::ANY,             // negate the dependency?
+        prop::option::of(0usize..8), // select S<k>
+    );
+    prop::collection::vec(sym, 1..12).prop_map(|specs| {
+        let mut m = KconfigModel::new();
+        for (i, (tri, dep, neg, sel)) in specs.into_iter().enumerate() {
+            let mut s = Symbol::new(
+                format!("S{i}"),
+                if tri {
+                    SymbolType::Tristate
+                } else {
+                    SymbolType::Bool
+                },
+            );
+            if let Some(d) = dep {
+                if d < i {
+                    let e = Expr::sym(format!("S{d}"));
+                    s.add_depends(if neg { Expr::Not(Box::new(e)) } else { e });
+                }
+            }
+            if let Some(t) = sel {
+                if t < i {
+                    s.selects.push((format!("S{t}"), None));
+                }
+            }
+            m.insert(s);
+        }
+        m
+    })
+}
+
+/// Strategy: monotone models — positive dependencies only, no selects.
+/// These have a unique maximal solution, so the strongest properties hold.
+fn monotone_model() -> impl Strategy<Value = KconfigModel> {
+    let sym = (prop::bool::ANY, prop::option::of(0usize..8));
+    prop::collection::vec(sym, 1..12).prop_map(|specs| {
+        let mut m = KconfigModel::new();
+        for (i, (tri, dep)) in specs.into_iter().enumerate() {
+            let mut s = Symbol::new(
+                format!("S{i}"),
+                if tri {
+                    SymbolType::Tristate
+                } else {
+                    SymbolType::Bool
+                },
+            );
+            if let Some(d) = dep {
+                if d < i {
+                    s.add_depends(Expr::sym(format!("S{d}")));
+                }
+            }
+            m.insert(s);
+        }
+        m
+    })
+}
+
+proptest! {
+    /// allyesconfig respects every dependency not overridden by a select.
+    #[test]
+    fn allyesconfig_respects_dependencies(m in random_model()) {
+        let cfg = m.allyesconfig();
+        let selected: std::collections::BTreeSet<&str> = m
+            .symbols()
+            .flat_map(|s| s.selects.iter().map(|(t, _)| t.as_str()))
+            .collect();
+        for sym in m.symbols() {
+            if selected.contains(sym.name.as_str()) {
+                continue; // selects may violate depends, as in real kconfig
+            }
+            if let Some(dep) = &sym.depends {
+                let limit = dep.eval(&|n| cfg.get(n));
+                let limit = if sym.is_tristate() { limit } else { limit.to_bool_value() };
+                prop_assert!(
+                    cfg.get(&sym.name) <= limit,
+                    "{} = {} exceeds dep limit {}",
+                    sym.name, cfg.get(&sym.name), limit
+                );
+            }
+        }
+    }
+
+    /// On monotone models, allyesconfig is the unique maximal solution:
+    /// every symbol is as high as its dependencies allow.
+    #[test]
+    fn allyesconfig_is_maximal_on_monotone_models(m in monotone_model()) {
+        let cfg = m.allyesconfig();
+        for sym in m.symbols() {
+            let limit = match &sym.depends {
+                Some(e) => e.eval(&|n| cfg.get(n)),
+                None => Tristate::Y,
+            };
+            let limit = if sym.is_tristate() { limit } else { limit.to_bool_value() };
+            prop_assert_eq!(
+                cfg.get(&sym.name),
+                limit,
+                "{} = {} but its deps allow {}",
+                sym.name, cfg.get(&sym.name), limit
+            );
+        }
+    }
+
+    /// allmodconfig never sets a tristate to y unless a select forces it.
+    #[test]
+    fn allmodconfig_keeps_tristates_modular(m in random_model()) {
+        let cfg = m.allmodconfig();
+        let selected: std::collections::BTreeSet<&str> = m
+            .symbols()
+            .flat_map(|s| s.selects.iter().map(|(t, _)| t.as_str()))
+            .collect();
+        for sym in m.symbols() {
+            if sym.is_tristate() && !selected.contains(sym.name.as_str()) {
+                prop_assert!(cfg.get(&sym.name) <= Tristate::M);
+            }
+        }
+    }
+
+    /// Dead symbols never get enabled by any solver.
+    #[test]
+    fn dead_symbols_stay_off(m in random_model()) {
+        let dead = DeadSymbols::compute(&m);
+        for solver in [KconfigModel::allyesconfig, KconfigModel::allmodconfig] {
+            let cfg = solver(&m);
+            for name in dead.iter() {
+                prop_assert_eq!(
+                    cfg.get(name),
+                    Tristate::N,
+                    "dead symbol {} was enabled", name
+                );
+            }
+        }
+    }
+
+    /// render → defconfig reload reproduces the configuration on monotone
+    /// models (knotted models may legitimately resolve differently).
+    #[test]
+    fn config_render_round_trips(m in monotone_model()) {
+        let cfg = m.allyesconfig();
+        let reloaded = m.defconfig(&cfg.render());
+        prop_assert_eq!(reloaded, cfg);
+    }
+
+    /// The solver is deterministic, knots or not.
+    #[test]
+    fn solver_is_deterministic(m in random_model()) {
+        prop_assert_eq!(m.allyesconfig(), m.allyesconfig());
+        prop_assert_eq!(m.allmodconfig(), m.allmodconfig());
+    }
+
+    /// allmodconfig enables at least as many symbols as allyesconfig
+    /// on monotone models (modules can slip past y-only limits never, but
+    /// bool promotion keeps parity).
+    #[test]
+    fn allmod_enables_no_fewer_symbols(m in monotone_model()) {
+        let yes = m.allyesconfig().enabled_count();
+        let md = m.allmodconfig().enabled_count();
+        prop_assert_eq!(yes, md);
+    }
+}

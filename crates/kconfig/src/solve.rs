@@ -1,0 +1,460 @@
+//! Configuration solvers: `allyesconfig`, `allmodconfig`, defconfig
+//! completion.
+//!
+//! All three are monotone fixed-point computations over the tristate
+//! lattice: start from a goal assignment, clamp every symbol to what its
+//! dependencies allow, apply `select` floors, and iterate until stable.
+//! The kernel's own conf tool does the same thing one symbol at a time.
+
+use crate::ast::SymbolType;
+use crate::model::KconfigModel;
+use crate::tristate::Tristate;
+use std::collections::BTreeMap;
+
+/// What the all-config solver aims each symbol at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Goal {
+    /// Everything to `y` where possible.
+    AllYes,
+    /// Tristates to `m`, bools to `y`.
+    AllMod,
+}
+
+/// A resolved configuration: symbol name → value. Undeclared names read as
+/// [`Tristate::N`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Config {
+    values: BTreeMap<String, Tristate>,
+}
+
+impl Config {
+    /// Value of `name` (`n` when unset or undeclared).
+    pub fn get(&self, name: &str) -> Tristate {
+        self.values.get(name).copied().unwrap_or(Tristate::N)
+    }
+
+    /// True when `name` is `y`.
+    pub fn is_builtin(&self, name: &str) -> bool {
+        self.get(name) == Tristate::Y
+    }
+
+    /// True when `name` is `m` or `y`.
+    pub fn is_enabled(&self, name: &str) -> bool {
+        self.get(name).enabled()
+    }
+
+    /// Set a value directly (generators/tests).
+    pub fn set(&mut self, name: impl Into<String>, value: Tristate) {
+        self.values.insert(name.into(), value);
+    }
+
+    /// Iterate over `(name, value)` pairs with value ≠ `n`, in name order.
+    pub fn enabled_symbols(&self) -> impl Iterator<Item = (&str, Tristate)> {
+        self.values
+            .iter()
+            .filter(|(_, v)| v.enabled())
+            .map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of enabled symbols.
+    pub fn enabled_count(&self) -> usize {
+        self.values.values().filter(|v| v.enabled()).count()
+    }
+
+    /// The preprocessor macro definitions this configuration induces:
+    /// `CONFIG_X` (=1) for `y`, plus `CONFIG_X_MODULE` for `m` — exactly
+    /// what Kbuild passes to the compiler, and therefore what governs
+    /// `#ifdef CONFIG_X` visibility in `.i` files.
+    pub fn cpp_defines(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for (name, v) in &self.values {
+            match v {
+                Tristate::Y => out.push((format!("CONFIG_{name}"), "1".to_string())),
+                Tristate::M => out.push((format!("CONFIG_{name}_MODULE"), "1".to_string())),
+                Tristate::N => {}
+            }
+        }
+        out
+    }
+
+    /// Render as `.config` text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.values {
+            match v {
+                Tristate::N => out.push_str(&format!("# CONFIG_{name} is not set\n")),
+                other => out.push_str(&format!("CONFIG_{name}={other}\n")),
+            }
+        }
+        out
+    }
+}
+
+/// Shared fixed-point: start from `target(sym)`, clamp by dependencies,
+/// raise by selects, repeat until stable.
+fn fixed_point(model: &KconfigModel, target: impl Fn(&crate::ast::Symbol) -> Tristate) -> Config {
+    let mut values: BTreeMap<String, Tristate> = BTreeMap::new();
+    for sym in model.symbols() {
+        values.insert(sym.name.clone(), Tristate::N);
+    }
+    // Reverse select index: target name → (selector name, condition).
+    let mut selectors_of: BTreeMap<&str, Vec<(&str, Option<&crate::expr::Expr>)>> = BTreeMap::new();
+    for sym in model.symbols() {
+        for (sel_target, cond) in &sym.selects {
+            selectors_of
+                .entry(sel_target.as_str())
+                .or_default()
+                .push((sym.name.as_str(), cond.as_ref()));
+        }
+    }
+    // Choice groups: members are mutually exclusive; at most the first
+    // eligible member may hold y (the paper: allyesconfig "is forced to
+    // make some choices and thus does not include all lines of code").
+    let mut choice_groups: BTreeMap<u32, Vec<&str>> = BTreeMap::new();
+    for sym in model.symbols() {
+        if let Some(g) = sym.choice_group {
+            choice_groups.entry(g).or_default().push(sym.name.as_str());
+        }
+    }
+    let enforce_choices = |values: &mut BTreeMap<String, Tristate>| {
+        for members in choice_groups.values() {
+            let mut winner_seen = false;
+            for name in members {
+                let slot = values.get_mut(*name).expect("preseeded");
+                if slot.enabled() {
+                    if winner_seen {
+                        *slot = Tristate::N;
+                    } else {
+                        winner_seen = true;
+                    }
+                }
+            }
+        }
+    };
+
+    // Iterate to a fixed point. The lattice is finite and each sweep only
+    // propagates information one dependency level, so the symbol count
+    // bounds the sweeps; a small slack guards oscillating negations.
+    let bound = model.len() + 8;
+    for _ in 0..bound {
+        let mut changed = false;
+        let snapshot = values.clone();
+        let lookup = |name: &str| snapshot.get(name).copied().unwrap_or(Tristate::N);
+        for sym in model.symbols() {
+            let dep_limit = match &sym.depends {
+                Some(e) => e.eval(&lookup),
+                None => Tristate::Y,
+            };
+            let dep_limit = if sym.is_tristate() {
+                dep_limit
+            } else {
+                dep_limit.to_bool_value()
+            };
+            let mut v = target(sym).min(dep_limit);
+            // A choice member yields to an earlier member already holding
+            // the group's slot (so the sweep converges instead of
+            // re-raising losers every round).
+            if let Some(g) = sym.choice_group {
+                let taken = choice_groups
+                    .get(&g)
+                    .into_iter()
+                    .flatten()
+                    .take_while(|n| **n != sym.name)
+                    .any(|n| lookup(n).enabled());
+                if taken {
+                    v = Tristate::N;
+                }
+            }
+            // Selects put a floor under the value, even past depends (the
+            // infamous kconfig footgun — reproduced deliberately).
+            if let Some(sels) = selectors_of.get(sym.name.as_str()) {
+                for (selector, cond) in sels {
+                    let cond_v = cond.map(|c| c.eval(&lookup)).unwrap_or(Tristate::Y);
+                    let floor = lookup(selector).min(cond_v);
+                    let floor = if sym.is_tristate() {
+                        floor
+                    } else {
+                        floor.to_bool_value()
+                    };
+                    v = v.max(floor);
+                }
+            }
+            let slot = values.get_mut(&sym.name).expect("preseeded");
+            if *slot != v {
+                *slot = v;
+                changed = true;
+            }
+        }
+        enforce_choices(&mut values);
+        if !changed {
+            break;
+        }
+    }
+    // Final consistency phase: with negated dependencies feeding select
+    // cycles, the Jacobi iteration above can oscillate and exit at the
+    // bound in an inconsistent state (real kconfig resolves such knots by
+    // making an arbitrary choice and warning). Lower values — never raise —
+    // until every symbol sits within max(dependency limit, select floor).
+    // Lowering is monotone decreasing on a finite lattice, so this
+    // terminates, and it leaves every non-selected symbol within its
+    // dependency limit.
+    loop {
+        let mut changed = false;
+        let snapshot = values.clone();
+        let lookup = |name: &str| snapshot.get(name).copied().unwrap_or(Tristate::N);
+        for sym in model.symbols() {
+            let dep_limit = match &sym.depends {
+                Some(e) => e.eval(&lookup),
+                None => Tristate::Y,
+            };
+            let dep_limit = if sym.is_tristate() {
+                dep_limit
+            } else {
+                dep_limit.to_bool_value()
+            };
+            let mut floor = Tristate::N;
+            if let Some(sels) = selectors_of.get(sym.name.as_str()) {
+                for (selector, cond) in sels {
+                    let cond_v = cond.map(|c| c.eval(&lookup)).unwrap_or(Tristate::Y);
+                    floor = floor.max(lookup(selector).min(cond_v));
+                }
+            }
+            let ceiling = dep_limit.max(floor);
+            let slot = values.get_mut(&sym.name).expect("preseeded");
+            if *slot > ceiling {
+                *slot = ceiling;
+                changed = true;
+            }
+        }
+        enforce_choices(&mut values);
+        if !changed {
+            break;
+        }
+    }
+    Config { values }
+}
+
+/// `allyesconfig` / `allmodconfig`.
+pub(crate) fn solve_allconfig(model: &KconfigModel, goal: Goal) -> Config {
+    fixed_point(model, |sym| match (goal, sym.ty) {
+        (Goal::AllYes, _) => Tristate::Y,
+        (Goal::AllMod, SymbolType::Tristate) => Tristate::M,
+        (Goal::AllMod, _) => Tristate::Y,
+    })
+}
+
+/// Defconfig completion: requested values, clamped by dependencies, plus
+/// promptless defaults (a `def_bool y` helper symbol activates on its own).
+pub(crate) fn solve_defconfig(model: &KconfigModel, wanted: &BTreeMap<String, Tristate>) -> Config {
+    fixed_point(model, |sym| {
+        if let Some(v) = wanted.get(&sym.name) {
+            return *v;
+        }
+        // Unrequested symbols fall back to their first default clause;
+        // conditional defaults are approximated by their value (the
+        // condition re-clamps through depends in most kernel usage).
+        match sym.defaults.first() {
+            Some((v, None)) => *v,
+            Some((v, Some(_))) if sym.prompt.is_none() => *v,
+            _ => Tristate::N,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::KconfigModel;
+
+    fn model(src: &str) -> KconfigModel {
+        let mut m = KconfigModel::new();
+        m.parse_str("Kconfig", src).unwrap();
+        m
+    }
+
+    #[test]
+    fn allyesconfig_sets_everything_possible() {
+        let m = model(
+            "config A\n\tbool \"a\"\nconfig B\n\ttristate \"b\"\n\tdepends on A\nconfig C\n\tbool \"c\"\n\tdepends on MISSING\n",
+        );
+        let cfg = m.allyesconfig();
+        assert_eq!(cfg.get("A"), Tristate::Y);
+        assert_eq!(cfg.get("B"), Tristate::Y);
+        // MISSING is undeclared, so C can never be set.
+        assert_eq!(cfg.get("C"), Tristate::N);
+        assert_eq!(cfg.enabled_count(), 2);
+    }
+
+    #[test]
+    fn allyesconfig_cannot_satisfy_negative_dependency_pairs() {
+        // The paper's #ifndef/#else pathology: allyesconfig prefers y, so a
+        // symbol guarded by !OTHER stays off when OTHER is settable.
+        let m = model(
+            "config FULL\n\tbool \"full\"\nconfig TINY\n\tbool \"tiny\"\n\tdepends on !FULL\n",
+        );
+        let cfg = m.allyesconfig();
+        assert_eq!(cfg.get("FULL"), Tristate::Y);
+        assert_eq!(cfg.get("TINY"), Tristate::N);
+    }
+
+    #[test]
+    fn allmodconfig_prefers_m_for_tristates() {
+        let m = model("config A\n\tbool \"a\"\nconfig B\n\ttristate \"b\"\n");
+        let cfg = m.allmodconfig();
+        assert_eq!(cfg.get("A"), Tristate::Y);
+        assert_eq!(cfg.get("B"), Tristate::M);
+    }
+
+    #[test]
+    fn tristate_dependency_chain_limits_value() {
+        let m = model(
+            "config BUS\n\ttristate \"bus\"\nconfig DEV\n\ttristate \"dev\"\n\tdepends on BUS\n",
+        );
+        let cfg = m.allmodconfig();
+        // DEV limited by BUS=m.
+        assert_eq!(cfg.get("DEV"), Tristate::M);
+    }
+
+    #[test]
+    fn bool_promotes_m_dependency() {
+        let m = model(
+            "config DRV\n\ttristate \"drv\"\nconfig DRV_DEBUG\n\tbool \"debug\"\n\tdepends on DRV\n",
+        );
+        let cfg = m.allmodconfig();
+        assert_eq!(cfg.get("DRV"), Tristate::M);
+        assert_eq!(cfg.get("DRV_DEBUG"), Tristate::Y);
+    }
+
+    #[test]
+    fn select_forces_target_on() {
+        let m = model(
+            "config CRC32\n\tbool \"crc\"\n\tdepends on NEVER_SET\nconfig DRV\n\tbool \"drv\"\n\tselect CRC32\n",
+        );
+        // select overrides depends (the infamous kconfig footgun).
+        let cfg = m.allyesconfig();
+        assert_eq!(cfg.get("DRV"), Tristate::Y);
+        assert_eq!(cfg.get("CRC32"), Tristate::Y);
+    }
+
+    #[test]
+    fn conditional_select() {
+        let m = model(
+            "config HELPER\n\tbool \"h\"\n\tdepends on n\nconfig DRV\n\tbool \"drv\"\n\tselect HELPER if GATE\nconfig GATE\n\tbool \"g\"\n\tdepends on n\n",
+        );
+        let cfg = m.allyesconfig();
+        // GATE can't be set, so the select never fires.
+        assert_eq!(cfg.get("HELPER"), Tristate::N);
+    }
+
+    #[test]
+    fn dependency_cycle_settles() {
+        let m = model(
+            "config A\n\tbool \"a\"\n\tdepends on B\nconfig B\n\tbool \"b\"\n\tdepends on A\n",
+        );
+        let cfg = m.allyesconfig();
+        // A cycle of positive deps: the n-start fixed point leaves both n
+        // (neither can bootstrap), and the solver must terminate.
+        assert_eq!(cfg.get("A"), cfg.get("B"));
+    }
+
+    #[test]
+    fn cpp_defines_reflect_values() {
+        let m = model("config A\n\tbool \"a\"\nconfig B\n\ttristate \"b\"\n");
+        let cfg = m.allmodconfig();
+        let defines = cfg.cpp_defines();
+        assert!(defines.contains(&("CONFIG_A".to_string(), "1".to_string())));
+        assert!(defines.contains(&("CONFIG_B_MODULE".to_string(), "1".to_string())));
+        assert!(!defines.iter().any(|(n, _)| n == "CONFIG_B"));
+    }
+
+    #[test]
+    fn render_and_reload_round_trip() {
+        let m = model("config A\n\tbool \"a\"\nconfig B\n\ttristate \"b\"\nconfig C\n\tbool \"c\"\n\tdepends on n\n");
+        let cfg = m.allyesconfig();
+        let text = cfg.render();
+        assert!(text.contains("CONFIG_A=y"));
+        assert!(text.contains("# CONFIG_C is not set"));
+        let reloaded = m.defconfig(&text);
+        assert_eq!(reloaded, cfg);
+    }
+
+    #[test]
+    fn choice_members_are_mutually_exclusive() {
+        let m = model(
+            "choice\n\tprompt \"HZ\"\nconfig HZ_100\n\tbool \"100\"\nconfig HZ_250\n\tbool \"250\"\nconfig HZ_1000\n\tbool \"1000\"\nendchoice\nconfig OTHER\n\tbool \"o\"\n",
+        );
+        let cfg = m.allyesconfig();
+        let on = ["HZ_100", "HZ_250", "HZ_1000"]
+            .iter()
+            .filter(|n| cfg.is_builtin(n))
+            .count();
+        // allyesconfig is *forced to make a choice* (paper §VI): exactly
+        // one member wins, the others stay off.
+        assert_eq!(on, 1, "{}", cfg.render());
+        assert!(cfg.is_builtin("OTHER"));
+    }
+
+    #[test]
+    fn choice_winner_is_deterministic() {
+        let src = "choice\nconfig A_OPT\n\tbool \"a\"\nconfig B_OPT\n\tbool \"b\"\nendchoice\n";
+        let a = model(src).allyesconfig();
+        let b = model(src).allyesconfig();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn defconfig_can_pick_a_different_choice_member() {
+        let m = model(
+            "choice\nconfig HZ_100\n\tbool \"100\"\nconfig HZ_1000\n\tbool \"1000\"\nendchoice\n",
+        );
+        let allyes_winner = if m.allyesconfig().is_builtin("HZ_100") {
+            "HZ_100"
+        } else {
+            "HZ_1000"
+        };
+        // The prepared configuration picks the other one — which is how a
+        // defconfig can cover lines allyesconfig cannot.
+        let other = if allyes_winner == "HZ_100" {
+            "HZ_1000"
+        } else {
+            "HZ_100"
+        };
+        let cfg = m.defconfig(&format!("CONFIG_{other}=y\n"));
+        assert!(cfg.is_builtin(other), "{}", cfg.render());
+        assert!(!cfg.is_builtin(allyes_winner));
+    }
+
+    #[test]
+    fn choice_groups_in_different_files_stay_distinct() {
+        let mut m = KconfigModel::new();
+        m.parse_str(
+            "K1",
+            "choice\nconfig X1\n\tbool \"x\"\nconfig X2\n\tbool \"x2\"\nendchoice\n",
+        )
+        .unwrap();
+        m.parse_str(
+            "K2",
+            "choice\nconfig Y1\n\tbool \"y\"\nconfig Y2\n\tbool \"y2\"\nendchoice\n",
+        )
+        .unwrap();
+        let g1 = m.symbol("X1").unwrap().choice_group;
+        let g2 = m.symbol("Y1").unwrap().choice_group;
+        assert_ne!(g1, g2);
+        let cfg = m.allyesconfig();
+        // One winner per group — two winners total.
+        let winners = ["X1", "X2", "Y1", "Y2"]
+            .iter()
+            .filter(|n| cfg.is_builtin(n))
+            .count();
+        assert_eq!(winners, 2);
+    }
+
+    #[test]
+    fn promptless_def_bool_activates_in_defconfig() {
+        let m =
+            model("config HAVE_X\n\tdef_bool y\nconfig USER\n\tbool \"u\"\n\tdepends on HAVE_X\n");
+        let cfg = m.defconfig("CONFIG_USER=y\n");
+        assert_eq!(cfg.get("HAVE_X"), Tristate::Y);
+        assert_eq!(cfg.get("USER"), Tristate::Y);
+    }
+}

@@ -1,0 +1,126 @@
+//! Tristate values and their Kconfig algebra.
+
+use std::fmt;
+
+/// A Kconfig tristate value: `n` (off), `m` (module), `y` (built-in).
+///
+/// The ordering `N < M < Y` is the Kconfig lattice; `&&` is `min`, `||` is
+/// `max`, and negation maps `y`↔`n` and fixes `m`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Tristate {
+    /// Disabled.
+    #[default]
+    N,
+    /// Built as a loadable module.
+    M,
+    /// Built into the kernel image.
+    Y,
+}
+
+impl Tristate {
+    /// Kconfig conjunction: `min`.
+    pub fn and(self, other: Tristate) -> Tristate {
+        self.min(other)
+    }
+
+    /// Kconfig disjunction: `max`.
+    pub fn or(self, other: Tristate) -> Tristate {
+        self.max(other)
+    }
+
+    /// Kconfig negation: `!y = n`, `!m = m`, `!n = y`.
+    ///
+    /// Deliberately named like the operator it models; this is tristate
+    /// negation, not boolean `std::ops::Not`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Tristate {
+        match self {
+            Tristate::N => Tristate::Y,
+            Tristate::M => Tristate::M,
+            Tristate::Y => Tristate::N,
+        }
+    }
+
+    /// True when the value enables code at all (`m` or `y`).
+    pub fn enabled(self) -> bool {
+        self != Tristate::N
+    }
+
+    /// Round up to a boolean value (`m` becomes `y`), the promotion Kconfig
+    /// applies when a bool symbol depends on an `m`-valued tristate.
+    pub fn to_bool_value(self) -> Tristate {
+        match self {
+            Tristate::N => Tristate::N,
+            _ => Tristate::Y,
+        }
+    }
+
+    /// Parse a `.config`-file value (`y`, `m`, `n`).
+    pub fn from_config_char(c: char) -> Option<Tristate> {
+        match c {
+            'y' => Some(Tristate::Y),
+            'm' => Some(Tristate::M),
+            'n' => Some(Tristate::N),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Tristate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Tristate::N => "n",
+            Tristate::M => "m",
+            Tristate::Y => "y",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_ordering() {
+        assert!(Tristate::N < Tristate::M);
+        assert!(Tristate::M < Tristate::Y);
+    }
+
+    #[test]
+    fn and_is_min_or_is_max() {
+        use Tristate::*;
+        assert_eq!(Y.and(M), M);
+        assert_eq!(Y.and(N), N);
+        assert_eq!(M.or(N), M);
+        assert_eq!(Y.or(M), Y);
+        assert_eq!(N.or(N), N);
+    }
+
+    #[test]
+    fn negation() {
+        assert_eq!(Tristate::Y.not(), Tristate::N);
+        assert_eq!(Tristate::N.not(), Tristate::Y);
+        assert_eq!(Tristate::M.not(), Tristate::M);
+    }
+
+    #[test]
+    fn bool_promotion() {
+        assert_eq!(Tristate::M.to_bool_value(), Tristate::Y);
+        assert_eq!(Tristate::N.to_bool_value(), Tristate::N);
+    }
+
+    #[test]
+    fn enabled_and_parse() {
+        assert!(Tristate::M.enabled());
+        assert!(!Tristate::N.enabled());
+        assert_eq!(Tristate::from_config_char('y'), Some(Tristate::Y));
+        assert_eq!(Tristate::from_config_char('x'), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Tristate::Y.to_string(), "y");
+        assert_eq!(Tristate::M.to_string(), "m");
+        assert_eq!(Tristate::N.to_string(), "n");
+    }
+}

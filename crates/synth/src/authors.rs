@@ -1,0 +1,321 @@
+//! Developer personas and the pre-window activity log.
+
+use crate::kernel::KernelLayout;
+use crate::names::{dev_name, JANITORS, JANITOR_CV_X100, JANITOR_VOLUMES};
+use crate::profile::WorkloadProfile;
+use jmake_janitor::{ActivityLog, ActivityRecord};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// What kind of contributor a persona is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Role {
+    /// Breadth-first cleanup developer (paper §IV).
+    Janitor {
+        /// Index into the Table II name pool.
+        index: usize,
+    },
+    /// Depth-first owner of one or two subsystems.
+    Maintainer {
+        /// Index into the maintainer pool (matches MAINTAINERS entries).
+        index: usize,
+    },
+    /// Ordinary contributor.
+    Regular {
+        /// Index into the regular pool.
+        index: usize,
+    },
+}
+
+/// One contributor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Persona {
+    /// Author string used in commits.
+    pub name: String,
+    /// Behavioural role.
+    pub role: Role,
+    /// Subsystem directories this persona gravitates to (empty = all).
+    pub home_subsystems: Vec<String>,
+}
+
+/// Build the full persona population.
+pub fn personas(
+    profile: &WorkloadProfile,
+    layout: &KernelLayout,
+    rng: &mut StdRng,
+) -> Vec<Persona> {
+    let subsystems: Vec<String> = {
+        let mut s: Vec<String> = layout.drivers.iter().map(|d| d.subsystem.clone()).collect();
+        s.sort();
+        s.dedup();
+        s
+    };
+    let mut out = Vec::new();
+    for (i, name) in JANITORS.iter().enumerate() {
+        out.push(Persona {
+            name: name.to_string(),
+            role: Role::Janitor { index: i },
+            home_subsystems: Vec::new(),
+        });
+    }
+    for i in 0..profile.maintainers {
+        // Homes mirror the MAINTAINERS generation rule (kernel.rs):
+        // maintainer i is the M: of every subsystem entry j ≡ i (mod
+        // maintainer count), so their patches really count as maintainer
+        // patches.
+        let mut homes: Vec<String> = crate::names::SUBSYSTEMS
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| j % profile.maintainers.max(1) == i)
+            .map(|(_, (dir, _, _))| dir.to_string())
+            .collect();
+        if homes.is_empty() {
+            homes.push(subsystems[i % subsystems.len()].clone());
+        }
+        out.push(Persona {
+            name: dev_name("maint", i),
+            role: Role::Maintainer { index: i },
+            home_subsystems: homes,
+        });
+    }
+    for i in 0..profile.regular_devs {
+        let n_homes = 1 + rng.gen_range(0..3);
+        let mut homes = subsystems.clone();
+        homes.shuffle(rng);
+        homes.truncate(n_homes);
+        out.push(Persona {
+            name: dev_name("dev", i),
+            role: Role::Regular { index: i },
+            home_subsystems: homes,
+        });
+    }
+    out
+}
+
+/// Generate the pre-window activity (the paper observes v3.0→v4.4; the
+/// evaluated window's records are added from the repository afterwards).
+pub fn prewindow_activity(
+    profile: &WorkloadProfile,
+    layout: &KernelLayout,
+    personas: &[Persona],
+    rng: &mut StdRng,
+) -> ActivityLog {
+    let mut log = ActivityLog::default();
+    let all_c: Vec<&str> = layout.drivers.iter().map(|d| d.c_path.as_str()).collect();
+    for p in personas {
+        match &p.role {
+            Role::Janitor { index } => {
+                let volume =
+                    ((JANITOR_VOLUMES[*index] as f64) * profile.prewindow_scale).round() as usize;
+                let cv = JANITOR_CV_X100[*index] as f64 / 100.0;
+                janitor_records(&mut log, &p.name, volume.max(10), cv, &all_c, rng);
+            }
+            Role::Maintainer { .. } => {
+                // Concentrated work on few files of the home subsystems —
+                // high cv and a high maintainer fraction.
+                let files: Vec<&str> = layout
+                    .drivers
+                    .iter()
+                    .filter(|d| p.home_subsystems.contains(&d.subsystem))
+                    .map(|d| d.c_path.as_str())
+                    .collect();
+                if files.is_empty() {
+                    continue;
+                }
+                let volume = ((120.0 * profile.prewindow_scale) as usize).max(8);
+                for _ in 0..volume {
+                    // 70% of patches land on the two hottest files.
+                    let f = if rng.gen_bool(0.7) {
+                        files[rng.gen_range(0..files.len().min(2))]
+                    } else {
+                        files[rng.gen_range(0..files.len())]
+                    };
+                    log.push(ActivityRecord {
+                        author: p.name.clone(),
+                        files: vec![f.to_string()],
+                        in_window: false,
+                    });
+                }
+            }
+            Role::Regular { index } => {
+                let files: Vec<&str> = layout
+                    .drivers
+                    .iter()
+                    .filter(|d| {
+                        p.home_subsystems.is_empty() || p.home_subsystems.contains(&d.subsystem)
+                    })
+                    .map(|d| d.c_path.as_str())
+                    .collect();
+                if files.is_empty() {
+                    continue;
+                }
+                // Volume varies so some regulars miss the Table I patch
+                // threshold entirely.
+                let volume =
+                    (((5 + (index % 9) * 8) as f64) * profile.prewindow_scale).round() as usize;
+                for _ in 0..volume.max(2) {
+                    let f = files[rng.gen_range(0..files.len())];
+                    log.push(ActivityRecord {
+                        author: p.name.clone(),
+                        files: vec![f.to_string()],
+                        in_window: false,
+                    });
+                }
+            }
+        }
+    }
+    log
+}
+
+/// Emit `volume` single-file records spread over the whole tree with a
+/// per-file count distribution whose coefficient of variation approximates
+/// `target_cv` (a hot subset of files absorbs extra patches).
+fn janitor_records(
+    log: &mut ActivityLog,
+    author: &str,
+    volume: usize,
+    target_cv: f64,
+    all_files: &[&str],
+    rng: &mut StdRng,
+) {
+    // Two-point construction: fraction p of files are "hot" with count h,
+    // the rest have count 1. cv = sqrt(p(1-p))·(h-1) / (1 + p(h-1)).
+    let p_hot = 0.1f64;
+    let spread = (p_hot * (1.0 - p_hot)).sqrt();
+    // Solve cv for h: h = 1 + cv / (spread - cv·p_hot), clamped.
+    let denom = spread - target_cv * p_hot;
+    let h = if denom > 0.01 {
+        (1.0 + target_cv / denom).clamp(1.0, 40.0)
+    } else {
+        40.0
+    };
+    let mean = 1.0 + p_hot * (h - 1.0);
+    let distinct = ((volume as f64 / mean).round() as usize).clamp(1, all_files.len());
+    let mut pool: Vec<&str> = all_files.to_vec();
+    pool.shuffle(rng);
+    pool.truncate(distinct);
+    let hot_count = ((distinct as f64) * p_hot).round() as usize;
+    let mut emitted = 0usize;
+    for (i, f) in pool.iter().enumerate() {
+        let count = if i < hot_count { h.round() as usize } else { 1 };
+        for _ in 0..count {
+            if emitted >= volume {
+                break;
+            }
+            log.push(ActivityRecord {
+                author: author.to_string(),
+                files: vec![f.to_string()],
+                in_window: false,
+            });
+            emitted += 1;
+        }
+    }
+    // Top up with uniform picks if rounding left us short.
+    while emitted < volume {
+        let f = pool[rng.gen_range(0..pool.len())];
+        log.push(ActivityRecord {
+            author: author.to_string(),
+            files: vec![f.to_string()],
+            in_window: false,
+        });
+        emitted += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmake_janitor::{compute_metrics, Maintainers};
+    use rand::SeedableRng;
+
+    fn setup() -> (
+        WorkloadProfile,
+        KernelLayout,
+        Vec<Persona>,
+        ActivityLog,
+        Maintainers,
+    ) {
+        let profile = WorkloadProfile::tiny();
+        let mut rng = StdRng::seed_from_u64(profile.seed);
+        let (tree, layout) = crate::kernel::generate_kernel(&profile, &mut rng);
+        let personas = personas(&profile, &layout, &mut rng);
+        let log = prewindow_activity(&profile, &layout, &personas, &mut rng);
+        let maint = Maintainers::parse(tree.get("MAINTAINERS").unwrap());
+        (profile, layout, personas, log, maint)
+    }
+
+    #[test]
+    fn population_has_all_roles() {
+        let (profile, _, personas, ..) = setup();
+        let janitors = personas
+            .iter()
+            .filter(|p| matches!(p.role, Role::Janitor { .. }))
+            .count();
+        assert_eq!(janitors, 10);
+        assert_eq!(
+            personas.len(),
+            10 + profile.maintainers + profile.regular_devs
+        );
+    }
+
+    #[test]
+    fn janitors_have_lower_cv_than_maintainers() {
+        let (_, _, _, log, maint) = setup();
+        let metrics = compute_metrics(&log, &maint);
+        let avg = |role_pred: &dyn Fn(&str) -> bool| {
+            let vals: Vec<f64> = metrics
+                .iter()
+                .filter(|m| role_pred(&m.author) && m.patches > 5)
+                .map(|m| m.file_cv())
+                .collect();
+            vals.iter().sum::<f64>() / vals.len().max(1) as f64
+        };
+        let janitor_cv = avg(&|n: &str| JANITORS.contains(&n));
+        let maint_cv = avg(&|n: &str| n.contains("maint"));
+        assert!(
+            janitor_cv < maint_cv,
+            "janitor cv {janitor_cv} ≥ maintainer cv {maint_cv}"
+        );
+    }
+
+    #[test]
+    fn maintainers_have_high_maintainer_fraction() {
+        let (_, _, _, log, maint) = setup();
+        let metrics = compute_metrics(&log, &maint);
+        let m = metrics
+            .iter()
+            .find(|m| m.author.contains("maint0"))
+            .expect("maintainer 0 active");
+        assert!(m.maintainer_fraction() > 0.3, "{}", m.maintainer_fraction());
+        for j in metrics
+            .iter()
+            .filter(|m| JANITORS.contains(&m.author.as_str()))
+        {
+            assert!(j.maintainer_fraction() < 0.05, "{}", j.author);
+        }
+    }
+
+    #[test]
+    fn janitor_cv_ordering_roughly_tracks_table_two() {
+        let (_, _, _, log, maint) = setup();
+        let metrics = compute_metrics(&log, &maint);
+        let cv_of = |name: &str| {
+            metrics
+                .iter()
+                .find(|m| m.author == name)
+                .map(|m| m.file_cv())
+                .unwrap_or(0.0)
+        };
+        // The lowest-cv janitor of Table II should stay well below the
+        // highest-cv one.
+        assert!(cv_of("Javier Martinez Canillas") < cv_of("Jarkko Nikula"));
+    }
+
+    #[test]
+    fn volumes_scale_with_table_two() {
+        let (_, _, _, log, _) = setup();
+        let count = |name: &str| log.by_author(name).count();
+        assert!(count("Dan Carpenter") > count("Luis de Bethencourt"));
+    }
+}

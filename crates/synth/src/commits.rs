@@ -1,0 +1,745 @@
+//! The evaluated commit stream (v4.3 → v4.4 analogue).
+
+use crate::authors::{prewindow_activity, Persona, Role};
+use crate::kernel::{DriverInfo, KernelLayout};
+use crate::profile::WorkloadProfile;
+use jmake_janitor::{ActivityLog, ActivityRecord};
+use jmake_kbuild::SourceTree;
+use jmake_vcs::{CommitId, Repo};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A pathological edit deliberately planted (ground truth for tests and
+/// for the Table IV cross-check).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlantedPathology {
+    /// The commit carrying the edit.
+    pub commit: CommitId,
+    /// The file it was planted in.
+    pub path: String,
+    /// Which Table IV row it should land in.
+    pub kind: PathologyKind,
+}
+
+/// The pathology taxonomy (Table IV + §V.C/V.D special files).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PathologyKind {
+    /// `#ifdef` on a symbol allyesconfig cannot set.
+    UnsetConfig,
+    /// `#ifdef` on a symbol declared nowhere.
+    NeverConfig,
+    /// `#ifdef MODULE`.
+    Module,
+    /// `#ifndef` on an always-on symbol.
+    IfndefOrElse,
+    /// Edits in both branches of one conditional.
+    BothBranches,
+    /// `#if 0`.
+    IfZero,
+    /// A macro nothing expands.
+    UnusedMacro,
+    /// Touches a build-system bootstrap file (§V.D).
+    Bootstrap,
+    /// Touches the whole-kernel-compile trigger (§V.C).
+    Heavy,
+    /// A host-buildable file gains lines under an arch-specific `#ifdef`
+    /// whose variable its Makefile mentions: the first (host) compilation
+    /// succeeds but misses lines, and a later architecture rescues them —
+    /// the paper's 54-instances case.
+    ArchIfdef,
+    /// A header macro that no `.c` file expands — the header can never be
+    /// certified (the paper's 2% of `.h` instances).
+    HeaderUnusedMacro,
+}
+
+/// Metadata for one generated commit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitInfo {
+    /// Repository id.
+    pub id: CommitId,
+    /// Author name.
+    pub author: String,
+    /// Merge commit (filtered by the paper's `--no-merges`).
+    pub is_merge: bool,
+    /// Touches only Documentation/tools/scripts (ignored by the paper).
+    pub doc_only: bool,
+    /// Authored by a janitor persona.
+    pub janitor: bool,
+}
+
+/// Everything the evaluation needs.
+#[derive(Debug, Clone)]
+pub struct SynthOutput {
+    /// The repository with the full window history, tagged `v4.3`/`v4.4`.
+    pub repo: Repo,
+    /// Tree layout of the base snapshot.
+    pub layout: KernelLayout,
+    /// Names of the ten janitor personas.
+    pub janitor_names: Vec<String>,
+    /// Pre-window activity (for the §IV analysis).
+    pub prewindow: ActivityLog,
+    /// Per-commit metadata, in order.
+    pub commits: Vec<CommitInfo>,
+    /// Ground-truth pathological edits.
+    pub planted: Vec<PlantedPathology>,
+}
+
+impl SynthOutput {
+    /// The combined activity log: pre-window records plus the window's
+    /// commits (as the paper's v3.0→v4.4 observation).
+    pub fn full_activity_log(&self) -> ActivityLog {
+        let mut log = self.prewindow.clone();
+        for c in &self.commits {
+            if c.is_merge {
+                continue;
+            }
+            if let Ok(files) = self.repo.changed_paths(c.id) {
+                if !files.is_empty() {
+                    log.push(ActivityRecord {
+                        author: c.author.clone(),
+                        files,
+                        in_window: true,
+                    });
+                }
+            }
+        }
+        log
+    }
+}
+
+/// Generate the stream over `tree`.
+pub fn generate_stream(
+    profile: &WorkloadProfile,
+    tree: SourceTree,
+    layout: KernelLayout,
+    personas: Vec<Persona>,
+    rng: &mut StdRng,
+) -> SynthOutput {
+    let mut repo = Repo::new();
+    let mut current = tree;
+    let base = repo.commit(&[], "Linus Torvalds", "Linux v4.3", &current);
+    repo.tag("v4.3", base);
+
+    let prewindow = prewindow_activity(profile, &layout, &personas, rng);
+    let janitors: Vec<&Persona> = personas
+        .iter()
+        .filter(|p| matches!(p.role, Role::Janitor { .. }))
+        .collect();
+    let others: Vec<&Persona> = personas
+        .iter()
+        .filter(|p| !matches!(p.role, Role::Janitor { .. }))
+        .collect();
+
+    let mut commits = Vec::new();
+    let mut planted = Vec::new();
+    let mut prev = base;
+    let mut unused_macro_counter = 0usize;
+    // Rescue pairs: an unconditionally-built file whose Makefile also
+    // mentions an arch-specific sibling's config variable.
+    let rescue_pairs: Vec<(String, String)> = {
+        let mut pairs = Vec::new();
+        for d in layout.drivers.iter().filter(|d| d.config.is_none()) {
+            if let Some(sibling) = layout.drivers.iter().find(|s| {
+                s.subsystem == d.subsystem && s.arch_specific.is_some() && s.config.is_some()
+            }) {
+                pairs.push((
+                    d.c_path.clone(),
+                    sibling.config.clone().expect("checked is_some"),
+                ));
+            }
+        }
+        pairs
+    };
+
+    for i in 0..profile.commits {
+        let is_janitor = rng.gen_bool(profile.janitor_rate);
+        let persona = if is_janitor {
+            janitors[rng.gen_range(0..janitors.len())]
+        } else {
+            others[rng.gen_range(0..others.len())]
+        };
+        let author = persona.name.clone();
+
+        // Merge commits: same tree, two parents.
+        if i > 2 && rng.gen_bool(profile.merge_rate) {
+            let other_parent = repo
+                .nth(rng.gen_range(0..repo.len().saturating_sub(1)))
+                .expect("repo has commits");
+            let id = repo.commit(
+                &[prev, other_parent],
+                "Linus Torvalds",
+                &format!("Merge branch 'topic-{i}'"),
+                &current,
+            );
+            commits.push(CommitInfo {
+                id,
+                author: "Linus Torvalds".to_string(),
+                is_merge: true,
+                doc_only: false,
+                janitor: false,
+            });
+            prev = id;
+            continue;
+        }
+
+        // Documentation/tools-only commits.
+        if rng.gen_bool(profile.doc_only_rate) {
+            let doc = &layout.doc_files[rng.gen_range(0..layout.doc_files.len())];
+            let mut content = current.get(doc).unwrap_or_default().to_string();
+            content.push_str(&format!("update {i}\n"));
+            current.insert(doc.clone(), content);
+            let id = repo.commit(&[prev], &author, &format!("docs: update ({i})"), &current);
+            commits.push(CommitInfo {
+                id,
+                author,
+                is_merge: false,
+                doc_only: true,
+                janitor: is_janitor,
+            });
+            prev = id;
+            continue;
+        }
+
+        // Source edit.
+        let mut touched_pathology: Option<(String, PathologyKind)> = None;
+        self_edit(
+            profile,
+            &layout,
+            persona,
+            &mut current,
+            rng,
+            &mut touched_pathology,
+            &mut unused_macro_counter,
+            is_janitor,
+            &rescue_pairs,
+        );
+        let id = repo.commit(
+            &[prev],
+            &author,
+            &format!("treewide: cleanup pass {i}"),
+            &current,
+        );
+        if let Some((path, kind)) = touched_pathology {
+            planted.push(PlantedPathology {
+                commit: id,
+                path,
+                kind,
+            });
+        }
+        commits.push(CommitInfo {
+            id,
+            author,
+            is_merge: false,
+            doc_only: false,
+            janitor: is_janitor,
+        });
+        prev = id;
+    }
+    repo.tag("v4.4", prev);
+
+    SynthOutput {
+        repo,
+        layout,
+        janitor_names: janitors.iter().map(|p| p.name.clone()).collect(),
+        prewindow,
+        commits,
+        planted,
+    }
+}
+
+/// Apply one patch's worth of edits to `current`.
+#[allow(clippy::too_many_arguments)]
+fn self_edit(
+    profile: &WorkloadProfile,
+    layout: &KernelLayout,
+    persona: &Persona,
+    current: &mut SourceTree,
+    rng: &mut StdRng,
+    pathology: &mut Option<(String, PathologyKind)>,
+    unused_macro_counter: &mut usize,
+    is_janitor: bool,
+    rescue_pairs: &[(String, String)],
+) {
+    let factor = if is_janitor {
+        profile.janitor_pathology_factor
+    } else {
+        1.0
+    };
+    // Special-file patches first (bootstrap / heavy).
+    if rng.gen_bool(profile.p_bootstrap * factor) {
+        let path = &layout.bootstrap_files[rng.gen_range(0..layout.bootstrap_files.len())];
+        bump_number(current, path);
+        *pathology = Some((path.clone(), PathologyKind::Bootstrap));
+        return;
+    }
+    // The prom_init.c analogue is arch-maintainer territory; janitor
+    // patches never hit it (the paper's Fig. 6 tops out around 18 min
+    // while Fig. 5 reaches 100 min).
+    if !is_janitor && rng.gen_bool(profile.p_heavy) {
+        bump_number(current, &layout.heavy_file);
+        *pathology = Some((layout.heavy_file.clone(), PathologyKind::Heavy));
+        return;
+    }
+    // The choice-member rescue: lines under the HZ member allyesconfig
+    // loses land in an arch-specific driver whose defconfig (a §III.C
+    // candidate) picks CONFIG_HZ_1000 — the prepared-configuration benefit.
+    if rng.gen_bool(0.01) {
+        if let Some(drv) = layout
+            .drivers
+            .iter()
+            .filter(|d| d.arch_specific.is_some())
+            .nth(rng.gen_range(0..layout.drivers.len().max(1)) % 3)
+        {
+            if let Some(content) = current.get(&drv.c_path) {
+                let name = &drv.name;
+                current.insert(
+                    drv.c_path.clone(),
+                    format!("{content}\n#ifdef CONFIG_HZ_1000\nint {name}_fast_tick;\n#endif\n"),
+                );
+                bump_number(current, &drv.c_path);
+                return;
+            }
+        }
+    }
+    // The multi-architecture rescue case: a host-compilable file gains
+    // lines under an arch sibling's #ifdef (plus an ordinary edit so the
+    // host compilation is useful but incomplete).
+    if !rescue_pairs.is_empty() && rng.gen_bool(0.015) {
+        let (path, cfg) = &rescue_pairs[rng.gen_range(0..rescue_pairs.len())];
+        if let Some(content) = current.get(path) {
+            let stem = path
+                .rsplit('/')
+                .next()
+                .unwrap_or("f")
+                .trim_end_matches(".c")
+                .to_string();
+            current.insert(
+                path.clone(),
+                format!("{content}\n#ifdef CONFIG_{cfg}\nint {stem}_arch_wired_path;\n#endif\n"),
+            );
+        }
+        bump_number(current, path);
+        *pathology = Some((path.clone(), PathologyKind::ArchIfdef));
+        return;
+    }
+
+    let (header_touch, header_only) = if is_janitor {
+        (
+            profile.janitor_header_touch_rate,
+            profile.janitor_header_only_rate,
+        )
+    } else {
+        (profile.header_touch_rate, profile.header_only_rate)
+    };
+
+    if rng.gen_bool(header_only) {
+        // Header-only patch: tweak a shared header's macro. A slice of
+        // these touch the SPARE macro nothing expands — the headers JMake
+        // can never certify (paper: 2% of .h instances).
+        let h = &layout.headers[rng.gen_range(0..layout.headers.len())];
+        if rng.gen_bool(0.12) {
+            edit_shared_header_spare(current, &h.path);
+            *pathology = Some((h.path.clone(), PathologyKind::HeaderUnusedMacro));
+        } else {
+            edit_shared_header(current, &h.path);
+        }
+        return;
+    }
+
+    // Pick 1–3 drivers from the persona's range.
+    let pool: Vec<&DriverInfo> = layout
+        .drivers
+        .iter()
+        .filter(|d| {
+            persona.home_subsystems.is_empty()
+                || persona.home_subsystems.contains(&d.subsystem)
+                || is_janitor
+        })
+        .collect();
+    let pool = if pool.is_empty() {
+        layout.drivers.iter().collect()
+    } else {
+        pool
+    };
+    let mut n_files = 1;
+    if rng.gen_bool(profile.multi_file_rate) {
+        n_files += 1;
+        if rng.gen_bool(profile.multi_file_rate) {
+            n_files += 1;
+        }
+    }
+
+    // At most one pathology per patch, decided up front.
+    let path_roll: f64 = rng.gen();
+    let mut acc = 0.0;
+    let mut chosen_pathology = None;
+    for (p, kind) in [
+        (profile.p_under_unset_config, PathologyKind::UnsetConfig),
+        (profile.p_under_never_config, PathologyKind::NeverConfig),
+        (profile.p_under_module, PathologyKind::Module),
+        (profile.p_under_ifndef_or_else, PathologyKind::IfndefOrElse),
+        (profile.p_both_branches, PathologyKind::BothBranches),
+        (profile.p_if_zero, PathologyKind::IfZero),
+        (profile.p_unused_macro, PathologyKind::UnusedMacro),
+    ] {
+        acc += p * factor;
+        if path_roll < acc {
+            chosen_pathology = Some(kind);
+            break;
+        }
+    }
+
+    for f in 0..n_files {
+        let drv = pool[rng.gen_range(0..pool.len())];
+        if f == 0 {
+            if let Some(kind) = chosen_pathology {
+                plant_pathology(current, drv, kind, unused_macro_counter);
+                *pathology = Some((drv.c_path.clone(), kind));
+                continue;
+            }
+        }
+        // Ordinary edit.
+        let roll: f64 = rng.gen();
+        if roll < profile.comment_edit_rate {
+            comment_edit(current, &drv.c_path);
+        } else if roll < profile.comment_edit_rate + profile.macro_edit_rate {
+            macro_edit(current, &drv.c_path);
+        } else {
+            bump_number(current, &drv.c_path);
+        }
+        // Some patches rework a file in several places (the paper's
+        // multi-mutation instances: 18% of .c instances need >1).
+        if rng.gen_bool(0.15) {
+            macro_edit(current, &drv.c_path);
+            comment_edit(current, &drv.c_path);
+        }
+    }
+    // Header-touching patches additionally change a header the first
+    // driver uses.
+    if rng.gen_bool(header_touch) {
+        let drv = pool[rng.gen_range(0..pool.len())];
+        match &drv.h_path {
+            Some(h) if rng.gen_bool(0.5) => edit_local_header(current, h),
+            _ => {
+                let h = &layout.headers[drv.shared_header % layout.headers.len()];
+                edit_shared_header(current, &h.path);
+                // Make sure a .c of the patch exercises the header: bump
+                // the driver too (this is the common both-.c-and-.h shape).
+                bump_number(current, &drv.c_path);
+            }
+        }
+    }
+}
+
+/// Increment the first integer literal that follows `= ` or `+ ` on a
+/// `return`/initializer knob line.
+fn bump_number(tree: &mut SourceTree, path: &str) {
+    let Some(content) = tree.get(path) else {
+        return;
+    };
+    let mut lines: Vec<String> = content.lines().map(str::to_string).collect();
+    for line in lines.iter_mut() {
+        let t = line.trim_start();
+        if !(t.starts_with("return") || t.contains("_threshold = ")) {
+            continue;
+        }
+        if let Some(new_line) = bump_in_line(line) {
+            *line = new_line;
+            tree.insert(path, lines.join("\n") + "\n");
+            return;
+        }
+    }
+    // No knob found: append a fresh one inside a new function.
+    let name = path
+        .rsplit('/')
+        .next()
+        .unwrap_or("x")
+        .trim_end_matches(".c")
+        .replace(['-', '.'], "_");
+    lines.push(format!(
+        "\nint {name}_extra_{}(void)\n{{\n\treturn 0;\n}}",
+        lines.len()
+    ));
+    tree.insert(path, lines.join("\n") + "\n");
+}
+
+/// Replace the last integer run in a line with value+1.
+fn bump_in_line(line: &str) -> Option<String> {
+    let bytes = line.as_bytes();
+    let mut end = None;
+    for (i, b) in bytes.iter().enumerate().rev() {
+        if b.is_ascii_digit() {
+            end = Some(i + 1);
+            break;
+        }
+    }
+    let end = end?;
+    let mut start = end;
+    while start > 0 && bytes[start - 1].is_ascii_digit() {
+        start -= 1;
+    }
+    let value: u64 = line[start..end].parse().ok()?;
+    Some(format!("{}{}{}", &line[..start], value + 1, &line[end..]))
+}
+
+/// Append to a comment line (changed lines that need no compilation).
+fn comment_edit(tree: &mut SourceTree, path: &str) {
+    let Some(content) = tree.get(path) else {
+        return;
+    };
+    let mut lines: Vec<String> = content.lines().map(str::to_string).collect();
+    if let Some(line) = lines.iter_mut().find(|l| l.trim_start().starts_with("* ")) {
+        line.push_str(" (tidied)");
+    } else {
+        lines.insert(0, "/* reviewed */".to_string());
+    }
+    tree.insert(path, lines.join("\n") + "\n");
+}
+
+/// Bump the numeric payload of the driver's `_IRQ` macro definition.
+fn macro_edit(tree: &mut SourceTree, path: &str) {
+    let Some(content) = tree.get(path) else {
+        return;
+    };
+    let mut lines: Vec<String> = content.lines().map(str::to_string).collect();
+    for line in lines.iter_mut() {
+        if line.starts_with("#define") && line.contains("_IRQ") {
+            if let Some(new_line) = bump_in_line(line) {
+                *line = new_line;
+                tree.insert(path, lines.join("\n") + "\n");
+                return;
+            }
+        }
+    }
+    bump_number(tree, path);
+}
+
+/// Bump the shift amount in the shared header's SCALE macro (its name is
+/// the §III.E hint that leads back to the using drivers), and often the
+/// BASE constant too — kernel headers typically change several macros at
+/// once, which is why 25% of the paper's `.h` instances need more than
+/// one mutation.
+fn edit_shared_header(tree: &mut SourceTree, path: &str) {
+    let Some(content) = tree.get(path) else {
+        return;
+    };
+    let mut lines: Vec<String> = content.lines().map(str::to_string).collect();
+    // A quarter of the headers get a two-macro edit (deterministic in the
+    // path so the workload stays reproducible).
+    let also_base = path.bytes().map(usize::from).sum::<usize>() % 4 == 0;
+    let mut edited = false;
+    for line in lines.iter_mut() {
+        let is_scale = line.contains("<< ");
+        let is_base = also_base && line.contains("_BASE ") && line.starts_with("#define");
+        if is_scale || is_base {
+            if let Some(new_line) = bump_in_line(line) {
+                *line = new_line;
+                edited = true;
+            }
+        }
+    }
+    if edited {
+        tree.insert(path, lines.join("\n") + "\n");
+    }
+}
+
+/// Bump the OR-mask in the SPARE macro — which no `.c` file ever expands,
+/// so the change can never be certified.
+fn edit_shared_header_spare(tree: &mut SourceTree, path: &str) {
+    let Some(content) = tree.get(path) else {
+        return;
+    };
+    let mut lines: Vec<String> = content.lines().map(str::to_string).collect();
+    for line in lines.iter_mut() {
+        if line.contains("_SPARE(") {
+            if let Some(new_line) = bump_in_line(line) {
+                *line = new_line;
+                tree.insert(path, lines.join("\n") + "\n");
+                return;
+            }
+        }
+    }
+}
+
+/// Bump the MAX_UNITS constant in a driver-local header.
+fn edit_local_header(tree: &mut SourceTree, path: &str) {
+    let Some(content) = tree.get(path) else {
+        return;
+    };
+    let mut lines: Vec<String> = content.lines().map(str::to_string).collect();
+    for line in lines.iter_mut() {
+        if line.contains("_MAX_UNITS") && line.starts_with("#define") {
+            if let Some(new_line) = bump_in_line(line) {
+                *line = new_line;
+                tree.insert(path, lines.join("\n") + "\n");
+                return;
+            }
+        }
+    }
+}
+
+/// Append a pathological block to the driver (all its lines are added
+/// lines, so JMake must track them).
+fn plant_pathology(
+    tree: &mut SourceTree,
+    drv: &DriverInfo,
+    kind: PathologyKind,
+    unused_macro_counter: &mut usize,
+) {
+    let Some(content) = tree.get(&drv.c_path) else {
+        return;
+    };
+    let name = &drv.name;
+    let upper = name.to_uppercase();
+    let block = match kind {
+        PathologyKind::UnsetConfig => format!(
+            "\n#ifdef CONFIG_SLIMLINE\nint {name}_slim_mode;\n#endif\n"
+        ),
+        PathologyKind::NeverConfig => format!(
+            "\n#ifdef CONFIG_{upper}_LEGACY_IO\nint {name}_legacy_io;\n#endif\n"
+        ),
+        PathologyKind::Module => format!(
+            "\n#ifdef MODULE\nint {name}_unload_note;\n#endif\n"
+        ),
+        PathologyKind::IfndefOrElse => format!(
+            "\n#ifndef CONFIG_KERNEL_CORE\nint {name}_nocore_fallback;\n#endif\n"
+        ),
+        PathologyKind::BothBranches => format!(
+            "\n#ifdef CONFIG_KERNEL_CORE\nint {name}_core_path;\n#else\nint {name}_alt_path;\n#endif\n"
+        ),
+        PathologyKind::IfZero => format!(
+            "\n#if 0\nint {name}_disabled_experiment;\n#endif\n"
+        ),
+        PathologyKind::UnusedMacro => {
+            *unused_macro_counter += 1;
+            format!(
+                "\n#define {upper}_SPARE_HELPER_{n}(x) ((x) * 3)\n",
+                n = *unused_macro_counter
+            )
+        }
+        // Handled before plant_pathology is ever called.
+        PathologyKind::Bootstrap
+        | PathologyKind::Heavy
+        | PathologyKind::ArchIfdef
+        | PathologyKind::HeaderUnusedMacro => String::new(),
+    };
+    tree.insert(&drv.c_path, format!("{content}{block}"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmake_vcs::LogOptions;
+
+    fn output() -> SynthOutput {
+        let profile = WorkloadProfile::tiny();
+        crate::generate(&profile)
+    }
+
+    #[test]
+    fn stream_has_expected_structure() {
+        let out = output();
+        assert_eq!(out.commits.len(), WorkloadProfile::tiny().commits);
+        assert_eq!(out.janitor_names.len(), 10);
+        assert!(out.repo.resolve_tag("v4.3").is_ok());
+        assert!(out.repo.resolve_tag("v4.4").is_ok());
+        let merges = out.commits.iter().filter(|c| c.is_merge).count();
+        let docs = out.commits.iter().filter(|c| c.doc_only).count();
+        assert!(merges > 0, "no merges generated");
+        assert!(docs > 0, "no doc-only commits generated");
+    }
+
+    #[test]
+    fn paper_log_filters_apply() {
+        let out = output();
+        let ids = out
+            .repo
+            .log(&LogOptions::paper_defaults().range("v4.3", "v4.4"))
+            .unwrap();
+        // Merges and empty diffs filtered; everything else modifies files.
+        let all = out.commits.len();
+        assert!(ids.len() < all);
+        assert!(ids.len() > all / 2);
+        for id in &ids {
+            assert!(!out.repo.get(*id).unwrap().is_merge());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = output();
+        let b = output();
+        assert_eq!(a.commits, b.commits);
+        assert_eq!(a.planted, b.planted);
+    }
+
+    #[test]
+    fn edits_apply_and_produce_diffs() {
+        let out = output();
+        let ids = out
+            .repo
+            .log(&LogOptions::paper_defaults().range("v4.3", "v4.4"))
+            .unwrap();
+        let patch = out.repo.show(ids[0]).unwrap();
+        assert!(!patch.files.is_empty());
+    }
+
+    #[test]
+    fn bump_in_line_increments_last_number() {
+        assert_eq!(
+            bump_in_line("\treturn v + x_threshold + 0;").unwrap(),
+            "\treturn v + x_threshold + 1;"
+        );
+        assert_eq!(
+            bump_in_line("#define X_IRQ 14").unwrap(),
+            "#define X_IRQ 15"
+        );
+        assert_eq!(bump_in_line("no digits"), None);
+    }
+
+    #[test]
+    fn pathologies_are_planted_at_expected_rates() {
+        let profile = WorkloadProfile {
+            commits: 400,
+            ..WorkloadProfile::tiny()
+        };
+        let out = crate::generate(&profile);
+        assert!(!out.planted.is_empty());
+        let kinds: std::collections::BTreeSet<PathologyKind> =
+            out.planted.iter().map(|p| p.kind).collect();
+        // With 400 commits, at least the common pathologies appear.
+        assert!(
+            kinds.contains(&PathologyKind::UnsetConfig)
+                || kinds.contains(&PathologyKind::NeverConfig)
+                || kinds.contains(&PathologyKind::UnusedMacro),
+            "{kinds:?}"
+        );
+    }
+
+    #[test]
+    fn full_activity_log_includes_window() {
+        let out = output();
+        let log = out.full_activity_log();
+        let window = log.records.iter().filter(|r| r.in_window).count();
+        assert!(window > 0);
+        assert!(log.records.len() > out.prewindow.records.len());
+    }
+
+    #[test]
+    fn planted_pathology_is_visible_in_checkout() {
+        let out = output();
+        if let Some(p) = out.planted.iter().find(|p| {
+            matches!(
+                p.kind,
+                PathologyKind::UnsetConfig | PathologyKind::NeverConfig | PathologyKind::IfZero
+            )
+        }) {
+            let tree = out.repo.checkout(p.commit).unwrap();
+            let content = tree.get(&p.path).unwrap();
+            assert!(
+                content.contains("#ifdef") || content.contains("#if 0"),
+                "{content}"
+            );
+        }
+    }
+}

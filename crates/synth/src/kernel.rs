@@ -1,0 +1,520 @@
+//! Generation of the miniature kernel tree.
+
+use crate::names::{dev_name, DRIVER_STEMS, SUBSYSTEMS};
+use crate::profile::WorkloadProfile;
+use jmake_kbuild::SourceTree;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One generated driver/source unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriverInfo {
+    /// Short name (`falcon0`).
+    pub name: String,
+    /// Subsystem directory (`drivers/net`).
+    pub subsystem: String,
+    /// Gating Kconfig symbol (`FALCON0_NET`), `None` for `obj-y` files.
+    pub config: Option<String>,
+    /// The `.c` file.
+    pub c_path: String,
+    /// Local header, when the driver has one.
+    pub h_path: Option<String>,
+    /// Non-host architecture this driver is restricted to, if any.
+    pub arch_specific: Option<String>,
+    /// Index of the shared header the driver includes.
+    pub shared_header: usize,
+}
+
+/// One shared header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeaderInfo {
+    /// Path under `include/linux/`.
+    pub path: String,
+    /// The function-like macro it defines (used by drivers).
+    pub macro_name: String,
+}
+
+/// Everything the commit generator needs to know about the tree.
+#[derive(Debug, Clone, Default)]
+pub struct KernelLayout {
+    /// All drivers/source units, in generation order.
+    pub drivers: Vec<DriverInfo>,
+    /// Shared headers.
+    pub headers: Vec<HeaderInfo>,
+    /// Architectures generated.
+    pub arches: Vec<String>,
+    /// Files the build system compiles for itself (paper §V.D).
+    pub bootstrap_files: Vec<String>,
+    /// The whole-kernel-compile trigger (paper §V.C).
+    pub heavy_file: String,
+    /// Kconfig symbols allyesconfig can never set (depends on `!FULL`
+    /// style); used for planted Table IV row-1 edits.
+    pub unsettable_configs: Vec<String>,
+    /// Documentation files (for doc-only commits).
+    pub doc_files: Vec<String>,
+}
+
+/// Generate the tree and its layout.
+pub fn generate_kernel(profile: &WorkloadProfile, rng: &mut StdRng) -> (SourceTree, KernelLayout) {
+    let mut tree = SourceTree::new();
+    let mut layout = KernelLayout {
+        arches: profile.arches.iter().map(|s| s.to_string()).collect(),
+        ..KernelLayout::default()
+    };
+
+    generate_arches(profile, &mut tree, &mut layout);
+    generate_headers(profile, &mut tree, &mut layout);
+    generate_top_level(profile, &mut tree, &mut layout);
+    generate_subsystems(profile, &mut tree, &mut layout, rng);
+    generate_maintainers(profile, &mut tree, &layout);
+    generate_docs(&mut tree, &mut layout);
+
+    (tree, layout)
+}
+
+fn generate_arches(profile: &WorkloadProfile, tree: &mut SourceTree, layout: &mut KernelLayout) {
+    for (i, arch) in profile.arches.iter().enumerate() {
+        let upper = arch.to_uppercase();
+        tree.insert(
+            format!("arch/{arch}/Kconfig"),
+            format!("config {upper}\n\tdef_bool y\n\nconfig {upper}_HAS_DMA\n\tdef_bool y\n"),
+        );
+        tree.insert(
+            format!("arch/{arch}/include/asm/arch.h"),
+            format!(
+                "#ifndef _ASM_{upper}_ARCH_H\n#define _ASM_{upper}_ARCH_H\n#define ARCH_ID {i}\n#define ARCH_PAGE_SHIFT 12\n#define ARCH_DMA_BASE 0x{:x}000\n#endif\n",
+                0x40 + i
+            ),
+        );
+        tree.insert(
+            format!("arch/{arch}/kernel/Makefile"),
+            if *arch == "powerpc" {
+                "obj-y += setup.o asm-offsets.o prom_init.o\n".to_string()
+            } else {
+                "obj-y += setup.o asm-offsets.o\n".to_string()
+            },
+        );
+        tree.insert(
+            format!("arch/{arch}/kernel/setup.c"),
+            format!(
+                "/* arch setup for {arch} */\n#include <asm/arch.h>\n\nint {arch}_setup(void)\n{{\n\tint id = ARCH_ID + 0;\n\treturn id << ARCH_PAGE_SHIFT;\n}}\n"
+            ),
+        );
+        let asm_offsets = format!("arch/{arch}/kernel/asm-offsets.c");
+        tree.insert(
+            asm_offsets.clone(),
+            format!("/* bootstrap: offsets for {arch} */\nint main_offsets(void)\n{{\n\treturn 0;\n}}\n"),
+        );
+        layout.bootstrap_files.push(asm_offsets);
+        // A default configuration enabling the arch's specific drivers,
+        // and picking the HZ choice member allyesconfig does not.
+        tree.insert(
+            format!("arch/{arch}/configs/{arch}_defconfig"),
+            format!("CONFIG_{upper}=y\nCONFIG_KERNEL_CORE=y\nCONFIG_HZ_1000=y\n"),
+        );
+        // A board file so the arch subtree mentions its drivers' configs
+        // (filled in by generate_subsystems via append).
+        tree.insert(
+            format!("arch/{arch}/mach/Makefile"),
+            "obj-y += board.o\n".to_string(),
+        );
+        tree.insert(
+            format!("arch/{arch}/mach/board.c"),
+            format!("/* board glue for {arch} */\n#include <asm/arch.h>\nint {arch}_board_init(void)\n{{\n\treturn ARCH_DMA_BASE;\n}}\n"),
+        );
+    }
+    let heavy = "arch/powerpc/kernel/prom_init.c";
+    tree.insert(
+        heavy,
+        "/* prom_init: compiling this triggers a whole-kernel build */\nint prom_init(void)\n{\n\treturn 0;\n}\n",
+    );
+    layout.heavy_file = heavy.to_string();
+}
+
+fn generate_headers(profile: &WorkloadProfile, tree: &mut SourceTree, layout: &mut KernelLayout) {
+    tree.insert(
+        "include/linux/kernel.h",
+        "#ifndef _LINUX_KERNEL_H\n#define _LINUX_KERNEL_H\n#define KBUILD_NOP(x) (x)\n#define ARRAY_COUNT(a) (sizeof(a) / sizeof((a)[0]))\n#define pr_info(fmt) kbuild_log(fmt)\nint kbuild_log(const char *fmt);\n#endif\n",
+    );
+    for i in 0..profile.shared_headers {
+        let path = format!("include/linux/shared{i}.h");
+        let mac = format!("SHARED{i}_SCALE");
+        tree.insert(
+            &path,
+            format!(
+                "#ifndef _LINUX_SHARED{i}_H\n#define _LINUX_SHARED{i}_H\n/* shared helper {i} */\n#define SHARED{i}_BASE {base}\n#define {mac}(x) \\\n\t(((x) + SHARED{i}_BASE) << 1)\n#define SHARED{i}_SPARE(x) ((x) | 1)\n#endif\n",
+                base = 10 + i,
+            ),
+        );
+        layout.headers.push(HeaderInfo {
+            path,
+            macro_name: mac,
+        });
+    }
+}
+
+fn generate_top_level(
+    _profile: &WorkloadProfile,
+    tree: &mut SourceTree,
+    layout: &mut KernelLayout,
+) {
+    let subsystem_dirs: Vec<&str> = SUBSYSTEMS.iter().map(|(d, _, _)| *d).collect();
+    let top_dirs: Vec<&str> = {
+        let mut seen = Vec::new();
+        for d in &subsystem_dirs {
+            let top = d.split('/').next().expect("non-empty dir");
+            if !seen.contains(&top) {
+                seen.push(top);
+            }
+        }
+        seen
+    };
+    tree.insert(
+        "Makefile",
+        top_dirs
+            .iter()
+            .map(|d| format!("obj-y += {d}/\n"))
+            .collect::<String>(),
+    );
+    // drivers/Makefile descends into each drivers/<x> subsystem.
+    let driver_subdirs: Vec<&str> = subsystem_dirs
+        .iter()
+        .filter_map(|d| d.strip_prefix("drivers/"))
+        .collect();
+    tree.insert(
+        "drivers/Makefile",
+        driver_subdirs
+            .iter()
+            .map(|d| format!("obj-y += {d}/\n"))
+            .collect::<String>(),
+    );
+    // Top-level Kconfig: core symbols + sources + a kernel-style timer
+    // frequency choice (allyesconfig is *forced to make a choice*; the
+    // arch defconfigs pick the other member).
+    let mut kconfig = String::from(
+        "config KERNEL_CORE\n\tdef_bool y\n\nconfig EXPERT\n\tbool \"Expert options\"\n\nconfig SLIMLINE\n\tbool \"Slim build\"\n\tdepends on !KERNEL_CORE\n\nconfig DEAD_OPTION\n\tbool \"Dead\"\n\tdepends on MISSING_EVERYWHERE\n\nchoice\n\tprompt \"Timer frequency\"\nconfig HZ_100\n\tbool \"100 Hz\"\nconfig HZ_1000\n\tbool \"1000 Hz\"\nendchoice\n\n",
+    );
+    for (dir, _, _) in SUBSYSTEMS {
+        kconfig.push_str(&format!("source \"{dir}/Kconfig\"\n"));
+    }
+    tree.insert("Kconfig", kconfig);
+    layout.unsettable_configs.push("SLIMLINE".to_string());
+    // The bootstrap file every build touches first.
+    tree.insert(
+        "kernel/bounds.c",
+        "/* bootstrap: generates bounds.h during setup */\nint kernel_bounds(void)\n{\n\treturn 64;\n}\n",
+    );
+    layout.bootstrap_files.push("kernel/bounds.c".to_string());
+}
+
+fn generate_subsystems(
+    profile: &WorkloadProfile,
+    tree: &mut SourceTree,
+    layout: &mut KernelLayout,
+    rng: &mut StdRng,
+) {
+    let non_host: Vec<&str> = profile.arches.iter().skip(1).copied().collect();
+    for (s_idx, (dir, parent_sym, _list)) in SUBSYSTEMS.iter().enumerate() {
+        let is_core = !dir.starts_with("drivers/");
+        let mut kconfig = format!("config {parent_sym}\n\tdef_bool y\n\n");
+        let mut makefile = String::new();
+        for d_idx in 0..profile.drivers_per_subsystem {
+            let stem = DRIVER_STEMS[(s_idx * 7 + d_idx) % DRIVER_STEMS.len()];
+            let name = format!("{stem}{s_idx}_{d_idx}");
+            let upper = name.to_uppercase();
+            let shared = rng.gen_range(0..profile.shared_headers.max(1));
+            // Some core-subsystem files are unconditionally built.
+            let unconditional = is_core && d_idx % 2 == 0;
+            let arch_specific = if !unconditional
+                && !non_host.is_empty()
+                && rng.gen_bool(profile.arch_specific_driver_rate)
+            {
+                Some(non_host[rng.gen_range(0..non_host.len())].to_string())
+            } else {
+                None
+            };
+            let config = if unconditional {
+                None
+            } else {
+                Some(upper.clone())
+            };
+            if let Some(cfg) = &config {
+                let dep = match &arch_specific {
+                    // A third of arch-specific drivers also exclude EXPERT
+                    // builds: allyesconfig (which sets EXPERT=y) can never
+                    // enable them, but the arch defconfig can — the
+                    // prepared-configuration benefit of paper §V.B
+                    // (84% → 85%).
+                    Some(a) if d_idx % 3 == 0 => format!(
+                        "\tdepends on {parent_sym} && {} && !EXPERT\n",
+                        a.to_uppercase()
+                    ),
+                    Some(a) => format!("\tdepends on {parent_sym} && {}\n", a.to_uppercase()),
+                    None => format!("\tdepends on {parent_sym}\n"),
+                };
+                kconfig.push_str(&format!(
+                    "config {cfg}\n\ttristate \"{name} driver\"\n{dep}\n"
+                ));
+                makefile.push_str(&format!("obj-$(CONFIG_{cfg}) += {name}.o\n"));
+            } else {
+                makefile.push_str(&format!("obj-y += {name}.o\n"));
+            }
+            let has_local_header = d_idx % 3 == 0;
+            let h_path = has_local_header.then(|| format!("{dir}/{name}.h"));
+            let c_path = format!("{dir}/{name}.c");
+            tree.insert(
+                c_path.clone(),
+                driver_c(&name, dir, shared, h_path.is_some(), &arch_specific),
+            );
+            if let Some(h) = &h_path {
+                tree.insert(h.clone(), driver_h(&name));
+            }
+            // Arch-specific drivers get mentioned by their arch's board
+            // file, feeding the §III.C heuristic.
+            if let (Some(arch), Some(cfg)) = (&arch_specific, &config) {
+                let board = format!("arch/{arch}/mach/board.c");
+                let mut content = tree.get(&board).unwrap_or_default().to_string();
+                content.push_str(&format!(
+                    "#ifdef CONFIG_{cfg}\nint {arch}_{name}_wired;\n#endif\n"
+                ));
+                tree.insert(board, content);
+                // And the arch defconfig enables it.
+                let dc = format!("arch/{arch}/configs/{arch}_defconfig");
+                let mut content = tree.get(&dc).unwrap_or_default().to_string();
+                content.push_str(&format!("CONFIG_{cfg}=y\nCONFIG_{parent_sym}=y\n"));
+                tree.insert(dc, content);
+            }
+            layout.drivers.push(DriverInfo {
+                name,
+                subsystem: dir.to_string(),
+                config,
+                c_path,
+                h_path,
+                arch_specific,
+                shared_header: shared,
+            });
+        }
+        tree.insert(format!("{dir}/Kconfig"), kconfig);
+        tree.insert(format!("{dir}/Makefile"), makefile);
+    }
+    // kernel/ already hosts bounds.c: extend its Makefile.
+    let mut km = tree.get("kernel/Makefile").unwrap_or_default().to_string();
+    km.push_str("obj-y += bounds.o\n");
+    tree.insert("kernel/Makefile", km);
+}
+
+/// The driver `.c` template, full of recognizable knobs the commit
+/// generator edits.
+fn driver_c(
+    name: &str,
+    dir: &str,
+    shared: usize,
+    local_header: bool,
+    arch_specific: &Option<String>,
+) -> String {
+    let upper = name.to_uppercase();
+    let mut s = String::new();
+    s.push_str(&format!(
+        "/*\n * {name}: synthetic driver in {dir}\n * exercises shared{shared}.h helpers\n */\n"
+    ));
+    s.push_str("#include <linux/kernel.h>\n");
+    s.push_str(&format!("#include <linux/shared{shared}.h>\n"));
+    if local_header {
+        s.push_str(&format!("#include \"{name}.h\"\n"));
+    }
+    if arch_specific.is_some() {
+        s.push_str("#include <asm/arch.h>\n");
+    }
+    s.push_str(&format!(
+        "\n#define {upper}_REG(x) (((x) & 0xf) << 2)\n#define {upper}_IRQ 14\n"
+    ));
+    let units = if local_header {
+        format!("\n\tv += {upper}_MAX_UNITS;")
+    } else {
+        String::new()
+    };
+    s.push_str(&format!(
+        "\nstatic int {name}_threshold = 10;\n\nint {name}_probe(void)\n{{\n\tint v = {upper}_REG(3) + SHARED{shared}_SCALE(2) + {upper}_IRQ;{units}\n\treturn v + {name}_threshold + 0;\n}}\n"
+    ));
+    if arch_specific.is_some() {
+        s.push_str(&format!(
+            "\nint {name}_map(void)\n{{\n\treturn ARCH_DMA_BASE + {upper}_IRQ;\n}}\n"
+        ));
+    }
+    s.push_str(&format!(
+        "\nint {name}_remove(void)\n{{\n\tpr_info(\"{name}: removed\");\n\treturn 0;\n}}\n"
+    ));
+    s
+}
+
+fn driver_h(name: &str) -> String {
+    let upper = name.to_uppercase();
+    format!(
+        "#ifndef _{upper}_H\n#define _{upper}_H\n/* interface of {name} */\n#define {upper}_MAX_UNITS 4\n#define {upper}_UNIT(x) ((x) % {upper}_MAX_UNITS)\nint {name}_probe(void);\nint {name}_remove(void);\n#endif\n"
+    )
+}
+
+fn generate_maintainers(profile: &WorkloadProfile, tree: &mut SourceTree, layout: &KernelLayout) {
+    let mut text = String::new();
+    let m_count = profile.maintainers.max(1);
+    for (i, (dir, _, list)) in SUBSYSTEMS.iter().enumerate() {
+        let maint = dev_name("maint", i % m_count);
+        text.push_str(&format!(
+            "{} SUBSYSTEM\nM:\t{maint} <m{i}@example.org>\nL:\t{list}\nF:\t{dir}/\n\n",
+            dir.to_uppercase().replace('/', " ")
+        ));
+    }
+    // Finer-grained entries per driver group, so breadth-first developers
+    // cross many MAINTAINERS entries (the paper's subsystem proxy).
+    for (i, drv) in layout.drivers.iter().enumerate() {
+        if i % 3 != 0 {
+            continue;
+        }
+        let maint = dev_name("maint", (i / 3) % m_count);
+        let list = SUBSYSTEMS
+            .iter()
+            .find(|(d, _, _)| *d == drv.subsystem)
+            .map(|(_, _, l)| *l)
+            .unwrap_or("linux-kernel@vger.example.org");
+        text.push_str(&format!(
+            "{} DRIVER\nM:\t{maint} <d{i}@example.org>\nL:\t{list}\nF:\t{}\n",
+            drv.name.to_uppercase(),
+            drv.c_path
+        ));
+        if let Some(h) = &drv.h_path {
+            text.push_str(&format!("F:\t{h}\n"));
+        }
+        text.push('\n');
+    }
+    tree.insert("MAINTAINERS", text);
+}
+
+fn generate_docs(tree: &mut SourceTree, layout: &mut KernelLayout) {
+    for (topic, body) in [
+        (
+            "Documentation/networking/netdev-FAQ.txt",
+            "All changes should be tested with allyesconfig and allmodconfig.\n",
+        ),
+        (
+            "Documentation/process/submitting.txt",
+            "Compile-test your patches.\n",
+        ),
+        ("tools/perf/builtin-stat.c", "int perf_stat;\n"),
+        ("scripts/checkpatch.pl", "# style checker\n"),
+    ] {
+        tree.insert(topic, body);
+        layout.doc_files.push(topic.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jmake_kbuild::{BuildEngine, ConfigKind};
+    use rand::SeedableRng;
+
+    fn generate() -> (SourceTree, KernelLayout) {
+        let profile = WorkloadProfile::tiny();
+        let mut rng = StdRng::seed_from_u64(profile.seed);
+        generate_kernel(&profile, &mut rng)
+    }
+
+    #[test]
+    fn tree_has_kernel_shape() {
+        let (tree, layout) = generate();
+        assert!(tree.contains("Kconfig"));
+        assert!(tree.contains("Makefile"));
+        assert!(tree.contains("MAINTAINERS"));
+        assert!(tree.contains("arch/x86_64/Kconfig"));
+        assert!(tree.contains("include/linux/kernel.h"));
+        assert!(!layout.drivers.is_empty());
+        assert!(layout
+            .bootstrap_files
+            .contains(&"kernel/bounds.c".to_string()));
+        assert_eq!(layout.heavy_file, "arch/powerpc/kernel/prom_init.c");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (a, _) = generate();
+        let (b, _) = generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn host_allyesconfig_builds_and_enables_drivers() {
+        let (tree, layout) = generate();
+        let mut engine = BuildEngine::new(tree);
+        let cfg = engine.make_config("x86_64", &ConfigKind::AllYes).unwrap();
+        let enabled = layout
+            .drivers
+            .iter()
+            .filter(|d| d.config.as_ref().is_some_and(|c| cfg.config.is_enabled(c)))
+            .count();
+        assert!(enabled > 0, "no gated driver enabled");
+        // Arch-specific drivers must NOT be enabled on the host.
+        for d in layout.drivers.iter().filter(|d| d.arch_specific.is_some()) {
+            let c = d.config.as_ref().unwrap();
+            assert!(!cfg.config.is_enabled(c), "{c} enabled on host");
+        }
+    }
+
+    #[test]
+    fn every_driver_compiles_for_its_arch() {
+        let (tree, layout) = generate();
+        let mut engine = BuildEngine::new(tree.clone());
+        for d in &layout.drivers {
+            let arch = d.arch_specific.clone().unwrap_or_else(|| "x86_64".into());
+            let cfg = engine.make_config(&arch, &ConfigKind::AllYes).unwrap();
+            let allyes = engine.make_o(&cfg, &tree, &d.c_path);
+            if allyes.is_ok() {
+                continue;
+            }
+            // !EXPERT drivers are unreachable by allyesconfig by design;
+            // their arch defconfig must build them instead.
+            let kind = ConfigKind::Defconfig(format!("arch/{arch}/configs/{arch}_defconfig"));
+            let cfg = engine.make_config(&arch, &kind).unwrap();
+            let via_defconfig = engine.make_o(&cfg, &tree, &d.c_path);
+            assert!(
+                via_defconfig.is_ok(),
+                "{}: allyes {:?}, defconfig {:?}",
+                d.c_path,
+                allyes,
+                via_defconfig
+            );
+        }
+    }
+
+    #[test]
+    fn unsettable_config_really_is_unsettable() {
+        let (tree, layout) = generate();
+        let mut engine = BuildEngine::new(tree);
+        let cfg = engine.make_config("x86_64", &ConfigKind::AllYes).unwrap();
+        for c in &layout.unsettable_configs {
+            assert!(!cfg.config.is_enabled(c), "{c} should be unsettable");
+        }
+    }
+
+    #[test]
+    fn defconfigs_exist_and_resolve() {
+        let (tree, _) = generate();
+        let mut engine = BuildEngine::new(tree);
+        let kind = ConfigKind::Defconfig("arch/arm/configs/arm_defconfig".to_string());
+        let cfg = engine.make_config("arm", &kind).unwrap();
+        assert!(cfg.config.is_enabled("ARM"));
+    }
+
+    #[test]
+    fn maintainers_parse_and_cover_drivers() {
+        let (tree, layout) = generate();
+        let m = jmake_janitor::Maintainers::parse(tree.get("MAINTAINERS").unwrap());
+        assert!(m.len() >= SUBSYSTEMS.len());
+        for d in &layout.drivers {
+            assert!(
+                !m.entries_for(&d.c_path).is_empty(),
+                "{} not covered by MAINTAINERS",
+                d.c_path
+            );
+        }
+    }
+}

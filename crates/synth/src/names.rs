@@ -1,0 +1,111 @@
+//! Deterministic name pools for the generator.
+
+/// Subsystem directories (under the tree root) with their parent Kconfig
+/// symbol and mailing list.
+pub const SUBSYSTEMS: &[(&str, &str, &str)] = &[
+    ("drivers/net", "NET_DRIVERS", "netdev@vger.example.org"),
+    ("drivers/usb", "USB_SUPPORT", "linux-usb@vger.example.org"),
+    ("drivers/gpu", "GPU_SUPPORT", "dri-devel@lists.example.org"),
+    ("drivers/staging", "STAGING", "devel@driverdev.example.org"),
+    ("drivers/char", "CHAR_MISC", "linux-kernel@vger.example.org"),
+    ("drivers/dma", "DMADEVICES", "dmaengine@vger.example.org"),
+    ("drivers/i2c", "I2C_SUPPORT", "linux-i2c@vger.example.org"),
+    ("drivers/spi", "SPI_SUPPORT", "linux-spi@vger.example.org"),
+    ("drivers/mmc", "MMC_SUPPORT", "linux-mmc@vger.example.org"),
+    (
+        "drivers/media",
+        "MEDIA_SUPPORT",
+        "linux-media@vger.example.org",
+    ),
+    ("fs", "FS_SUPPORT", "linux-fsdevel@vger.example.org"),
+    ("sound", "SOUND", "alsa-devel@alsa-project.example.org"),
+    ("net", "NET", "netdev@vger.example.org"),
+    ("crypto", "CRYPTO", "linux-crypto@vger.example.org"),
+    ("block", "BLOCK", "linux-block@vger.example.org"),
+    ("mm", "MM_CORE", "linux-mm@kvack.example.org"),
+    ("kernel", "KERNEL_CORE", "linux-kernel@vger.example.org"),
+    ("lib", "LIB_CORE", "linux-kernel@vger.example.org"),
+];
+
+/// Driver base names, reused across subsystems with numeric suffixes.
+pub const DRIVER_STEMS: &[&str] = &[
+    "falcon",
+    "osprey",
+    "heron",
+    "kestrel",
+    "merlin",
+    "harrier",
+    "condor",
+    "swift",
+    "plover",
+    "avocet",
+    "dunlin",
+    "godwit",
+    "curlew",
+    "lapwing",
+    "sanderling",
+    "turnstone",
+    "whimbrel",
+    "redshank",
+    "snipe",
+    "woodcock",
+];
+
+/// The ten janitor personas — named after the paper's Table II.
+pub const JANITORS: &[&str] = &[
+    "Javier Martinez Canillas",
+    "Luis de Bethencourt",
+    "Dan Carpenter",
+    "Julia Lawall",
+    "Shraddha Barke",
+    "Joe Perches",
+    "Axel Lin",
+    "Daniel Borkmann",
+    "Fabio Estevam",
+    "Jarkko Nikula",
+];
+
+/// Per-janitor pre-window patch volume, proportional to Table II's patch
+/// counts (118, 104, 1554, 653, 160, 1078, 1044, 121, 790, 173).
+pub const JANITOR_VOLUMES: &[usize] = &[118, 104, 1554, 653, 160, 1078, 1044, 121, 790, 173];
+
+/// Per-janitor target file-cv (Table II's cv column, ×100).
+pub const JANITOR_CV_X100: &[usize] = &[25, 41, 43, 67, 72, 81, 92, 129, 129, 135];
+
+/// First/last name pools for generated maintainers and regular devs.
+pub const FIRST_NAMES: &[&str] = &[
+    "Alex", "Bryn", "Chris", "Dana", "Eli", "Finn", "Gael", "Harper", "Ira", "Jules", "Kim", "Lee",
+    "Morgan", "Noor", "Otto", "Page", "Quinn", "Ray", "Sasha", "Tay",
+];
+pub const LAST_NAMES: &[&str] = &[
+    "Adler", "Berg", "Costa", "Dietrich", "Egger", "Fischer", "Grau", "Huber", "Iversen", "Jansen",
+    "Koch", "Lang", "Maier", "Novak", "Olsen", "Petit", "Quast", "Roth", "Schmid", "Toth",
+];
+
+/// A deterministic full name for index `i` within a role pool.
+pub fn dev_name(role: &str, i: usize) -> String {
+    let f = FIRST_NAMES[i % FIRST_NAMES.len()];
+    let l = LAST_NAMES[(i / FIRST_NAMES.len() + i) % LAST_NAMES.len()];
+    format!("{f} {l} ({role}{i})")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_consistent() {
+        assert_eq!(JANITORS.len(), 10);
+        assert_eq!(JANITOR_VOLUMES.len(), 10);
+        assert_eq!(JANITOR_CV_X100.len(), 10);
+        assert!(SUBSYSTEMS.len() >= 15);
+        assert!(DRIVER_STEMS.len() >= 20);
+    }
+
+    #[test]
+    fn dev_names_unique_within_pool() {
+        let names: std::collections::BTreeSet<String> =
+            (0..60).map(|i| dev_name("dev", i)).collect();
+        assert_eq!(names.len(), 60);
+    }
+}

@@ -1,0 +1,177 @@
+//! The tunable workload profile.
+
+/// Every knob of the synthetic workload. Defaults are calibrated so the
+/// JMake evaluation over the generated stream reproduces the *shape* of
+/// the paper's results (see EXPERIMENTS.md for paper-vs-measured).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    /// Master seed; everything is deterministic in it.
+    pub seed: u64,
+
+    // ---- tree shape ----
+    /// Architectures to generate under `arch/` (first is the host).
+    pub arches: Vec<&'static str>,
+    /// Drivers per subsystem directory.
+    pub drivers_per_subsystem: usize,
+    /// Shared headers under `include/linux/`.
+    pub shared_headers: usize,
+    /// Fraction of drivers whose Kconfig symbol depends on a non-host
+    /// architecture (the paper's 365 non-arch instances that only compile
+    /// elsewhere).
+    pub arch_specific_driver_rate: f64,
+
+    // ---- commit stream ----
+    /// Commits in the evaluated window (paper: 12,946; default scaled).
+    pub commits: usize,
+    /// Fraction of merge commits (filtered by `--no-merges`).
+    pub merge_rate: f64,
+    /// Fraction of commits touching only Documentation/tools/scripts
+    /// (paper: 2,099 of 12,946 ignored ≈ 16%).
+    pub doc_only_rate: f64,
+    /// Fraction of window commits authored by janitor personas
+    /// (paper: 591 of ~11,057 considered patches).
+    pub janitor_rate: f64,
+    /// Files touched per patch: probability of a second/third file.
+    pub multi_file_rate: f64,
+    /// Among source patches: fraction touching a header too
+    /// (Table III: 23% both, 5% h-only overall; janitors 10% / 2%).
+    pub header_touch_rate: f64,
+    pub header_only_rate: f64,
+    /// Janitor-specific overrides for the two rates above.
+    pub janitor_header_touch_rate: f64,
+    pub janitor_header_only_rate: f64,
+    /// Fraction of edits that are comment-only.
+    pub comment_edit_rate: f64,
+    /// Fraction of edits that change a macro definition.
+    pub macro_edit_rate: f64,
+
+    // ---- pathology rates (per source-touching patch) ----
+    /// `#ifdef CONFIG_X` where allyesconfig cannot set X.
+    pub p_under_unset_config: f64,
+    /// `#ifdef CONFIG_X` where X is declared nowhere.
+    pub p_under_never_config: f64,
+    /// `#ifdef MODULE`.
+    pub p_under_module: f64,
+    /// `#ifndef …` / `#else` of a satisfied guard.
+    pub p_under_ifndef_or_else: f64,
+    /// Changes in both branches of one conditional.
+    pub p_both_branches: f64,
+    /// `#if 0`.
+    pub p_if_zero: f64,
+    /// New or edited macro that nothing expands.
+    pub p_unused_macro: f64,
+    /// Patch touches a bootstrap file (paper §V.D: ≈2%).
+    pub p_bootstrap: f64,
+    /// Patch touches the heavy `prom_init.c` analogue (paper: 3 patches).
+    pub p_heavy: f64,
+    /// Janitor pathology multiplier (<1: janitors trip slightly less
+    /// often — 88% vs 85% success in the paper).
+    pub janitor_pathology_factor: f64,
+
+    // ---- pre-window activity (janitor analysis observation period) ----
+    /// Regular developers to simulate.
+    pub regular_devs: usize,
+    /// Maintainer personas (one to two subsystems each).
+    pub maintainers: usize,
+    /// Scale factor on the per-persona pre-window patch counts.
+    pub prewindow_scale: f64,
+}
+
+impl Default for WorkloadProfile {
+    fn default() -> Self {
+        WorkloadProfile {
+            seed: 0x4a4d414b45, // "JMAKE"
+            arches: vec![
+                "x86_64", "arm", "powerpc", "mips", "blackfin", "parisc", "s390", "sparc",
+            ],
+            drivers_per_subsystem: 12,
+            shared_headers: 18,
+            arch_specific_driver_rate: 0.06,
+            commits: 1_200,
+            merge_rate: 0.055,
+            doc_only_rate: 0.16,
+            janitor_rate: 0.054,
+            multi_file_rate: 0.35,
+            header_touch_rate: 0.25,
+            header_only_rate: 0.055,
+            janitor_header_touch_rate: 0.105,
+            janitor_header_only_rate: 0.022,
+            comment_edit_rate: 0.10,
+            macro_edit_rate: 0.15,
+            p_under_unset_config: 0.035,
+            p_under_never_config: 0.032,
+            p_under_module: 0.020,
+            p_under_ifndef_or_else: 0.018,
+            p_both_branches: 0.008,
+            p_if_zero: 0.008,
+            p_unused_macro: 0.032,
+            p_bootstrap: 0.024,
+            p_heavy: 0.003,
+            janitor_pathology_factor: 0.55,
+            regular_devs: 60,
+            maintainers: 24,
+            prewindow_scale: 1.0,
+        }
+    }
+}
+
+impl WorkloadProfile {
+    /// The paper-scale variant: ~12,000 commits.
+    pub fn full_scale() -> Self {
+        WorkloadProfile {
+            commits: 12_000,
+            ..WorkloadProfile::default()
+        }
+    }
+
+    /// A tiny profile for unit tests.
+    pub fn tiny() -> Self {
+        WorkloadProfile {
+            commits: 60,
+            drivers_per_subsystem: 4,
+            shared_headers: 6,
+            regular_devs: 12,
+            maintainers: 6,
+            prewindow_scale: 0.2,
+            ..WorkloadProfile::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_rates_are_probabilities() {
+        let p = WorkloadProfile::default();
+        for v in [
+            p.merge_rate,
+            p.doc_only_rate,
+            p.janitor_rate,
+            p.multi_file_rate,
+            p.header_touch_rate,
+            p.header_only_rate,
+            p.comment_edit_rate,
+            p.macro_edit_rate,
+            p.p_under_unset_config,
+            p.p_under_never_config,
+            p.p_under_module,
+            p.p_under_ifndef_or_else,
+            p.p_both_branches,
+            p.p_if_zero,
+            p.p_unused_macro,
+            p.p_bootstrap,
+            p.p_heavy,
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{v}");
+        }
+        assert_eq!(p.arches[0], "x86_64");
+    }
+
+    #[test]
+    fn variants_scale() {
+        assert!(WorkloadProfile::full_scale().commits >= 12_000);
+        assert!(WorkloadProfile::tiny().commits < 100);
+    }
+}

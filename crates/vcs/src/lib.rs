@@ -1,0 +1,39 @@
+//! A content-addressed mini version-control system for JMake.
+//!
+//! JMake's evaluation drives git through five operations (paper §II.C,
+//! §V.A): `git log -w --diff-filter=M --no-merges` over a release range,
+//! `git show <id>` to obtain a commit's patch, and
+//! `git clean -dfx` + `git reset --hard` to check out a pristine snapshot.
+//! This crate reproduces those with identical observable semantics over an
+//! in-memory store.
+//!
+//! # Example
+//!
+//! ```
+//! use jmake_vcs::{Repo, LogOptions};
+//! use jmake_kbuild::SourceTree;
+//!
+//! let mut repo = Repo::new();
+//! let mut tree = SourceTree::new();
+//! tree.insert("a.c", "int a;\n");
+//! let base = repo.commit(&[], "alice", "initial", &tree);
+//! repo.tag("v4.3", base);
+//!
+//! tree.insert("a.c", "int a = 1;\n");
+//! let fix = repo.commit(&[base], "bob", "a: initialize", &tree);
+//! repo.tag("v4.4", fix);
+//!
+//! let ids = repo.log(&LogOptions::paper_defaults().range("v4.3", "v4.4")).unwrap();
+//! assert_eq!(ids, vec![fix]);
+//! let patch = repo.show(fix).unwrap();
+//! assert_eq!(patch.files.len(), 1);
+//! ```
+
+mod object;
+mod repo;
+
+pub use object::{BlobId, BlobStore};
+pub use repo::{Commit, CommitId, LogOptions, Repo, RepoError};
+
+#[cfg(test)]
+mod proptests;

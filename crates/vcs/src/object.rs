@@ -1,0 +1,102 @@
+//! Content-addressed blob storage.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identity of a stored blob: a 128-bit content hash (two FNV-1a passes
+/// with independent offsets — not cryptographic, but collision-free for
+/// any workload this repository can produce).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlobId(u64, u64);
+
+impl fmt::Display for BlobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.0, self.1)
+    }
+}
+
+impl BlobId {
+    /// Hash `content`.
+    pub fn of(content: &str) -> BlobId {
+        BlobId(
+            fnv1a(content, 0xcbf29ce484222325),
+            fnv1a(content, 0x9e3779b97f4a7c15),
+        )
+    }
+}
+
+fn fnv1a(s: &str, offset: u64) -> u64 {
+    s.bytes().fold(offset, |acc, b| {
+        (acc ^ u64::from(b)).wrapping_mul(0x100000001b3)
+    })
+}
+
+/// Deduplicating blob store.
+#[derive(Debug, Clone, Default)]
+pub struct BlobStore {
+    blobs: HashMap<BlobId, String>,
+}
+
+impl BlobStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        BlobStore::default()
+    }
+
+    /// Store `content`, returning its id (idempotent).
+    pub fn put(&mut self, content: &str) -> BlobId {
+        let id = BlobId::of(content);
+        self.blobs.entry(id).or_insert_with(|| content.to_string());
+        id
+    }
+
+    /// Retrieve a blob.
+    pub fn get(&self, id: BlobId) -> Option<&str> {
+        self.blobs.get(&id).map(String::as_str)
+    }
+
+    /// Number of distinct blobs.
+    pub fn len(&self) -> usize {
+        self.blobs.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.blobs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_is_idempotent_and_content_addressed() {
+        let mut s = BlobStore::new();
+        let a = s.put("int x;\n");
+        let b = s.put("int x;\n");
+        let c = s.put("int y;\n");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(a), Some("int x;\n"));
+        assert_eq!(s.get(c), Some("int y;\n"));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let id = BlobId::of("x");
+        let text = id.to_string();
+        assert_eq!(text.len(), 32);
+        assert!(text.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn distinct_contents_distinct_ids() {
+        // A small avalanche check on near-identical inputs.
+        let ids: std::collections::BTreeSet<BlobId> = (0..1000)
+            .map(|i| BlobId::of(&format!("line {i}\n")))
+            .collect();
+        assert_eq!(ids.len(), 1000);
+    }
+}

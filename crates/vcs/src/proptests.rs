@@ -1,0 +1,104 @@
+//! Property tests for the repository.
+
+use crate::repo::{LogOptions, Repo};
+use jmake_diff::apply;
+use jmake_kbuild::SourceTree;
+use proptest::prelude::*;
+
+/// Strategy: a sequence of small trees (each a map of ≤4 files).
+fn tree_sequence() -> impl Strategy<Value = Vec<SourceTree>> {
+    let file = prop_oneof![Just("a.c"), Just("b.c"), Just("c.h"), Just("d/e.c")];
+    let content = prop::collection::vec("[a-z ]{0,12}", 0..6).prop_map(|lines| {
+        if lines.is_empty() {
+            String::new()
+        } else {
+            lines.join("\n") + "\n"
+        }
+    });
+    let tree = prop::collection::btree_map(file, content, 0..4).prop_map(|m| {
+        m.into_iter()
+            .filter(|(_, c)| !c.is_empty())
+            .map(|(p, c)| (p.to_string(), c))
+            .collect::<SourceTree>()
+    });
+    prop::collection::vec(tree, 1..8)
+}
+
+proptest! {
+    /// checkout(commit(tree)) == tree, for every commit in a chain.
+    #[test]
+    fn checkout_round_trips(trees in tree_sequence()) {
+        let mut repo = Repo::new();
+        let mut prev = Vec::new();
+        let mut ids = Vec::new();
+        for t in &trees {
+            let id = repo.commit(&prev, "dev", "msg", t);
+            prev = vec![id];
+            ids.push(id);
+        }
+        for (id, t) in ids.iter().zip(&trees) {
+            prop_assert_eq!(&repo.checkout(*id).unwrap(), t);
+        }
+    }
+
+    /// Applying show(c) to the parent snapshot reproduces c's snapshot.
+    #[test]
+    fn show_patch_transforms_parent_into_child(trees in tree_sequence()) {
+        let mut repo = Repo::new();
+        let mut prev: Vec<crate::repo::CommitId> = Vec::new();
+        for t in &trees {
+            let id = repo.commit(&prev, "dev", "msg", t);
+            let patch = repo.show(id).unwrap();
+            let parent_tree = match prev.first() {
+                Some(p) => repo.checkout(*p).unwrap(),
+                None => SourceTree::new(),
+            };
+            let mut rebuilt = parent_tree.clone();
+            for fp in &patch.files {
+                match fp.kind {
+                    jmake_diff::ChangeKind::Delete => {
+                        rebuilt.remove(fp.path());
+                    }
+                    _ => {
+                        let old = parent_tree.get(fp.path()).unwrap_or("");
+                        let new = apply(old, fp).unwrap();
+                        rebuilt.insert(fp.path(), new);
+                    }
+                }
+            }
+            prop_assert_eq!(&rebuilt, t, "patch:\n{}", patch.render());
+            prev = vec![id];
+        }
+    }
+
+    /// log without filters lists exactly the non-root commits in order.
+    #[test]
+    fn log_covers_history(trees in tree_sequence()) {
+        let mut repo = Repo::new();
+        let mut prev = Vec::new();
+        let mut ids = Vec::new();
+        for t in &trees {
+            let id = repo.commit(&prev, "dev", "msg", t);
+            prev = vec![id];
+            ids.push(id);
+        }
+        let logged = repo.log(&LogOptions::default()).unwrap();
+        prop_assert_eq!(logged, ids);
+    }
+
+    /// diff-filter=M never returns a commit whose patch has no modified file.
+    #[test]
+    fn diff_filter_is_sound(trees in tree_sequence()) {
+        let mut repo = Repo::new();
+        let mut prev = Vec::new();
+        for t in &trees {
+            let id = repo.commit(&prev, "dev", "msg", t);
+            prev = vec![id];
+        }
+        let opts = LogOptions { diff_filter_modify: true, ..LogOptions::default() };
+        for id in repo.log(&opts).unwrap() {
+            let patch = repo.show(id).unwrap();
+            prop_assert!(patch.files.iter().any(|f| f.kind == jmake_diff::ChangeKind::Modify));
+        }
+    }
+}

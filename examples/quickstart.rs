@@ -1,0 +1,66 @@
+//! Quickstart: check one patch against a miniature kernel.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds a three-file kernel tree, makes a small driver change the way a
+//! janitor would, and asks JMake whether every changed line was actually
+//! subjected to the compiler.
+
+use jmake::core::JMake;
+use jmake::diff::{diff_to_patch, DiffOptions};
+use jmake::kbuild::{BuildEngine, SourceTree};
+
+fn main() {
+    // A kernel tree small enough to read in one screen.
+    let mut tree = SourceTree::new();
+    tree.insert("Kconfig", "config NET\n\tbool \"Networking\"\n\nconfig E1000\n\ttristate \"Intel e1000\"\n\tdepends on NET\n");
+    tree.insert("arch/x86_64/Kconfig", "config X86_64\n\tdef_bool y\n");
+    tree.insert("Makefile", "obj-y += drivers/\n");
+    tree.insert("drivers/Makefile", "obj-$(CONFIG_E1000) += e1000.o\n");
+    tree.insert("include/linux/hw.h", "#define HW_REG(n) ((n) << 2)\n");
+
+    let old_driver = "\
+#include <linux/hw.h>
+
+int e1000_up(void)
+{
+\treturn HW_REG(3);
+}
+";
+    // The janitor's change: fix the register index, and also touch a line
+    // that only compiles under a configuration option that does not exist.
+    let new_driver = "\
+#include <linux/hw.h>
+
+int e1000_up(void)
+{
+\treturn HW_REG(4);
+}
+
+#ifdef CONFIG_E1000_LEGACY
+int e1000_legacy_up(void)
+{
+\treturn HW_REG(1);
+}
+#endif
+";
+    let patch = diff_to_patch(
+        "drivers/e1000.c",
+        old_driver,
+        new_driver,
+        &DiffOptions::default(),
+    );
+    tree.insert("drivers/e1000.c", new_driver);
+
+    println!("--- the patch ---\n{}", patch.render());
+
+    let mut engine = BuildEngine::new(tree);
+    let report = JMake::new().check_patch(&mut engine, &patch, "quickstart janitor");
+
+    println!("--- JMake's verdict ---\n{report}");
+    // The HW_REG(4) line is certified; the CONFIG_E1000_LEGACY block is
+    // flagged as never subjected to the compiler, with the reason.
+    assert!(!report.is_success());
+}

@@ -1,0 +1,155 @@
+//! `jmake-check` — run JMake against a source tree on disk.
+//!
+//! ```text
+//! jmake-check --tree <dir> --patch <file.diff> [--allmodconfig] [--precheck-only]
+//! ```
+//!
+//! The tree directory is loaded into memory (like the paper's tmpfs
+//! clones), the unified diff is parsed, applied (the snapshot on disk is
+//! expected to be the *pre*-patch state — pass `--applied` if the tree
+//! already contains the patch), and the JMake verdict printed.
+//!
+//! Exit status: 0 when every changed line was subjected to the compiler,
+//! 1 when lines escaped, 2 on usage or I/O errors.
+
+use jmake::core::{precheck, JMake, Options};
+use jmake::diff::{apply, parse_patch, ChangeKind};
+use jmake::kbuild::{BuildEngine, SourceTree};
+use std::path::{Path, PathBuf};
+
+fn main() {
+    match run() {
+        Ok(success) => std::process::exit(if success { 0 } else { 1 }),
+        Err(msg) => {
+            eprintln!("jmake-check: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let mut tree_dir: Option<PathBuf> = None;
+    let mut patch_file: Option<PathBuf> = None;
+    let mut allmod = false;
+    let mut precheck_only = false;
+    let mut json = false;
+    let mut already_applied = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tree" => tree_dir = args.next().map(PathBuf::from),
+            "--patch" => patch_file = args.next().map(PathBuf::from),
+            "--allmodconfig" => allmod = true,
+            "--precheck-only" => precheck_only = true,
+            "--json" => json = true,
+            "--applied" => already_applied = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: jmake-check --tree <dir> --patch <file.diff> [--allmodconfig] [--precheck-only] [--applied] [--json]"
+                );
+                return Ok(true);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let tree_dir = tree_dir.ok_or("missing --tree <dir>")?;
+    let patch_file = patch_file.ok_or("missing --patch <file.diff>")?;
+
+    let patch_text = std::fs::read_to_string(&patch_file)
+        .map_err(|e| format!("reading {}: {e}", patch_file.display()))?;
+    let patch = parse_patch(&patch_text).map_err(|e| e.to_string())?;
+    if patch.is_empty() {
+        return Err("the patch contains no file changes".into());
+    }
+
+    eprintln!("loading tree from {} …", tree_dir.display());
+    let mut tree = load_tree(&tree_dir)?;
+    eprintln!("{} files loaded", tree.len());
+
+    if !already_applied {
+        for fp in &patch.files {
+            match fp.kind {
+                ChangeKind::Modify => {
+                    let old = tree
+                        .get(fp.path())
+                        .ok_or_else(|| format!("{} not in tree", fp.path()))?
+                        .to_string();
+                    let new =
+                        apply(&old, fp).map_err(|e| format!("applying to {}: {e}", fp.path()))?;
+                    tree.insert(fp.path(), new);
+                }
+                ChangeKind::Create => {
+                    let new = apply("", fp).map_err(|e| e.to_string())?;
+                    tree.insert(fp.path(), new);
+                }
+                ChangeKind::Delete => {
+                    tree.remove(fp.path());
+                }
+            }
+        }
+    }
+
+    // Pre-compilation warnings (paper §VII): decidable from text alone.
+    let mut warned = false;
+    for fp in &patch.files {
+        if fp.kind != ChangeKind::Modify {
+            continue;
+        }
+        if let Some(content) = tree.get(fp.path()) {
+            for w in precheck(fp, content) {
+                eprintln!("precheck: {w}");
+                warned = true;
+            }
+        }
+    }
+    if precheck_only {
+        return Ok(!warned);
+    }
+
+    let jmake = JMake::with_options(Options {
+        use_allmodconfig: allmod,
+        ..Options::default()
+    });
+    let mut engine = BuildEngine::new(tree);
+    let report = jmake.check_patch(&mut engine, &patch, "jmake-check");
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!("{report}");
+    }
+    Ok(report.is_success())
+}
+
+/// Read every text file under `root` into a [`SourceTree`] (binary files
+/// and VCS metadata skipped).
+fn load_tree(root: &Path) -> Result<SourceTree, String> {
+    let mut tree = SourceTree::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| e.to_string())?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with('.') || name == "target" {
+                continue;
+            }
+            if path.is_dir() {
+                stack.push(path);
+            } else if let Ok(content) = std::fs::read_to_string(&path) {
+                let rel = path
+                    .strip_prefix(root)
+                    .map_err(|e| e.to_string())?
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                tree.insert(rel, content);
+            }
+        }
+    }
+    if tree.is_empty() {
+        return Err(format!("no readable files under {}", root.display()));
+    }
+    Ok(tree)
+}

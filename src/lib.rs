@@ -1,0 +1,57 @@
+//! JMake — dependable compilation checking for kernel janitors.
+//!
+//! This facade crate re-exports the full reproduction of Lawall & Muller,
+//! *JMake: Dependable Compilation for Kernel Janitors* (DSN 2017): the
+//! tool itself ([`core`]) and every substrate it stands on — a C
+//! preprocessor ([`cpp`]), a Kconfig solver ([`kconfig`]), a Kbuild build
+//! engine ([`kbuild`]), a diff toolchain ([`diff`]), a mini VCS ([`vcs`]),
+//! the janitor-identification analysis ([`janitor`]), and the synthetic
+//! evaluation workload ([`synth`]).
+//!
+//! The short version of what JMake answers: *"my patch compiled — but did
+//! the compiler actually see every line I changed?"*
+//!
+//! # Example
+//!
+//! ```
+//! use jmake::core::JMake;
+//! use jmake::diff::{diff_to_patch, DiffOptions};
+//! use jmake::kbuild::{BuildEngine, SourceTree};
+//!
+//! // A one-driver kernel.
+//! let mut tree = SourceTree::new();
+//! tree.insert("Kconfig", "config DRV\n\tbool \"drv\"\n");
+//! tree.insert("arch/x86_64/Kconfig", "config X86_64\n\tdef_bool y\n");
+//! tree.insert("Makefile", "obj-y += drivers/\n");
+//! tree.insert("drivers/Makefile", "obj-$(CONFIG_DRV) += drv.o\n");
+//!
+//! // The patch under scrutiny: one certifiable line, one line hiding
+//! // under a configuration variable that exists nowhere.
+//! let old = "int probe(void)\n{\nreturn 0;\n}\n";
+//! let new = "int probe(void)\n{\nreturn 1;\n}\n#ifdef CONFIG_GHOST\nint ghost;\n#endif\n";
+//! let patch = diff_to_patch("drivers/drv.c", old, new, &DiffOptions::default());
+//! tree.insert("drivers/drv.c", new);
+//!
+//! let mut engine = BuildEngine::new(tree);
+//! let report = JMake::new().check_patch(&mut engine, &patch, "a janitor");
+//!
+//! assert!(!report.is_success());
+//! let uncovered = &report.files[0].uncovered;
+//! assert_eq!(uncovered.len(), 1);
+//! assert_eq!(
+//!     uncovered[0].reason,
+//!     jmake::core::UncoveredReason::IfdefNeverSetInKernel
+//! );
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `jmake-bench`'s `jmake-eval`
+//! binary for the full evaluation (every table and figure of the paper).
+
+pub use jmake_core as core;
+pub use jmake_cpp as cpp;
+pub use jmake_diff as diff;
+pub use jmake_janitor as janitor;
+pub use jmake_kbuild as kbuild;
+pub use jmake_kconfig as kconfig;
+pub use jmake_synth as synth;
+pub use jmake_vcs as vcs;
