@@ -2,7 +2,7 @@
 //! the ablation benches DESIGN.md §5 calls out.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use jmake_core::{mutate, mutate_naive, JMake, Options};
+use jmake_core::{mutate, mutate_naive, run_evaluation, DriverOptions, JMake, Options};
 use jmake_diff::{diff_to_patch, DiffOptions};
 use jmake_kbuild::{BuildEngine, ConfigKind};
 use jmake_synth::WorkloadProfile;
@@ -206,6 +206,39 @@ fn ablation_config_sets(c: &mut Criterion) {
     group.finish();
 }
 
+/// Driver: the evaluation run with the cross-patch configuration cache
+/// shared between workers vs solved per patch (the original behavior).
+/// Reports are identical either way; this measures host wall-clock only.
+fn driver_shared_config_cache(c: &mut Criterion) {
+    // The default tree shape (8 arches, 12 drivers per subsystem): on the
+    // tiny tree configuration solving is too cheap for the cache to show.
+    let workload = jmake_synth::generate(&WorkloadProfile {
+        commits: 120,
+        ..WorkloadProfile::default()
+    });
+    let commits = workload
+        .repo
+        .log(&LogOptions::paper_defaults().range("v4.3", "v4.4"))
+        .unwrap();
+    let mut group = c.benchmark_group("driver/config_cache");
+    group.sample_size(10);
+    for (name, shared_cache) in [("shared_across_patches", true), ("per_patch_solve", false)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &shared_cache,
+            |b, &shared_cache| {
+                let opts = DriverOptions {
+                    workers: 4,
+                    shared_cache,
+                    ..DriverOptions::default()
+                };
+                b.iter(|| run_evaluation(&workload.repo, &commits, &opts))
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20);
@@ -217,6 +250,7 @@ criterion_group!(
         ablation_mutation_density,
         ablation_grouping,
         ablation_hint_ranking,
-        ablation_config_sets
+        ablation_config_sets,
+        driver_shared_config_cache
 );
 criterion_main!(benches);

@@ -3,25 +3,32 @@
 //! ```text
 //! jmake-eval [OPTIONS] <table1|table2|table3|table4|fig4a|fig4b|fig4c|fig5|fig6|summary|all>
 //!
-//!   --commits N     window size (default 1200; paper scale ~12000)
-//!   --seed S        workload seed
-//!   --workers W     parallel workers (default 4; the paper used 25)
-//!   --full          shorthand for --commits 12000
-//!   --allmodconfig  also try allmodconfig (the paper's Table IV remedy)
+//!   --commits N        window size (default 1200; paper scale ~12000)
+//!   --seed S           workload seed
+//!   --workers W        parallel workers (default 4; the paper used 25)
+//!   --full             shorthand for --commits 12000
+//!   --allmodconfig     also try allmodconfig (the paper's Table IV remedy)
+//!   --coverage         also try coverage-maximizing generated configs
+//!   --no-shared-cache  solve every configuration per patch (original
+//!                      per-patch-cleanup behavior; slower wall-clock,
+//!                      identical reports)
+//!   --stats            print driver statistics (cache hit rate,
+//!                      per-stage wall-clock, failure counts)
 //! ```
 
 use jmake_bench::{
-    build_context_with, render_fig4, render_fig5_fig6, render_summary, render_table1,
+    build_context_with_driver, render_fig4, render_fig5_fig6, render_summary, render_table1,
     render_table2, render_table3, render_table4,
 };
+use jmake_core::DriverOptions;
 use jmake_synth::WorkloadProfile;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut profile = WorkloadProfile::default();
-    let mut workers = 4usize;
+    let mut driver = DriverOptions::default();
     let mut command = String::from("all");
-    let mut jmake_opts = jmake_core::Options::default();
+    let mut show_stats = false;
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -38,11 +45,16 @@ fn main() {
                     .unwrap_or(profile.seed);
             }
             "--workers" => {
-                workers = it.next().and_then(|v| v.parse().ok()).unwrap_or(workers);
+                driver.workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(driver.workers);
             }
             "--full" => profile.commits = 12_000,
-            "--allmodconfig" => jmake_opts.use_allmodconfig = true,
-            "--coverage" => jmake_opts.use_coverage_configs = true,
+            "--allmodconfig" => driver.jmake.use_allmodconfig = true,
+            "--coverage" => driver.jmake.use_coverage_configs = true,
+            "--no-shared-cache" => driver.shared_cache = false,
+            "--stats" => show_stats = true,
             cmd if !cmd.starts_with("--") => command = cmd.to_string(),
             other => {
                 eprintln!("unknown option {other}");
@@ -52,16 +64,29 @@ fn main() {
     }
 
     eprintln!(
-        "generating workload (seed {:#x}, {} commits) and running JMake with {workers} workers…",
-        profile.seed, profile.commits
+        "generating workload (seed {:#x}, {} commits) and running JMake with {} workers (shared config cache: {})…",
+        profile.seed,
+        profile.commits,
+        driver.workers,
+        if driver.shared_cache { "on" } else { "off" },
     );
     let started = std::time::Instant::now();
-    let ctx = build_context_with(&profile, workers, jmake_opts);
+    let ctx = build_context_with_driver(&profile, &driver);
     eprintln!(
         "evaluation finished in {:.1}s wall clock ({} patches)",
         started.elapsed().as_secs_f64(),
         ctx.all.patches
     );
+    let failures = ctx.run.stats.patches - ctx.run.stats.checked;
+    if failures > 0 {
+        eprintln!(
+            "WARNING: {failures} patch(es) did not produce a report (checkout {}, show {}, panics {})",
+            ctx.run.stats.checkout_failures, ctx.run.stats.show_failures, ctx.run.stats.panics
+        );
+    }
+    if show_stats {
+        eprint!("{}", ctx.run.stats.render());
+    }
 
     let print_all = command == "all";
     let mut printed = false;

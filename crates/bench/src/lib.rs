@@ -42,12 +42,25 @@ pub fn build_context_with(
     workers: usize,
     jmake: jmake_core::Options,
 ) -> EvalContext {
+    build_context_with_driver(
+        profile,
+        &DriverOptions {
+            workers,
+            jmake,
+            ..DriverOptions::default()
+        },
+    )
+}
+
+/// [`build_context`] with full driver options (worker count, pipeline
+/// options, shared configuration cache on or off).
+pub fn build_context_with_driver(profile: &WorkloadProfile, driver: &DriverOptions) -> EvalContext {
     let workload = jmake_synth::generate(profile);
     let commits = workload
         .repo
         .log(&LogOptions::paper_defaults().range("v4.3", "v4.4"))
         .expect("tags exist");
-    let run = run_evaluation(&workload.repo, &commits, &DriverOptions { workers, jmake });
+    let run = run_evaluation(&workload.repo, &commits, driver);
     let janitor_names: BTreeSet<&str> = workload.janitor_names.iter().map(String::as_str).collect();
     let all = SliceStats::collect(&run.results, &|_| true);
     let janitor = SliceStats::collect(&run.results, &|a| janitor_names.contains(a));

@@ -2,17 +2,35 @@
 //!
 //! The paper processed 11,057 patches with 25 worker processes, each on
 //! its own kernel clone in a tmpfs. Here each worker checks out the
-//! commit's snapshot into memory, builds a fresh [`BuildEngine`] (so
-//! configurations are recreated per patch, as the paper's per-patch
-//! cleanup implies), runs JMake, and hands back the report plus the
-//! engine's virtual-clock samples.
+//! commit's snapshot into memory, builds a [`BuildEngine`], runs JMake,
+//! and hands back the report plus the engine's virtual-clock samples.
+//!
+//! Three properties the original driver lacked, now guaranteed:
+//!
+//! - **No patch vanishes.** Every input commit produces exactly one
+//!   [`PatchResult`]; checkout errors, `git show` errors, and per-patch
+//!   panics become explicit [`PatchOutcome`] variants instead of being
+//!   silently skipped, and `run_evaluation` asserts the count matches.
+//! - **A panic does not abort the run.** Each patch is checked under
+//!   `catch_unwind`; the panic message is captured in
+//!   [`PatchOutcome::Panicked`] and the remaining patches still run.
+//! - **Configuration solving is shared.** With
+//!   [`DriverOptions::shared_cache`] (the default), all workers share a
+//!   content-addressed [`ConfigCache`], so identical Kconfig/defconfig
+//!   sources are solved once per run instead of once per patch. Cache
+//!   hits still charge the virtual clock the full creation cost, so the
+//!   simulated timings (Figure 4a) are identical either way — only host
+//!   wall-clock drops. [`DriverStats`] reports the hit rate and
+//!   per-stage wall-clock.
 
 use crate::check::{JMake, Options};
 use crate::report::PatchReport;
-use jmake_kbuild::{BuildEngine, Samples};
+use jmake_kbuild::{BuildEngine, CacheStats, ConfigCache, Samples};
 use jmake_vcs::{CommitId, Repo};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Options for an evaluation run.
 #[derive(Debug, Clone)]
@@ -21,6 +39,10 @@ pub struct DriverOptions {
     pub workers: usize,
     /// JMake pipeline options.
     pub jmake: Options,
+    /// Share solved configurations across patches and workers. Affects
+    /// host wall-clock only; reports and virtual timings are identical
+    /// with or without it.
+    pub shared_cache: bool,
 }
 
 impl Default for DriverOptions {
@@ -28,87 +50,383 @@ impl Default for DriverOptions {
         DriverOptions {
             workers: 4,
             jmake: Options::default(),
+            shared_cache: true,
+        }
+    }
+}
+
+/// What happened to one commit. Every commit handed to
+/// [`run_evaluation`] ends in exactly one of these.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatchOutcome {
+    /// JMake ran; here is its report.
+    Checked(PatchReport),
+    /// The commit's snapshot could not be checked out.
+    CheckoutFailed(String),
+    /// The commit's patch could not be produced (`git show`).
+    ShowFailed(String),
+    /// Checking this patch panicked; the message is preserved and the
+    /// run continued.
+    Panicked(String),
+}
+
+impl PatchOutcome {
+    /// The report, when the patch was actually checked.
+    pub fn report(&self) -> Option<&PatchReport> {
+        match self {
+            PatchOutcome::Checked(report) => Some(report),
+            _ => None,
+        }
+    }
+
+    /// True when the patch was checked (successfully or not — this is
+    /// about the driver completing, not the paper's coverage verdict).
+    pub fn is_checked(&self) -> bool {
+        matches!(self, PatchOutcome::Checked(_))
+    }
+
+    /// The failure message for any non-checked outcome.
+    pub fn failure(&self) -> Option<&str> {
+        match self {
+            PatchOutcome::Checked(_) => None,
+            PatchOutcome::CheckoutFailed(m)
+            | PatchOutcome::ShowFailed(m)
+            | PatchOutcome::Panicked(m) => Some(m),
         }
     }
 }
 
 /// One processed patch.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PatchResult {
     /// The commit checked.
     pub commit: CommitId,
-    /// The JMake report.
-    pub report: PatchReport,
+    /// What became of it.
+    pub outcome: PatchOutcome,
+}
+
+impl PatchResult {
+    /// The report, when the patch was actually checked.
+    pub fn report(&self) -> Option<&PatchReport> {
+        self.outcome.report()
+    }
+}
+
+/// Host-side accounting for one run: outcome counts, shared-cache
+/// effectiveness, and real (not virtual) per-stage wall-clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DriverStats {
+    /// Commits handed to the driver.
+    pub patches: usize,
+    /// Outcomes that are [`PatchOutcome::Checked`].
+    pub checked: usize,
+    /// Outcomes that are [`PatchOutcome::CheckoutFailed`].
+    pub checkout_failures: usize,
+    /// Outcomes that are [`PatchOutcome::ShowFailed`].
+    pub show_failures: usize,
+    /// Outcomes that are [`PatchOutcome::Panicked`].
+    pub panics: usize,
+    /// Shared configuration-cache counters (zero when sharing is off).
+    pub cache: CacheStats,
+    /// Wall-clock spent in `checkout`, summed across workers (µs).
+    pub checkout_wall_us: u64,
+    /// Wall-clock spent producing patches (`show`), summed (µs).
+    pub show_wall_us: u64,
+    /// Wall-clock spent inside JMake checking, summed (µs).
+    pub check_wall_us: u64,
+    /// End-to-end wall-clock of the whole run (µs, not summed).
+    pub total_wall_us: u64,
+}
+
+impl DriverStats {
+    /// Patches processed per wall-clock second.
+    pub fn patches_per_sec(&self) -> f64 {
+        if self.total_wall_us == 0 {
+            0.0
+        } else {
+            self.patches as f64 / (self.total_wall_us as f64 / 1e6)
+        }
+    }
+
+    /// Human-readable rendering for `jmake-eval --stats`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("driver statistics (host wall-clock, not simulated time)\n");
+        out.push_str(&format!(
+            "  patches         {:>8}  (checked {}, checkout-failed {}, show-failed {}, panicked {})\n",
+            self.patches, self.checked, self.checkout_failures, self.show_failures, self.panics
+        ));
+        out.push_str(&format!(
+            "  config cache    {:>8.1}% hit rate  ({} hits, {} misses, {} entries)\n",
+            self.cache.hit_rate() * 100.0,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.entries
+        ));
+        out.push_str(&format!(
+            "  stage wall      checkout {:.1} ms, show {:.1} ms, check {:.1} ms (summed over workers)\n",
+            self.checkout_wall_us as f64 / 1e3,
+            self.show_wall_us as f64 / 1e3,
+            self.check_wall_us as f64 / 1e3
+        ));
+        out.push_str(&format!(
+            "  throughput      {:.1} patches/s over {:.1} ms total\n",
+            self.patches_per_sec(),
+            self.total_wall_us as f64 / 1e3
+        ));
+        out
+    }
 }
 
 /// The whole run: per-patch results plus merged timing samples.
 #[derive(Debug, Clone, Default)]
 pub struct EvaluationRun {
-    /// Reports, in commit order.
+    /// One result per input commit, in commit order.
     pub results: Vec<PatchResult>,
     /// Merged per-invocation virtual-clock samples (Figure 4 inputs).
     pub samples: Samples,
+    /// Host-side run accounting.
+    pub stats: DriverStats,
 }
 
 impl EvaluationRun {
-    /// Per-patch total virtual times in microseconds (Figure 5/6 input).
+    /// Per-patch total virtual times in microseconds (Figure 5/6 input),
+    /// for the patches that were actually checked.
     pub fn patch_times_us(&self) -> Vec<u64> {
-        self.results.iter().map(|r| r.report.elapsed_us).collect()
+        self.results
+            .iter()
+            .filter_map(|r| r.report().map(|report| report.elapsed_us))
+            .collect()
+    }
+
+    /// The results that failed to produce a report, with their messages.
+    pub fn failures(&self) -> impl Iterator<Item = (&PatchResult, &str)> {
+        self.results
+            .iter()
+            .filter_map(|r| r.outcome.failure().map(|m| (r, m)))
     }
 }
 
+/// Per-worker output: completed slots plus stage wall-clock accumulators.
+#[derive(Default)]
+struct WorkerOutput {
+    items: Vec<(usize, PatchResult, Samples)>,
+    checkout_us: u64,
+    show_us: u64,
+    check_us: u64,
+}
+
+/// Extract a readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Run `work` for one patch, converting a panic into
+/// [`PatchOutcome::Panicked`] so one bad patch cannot end the run.
+fn guard_patch<F>(work: F) -> (PatchOutcome, Samples)
+where
+    F: FnOnce() -> (PatchOutcome, Samples),
+{
+    match catch_unwind(AssertUnwindSafe(work)) {
+        Ok(done) => done,
+        Err(payload) => (
+            PatchOutcome::Panicked(panic_message(payload.as_ref())),
+            Samples::default(),
+        ),
+    }
+}
+
+/// Check one commit end to end; timings land in `out`'s accumulators.
+fn check_commit(
+    repo: &Repo,
+    commit: CommitId,
+    jmake: &JMake,
+    cache: Option<&Arc<ConfigCache>>,
+    out: &mut WorkerOutput,
+) -> (PatchOutcome, Samples) {
+    let started = Instant::now();
+    let tree = match repo.checkout(commit) {
+        Ok(tree) => tree,
+        Err(e) => {
+            out.checkout_us += started.elapsed().as_micros() as u64;
+            return (PatchOutcome::CheckoutFailed(e.to_string()), Samples::default());
+        }
+    };
+    out.checkout_us += started.elapsed().as_micros() as u64;
+
+    let started = Instant::now();
+    let shown = repo.show_with(
+        commit,
+        &jmake_diff::DiffOptions {
+            ignore_whitespace: true,
+            ..jmake_diff::DiffOptions::default()
+        },
+    );
+    out.show_us += started.elapsed().as_micros() as u64;
+    let patch = match shown {
+        Ok(patch) => patch,
+        Err(e) => return (PatchOutcome::ShowFailed(e.to_string()), Samples::default()),
+    };
+
+    let started = Instant::now();
+    let author = repo
+        .get(commit)
+        .map(|c| c.author.clone())
+        .unwrap_or_default();
+    let mut engine = match cache {
+        Some(cache) => BuildEngine::with_shared_cache(tree, Arc::clone(cache)),
+        None => BuildEngine::new(tree),
+    };
+    let report = jmake.check_patch(&mut engine, &patch, &author);
+    out.check_us += started.elapsed().as_micros() as u64;
+    (PatchOutcome::Checked(report), engine.clock.samples)
+}
+
 /// Run JMake over `commits` of `repo` with `opts.workers` threads.
+///
+/// Returns exactly one [`PatchResult`] per input commit, in input order
+/// — failures included. A panic while checking one patch is recorded in
+/// its result; the other patches still run.
 pub fn run_evaluation(repo: &Repo, commits: &[CommitId], opts: &DriverOptions) -> EvaluationRun {
+    let run_started = Instant::now();
+    let cache = opts.shared_cache.then(|| Arc::new(ConfigCache::new()));
     let next = AtomicUsize::new(0);
-    let collected: Mutex<Vec<(usize, PatchResult, Samples)>> =
-        Mutex::new(Vec::with_capacity(commits.len()));
     let workers = opts.workers.max(1).min(commits.len().max(1));
 
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| {
-                let jmake = JMake::with_options(opts.jmake.clone());
-                loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= commits.len() {
-                        break;
+    let outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cache = cache.as_ref();
+                let next = &next;
+                scope.spawn(move || {
+                    let jmake = JMake::with_options(opts.jmake.clone());
+                    let mut out = WorkerOutput::default();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= commits.len() {
+                            break;
+                        }
+                        let commit = commits[idx];
+                        let (outcome, samples) = guard_patch(AssertUnwindSafe(|| {
+                            check_commit(repo, commit, &jmake, cache, &mut out)
+                        }));
+                        out.items.push((idx, PatchResult { commit, outcome }, samples));
                     }
-                    let commit = commits[idx];
-                    let Ok(tree) = repo.checkout(commit) else {
-                        continue;
-                    };
-                    let Ok(patch) = repo.show_with(
-                        commit,
-                        &jmake_diff::DiffOptions {
-                            ignore_whitespace: true,
-                            ..jmake_diff::DiffOptions::default()
-                        },
-                    ) else {
-                        continue;
-                    };
-                    let author = repo
-                        .get(commit)
-                        .map(|c| c.author.clone())
-                        .unwrap_or_default();
-                    let mut engine = BuildEngine::new(tree);
-                    let report = jmake.check_patch(&mut engine, &patch, &author);
-                    collected.lock().expect("no poisoned workers").push((
-                        idx,
-                        PatchResult { commit, report },
-                        engine.clock.samples,
-                    ));
-                }
-            });
-        }
-    })
-    .expect("worker panicked");
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            // A worker dying outside the per-patch guard loses only its
+            // buffered items; the structural fill below still yields one
+            // outcome per commit.
+            .filter_map(|h| h.join().ok())
+            .collect()
+    });
 
-    let mut items = collected.into_inner().expect("scope joined");
-    items.sort_by_key(|(idx, _, _)| *idx);
+    let mut stats = DriverStats {
+        patches: commits.len(),
+        ..DriverStats::default()
+    };
+    let mut slots: Vec<Option<(PatchResult, Samples)>> = vec![None; commits.len()];
+    for out in outputs {
+        stats.checkout_wall_us += out.checkout_us;
+        stats.show_wall_us += out.show_us;
+        stats.check_wall_us += out.check_us;
+        for (idx, result, samples) in out.items {
+            slots[idx] = Some((result, samples));
+        }
+    }
+
     let mut run = EvaluationRun::default();
-    for (_, result, samples) in items {
+    for (idx, slot) in slots.into_iter().enumerate() {
+        let (result, samples) = slot.unwrap_or_else(|| {
+            (
+                PatchResult {
+                    commit: commits[idx],
+                    outcome: PatchOutcome::Panicked(
+                        "worker thread died before reporting this patch".to_string(),
+                    ),
+                },
+                Samples::default(),
+            )
+        });
+        match &result.outcome {
+            PatchOutcome::Checked(_) => stats.checked += 1,
+            PatchOutcome::CheckoutFailed(_) => stats.checkout_failures += 1,
+            PatchOutcome::ShowFailed(_) => stats.show_failures += 1,
+            PatchOutcome::Panicked(_) => stats.panics += 1,
+        }
         run.samples.merge(&samples);
         run.results.push(result);
     }
+
+    if let Some(cache) = &cache {
+        stats.cache = cache.stats();
+    }
+    stats.total_wall_us = run_started.elapsed().as_micros() as u64;
+    run.stats = stats;
+    assert_eq!(
+        run.results.len(),
+        commits.len(),
+        "every input commit must produce exactly one outcome"
+    );
     run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_converts_panics_into_outcomes() {
+        let (outcome, samples) = guard_patch(|| panic!("mutation table overflow"));
+        assert_eq!(
+            outcome,
+            PatchOutcome::Panicked("mutation table overflow".to_string())
+        );
+        assert_eq!(samples, Samples::default());
+
+        // String payloads (e.g. from `expect` / formatted panics) must
+        // survive the downcast too, not only `&'static str`.
+        let (outcome, _) = guard_patch(|| {
+            std::panic::panic_any("formatted: patch 7".to_string());
+        });
+        match outcome {
+            PatchOutcome::Panicked(msg) => assert!(msg.contains("patch 7"), "{msg}"),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let failed = PatchOutcome::CheckoutFailed("no such commit".to_string());
+        assert!(!failed.is_checked());
+        assert!(failed.report().is_none());
+        assert_eq!(failed.failure(), Some("no such commit"));
+    }
+
+    #[test]
+    fn stats_render_and_rate() {
+        let stats = DriverStats {
+            patches: 10,
+            checked: 8,
+            checkout_failures: 1,
+            panics: 1,
+            total_wall_us: 2_000_000,
+            ..DriverStats::default()
+        };
+        assert!((stats.patches_per_sec() - 5.0).abs() < 1e-9);
+        let text = stats.render();
+        assert!(text.contains("checked 8"));
+        assert!(text.contains("panicked 1"));
+        assert_eq!(DriverStats::default().patches_per_sec(), 0.0);
+    }
 }

@@ -65,7 +65,9 @@ pub use archsel::{ArchSelector, Target};
 pub use check::{JMake, Options};
 pub use classify::UncoveredReason;
 pub use covsel::{branch_wants, generate_cover_targets, Want};
-pub use driver::{run_evaluation, DriverOptions, EvaluationRun, PatchResult};
+pub use driver::{
+    run_evaluation, DriverOptions, DriverStats, EvaluationRun, PatchOutcome, PatchResult,
+};
 pub use mutation::{mutate, mutate_naive, MutationPlan};
 pub use precheck::{precheck, PrecheckKind, PrecheckWarning};
 pub use report::{FileReport, FileStatus, PatchKind, PatchReport, UncoveredMutation};

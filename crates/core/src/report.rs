@@ -48,7 +48,7 @@ pub struct UncoveredMutation {
 }
 
 /// The report for one file instance.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FileReport {
     /// Path within the tree.
     pub path: String,
@@ -131,7 +131,7 @@ pub enum PatchKind {
 }
 
 /// The report for one whole patch.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PatchReport {
     /// Author of the patch (for the janitor slicing).
     pub author: String,

@@ -102,10 +102,14 @@ impl SliceStats {
     pub fn collect(results: &[PatchResult], include: &dyn Fn(&str) -> bool) -> SliceStats {
         let mut s = SliceStats::default();
         for r in results {
-            if !include(&r.report.author) {
+            // Driver-level failures (checkout/show/panic) carry no report
+            // and aggregate nowhere; DriverStats accounts for them.
+            let Some(report) = r.report() else {
+                continue;
+            };
+            if !include(&report.author) {
                 continue;
             }
-            let report = &r.report;
             if report.files.is_empty() {
                 continue;
             }
@@ -277,14 +281,14 @@ mod tests {
                 "m",
                 &jmake_kbuild::SourceTree::new(),
             ),
-            report: PatchReport {
+            outcome: crate::driver::PatchOutcome::Checked(PatchReport {
                 author: author.into(),
                 files,
                 elapsed_us: elapsed,
                 config_creations: 1,
                 i_invocations: 1,
                 o_invocations: 1,
-            },
+            }),
         }
     }
 

@@ -1,6 +1,7 @@
 //! The build engine: `make allyesconfig`, `make file.i`, `make file.o`.
 
 use crate::arch::{Arch, ArchRegistry};
+use crate::cache::ConfigCache;
 use crate::clock::{CostModel, SampleKind, VirtualClock};
 use crate::objgraph::ObjGraph;
 use crate::tree::SourceTree;
@@ -9,6 +10,7 @@ use jmake_kconfig::{Config, KconfigModel, Tristate};
 use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Which configuration to create (paper §II.B).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -36,6 +38,19 @@ impl ConfigKind {
             ConfigKind::AllMod => "allmodconfig".to_string(),
             ConfigKind::Defconfig(p) => format!("defconfig:{p}"),
             ConfigKind::Custom { name, .. } => format!("custom:{name}"),
+        }
+    }
+
+    /// Key used in the cross-patch [`ConfigCache`]. Unlike the per-engine
+    /// key, a custom configuration's *content* is folded in: two patches
+    /// may reuse one display name for different synthesized configs, and
+    /// the shared cache must not conflate them.
+    fn shared_key(&self) -> String {
+        match self {
+            ConfigKind::Custom { name, content } => {
+                format!("custom:{name}:{:016x}", ConfigCache::fingerprint_bytes(content.as_bytes()))
+            }
+            other => other.cache_key(),
         }
     }
 }
@@ -190,6 +205,9 @@ pub struct BuildEngine {
     warm: BTreeSet<(String, String)>,
     bootstrap: BTreeSet<String>,
     heavy: BTreeSet<String>,
+    /// Cross-patch configuration cache plus this tree's fingerprint
+    /// (computed once at construction); `None` runs fully per-engine.
+    shared: Option<(Arc<ConfigCache>, u64)>,
 }
 
 impl BuildEngine {
@@ -230,7 +248,29 @@ impl BuildEngine {
             warm: BTreeSet::new(),
             bootstrap,
             heavy,
+            shared: None,
         }
+    }
+
+    /// Create an engine over `tree` that shares solved configurations
+    /// with every other engine holding the same [`ConfigCache`].
+    ///
+    /// The tree's Kconfig/defconfig content is fingerprinted once here;
+    /// cache hits require an exact content match, so sharing across
+    /// patches is sound (a patch touching any Kconfig or defconfig file
+    /// gets a fresh solve). Hits still charge the virtual clock the full
+    /// configuration-creation cost — simulated timing, including the
+    /// Figure 4a CDF, is identical with or without sharing.
+    pub fn with_shared_cache(tree: SourceTree, cache: Arc<ConfigCache>) -> Self {
+        let fingerprint = ConfigCache::fingerprint_tree(&tree);
+        let mut engine = BuildEngine::new(tree);
+        engine.shared = Some((cache, fingerprint));
+        engine
+    }
+
+    /// The shared configuration cache, when one is attached.
+    pub fn shared_cache(&self) -> Option<&Arc<ConfigCache>> {
+        self.shared.as_ref().map(|(cache, _)| cache)
     }
 
     /// The pristine tree.
@@ -296,6 +336,18 @@ impl BuildEngine {
         if !arch_info.cross_compiler_works {
             return Err(BuildError::CrossCompilerMissing(arch.to_string()));
         }
+        // Consult the cross-patch cache before solving. A hit skips the
+        // host-side model assembly and constraint solving but charges
+        // the virtual clock exactly what solving would have — simulated
+        // timing does not depend on the cache.
+        if let Some((cache, fingerprint)) = self.shared.clone() {
+            if let Some(shared_cfg) = cache.get(fingerprint, arch, &kind.shared_key()) {
+                let built = (*shared_cfg).clone();
+                self.charge_config_creation(built.model.len() as u64, &arch_info);
+                self.config_cache.insert(key, built.clone());
+                return Ok(built);
+            }
+        }
         let model = self.kconfig_model(arch)?;
         let config = match kind {
             ConfigKind::AllYes => model.allyesconfig(),
@@ -309,23 +361,33 @@ impl BuildEngine {
             }
             ConfigKind::Custom { content, .. } => model.defconfig(content),
         };
-        // Configuration creation pays the Makefile's per-arch setup
-        // sequence too (a fraction of the ops run during *config), which
-        // is what spreads Fig. 4a across architectures.
-        self.clock.charge(
-            SampleKind::Config,
-            self.cost.config_base_us
-                + model.len() as u64 * self.cost.config_per_symbol_us
-                + u64::from(arch_info.setup_ops) * self.cost.setup_op_us / 8,
-        );
+        self.charge_config_creation(model.len() as u64, &arch_info);
         let built = BuildConfig {
             arch: arch_info,
             kind: kind.clone(),
             config,
             model,
         };
+        if let Some((cache, fingerprint)) = &self.shared {
+            cache.insert(*fingerprint, arch, &kind.shared_key(), Arc::new(built.clone()));
+        }
         self.config_cache.insert(key, built.clone());
         Ok(built)
+    }
+
+    /// Configuration creation pays the Makefile's per-arch setup
+    /// sequence too (a fraction of the ops run during *config), which
+    /// is what spreads Fig. 4a across architectures. Shared-cache hits
+    /// go through the same formula with the cached model's symbol count,
+    /// which equals what a fresh solve would produce (the fingerprint
+    /// pins the Kconfig sources).
+    fn charge_config_creation(&mut self, symbols: u64, arch_info: &Arch) {
+        self.clock.charge(
+            SampleKind::Config,
+            self.cost.config_base_us
+                + symbols * self.cost.config_per_symbol_us
+                + u64::from(arch_info.setup_ops) * self.cost.setup_op_us / 8,
+        );
     }
 
     /// Assemble the Kconfig model for `arch`: the top-level `Kconfig` plus

@@ -1,0 +1,276 @@
+//! Cross-patch, content-addressed configuration cache.
+//!
+//! The paper's evaluation recreates every configuration per patch (§V.A:
+//! each worker starts from a clean clone), which dominates wall-clock
+//! time. Consecutive patches overwhelmingly share identical Kconfig and
+//! defconfig sources, so the solved [`BuildConfig`] is identical too.
+//! [`ConfigCache`] lets every [`BuildEngine`](crate::BuildEngine) in a
+//! run share solved configurations — keyed by a fingerprint of the
+//! tree's Kconfig/defconfig content, the architecture, and the
+//! configuration kind — behind a sharded `RwLock` map.
+//!
+//! Sharing is a **host-side** optimization only: on a cache hit the
+//! engine still charges the virtual clock the full configuration-creation
+//! cost, so the paper's Figure 4a CDF (and every per-patch virtual time)
+//! is bit-identical with or without the cache. Only real wall-clock
+//! drops.
+
+use crate::build::BuildConfig;
+use crate::tree::SourceTree;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Number of independent lock shards; keys spread by fingerprint+kind
+/// hash so concurrent workers on different architectures rarely contend.
+const SHARDS: usize = 16;
+
+/// Key of one cached configuration: (tree fingerprint, arch name,
+/// configuration-kind key).
+type Key = (u64, String, String);
+
+/// Aggregate cache counters, cheap to copy into driver statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to solve the configuration.
+    pub misses: u64,
+    /// Distinct configurations currently held.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A thread-safe, content-addressed store of solved [`BuildConfig`]s,
+/// shared across the build engines of an evaluation run.
+#[derive(Debug, Default)]
+pub struct ConfigCache {
+    shards: [RwLock<HashMap<Key, Arc<BuildConfig>>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ConfigCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ConfigCache::default()
+    }
+
+    fn shard(&self, key: &Key) -> &RwLock<HashMap<Key, Arc<BuildConfig>>> {
+        // The fingerprint is already a strong 64-bit hash; fold in the
+        // kind key's length so AllYes/AllMod on one tree can land apart.
+        let idx = (key.0 ^ key.2.len() as u64) as usize % SHARDS;
+        &self.shards[idx]
+    }
+
+    /// Look up a solved configuration; counts a hit or a miss. Under a
+    /// concurrent miss-then-solve race both solvers count a miss — the
+    /// counters describe lookups, not distinct solving work.
+    pub fn get(&self, fingerprint: u64, arch: &str, kind_key: &str) -> Option<Arc<BuildConfig>> {
+        let key = (fingerprint, arch.to_string(), kind_key.to_string());
+        let found = self
+            .shard(&key)
+            .read()
+            .expect("config cache shard poisoned")
+            .get(&key)
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Store a solved configuration. The first writer wins a race; later
+    /// identical solutions are dropped.
+    pub fn insert(&self, fingerprint: u64, arch: &str, kind_key: &str, cfg: Arc<BuildConfig>) {
+        let key = (fingerprint, arch.to_string(), kind_key.to_string());
+        self.shard(&key)
+            .write()
+            .expect("config cache shard poisoned")
+            .entry(key)
+            .or_insert(cfg);
+    }
+
+    /// Number of distinct configurations held.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("config cache shard poisoned").len())
+            .sum()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+        }
+    }
+
+    /// Content fingerprint of everything configuration solving reads
+    /// from a tree: every path whose file name mentions `Kconfig`
+    /// (the top-level and per-arch files plus everything `source`
+    /// directives chase, which kernel convention names `Kconfig*`), and
+    /// every prepared configuration under `arch/*/configs/`.
+    ///
+    /// Two trees with equal fingerprints solve to identical
+    /// configurations for every `(arch, kind)`, so solved configs are
+    /// safely shared across patches that do not touch those files.
+    pub fn fingerprint_tree(tree: &SourceTree) -> u64 {
+        let mut paths: Vec<&str> = tree
+            .paths()
+            .filter(|p| {
+                p.rsplit('/').next().is_some_and(|name| name.contains("Kconfig"))
+                    || (p.starts_with("arch/") && p.contains("/configs/"))
+            })
+            .collect();
+        paths.sort_unstable();
+        let mut h = Fnv::new();
+        for p in paths {
+            h.write(p.as_bytes());
+            h.write(&[0]);
+            h.write(tree.get(p).unwrap_or_default().as_bytes());
+            h.write(&[0xff]);
+        }
+        h.finish()
+    }
+
+    /// Fingerprint arbitrary bytes (used to widen custom-config keys).
+    pub fn fingerprint_bytes(bytes: &[u8]) -> u64 {
+        let mut h = Fnv::new();
+        h.write(bytes);
+        h.finish()
+    }
+}
+
+/// FNV-1a, 64-bit: tiny, dependency-free, and strong enough for
+/// content addressing here (a collision merely shares a stale config,
+/// and the inputs are source text, not adversarial).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{BuildEngine, ConfigKind};
+
+    fn tiny_tree() -> SourceTree {
+        let mut t = SourceTree::new();
+        t.insert("Kconfig", "config NET\n\tbool \"net\"\n");
+        t.insert("arch/x86_64/Kconfig", "config X86_64\n\tdef_bool y\n");
+        t.insert("Makefile", "obj-y += kernel/\n");
+        t.insert("kernel/Makefile", "obj-y += core.o\n");
+        t.insert("kernel/core.c", "int core;\n");
+        t
+    }
+
+    #[test]
+    fn fingerprint_tracks_kconfig_and_defconfig_content_only() {
+        let base = tiny_tree();
+        let fp = ConfigCache::fingerprint_tree(&base);
+
+        // Touching a .c file leaves the fingerprint alone…
+        let mut c_change = base.clone();
+        c_change.insert("kernel/core.c", "int core_v2;\n");
+        assert_eq!(fp, ConfigCache::fingerprint_tree(&c_change));
+
+        // …while touching Kconfig or a defconfig changes it.
+        let mut k_change = base.clone();
+        k_change.insert("Kconfig", "config NET\n\tbool \"network\"\n");
+        assert_ne!(fp, ConfigCache::fingerprint_tree(&k_change));
+
+        let mut d_change = base.clone();
+        d_change.insert("arch/x86_64/configs/tiny_defconfig", "CONFIG_NET=y\n");
+        assert_ne!(fp, ConfigCache::fingerprint_tree(&d_change));
+    }
+
+    #[test]
+    fn get_insert_and_counters() {
+        let cache = ConfigCache::new();
+        assert!(cache.is_empty());
+        assert!(cache.get(1, "x86_64", "allyesconfig").is_none());
+
+        let mut engine = BuildEngine::new(tiny_tree());
+        let cfg = engine.make_config("x86_64", &ConfigKind::AllYes).unwrap();
+        cache.insert(1, "x86_64", "allyesconfig", Arc::new(cfg));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(1, "x86_64", "allyesconfig").is_some());
+        assert!(cache.get(2, "x86_64", "allyesconfig").is_none());
+
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 1));
+        assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_engines_hit_the_cache_but_charge_the_clock() {
+        let cache = Arc::new(ConfigCache::new());
+
+        let mut first = BuildEngine::with_shared_cache(tiny_tree(), Arc::clone(&cache));
+        first.make_config("x86_64", &ConfigKind::AllYes).unwrap();
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 0);
+
+        let mut second = BuildEngine::with_shared_cache(tiny_tree(), Arc::clone(&cache));
+        second.make_config("x86_64", &ConfigKind::AllYes).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+
+        // Virtual-clock charge is identical whether solved or shared:
+        // the simulated run still pays full configuration creation.
+        assert_eq!(
+            first.clock.samples.config, second.clock.samples.config,
+            "cache hits must charge the same virtual config cost"
+        );
+    }
+
+    #[test]
+    fn different_trees_do_not_share() {
+        let cache = Arc::new(ConfigCache::new());
+        let mut a = BuildEngine::with_shared_cache(tiny_tree(), Arc::clone(&cache));
+        a.make_config("x86_64", &ConfigKind::AllYes).unwrap();
+
+        let mut changed = tiny_tree();
+        changed.insert("Kconfig", "config NET\n\tbool \"net\"\n\nconfig EXTRA\n\tbool \"x\"\n");
+        let mut b = BuildEngine::with_shared_cache(changed, Arc::clone(&cache));
+        let cfg = b.make_config("x86_64", &ConfigKind::AllYes).unwrap();
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.len(), 2);
+        // Solved against its own tree: NET, EXTRA, and X86_64 are all in
+        // the model, where the first tree declares only two symbols.
+        assert!(cfg.model.len() >= 3);
+    }
+}

@@ -30,6 +30,7 @@
 
 pub mod arch;
 pub mod build;
+pub mod cache;
 pub mod clock;
 pub mod makefile;
 pub mod objgraph;
@@ -37,6 +38,7 @@ pub mod tree;
 
 pub use arch::{Arch, ArchRegistry};
 pub use build::{BuildConfig, BuildEngine, BuildError, ConfigKind, IFile, IResults};
+pub use cache::{CacheStats, ConfigCache};
 pub use clock::{CostModel, Samples, VirtualClock};
 pub use makefile::{Cond, Makefile};
 pub use objgraph::ObjGraph;

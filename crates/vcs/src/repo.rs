@@ -12,6 +12,17 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CommitId(pub(crate) u32);
 
+impl CommitId {
+    /// An id from a raw history index, without checking that any
+    /// repository contains it. Resolving a fabricated id beyond a
+    /// repository's history yields [`RepoError::NoSuchCommit`] — which is
+    /// exactly what evaluation-driver tests need to exercise their
+    /// checkout-failure paths.
+    pub fn from_raw(index: u32) -> Self {
+        CommitId(index)
+    }
+}
+
 impl fmt::Display for CommitId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "c{:07x}", self.0)

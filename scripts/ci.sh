@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must keep green.
+#
+#   ./scripts/ci.sh          # build + tests + clippy
+#
+# Runs entirely offline — the workspace's only non-std dependencies are
+# the vendored path crates under vendor/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (workspace)"
+cargo test --workspace -q
+
+echo "==> cargo clippy --all-targets -- -D warnings (workspace)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1 gate passed"

@@ -1,9 +1,11 @@
 //! Cross-crate integration tests: the full JMake stack over the synthetic
 //! workload, end to end.
 
-use jmake::core::{run_evaluation, DriverOptions, FileStatus, SliceStats, UncoveredReason};
+use jmake::core::{
+    run_evaluation, DriverOptions, FileStatus, PatchOutcome, SliceStats, UncoveredReason,
+};
 use jmake::synth::{PathologyKind, WorkloadProfile};
-use jmake::vcs::LogOptions;
+use jmake::vcs::{CommitId, LogOptions};
 use std::collections::BTreeSet;
 
 fn tiny_run() -> (jmake::synth::SynthOutput, jmake::core::EvaluationRun) {
@@ -60,10 +62,73 @@ fn evaluation_is_deterministic_across_runs() {
     assert_eq!(run_a.results.len(), run_b.results.len());
     for (a, b) in run_a.results.iter().zip(&run_b.results) {
         assert_eq!(a.commit, b.commit);
-        assert_eq!(a.report.is_success(), b.report.is_success());
-        assert_eq!(a.report.elapsed_us, b.report.elapsed_us);
-        assert_eq!(a.report.files.len(), b.report.files.len());
+        let (ra, rb) = (a.report().unwrap(), b.report().unwrap());
+        assert_eq!(ra.is_success(), rb.is_success());
+        assert_eq!(ra.elapsed_us, rb.elapsed_us);
+        assert_eq!(ra.files.len(), rb.files.len());
     }
+}
+
+#[test]
+fn reports_are_identical_across_worker_counts_and_cache_modes() {
+    let profile = WorkloadProfile::tiny();
+    let workload = jmake::synth::generate(&profile);
+    let commits = workload
+        .repo
+        .log(&LogOptions::paper_defaults().range("v4.3", "v4.4"))
+        .expect("tags exist");
+    let run_with = |workers: usize, shared_cache: bool| {
+        run_evaluation(
+            &workload.repo,
+            &commits,
+            &DriverOptions {
+                workers,
+                shared_cache,
+                ..DriverOptions::default()
+            },
+        )
+    };
+    let baseline = run_with(1, false);
+    for (workers, shared_cache) in [(1, true), (8, false), (8, true)] {
+        let other = run_with(workers, shared_cache);
+        assert_eq!(
+            baseline.results, other.results,
+            "reports diverged at workers={workers} shared_cache={shared_cache}"
+        );
+    }
+    // The cache actually participates: a multi-patch run must hit it.
+    let cached = run_with(8, true);
+    assert!(cached.stats.cache.hits > 0, "shared cache never hit");
+    assert_eq!(run_with(8, false).stats.cache, Default::default());
+}
+
+#[test]
+fn unresolvable_commits_yield_explicit_failures_not_omissions() {
+    let profile = WorkloadProfile::tiny();
+    let workload = jmake::synth::generate(&profile);
+    let mut commits = workload
+        .repo
+        .log(&LogOptions::paper_defaults().range("v4.3", "v4.4"))
+        .expect("tags exist");
+    let dangling = CommitId::from_raw(u32::MAX);
+    commits.insert(0, dangling);
+    commits.push(dangling);
+    let run = run_evaluation(&workload.repo, &commits, &DriverOptions::default());
+    // One outcome per input, in order — the bad commits don't vanish.
+    assert_eq!(run.results.len(), commits.len());
+    for idx in [0, commits.len() - 1] {
+        assert_eq!(run.results[idx].commit, dangling);
+        assert!(
+            matches!(run.results[idx].outcome, PatchOutcome::CheckoutFailed(_)),
+            "expected CheckoutFailed, got {:?}",
+            run.results[idx].outcome
+        );
+    }
+    assert_eq!(run.stats.checkout_failures, 2);
+    assert_eq!(run.stats.checked, commits.len() - 2);
+    // SliceStats quietly skips report-less results.
+    let stats = SliceStats::collect(&run.results, &|_| true);
+    assert!(stats.patches <= commits.len() - 2);
 }
 
 #[test]
@@ -78,8 +143,11 @@ fn planted_pathologies_are_diagnosed_with_matching_reasons() {
         .log(&LogOptions::paper_defaults().range("v4.3", "v4.4"))
         .unwrap();
     let run = run_evaluation(&workload.repo, &commits, &DriverOptions::default());
-    let by_commit: std::collections::BTreeMap<_, _> =
-        run.results.iter().map(|r| (r.commit, &r.report)).collect();
+    let by_commit: std::collections::BTreeMap<_, _> = run
+        .results
+        .iter()
+        .map(|r| (r.commit, r.report().expect("patch checked")))
+        .collect();
 
     let expectation = |kind: PathologyKind| -> Option<UncoveredReason> {
         match kind {
@@ -133,8 +201,11 @@ fn bootstrap_patches_are_flagged_not_crashed() {
         .log(&LogOptions::paper_defaults().range("v4.3", "v4.4"))
         .unwrap();
     let run = run_evaluation(&workload.repo, &commits, &DriverOptions::default());
-    let by_commit: std::collections::BTreeMap<_, _> =
-        run.results.iter().map(|r| (r.commit, &r.report)).collect();
+    let by_commit: std::collections::BTreeMap<_, _> = run
+        .results
+        .iter()
+        .map(|r| (r.commit, r.report().expect("patch checked")))
+        .collect();
     let mut seen = 0;
     for planted in workload
         .planted
@@ -175,10 +246,11 @@ fn heavy_file_patches_dominate_the_time_distribution() {
     let mut heavy_max = 0u64;
     let mut normal_max = 0u64;
     for r in &run.results {
+        let elapsed = r.report().expect("patch checked").elapsed_us;
         if heavy_commits.contains(&r.commit) {
-            heavy_max = heavy_max.max(r.report.elapsed_us);
+            heavy_max = heavy_max.max(elapsed);
         } else {
-            normal_max = normal_max.max(r.report.elapsed_us);
+            normal_max = normal_max.max(elapsed);
         }
     }
     assert!(

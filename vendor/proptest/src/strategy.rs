@@ -1,0 +1,300 @@
+//! The [`Strategy`] trait, the deterministic case RNG, and the built-in
+//! strategy implementations (ranges, tuples, character-class strings).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic per-case random source (xoshiro-style xorshift mix).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// A generator seeded directly.
+    pub fn new(seed: u64) -> Self {
+        // Never allow the all-zero state.
+        TestRng(seed | 1)
+    }
+
+    /// The generator for case `case` of the named property: the seed
+    /// mixes the test path and case index so every property explores an
+    /// independent, reproducible stream.
+    pub fn for_case(test_path: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h ^= (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        TestRng::new(h)
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        // splitmix64 step: robust even for adjacent seeds.
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// Uniform in a half-open usize range.
+    pub fn in_range(&mut self, r: &Range<usize>) -> usize {
+        assert!(r.start < r.end, "empty strategy range {r:?}");
+        r.start + self.below((r.end - r.start) as u64) as usize
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The value produced.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + rng.below((self.end - self.start) as u64) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty strategy range");
+                start + rng.below((end - start) as u64 + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// String strategies from the character-class patterns the workspace
+/// uses: `"[a-z]{1,6}"`, `"[ -~]{0,60}"`, and friends. A pattern with
+/// no repetition suffix generates the class exactly once. (Implemented
+/// on `str` so string literals reach it through the `&S` blanket impl.)
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, min, max) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string strategy pattern {:?}", self));
+        let n = min + rng.below((max - min + 1) as u64) as usize;
+        (0..n)
+            .map(|_| chars[rng.below(chars.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Parse `[class]{m,n}` / `[class]{n}` / `[class]` into the expanded
+/// character set and repetition bounds.
+fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i], class[i + 2]);
+            if lo > hi {
+                return None;
+            }
+            chars.extend((lo..=hi).filter(|c| c.is_ascii()));
+            i += 3;
+        } else {
+            chars.push(class[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    let suffix = &rest[close + 1..];
+    if suffix.is_empty() {
+        return Some((chars, 1, 1));
+    }
+    let counts = suffix.strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = match counts.split_once(',') {
+        Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+        None => {
+            let n = counts.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    (min <= max).then_some((chars, min, max))
+}
+
+/// A uniform choice between boxed same-valued strategies — the engine
+/// behind [`crate::prop_oneof!`].
+pub struct Union<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+/// Build a [`Union`]; used by the [`crate::prop_oneof!`] expansion.
+pub fn union_of<V>(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Union<V> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    Union { arms }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let idx = rng.below(self.arms.len() as u64) as usize;
+        self.arms[idx].generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_patterns_parse() {
+        let (chars, min, max) = parse_class_pattern("[a-z]{1,6}").unwrap();
+        assert_eq!(chars.len(), 26);
+        assert_eq!((min, max), (1, 6));
+        let (chars, min, max) = parse_class_pattern("[ -~]{0,60}").unwrap();
+        assert_eq!(chars.len(), 95); // all printable ASCII
+        assert_eq!((min, max), (0, 60));
+        let (chars, _, _) = parse_class_pattern("[a-z ]{0,12}").unwrap();
+        assert_eq!(chars.len(), 27);
+        assert!(parse_class_pattern("plain").is_none());
+    }
+
+    #[test]
+    fn string_strategy_respects_bounds() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let s = "[a-z]{1,6}".generate(&mut rng);
+            assert!((1..=6).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn ranges_and_tuples_generate() {
+        let mut rng = TestRng::new(4);
+        for _ in 0..100 {
+            let v = (0usize..8).generate(&mut rng);
+            assert!(v < 8);
+            let (a, b) = ("[A-Z]{1,3}", 0u32..99).generate(&mut rng);
+            assert!(!a.is_empty() && b < 99);
+        }
+    }
+
+    #[test]
+    fn union_draws_every_arm() {
+        let u = union_of::<u32>(vec![Box::new(0u32..1), Box::new(5u32..6)]);
+        let mut rng = TestRng::new(5);
+        let draws: Vec<u32> = (0..100).map(|_| u.generate(&mut rng)).collect();
+        assert!(draws.contains(&0) && draws.contains(&5));
+    }
+
+    #[test]
+    fn for_case_streams_are_distinct() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::for_case("m::t", 0);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::for_case("m::t", 1);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, b);
+        let a2: Vec<u64> = {
+            let mut r = TestRng::for_case("m::t", 0);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, a2);
+    }
+}
