@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! jmake-eval [OPTIONS] <table1|table2|table3|table4|fig4a|fig4b|fig4c|fig5|fig6|summary|all>
+//! jmake-eval trace-check <trace.jsonl>
 //!
 //!   --commits N        window size (default 1200; paper scale ~12000)
 //!   --seed S           workload seed
@@ -14,6 +15,13 @@
 //!                      identical reports)
 //!   --stats            print driver statistics (cache hit rate,
 //!                      per-stage wall-clock, failure counts)
+//!   --trace FILE       write one JSON line per pipeline span to FILE
+//!   --metrics          print per-stage span metrics (count, p50/p90/max
+//!                      host µs, total virtual µs, config cache hit rate)
+//!
+//! `trace-check` re-parses a `--trace` file, validates every line against
+//! the documented schema, and prints per-stage span counts. It exits
+//! non-zero on the first malformed line.
 //! ```
 
 use jmake_bench::{
@@ -22,13 +30,54 @@ use jmake_bench::{
 };
 use jmake_core::DriverOptions;
 use jmake_synth::WorkloadProfile;
+use jmake_trace::Tracer;
+
+/// Validate a trace file produced by `--trace`: every line must parse as
+/// a span record with a documented stage name. Prints per-stage counts.
+fn trace_check(path: &str) -> ! {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace-check: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let records = match jmake_trace::jsonl::parse(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("trace-check: {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut counts = std::collections::BTreeMap::new();
+    for r in &records {
+        if let Some(stage) = r.stage {
+            *counts.entry(stage.name()).or_insert(0u64) += 1;
+        }
+    }
+    println!("trace-check: {path}: {} span(s) OK", records.len());
+    for (stage, n) in counts {
+        println!("  {stage:<14} {n}");
+    }
+    std::process::exit(0);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trace-check") {
+        match args.get(1) {
+            Some(path) => trace_check(path),
+            None => {
+                eprintln!("usage: jmake-eval trace-check <trace.jsonl>");
+                std::process::exit(2);
+            }
+        }
+    }
     let mut profile = WorkloadProfile::default();
     let mut driver = DriverOptions::default();
     let mut command = String::from("all");
     let mut show_stats = false;
+    let mut show_metrics = false;
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -55,6 +104,20 @@ fn main() {
             "--coverage" => driver.jmake.use_coverage_configs = true,
             "--no-shared-cache" => driver.shared_cache = false,
             "--stats" => show_stats = true,
+            "--trace" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--trace needs a file path");
+                    std::process::exit(2);
+                };
+                driver.tracer = match Tracer::to_file(std::path::Path::new(path)) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("cannot open trace file {path}: {e}");
+                        std::process::exit(1);
+                    }
+                };
+            }
+            "--metrics" => show_metrics = true,
             cmd if !cmd.starts_with("--") => command = cmd.to_string(),
             other => {
                 eprintln!("unknown option {other}");
@@ -62,6 +125,12 @@ fn main() {
             }
         }
     }
+    // `--metrics` without `--trace` still needs span recording; keep the
+    // records in memory instead of a file.
+    if show_metrics && !driver.tracer.is_enabled() {
+        driver.tracer = Tracer::in_memory();
+    }
+    let tracer = driver.tracer.clone();
 
     eprintln!(
         "generating workload (seed {:#x}, {} commits) and running JMake with {} workers (shared config cache: {})…",
@@ -86,6 +155,19 @@ fn main() {
     }
     if show_stats {
         eprint!("{}", ctx.run.stats.render());
+    }
+    if let Err(e) = tracer.flush() {
+        eprintln!("WARNING: flushing trace file failed: {e}");
+    }
+    if show_metrics {
+        eprint!("{}", tracer.metrics().render());
+        let balance = tracer.balance();
+        if !balance.is_balanced() {
+            eprintln!(
+                "WARNING: unbalanced spans ({} opened, {} closed)",
+                balance.opened, balance.closed
+            );
+        }
     }
 
     let print_all = command == "all";

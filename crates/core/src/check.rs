@@ -9,6 +9,7 @@ use crate::token::{MutationKind, MutationToken};
 use jmake_cpp::analyze;
 use jmake_diff::{changed_lines, ChangeKind, Patch};
 use jmake_kbuild::{tree::file_name, BuildEngine, ConfigKind, SourceTree};
+use jmake_trace::Stage;
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 /// Tunable behaviour of the pipeline.
@@ -168,10 +169,13 @@ impl JMake {
             };
             let new_len = content.lines().count() as u32;
             let changed = changed_lines(fp, new_len);
-            let plan = if self.options.naive_mutations {
-                crate::mutation::mutate_naive(&path, content, &changed)
-            } else {
-                mutate(&path, content, &changed)
+            let plan = {
+                let _span = engine.tracer().span(Stage::MutationPlan).with_file(&path);
+                if self.options.naive_mutations {
+                    crate::mutation::mutate_naive(&path, content, &changed)
+                } else {
+                    mutate(&path, content, &changed)
+                }
             };
             let candidates = if is_header {
                 Vec::new() // headers are compiled via candidate .c files
@@ -532,6 +536,20 @@ impl JMake {
 
     /// Classify leftovers and assemble the reports.
     fn finish(
+        &self,
+        engine: &mut BuildEngine,
+        base: &SourceTree,
+        works: Vec<Work>,
+        expanded_macros: &HashSet<String>,
+    ) -> Vec<FileReport> {
+        let mut span = engine.tracer().span(Stage::Classify);
+        let before = engine.clock.now_us();
+        let reports = self.finish_inner(engine, base, works, expanded_macros);
+        span.set_virtual_us(engine.clock.now_us() - before);
+        reports
+    }
+
+    fn finish_inner(
         &self,
         engine: &mut BuildEngine,
         base: &SourceTree,

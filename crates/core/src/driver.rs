@@ -26,6 +26,7 @@
 use crate::check::{JMake, Options};
 use crate::report::PatchReport;
 use jmake_kbuild::{BuildEngine, CacheStats, ConfigCache, Samples};
+use jmake_trace::{Stage, Tracer};
 use jmake_vcs::{CommitId, Repo};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -43,6 +44,10 @@ pub struct DriverOptions {
     /// host wall-clock only; reports and virtual timings are identical
     /// with or without it.
     pub shared_cache: bool,
+    /// Span emitter for per-stage tracing. Disabled by default — a
+    /// disabled tracer is a no-op and leaves reports and the Figure 4
+    /// distributions bit-identical.
+    pub tracer: Tracer,
 }
 
 impl Default for DriverOptions {
@@ -51,6 +56,7 @@ impl Default for DriverOptions {
             workers: 4,
             jmake: Options::default(),
             shared_cache: true,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -243,23 +249,35 @@ where
 }
 
 /// Check one commit end to end; timings land in `out`'s accumulators.
+///
+/// Each stage's wall-clock is measured exactly once and the same value
+/// feeds both the [`DriverStats`] accumulator and the stage's trace span
+/// (via `finish_with_host_us`), so the metrics table reconciles with the
+/// driver statistics to the microsecond.
 fn check_commit(
     repo: &Repo,
     commit: CommitId,
     jmake: &JMake,
     cache: Option<&Arc<ConfigCache>>,
+    tracer: &Tracer,
     out: &mut WorkerOutput,
 ) -> (PatchOutcome, Samples) {
+    let tracer = tracer.for_patch_with(|| commit.to_string());
+
+    let span = tracer.span(Stage::Checkout);
     let started = Instant::now();
-    let tree = match repo.checkout(commit) {
+    let tree = repo.checkout(commit);
+    let elapsed_us = started.elapsed().as_micros() as u64;
+    out.checkout_us += elapsed_us;
+    span.finish_with_host_us(elapsed_us);
+    let tree = match tree {
         Ok(tree) => tree,
         Err(e) => {
-            out.checkout_us += started.elapsed().as_micros() as u64;
             return (PatchOutcome::CheckoutFailed(e.to_string()), Samples::default());
         }
     };
-    out.checkout_us += started.elapsed().as_micros() as u64;
 
+    let span = tracer.span(Stage::Show);
     let started = Instant::now();
     let shown = repo.show_with(
         commit,
@@ -268,12 +286,15 @@ fn check_commit(
             ..jmake_diff::DiffOptions::default()
         },
     );
-    out.show_us += started.elapsed().as_micros() as u64;
+    let elapsed_us = started.elapsed().as_micros() as u64;
+    out.show_us += elapsed_us;
+    span.finish_with_host_us(elapsed_us);
     let patch = match shown {
         Ok(patch) => patch,
         Err(e) => return (PatchOutcome::ShowFailed(e.to_string()), Samples::default()),
     };
 
+    let mut span = tracer.span(Stage::Check);
     let started = Instant::now();
     let author = repo
         .get(commit)
@@ -283,8 +304,12 @@ fn check_commit(
         Some(cache) => BuildEngine::with_shared_cache(tree, Arc::clone(cache)),
         None => BuildEngine::new(tree),
     };
+    engine.set_tracer(tracer.clone());
     let report = jmake.check_patch(&mut engine, &patch, &author);
-    out.check_us += started.elapsed().as_micros() as u64;
+    let elapsed_us = started.elapsed().as_micros() as u64;
+    out.check_us += elapsed_us;
+    span.set_virtual_us(report.elapsed_us);
+    span.finish_with_host_us(elapsed_us);
     (PatchOutcome::Checked(report), engine.clock.samples)
 }
 
@@ -314,7 +339,7 @@ pub fn run_evaluation(repo: &Repo, commits: &[CommitId], opts: &DriverOptions) -
                         }
                         let commit = commits[idx];
                         let (outcome, samples) = guard_patch(AssertUnwindSafe(|| {
-                            check_commit(repo, commit, &jmake, cache, &mut out)
+                            check_commit(repo, commit, &jmake, cache, &opts.tracer, &mut out)
                         }));
                         out.items.push((idx, PatchResult { commit, outcome }, samples));
                     }

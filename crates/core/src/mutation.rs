@@ -133,8 +133,20 @@ pub fn mutate(file: &str, content: &str, changed: &ChangedLines) -> MutationPlan
 
     // Plain-code mutations (paper Fig. 3), one per conditional section.
     for first_line in section_first_change.values() {
-        let info = map.line(*first_line).expect("validated above");
         let token = MutationToken::new(MutationKind::Context, file, *first_line);
+        let Some(info) = map.line(*first_line) else {
+            // Defensive: every entry was looked up successfully above, but
+            // a panic here would take down the whole patch (and, before
+            // the driver's catch_unwind, the whole run). If the map ever
+            // disagrees — e.g. an append-heavy patch whose diff positions
+            // outrun the analyzed snapshot — certify the file tail
+            // instead of crashing.
+            insertions.push(Insertion::AtEof {
+                text: token.render(),
+            });
+            plan.mutations.push(token);
+            continue;
+        };
         if info.is_conditional {
             // The changed line is itself a section boundary: certify the
             // section it opens by placing the mutation right after it.
@@ -488,6 +500,32 @@ mod tests {
     fn changes_past_eof_are_ignored_gracefully() {
         let plan = mutate("f.c", "int a;\n", &changed(&[99]));
         assert!(plan.is_trivial());
+    }
+
+    #[test]
+    fn append_at_eof_patch_is_planned_without_panic() {
+        use jmake_diff::{changed_lines, diff_to_patch, DiffOptions};
+        // An append-only patch: every added line is at the tail of the
+        // file, the shape that once stressed the "validated above" lookup.
+        let old = "int a;\nint b;\n";
+        let new = "int a;\nint b;\nint tail;\nint tail2;\n";
+        let patch = diff_to_patch("f.c", old, new, &DiffOptions::default());
+        let fp = &patch.files[0];
+        let changed = changed_lines(fp, new.lines().count() as u32);
+        let plan = mutate("f.c", new, &changed);
+        assert_eq!(plan.mutations.len(), 1);
+        // The mutation certifies the appended section: it sits before the
+        // first appended line.
+        let lines: Vec<&str> = plan.mutated.lines().collect();
+        let glyph_at = lines
+            .iter()
+            .position(|l| l.contains(MUTATION_GLYPH))
+            .expect("mutation placed");
+        assert!(lines[glyph_at + 1..].contains(&"int tail;"), "{lines:?}");
+
+        // And the naive variant survives the same patch.
+        let naive = mutate_naive("f.c", new, &changed);
+        assert!(!naive.is_trivial());
     }
 
     #[test]

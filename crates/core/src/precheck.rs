@@ -76,38 +76,49 @@ pub fn precheck(patch: &FilePatch, content: &str) -> Vec<PrecheckWarning> {
     }
 
     // Walk the conditional structure once, recording for each changed
-    // line the innermost group id, branch side, and guard kind.
+    // line the innermost group id, branch index, and guard kind.
     #[derive(Clone)]
     struct Frame {
         group: u32,
-        else_side: bool,
+        /// 0 for the `#if` arm, 1 for the first `#elif`/`#else`, 2 for the
+        /// next, … Branches of one group are mutually exclusive, so changes
+        /// in two *distinct* branch indices — not merely "if side vs else
+        /// side" — are what no single configuration can cover.
+        branch: u32,
         ifndef: bool,
         if_zero: bool,
     }
     let mut stack: Vec<Frame> = Vec::new();
     let mut next_group = 0u32;
-    // (line, group, else_side, ifndef, if_zero)
-    let mut located: Vec<(u32, u32, bool, bool, bool)> = Vec::new();
+    // (line, group, branch, ifndef, if_zero)
+    let mut located: Vec<(u32, u32, u32, bool, bool)> = Vec::new();
     let mut line_idx = 0usize;
     for ll in logical_lines(content) {
-        if let Some((name, rest)) = ll.directive() {
+        let directive = ll.directive();
+        let mut attribute = true;
+        if let Some((name, rest)) = directive {
             match name {
                 "if" | "ifdef" | "ifndef" => {
                     stack.push(Frame {
                         group: next_group,
-                        else_side: false,
+                        branch: 0,
                         ifndef: name == "ifndef",
-                        if_zero: name == "if" && rest.trim() == "0",
+                        if_zero: name == "if" && is_literal_zero(rest),
                     });
                     next_group += 1;
                 }
                 "elif" | "else" => {
                     if let Some(top) = stack.last_mut() {
-                        top.else_side = true;
+                        top.branch += 1;
                     }
                 }
                 "endif" => {
-                    stack.pop();
+                    // A changed `#endif` is processed by the preprocessor
+                    // whatever branch is live; attributing it to a branch
+                    // (or, after an eager pop, to the *enclosing* frame)
+                    // fabricates branch changes. Attribute it to nothing,
+                    // and pop only after this logical line's attribution.
+                    attribute = false;
                 }
                 _ => {}
             }
@@ -122,32 +133,34 @@ pub fn precheck(patch: &FilePatch, content: &str) -> Vec<PrecheckWarning> {
             if l > ll.last_line {
                 break;
             }
-            if let Some(top) = stack.last() {
-                located.push((l, top.group, top.else_side, top.ifndef, top.if_zero));
+            if attribute {
+                if let Some(top) = stack.last() {
+                    located.push((l, top.group, top.branch, top.ifndef, top.if_zero));
+                }
             }
             line_idx += 1;
+        }
+        if matches!(directive, Some(("endif", _))) {
+            stack.pop();
         }
     }
 
     let mut warnings = Vec::new();
-    // Both-branches: a group with changed lines on both sides.
-    let groups: std::collections::BTreeSet<u32> = located.iter().map(|(_, g, ..)| *g).collect();
-    for g in groups {
-        let mut if_lines = Vec::new();
-        let mut else_lines = Vec::new();
-        for (l, lg, else_side, ..) in &located {
-            if lg == &g {
-                if *else_side {
-                    else_lines.push(*l);
-                } else {
-                    if_lines.push(*l);
-                }
-            }
-        }
-        if !if_lines.is_empty() && !else_lines.is_empty() {
-            let mut lines = if_lines;
-            lines.extend(else_lines);
+    // Both-branches: a group with changed lines in two or more distinct
+    // (mutually exclusive) branches. This covers #if/#else, #if/#elif,
+    // and two different #elif arms alike.
+    let mut by_group: std::collections::BTreeMap<u32, Vec<(u32, u32)>> =
+        std::collections::BTreeMap::new();
+    for (l, g, branch, ..) in &located {
+        by_group.entry(*g).or_default().push((*branch, *l));
+    }
+    for group_lines in by_group.values() {
+        let branches: std::collections::BTreeSet<u32> =
+            group_lines.iter().map(|(b, _)| *b).collect();
+        if branches.len() >= 2 {
+            let mut lines: Vec<u32> = group_lines.iter().map(|(_, l)| *l).collect();
             lines.sort_unstable();
+            lines.dedup();
             warnings.push(PrecheckWarning {
                 path: patch.path().to_string(),
                 kind: PrecheckKind::BothBranches,
@@ -155,11 +168,11 @@ pub fn precheck(patch: &FilePatch, content: &str) -> Vec<PrecheckWarning> {
             });
         }
     }
-    // Ifndef / if-0 warnings (skip the else-side of an ifndef — that side
-    // is the positively-guarded branch).
+    // Ifndef / if-0 warnings (skip later branches of an ifndef — those
+    // are the positively-guarded arms).
     let ifndef_lines: Vec<u32> = located
         .iter()
-        .filter(|(_, _, else_side, ifndef, _)| *ifndef && !*else_side)
+        .filter(|(_, _, branch, ifndef, _)| *ifndef && *branch == 0)
         .map(|(l, ..)| *l)
         .collect();
     if !ifndef_lines.is_empty() {
@@ -171,7 +184,7 @@ pub fn precheck(patch: &FilePatch, content: &str) -> Vec<PrecheckWarning> {
     }
     let zero_lines: Vec<u32> = located
         .iter()
-        .filter(|(_, _, else_side, _, if_zero)| *if_zero && !*else_side)
+        .filter(|(_, _, branch, _, if_zero)| *if_zero && *branch == 0)
         .map(|(l, ..)| *l)
         .collect();
     if !zero_lines.is_empty() {
@@ -182,6 +195,25 @@ pub fn precheck(patch: &FilePatch, content: &str) -> Vec<PrecheckWarning> {
         });
     }
     warnings
+}
+
+/// Is the `#if` condition a literal constant zero? `logical_lines`
+/// already strips comments, but be robust to residue like
+/// `0 /* disabled */` or a parenthesized `(0)` either way.
+fn is_literal_zero(rest: &str) -> bool {
+    let mut s = rest.trim();
+    if let Some(i) = s.find("/*") {
+        s = s[..i].trim_end();
+    }
+    if let Some(i) = s.find("//") {
+        s = s[..i].trim_end();
+    }
+    let s = s
+        .strip_prefix('(')
+        .and_then(|t| t.strip_suffix(')'))
+        .map(str::trim)
+        .unwrap_or(s);
+    s == "0"
 }
 
 #[cfg(test)]
@@ -273,5 +305,57 @@ mod tests {
         let w = precheck(&fp, &content);
         assert_eq!(w.len(), 1);
         assert_eq!(w[0].kind, PrecheckKind::BothBranches);
+    }
+
+    #[test]
+    fn if_zero_with_trailing_comment_warned() {
+        let old = "#if 0 /* dead since 2.4 */\nint x;\n#endif\nint y;\n";
+        let new = "#if 0 /* dead since 2.4 */\nint x2;\n#endif\nint y;\n";
+        let (fp, content) = patch_for(old, new);
+        let w = precheck(&fp, &content);
+        assert_eq!(w.len(), 1, "{w:?}");
+        assert_eq!(w[0].kind, PrecheckKind::UnderIfZero);
+
+        // Also via the helper directly: parens and // comments.
+        assert!(is_literal_zero("0"));
+        assert!(is_literal_zero("0 /* why */"));
+        assert!(is_literal_zero("0 // why"));
+        assert!(is_literal_zero("(0)"));
+        assert!(!is_literal_zero("1"));
+        assert!(!is_literal_zero("0x0 + 0"));
+        assert!(!is_literal_zero("CONFIG_FOO"));
+    }
+
+    #[test]
+    fn changes_under_two_elif_arms_warn_both_branches() {
+        // Two *different* #elif arms are mutually exclusive: no single
+        // configuration covers both. The old else-side collapse saw both
+        // changes as "else side" and stayed silent.
+        let old = "#if defined(A)\nint a;\n#elif defined(B)\nint b;\n#elif defined(C)\nint c;\n#endif\n";
+        let new = "#if defined(A)\nint a;\n#elif defined(B)\nint b2;\n#elif defined(C)\nint c2;\n#endif\n";
+        let (fp, content) = patch_for(old, new);
+        let w = precheck(&fp, &content);
+        assert_eq!(w.len(), 1, "{w:?}");
+        assert_eq!(w[0].kind, PrecheckKind::BothBranches);
+        assert_eq!(w[0].lines, vec![4, 6]);
+    }
+
+    #[test]
+    fn changed_endif_not_attributed_to_enclosing_group() {
+        // Only cosmetic markers change: the inner `#endif` gains a comment,
+        // and one line of the *outer else* changes. The old code popped the
+        // inner frame before attribution, crediting the `#endif` line to
+        // the outer group's else branch — and together with the real
+        // else-side change that never produced a bogus warning, but pairing
+        // it with an if-side change did. Reproduce that shape: change the
+        // outer if-side line and the inner #endif (inside the outer else).
+        let old = "#ifdef OUTER\nint o;\n#else\n#ifdef A\nint a;\n#endif\nint c;\n#endif\n";
+        let new = "#ifdef OUTER\nint o2;\n#else\n#ifdef A\nint a;\n#endif /* A */\nint c;\n#endif\n";
+        let (fp, content) = patch_for(old, new);
+        let w = precheck(&fp, &content);
+        assert!(
+            w.is_empty(),
+            "a changed #endif must not count as a branch change: {w:?}"
+        );
     }
 }

@@ -1,9 +1,10 @@
-//! Property tests for the mutation engine and token machinery.
+//! Property tests for the mutation engine, token machinery and precheck.
 
 use crate::mutation::{mutate, mutate_naive};
+use crate::precheck::precheck;
 use crate::token::MutationToken;
 use jmake_cpp::{MapResolver, Preprocessor};
-use jmake_diff::{ChangedLine, ChangedLines};
+use jmake_diff::{diff_to_patch, ChangedLine, ChangedLines, DiffOptions};
 use proptest::prelude::*;
 
 /// Generator for C-shaped sources: declarations, macros (with and without
@@ -46,6 +47,27 @@ fn c_source() -> impl Strategy<Value = String> {
         }
         out.join("\n") + "\n"
     })
+}
+
+/// Generator for conditional-heavy sources, deliberately including
+/// unbalanced directives, `#elif` chains, commented guards and changed
+/// `#endif` markers — the shapes `precheck` has to survive. Kept separate
+/// from [`c_source`] so hardening it never weakens the mutation properties.
+fn conditional_soup() -> impl Strategy<Value = String> {
+    let line = prop_oneof![
+        "[a-z]{1,6}".prop_map(|v| format!("int {v};")),
+        "[A-Z]{1,4}".prop_map(|n| format!("#ifdef CONFIG_{n}")),
+        "[A-Z]{1,4}".prop_map(|n| format!("#ifndef CONFIG_{n}")),
+        Just("#if 0".to_string()),
+        Just("#if 0 /* disabled */".to_string()),
+        Just("#if (0)".to_string()),
+        "[A-Z]{1,4}".prop_map(|n| format!("#elif defined(CONFIG_{n})")),
+        Just("#else".to_string()),
+        Just("#endif".to_string()),
+        "[A-Z]{1,4}".prop_map(|n| format!("#endif /* CONFIG_{n} */")),
+        Just("/* comment */".to_string()),
+    ];
+    prop::collection::vec(line, 1..30).prop_map(|ls| ls.join("\n") + "\n")
 }
 
 fn changed_subset(max_line: usize) -> impl Strategy<Value = ChangedLines> {
@@ -135,5 +157,33 @@ proptest! {
         let plan = mutate("p.c", &src, &ChangedLines::default());
         prop_assert!(plan.is_trivial());
         prop_assert_eq!(plan.mutated, src);
+    }
+
+    /// Precheck never panics — not on unbalanced conditionals, commented
+    /// guards, or changed `#endif` lines — and never reports a line
+    /// outside the post-patch file.
+    #[test]
+    fn precheck_never_panics_or_reports_foreign_lines(
+        old in conditional_soup(),
+        new in conditional_soup(),
+    ) {
+        let patch = diff_to_patch("soup.c", &old, &new, &DiffOptions::default());
+        let new_len = new.lines().count() as u32;
+        for fp in &patch.files {
+            let warnings = precheck(fp, &new);
+            for w in &warnings {
+                prop_assert!(!w.lines.is_empty(), "empty warning {w}");
+                for l in &w.lines {
+                    prop_assert!(
+                        (1..=new_len).contains(l),
+                        "line {l} outside 1..={new_len}: {w}"
+                    );
+                }
+                let mut sorted = w.lines.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                prop_assert_eq!(&sorted, &w.lines, "lines not sorted+deduped");
+            }
+        }
     }
 }

@@ -7,6 +7,7 @@ use crate::objgraph::ObjGraph;
 use crate::tree::SourceTree;
 use jmake_cpp::{validate, CppError, IncludeResolver, PreprocessOutput, Preprocessor, SyntaxError};
 use jmake_kconfig::{Config, KconfigModel, Tristate};
+use jmake_trace::{CacheOutcome, Span, Stage, Tracer};
 use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
@@ -208,6 +209,9 @@ pub struct BuildEngine {
     /// Cross-patch configuration cache plus this tree's fingerprint
     /// (computed once at construction); `None` runs fully per-engine.
     shared: Option<(Arc<ConfigCache>, u64)>,
+    /// Span emitter for `config_solve`/`build_i`/`build_o`. Disabled by
+    /// default; every span is then a no-op.
+    tracer: Tracer,
 }
 
 impl BuildEngine {
@@ -249,6 +253,7 @@ impl BuildEngine {
             bootstrap,
             heavy,
             shared: None,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -271,6 +276,30 @@ impl BuildEngine {
     /// The shared configuration cache, when one is attached.
     pub fn shared_cache(&self) -> Option<&Arc<ConfigCache>> {
         self.shared.as_ref().map(|(cache, _)| cache)
+    }
+
+    /// Attach a tracer; build-side stages will emit spans through it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The engine's tracer (disabled unless [`set_tracer`] was called).
+    ///
+    /// [`set_tracer`]: BuildEngine::set_tracer
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Open a span for a build stage tied to a created configuration. The
+    /// arch/config labels allocate only when tracing is enabled.
+    fn stage_span(&self, stage: Stage, cfg: &BuildConfig) -> Span {
+        let span = self.tracer.span(stage);
+        if self.tracer.is_enabled() {
+            span.with_arch(cfg.arch.name)
+                .with_config(&cfg.kind.cache_key())
+        } else {
+            span
+        }
     }
 
     /// The pristine tree.
@@ -326,7 +355,25 @@ impl BuildEngine {
         kind: &ConfigKind,
     ) -> Result<BuildConfig, BuildError> {
         let key = (arch.to_string(), kind.cache_key());
+        let mut span = self.tracer.span(Stage::ConfigSolve);
+        if self.tracer.is_enabled() {
+            span = span.with_arch(arch).with_config(&key.1);
+        }
+        let before = self.clock.now_us();
+        let result = self.make_config_uncached(arch, kind, key, &mut span);
+        span.set_virtual_us(self.clock.now_us() - before);
+        result
+    }
+
+    fn make_config_uncached(
+        &mut self,
+        arch: &str,
+        kind: &ConfigKind,
+        key: (String, String),
+        span: &mut Span,
+    ) -> Result<BuildConfig, BuildError> {
         if let Some(cfg) = self.config_cache.get(&key) {
+            span.set_cache(CacheOutcome::Local);
             return Ok(cfg.clone());
         }
         let arch_info = self
@@ -341,12 +388,16 @@ impl BuildEngine {
         // the virtual clock exactly what solving would have — simulated
         // timing does not depend on the cache.
         if let Some((cache, fingerprint)) = self.shared.clone() {
-            if let Some(shared_cfg) = cache.get(fingerprint, arch, &kind.shared_key()) {
+            let (found, outcome) = cache.lookup(fingerprint, arch, &kind.shared_key());
+            span.set_cache(outcome);
+            if let Some(shared_cfg) = found {
                 let built = (*shared_cfg).clone();
                 self.charge_config_creation(built.model.len() as u64, &arch_info);
                 self.config_cache.insert(key, built.clone());
                 return Ok(built);
             }
+        } else {
+            span.set_cache(CacheOutcome::Off);
         }
         let model = self.kconfig_model(arch)?;
         let config = match kind {
@@ -434,6 +485,19 @@ impl BuildEngine {
         tree: &SourceTree,
         files: &[String],
     ) -> Result<IResults, BuildError> {
+        let mut span = self.stage_span(Stage::BuildI, cfg);
+        let before = self.clock.now_us();
+        let result = self.make_i_uncharged(cfg, tree, files);
+        span.set_virtual_us(self.clock.now_us() - before);
+        result
+    }
+
+    fn make_i_uncharged(
+        &mut self,
+        cfg: &BuildConfig,
+        tree: &SourceTree,
+        files: &[String],
+    ) -> Result<IResults, BuildError> {
         self.check_bootstrap(tree)?;
         let mut invocation_us = self.setup_cost(cfg);
         let graph = ObjGraph::new(tree);
@@ -472,6 +536,19 @@ impl BuildEngine {
     /// Any [`BuildError`]; success means the configuration genuinely
     /// compiles the file.
     pub fn make_o(
+        &mut self,
+        cfg: &BuildConfig,
+        tree: &SourceTree,
+        file: &str,
+    ) -> Result<(), BuildError> {
+        let mut span = self.stage_span(Stage::BuildO, cfg).with_file(file);
+        let before = self.clock.now_us();
+        let result = self.make_o_charged(cfg, tree, file);
+        span.set_virtual_us(self.clock.now_us() - before);
+        result
+    }
+
+    fn make_o_charged(
         &mut self,
         cfg: &BuildConfig,
         tree: &SourceTree,
@@ -846,6 +923,63 @@ mod tests {
             "heavy compile should exceed 2 s, got {}",
             s[0]
         );
+    }
+
+    #[test]
+    fn engine_spans_carry_cache_outcomes_and_virtual_charges() {
+        use jmake_trace::jsonl;
+        let cache = Arc::new(ConfigCache::new());
+        let tracer = Tracer::in_memory();
+
+        let mut first = BuildEngine::with_shared_cache(mini_kernel(), Arc::clone(&cache));
+        first.set_tracer(tracer.clone());
+        first.make_config("x86_64", &ConfigKind::AllYes).unwrap(); // shared miss
+        first.make_config("x86_64", &ConfigKind::AllYes).unwrap(); // local memo
+
+        let mut second = BuildEngine::with_shared_cache(mini_kernel(), Arc::clone(&cache));
+        second.set_tracer(tracer.clone());
+        second.make_config("x86_64", &ConfigKind::AllYes).unwrap(); // shared hit
+
+        let records: Vec<_> = tracer
+            .jsonl_lines()
+            .iter()
+            .map(|l| jsonl::parse_line(l).expect("engine emits valid jsonl"))
+            .collect();
+        let outcomes: Vec<_> = records
+            .iter()
+            .filter(|r| r.stage == Some(Stage::ConfigSolve))
+            .map(|r| r.cache)
+            .collect();
+        assert_eq!(
+            outcomes,
+            vec![
+                Some(CacheOutcome::Miss),
+                Some(CacheOutcome::Local),
+                Some(CacheOutcome::Hit)
+            ]
+        );
+        // Span virtual charges reconcile with the engines' clock samples.
+        let span_virtual: u64 = records.iter().map(|r| r.virtual_us).sum();
+        let clock_virtual: u64 = first.clock.samples.config.iter().sum::<u64>()
+            + second.clock.samples.config.iter().sum::<u64>();
+        assert_eq!(span_virtual, clock_virtual);
+        // Metrics agree with the shared cache's own counters.
+        let (hits, misses) = tracer.metrics().cache_hits_misses();
+        assert_eq!((hits, misses), (cache.stats().hits, cache.stats().misses));
+        assert!(tracer.balance().is_balanced());
+    }
+
+    #[test]
+    fn untraced_engine_without_shared_cache_marks_spans_off() {
+        use jmake_trace::jsonl;
+        let tracer = Tracer::in_memory();
+        let mut e = BuildEngine::new(mini_kernel());
+        e.set_tracer(tracer.clone());
+        e.make_config("x86_64", &ConfigKind::AllYes).unwrap();
+        let record = jsonl::parse_line(&tracer.jsonl_lines()[0]).unwrap();
+        assert_eq!(record.cache, Some(CacheOutcome::Off));
+        assert_eq!(record.arch.as_deref(), Some("x86_64"));
+        assert_eq!(record.config.as_deref(), Some("allyesconfig"));
     }
 
     #[test]

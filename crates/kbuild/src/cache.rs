@@ -17,6 +17,7 @@
 
 use crate::build::BuildConfig;
 use crate::tree::SourceTree;
+use jmake_trace::CacheOutcome;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -78,6 +79,19 @@ impl ConfigCache {
     /// concurrent miss-then-solve race both solvers count a miss — the
     /// counters describe lookups, not distinct solving work.
     pub fn get(&self, fingerprint: u64, arch: &str, kind_key: &str) -> Option<Arc<BuildConfig>> {
+        self.lookup(fingerprint, arch, kind_key).0
+    }
+
+    /// [`ConfigCache::get`] plus the [`CacheOutcome`] for tracing. The
+    /// outcome is derived from the same lookup that bumps the counters, so
+    /// per-span outcomes always sum to exactly [`CacheStats`]'s hits and
+    /// misses.
+    pub fn lookup(
+        &self,
+        fingerprint: u64,
+        arch: &str,
+        kind_key: &str,
+    ) -> (Option<Arc<BuildConfig>>, CacheOutcome) {
         let key = (fingerprint, arch.to_string(), kind_key.to_string());
         let found = self
             .shard(&key)
@@ -85,11 +99,17 @@ impl ConfigCache {
             .expect("config cache shard poisoned")
             .get(&key)
             .cloned();
-        match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        let outcome = match &found {
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                CacheOutcome::Hit
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                CacheOutcome::Miss
+            }
         };
-        found
+        (found, outcome)
     }
 
     /// Store a solved configuration. The first writer wins a race; later

@@ -147,13 +147,17 @@ impl Cdf {
         idx as f64 / self.sorted.len() as f64
     }
 
-    /// The `q`-quantile (0.0–1.0) of the samples.
+    /// The `q`-quantile (0.0–1.0) of the samples, by the **ceil
+    /// nearest-rank** convention: the smallest sample `v` such that at
+    /// least a `q` fraction of samples are ≤ `v`. This is the inverse of
+    /// [`Cdf::fraction_at`], so `fraction_at(quantile(q)) >= q` holds for
+    /// every `q` (a rounding nearest-rank can undershoot by half a step).
     pub fn quantile(&self, q: f64) -> u64 {
         if self.sorted.is_empty() {
             return 0;
         }
-        let idx = ((self.sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        self.sorted[idx]
+        let rank = (q.clamp(0.0, 1.0) * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.max(1) - 1]
     }
 
     /// Largest sample.
@@ -223,6 +227,39 @@ mod tests {
         assert_eq!(c.quantile(1.0), 40);
         assert_eq!(c.max(), 40);
         assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn quantile_cdf_round_trip() {
+        // The quantile/CDF convention contract: the q-quantile is a value
+        // at which the empirical CDF has already reached q. The old
+        // round-based nearest rank violated this (e.g. q=0.6 over four
+        // samples rounded down to the second sample, where fraction_at
+        // is only 0.5).
+        for samples in [
+            vec![10u64, 20, 30, 40],
+            vec![7],
+            vec![1, 1, 1, 2],
+            vec![5, 1, 3, 9, 9, 2, 8],
+            (0..100).map(|i| i * i).collect(),
+        ] {
+            let c = Cdf::new(&samples);
+            for i in 0..=100 {
+                let q = i as f64 / 100.0;
+                let v = c.quantile(q);
+                assert!(
+                    c.fraction_at(v) >= q,
+                    "fraction_at(quantile({q})) = {} < {q} over {samples:?}",
+                    c.fraction_at(v)
+                );
+            }
+        }
+        // Spot-check the convention itself.
+        let c = Cdf::new(&[10, 20, 30, 40]);
+        assert_eq!(c.quantile(0.5), 20);
+        assert_eq!(c.quantile(0.6), 30);
+        assert_eq!(c.quantile(0.25), 10);
+        assert_eq!(c.quantile(0.26), 20);
     }
 
     #[test]

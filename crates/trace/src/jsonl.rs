@@ -1,0 +1,302 @@
+//! JSONL serialization for [`SpanRecord`]s — one JSON object per line —
+//! plus a strict parser used by `jmake-eval trace-check` to validate event
+//! logs offline. Hand-rolled because the workspace is dependency-free; the
+//! schema is flat (string and integer fields only) so a full JSON parser
+//! would be overkill.
+
+use crate::{CacheOutcome, SpanRecord, Stage};
+
+/// Serialize one record as a single JSON line (no trailing newline).
+/// Optional fields are omitted when absent.
+pub fn to_json_line(record: &SpanRecord) -> String {
+    let mut out = String::with_capacity(96);
+    out.push('{');
+    push_str_field(&mut out, "stage", record.stage.map(Stage::name).unwrap_or(""));
+    if let Some(patch) = &record.patch {
+        push_str_field(&mut out, "patch", patch);
+    }
+    if let Some(file) = &record.file {
+        push_str_field(&mut out, "file", file);
+    }
+    if let Some(arch) = &record.arch {
+        push_str_field(&mut out, "arch", arch);
+    }
+    if let Some(config) = &record.config {
+        push_str_field(&mut out, "config", config);
+    }
+    push_num_field(&mut out, "host_us", record.host_us);
+    push_num_field(&mut out, "virtual_us", record.virtual_us);
+    if let Some(cache) = record.cache {
+        push_str_field(&mut out, "cache", cache.name());
+    }
+    out.push('}');
+    out
+}
+
+fn push_sep(out: &mut String) {
+    if !out.ends_with('{') {
+        out.push(',');
+    }
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    push_sep(out);
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    escape_into(out, value);
+    out.push('"');
+}
+
+fn push_num_field(out: &mut String, key: &str, value: u64) {
+    push_sep(out);
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&value.to_string());
+}
+
+fn escape_into(out: &mut String, value: &str) {
+    for ch in value.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Parse one JSONL line back into a [`SpanRecord`]. Strict: unknown keys,
+/// unknown stage or cache names, and malformed JSON are all errors.
+pub fn parse_line(line: &str) -> Result<SpanRecord, String> {
+    let mut p = Parser {
+        chars: line.trim().char_indices().peekable(),
+        src: line.trim(),
+    };
+    p.expect('{')?;
+    let mut record = SpanRecord::default();
+    let mut saw_stage = false;
+    loop {
+        p.skip_ws();
+        if p.eat('}') {
+            break;
+        }
+        let key = p.string()?;
+        p.skip_ws();
+        p.expect(':')?;
+        p.skip_ws();
+        match key.as_str() {
+            "stage" => {
+                let name = p.string()?;
+                record.stage =
+                    Some(Stage::from_name(&name).ok_or_else(|| format!("unknown stage {name:?}"))?);
+                saw_stage = true;
+            }
+            "patch" => record.patch = Some(p.string()?),
+            "file" => record.file = Some(p.string()?),
+            "arch" => record.arch = Some(p.string()?),
+            "config" => record.config = Some(p.string()?),
+            "host_us" => record.host_us = p.number()?,
+            "virtual_us" => record.virtual_us = p.number()?,
+            "cache" => {
+                let name = p.string()?;
+                record.cache = Some(
+                    CacheOutcome::from_name(&name)
+                        .ok_or_else(|| format!("unknown cache outcome {name:?}"))?,
+                );
+            }
+            other => return Err(format!("unknown field {other:?}")),
+        }
+        p.skip_ws();
+        if !p.eat(',') {
+            p.expect('}')?;
+            break;
+        }
+    }
+    p.skip_ws();
+    if p.chars.next().is_some() {
+        return Err("trailing content after object".to_owned());
+    }
+    if !saw_stage {
+        return Err("missing required field \"stage\"".to_owned());
+    }
+    Ok(record)
+}
+
+/// Parse a whole event log, skipping blank lines. Errors carry the 1-based
+/// line number.
+pub fn parse(text: &str) -> Result<Vec<SpanRecord>, String> {
+    let mut records = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        records.push(parse_line(line).map_err(|e| format!("line {}: {e}", idx + 1))?);
+    }
+    Ok(records)
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    src: &'a str,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
+            self.chars.next();
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.chars.next() {
+            Some((_, c)) if c == want => Ok(()),
+            Some((i, c)) => Err(format!("expected {want:?} at byte {i}, found {c:?}")),
+            None => Err(format!("expected {want:?}, found end of line")),
+        }
+    }
+
+    fn eat(&mut self, want: char) -> bool {
+        if matches!(self.chars.peek(), Some((_, c)) if *c == want) {
+            self.chars.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.next() {
+                None => return Err("unterminated string".to_owned()),
+                Some((_, '"')) => return Ok(out),
+                Some((_, '\\')) => match self.chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((start, 'u')) => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let Some((_, c)) = self.chars.next() else {
+                                return Err("truncated \\u escape".to_owned());
+                            };
+                            let digit = c
+                                .to_digit(16)
+                                .ok_or_else(|| format!("bad \\u escape at byte {start}"))?;
+                            code = code * 16 + digit;
+                        }
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("invalid codepoint \\u{code:04x}"))?,
+                        );
+                    }
+                    Some((i, c)) => return Err(format!("bad escape \\{c} at byte {i}")),
+                    None => return Err("truncated escape".to_owned()),
+                },
+                Some((_, c)) => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        let start = match self.chars.peek() {
+            Some((i, c)) if c.is_ascii_digit() => *i,
+            _ => return Err("expected number".to_owned()),
+        };
+        let mut end = start;
+        while let Some((i, c)) = self.chars.peek() {
+            if c.is_ascii_digit() {
+                end = *i + 1;
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        self.src[start..end]
+            .parse::<u64>()
+            .map_err(|e| format!("bad number: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_full_record() {
+        let record = SpanRecord {
+            stage: Some(Stage::ConfigSolve),
+            patch: Some("42".to_owned()),
+            file: Some("drivers/net/\"weird\".c".to_owned()),
+            arch: Some("x86".to_owned()),
+            config: Some("custom:CONFIG_FOO=y".to_owned()),
+            host_us: 1234,
+            virtual_us: 5_000_000,
+            cache: Some(CacheOutcome::Hit),
+        };
+        let line = to_json_line(&record);
+        assert_eq!(parse_line(&line), Ok(record));
+    }
+
+    #[test]
+    fn round_trips_a_minimal_record() {
+        let record = SpanRecord {
+            stage: Some(Stage::Checkout),
+            host_us: 9,
+            ..SpanRecord::default()
+        };
+        let line = to_json_line(&record);
+        assert_eq!(line, r#"{"stage":"checkout","host_us":9,"virtual_us":0}"#);
+        assert_eq!(parse_line(&line), Ok(record));
+    }
+
+    #[test]
+    fn rejects_unknown_stage_and_unknown_field() {
+        assert!(parse_line(r#"{"stage":"warp","host_us":1,"virtual_us":0}"#)
+            .unwrap_err()
+            .contains("unknown stage"));
+        assert!(parse_line(r#"{"stage":"check","bogus":"x","host_us":1,"virtual_us":0}"#)
+            .unwrap_err()
+            .contains("unknown field"));
+        assert!(parse_line(r#"{"host_us":1,"virtual_us":0}"#)
+            .unwrap_err()
+            .contains("stage"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_line("not json").is_err());
+        assert!(parse_line(r#"{"stage":"check""#).is_err());
+        assert!(parse_line(r#"{"stage":"check"} trailing"#).is_err());
+    }
+
+    #[test]
+    fn parse_skips_blank_lines_and_reports_line_numbers() {
+        let text = "\n{\"stage\":\"show\",\"host_us\":1,\"virtual_us\":0}\n\n";
+        assert_eq!(parse(text).unwrap().len(), 1);
+        let bad = "{\"stage\":\"show\",\"host_us\":1,\"virtual_us\":0}\nnope\n";
+        assert!(parse(bad).unwrap_err().starts_with("line 2:"));
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let record = SpanRecord {
+            stage: Some(Stage::Show),
+            file: Some("a\u{1}b\nc".to_owned()),
+            ..SpanRecord::default()
+        };
+        let line = to_json_line(&record);
+        assert!(line.contains("\\u0001"));
+        assert!(line.contains("\\n"));
+        assert_eq!(parse_line(&line).unwrap().file.as_deref(), Some("a\u{1}b\nc"));
+    }
+}

@@ -17,4 +17,18 @@ cargo test --workspace -q
 echo "==> cargo clippy --all-targets -- -D warnings (workspace)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> trace smoke run (jmake-eval --trace + trace-check)"
+TRACE_FILE="$(mktemp /tmp/jmake-trace.XXXXXX.jsonl)"
+trap 'rm -f "$TRACE_FILE"' EXIT
+./target/release/jmake-eval --commits 120 --trace "$TRACE_FILE" --metrics summary > /dev/null
+# The file must parse line-by-line against the documented schema, and
+# every stage name must be one of the documented eight.
+./target/release/jmake-eval trace-check "$TRACE_FILE" | tee /tmp/jmake-trace-check.out
+for stage in $(awk 'NR > 1 { print $1 }' /tmp/jmake-trace-check.out); do
+  case "$stage" in
+    checkout|show|check|mutation_plan|config_solve|build_i|build_o|classify) ;;
+    *) echo "unexpected stage name in trace: $stage" >&2; exit 1 ;;
+  esac
+done
+
 echo "==> tier-1 gate passed"

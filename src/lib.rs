@@ -54,4 +54,5 @@ pub use jmake_janitor as janitor;
 pub use jmake_kbuild as kbuild;
 pub use jmake_kconfig as kconfig;
 pub use jmake_synth as synth;
+pub use jmake_trace as trace;
 pub use jmake_vcs as vcs;
