@@ -4,9 +4,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use jmake_core::{mutate, mutate_naive, run_evaluation, DriverOptions, JMake, Options};
 use jmake_diff::{diff_to_patch, DiffOptions};
-use jmake_kbuild::{BuildEngine, ConfigKind};
+use jmake_kbuild::{BuildEngine, ConfigCache, ConfigKey, ConfigKind, ObjectCache};
 use jmake_synth::WorkloadProfile;
 use jmake_vcs::LogOptions;
+use std::sync::Arc;
 
 fn bench_profile() -> WorkloadProfile {
     WorkloadProfile {
@@ -239,6 +240,92 @@ fn driver_shared_config_cache(c: &mut Criterion) {
     group.finish();
 }
 
+/// Driver: the content-addressed object cache off, cold (empty cache per
+/// run), and warm (a pre-populated cache shared across runs via
+/// `object_cache_handle`). Reports and virtual-time samples are
+/// bit-identical across all three; only host wall-clock differs.
+///
+/// One worker, deliberately: this is a cache ablation, and extra threads
+/// would fold scheduler noise into the comparison (on a single-core
+/// runner they dominate it). Thread scaling is a separate axis.
+fn driver_object_cache(c: &mut Criterion) {
+    let workload = jmake_synth::generate(&WorkloadProfile {
+        commits: 120,
+        ..WorkloadProfile::default()
+    });
+    let commits = workload
+        .repo
+        .log(&LogOptions::paper_defaults().range("v4.3", "v4.4"))
+        .unwrap();
+    let mut group = c.benchmark_group("driver/object_cache");
+    group.sample_size(10);
+    group.bench_function("off", |b| {
+        let opts = DriverOptions {
+            workers: 1,
+            object_cache: false,
+            ..DriverOptions::default()
+        };
+        b.iter(|| run_evaluation(&workload.repo, &commits, &opts))
+    });
+    group.bench_function("cold", |b| {
+        // No handle: each run builds and discards its own cache.
+        let opts = DriverOptions {
+            workers: 1,
+            ..DriverOptions::default()
+        };
+        b.iter(|| run_evaluation(&workload.repo, &commits, &opts))
+    });
+    group.bench_function("warm", |b| {
+        let opts = DriverOptions {
+            workers: 1,
+            object_cache_handle: Some(Arc::new(ObjectCache::new())),
+            ..DriverOptions::default()
+        };
+        // Prime the shared cache once; every measured run then replays
+        // the same content against a fully warm cache.
+        run_evaluation(&workload.repo, &commits, &opts);
+        b.iter(|| run_evaluation(&workload.repo, &commits, &opts))
+    });
+    group.finish();
+}
+
+/// Satellite: configuration-cache lookups through the interned
+/// [`ConfigKey`] (an `Arc<str>` pair hashed directly, no per-lookup
+/// string formatting).
+fn config_key_lookup(c: &mut Criterion) {
+    let (tree, _) = jmake_synth::generate_tree(&bench_profile());
+    let fingerprint = ConfigCache::fingerprint_tree(&tree);
+    let cache = ConfigCache::new();
+    let kinds = [ConfigKind::AllYes, ConfigKind::AllMod];
+    let arches = ["x86_64", "arm", "powerpc", "mips"];
+    let mut engine = BuildEngine::new(tree.clone());
+    for arch in arches {
+        for kind in &kinds {
+            let cfg = engine.make_config(arch, kind).unwrap();
+            cache.insert(
+                fingerprint,
+                &ConfigKey::new(arch, kind),
+                kind.content_fingerprint(),
+                cfg,
+            );
+        }
+    }
+    let mut group = c.benchmark_group("config_cache");
+    group.bench_function("lookup_interned_key", |b| {
+        let key = ConfigKey::new("powerpc", &ConfigKind::AllMod);
+        let content_fp = ConfigKind::AllMod.content_fingerprint();
+        b.iter(|| cache.peek(fingerprint, &key, content_fp))
+    });
+    group.bench_function("lookup_with_key_construction", |b| {
+        // What a caller pays when it has not interned the key yet.
+        b.iter(|| {
+            let key = ConfigKey::new("powerpc", &ConfigKind::AllMod);
+            cache.peek(fingerprint, &key, ConfigKind::AllMod.content_fingerprint())
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20);
@@ -251,6 +338,8 @@ criterion_group!(
         ablation_grouping,
         ablation_hint_ranking,
         ablation_config_sets,
-        driver_shared_config_cache
+        driver_shared_config_cache,
+        driver_object_cache,
+        config_key_lookup
 );
 criterion_main!(benches);

@@ -13,6 +13,14 @@
 //!   --no-shared-cache  solve every configuration per patch (original
 //!                      per-patch-cleanup behavior; slower wall-clock,
 //!                      identical reports)
+//!   --no-object-cache  disable the content-addressed object cache
+//!                      (every .i/.o is preprocessed from scratch;
+//!                      slower wall-clock, identical reports)
+//!   --no-work-stealing disable speculative cache warming by idle
+//!                      workers (identical reports either way)
+//!   --bench-json FILE  write a machine-readable benchmark summary
+//!                      (patches/sec, per-stage host wall µs, cache
+//!                      hit rates) to FILE
 //!   --stats            print driver statistics (cache hit rate,
 //!                      per-stage wall-clock, failure counts)
 //!   --trace FILE       write one JSON line per pipeline span to FILE
@@ -62,6 +70,64 @@ fn trace_check(path: &str) -> ! {
     std::process::exit(0);
 }
 
+/// Machine-readable benchmark summary for `--bench-json` (hand-rolled:
+/// the workspace carries no JSON serializer and the shape is fixed).
+fn render_bench_json(
+    profile: &WorkloadProfile,
+    driver: &DriverOptions,
+    run: &jmake_core::EvaluationRun,
+    wall_secs: f64,
+) -> String {
+    let s = &run.stats;
+    let pps = if wall_secs > 0.0 {
+        s.patches as f64 / wall_secs
+    } else {
+        0.0
+    };
+    format!(
+        concat!(
+            "{{\n",
+            "  \"commits\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"workers\": {},\n",
+            "  \"shared_config_cache\": {},\n",
+            "  \"object_cache\": {},\n",
+            "  \"work_stealing\": {},\n",
+            "  \"patches\": {},\n",
+            "  \"checked\": {},\n",
+            "  \"wall_seconds\": {:.3},\n",
+            "  \"patches_per_sec\": {:.2},\n",
+            "  \"host_wall_us\": {{ \"checkout\": {}, \"show\": {}, \"check\": {}, \"total\": {} }},\n",
+            "  \"config_cache_stats\": {{ \"hits\": {}, \"misses\": {}, \"entries\": {}, \"hit_rate\": {:.4} }},\n",
+            "  \"object_cache_stats\": {{ \"hits\": {}, \"negative_hits\": {}, \"misses\": {}, \"entries\": {}, \"hit_rate\": {:.4} }}\n",
+            "}}\n",
+        ),
+        profile.commits,
+        profile.seed,
+        driver.workers,
+        driver.shared_cache,
+        driver.object_cache,
+        driver.work_stealing,
+        s.patches,
+        s.checked,
+        wall_secs,
+        pps,
+        s.checkout_wall_us,
+        s.show_wall_us,
+        s.check_wall_us,
+        s.total_wall_us,
+        s.cache.hits,
+        s.cache.misses,
+        s.cache.entries,
+        s.cache.hit_rate(),
+        s.object.hits,
+        s.object.negative_hits,
+        s.object.misses,
+        s.object.entries,
+        s.object.hit_rate(),
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("trace-check") {
@@ -78,6 +144,7 @@ fn main() {
     let mut command = String::from("all");
     let mut show_stats = false;
     let mut show_metrics = false;
+    let mut bench_json: Option<String> = None;
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -103,6 +170,15 @@ fn main() {
             "--allmodconfig" => driver.jmake.use_allmodconfig = true,
             "--coverage" => driver.jmake.use_coverage_configs = true,
             "--no-shared-cache" => driver.shared_cache = false,
+            "--no-object-cache" => driver.object_cache = false,
+            "--no-work-stealing" => driver.work_stealing = false,
+            "--bench-json" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--bench-json needs a file path");
+                    std::process::exit(2);
+                };
+                bench_json = Some(path.clone());
+            }
             "--stats" => show_stats = true,
             "--trace" => {
                 let Some(path) = it.next() else {
@@ -155,6 +231,14 @@ fn main() {
     }
     if show_stats {
         eprint!("{}", ctx.run.stats.render());
+    }
+    if let Some(path) = &bench_json {
+        let json = render_bench_json(&profile, &driver, &ctx.run, started.elapsed().as_secs_f64());
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("cannot write bench summary {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("bench summary written to {path}");
     }
     if let Err(e) = tracer.flush() {
         eprintln!("WARNING: flushing trace file failed: {e}");

@@ -8,9 +8,11 @@ use crate::report::{FileReport, FileStatus, PatchReport, UncoveredMutation};
 use crate::token::{MutationKind, MutationToken};
 use jmake_cpp::analyze;
 use jmake_diff::{changed_lines, ChangeKind, Patch};
-use jmake_kbuild::{tree::file_name, BuildEngine, ConfigKind, SourceTree};
+use jmake_kbuild::{
+    bootstrap_files_of, tree::file_name, BuildEngine, ConfigKind, ObjKind, SourceTree,
+};
 use jmake_trace::Stage;
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// Tunable behaviour of the pipeline.
 #[derive(Debug, Clone)]
@@ -119,6 +121,7 @@ impl JMake {
         for w in works.iter_mut().filter(|w| w.is_header) {
             w.header_covered_by_patch_c = !w.plan.is_trivial() && w.remaining.is_empty();
         }
+        let mut header_memo = HeaderCandidateMemo::default();
         self.h_phase(
             engine,
             &base,
@@ -126,6 +129,7 @@ impl JMake {
             &selector,
             &mut works,
             &mut expanded_macros,
+            &mut header_memo,
         );
         let files = self.finish(engine, &base, works, &expanded_macros);
 
@@ -333,6 +337,7 @@ impl JMake {
     }
 
     /// §III.E: headers with tokens the `.c` phase did not certify.
+    #[allow(clippy::too_many_arguments)]
     fn h_phase(
         &self,
         engine: &mut BuildEngine,
@@ -341,6 +346,7 @@ impl JMake {
         selector: &ArchSelector,
         works: &mut [Work],
         expanded_macros: &mut HashSet<String>,
+        memo: &mut HeaderCandidateMemo,
     ) {
         let headers: Vec<usize> = works
             .iter()
@@ -360,7 +366,7 @@ impl JMake {
                 };
                 (w.path.clone(), hints)
             };
-            let all_candidates = header_candidates(base, &h_path, &hints);
+            let all_candidates = memo.get_or_compute(base, &h_path, &hints);
             let over_threshold = all_candidates.len() > self.options.header_candidate_threshold;
             let candidates: Vec<String> = all_candidates
                 .into_iter()
@@ -567,9 +573,10 @@ impl JMake {
                     .iter()
                     .find_map(|a| engine.make_config(a, &ConfigKind::AllYes).ok())
             });
-        let dead = class_cfg
-            .as_ref()
-            .map(|c| jmake_kconfig::DeadSymbols::compute(&c.model));
+        // Memoized inside the BuildConfig (and therefore shared across
+        // patches through the configuration caches): the lint is
+        // O(symbols²) and depends only on the solved model.
+        let dead = class_cfg.as_ref().map(|c| c.dead_symbols());
 
         works
             .into_iter()
@@ -732,6 +739,181 @@ fn header_candidates(base: &SourceTree, h_path: &str, hints: &[String]) -> Vec<S
         out.extend(tier);
     }
     out
+}
+
+/// Per-`check_patch` memo for [`header_candidates`]: the scan walks every
+/// `.c` file in the tree, so recomputing it for each phase that needs the
+/// same `(header, hints)` ranking wastes host time. Keyed by both because
+/// ablation options can change the hints mid-study.
+#[derive(Debug, Default)]
+struct HeaderCandidateMemo {
+    entries: HashMap<(String, Vec<String>), Vec<String>>,
+}
+
+impl HeaderCandidateMemo {
+    fn get_or_compute(&mut self, base: &SourceTree, h_path: &str, hints: &[String]) -> Vec<String> {
+        self.entries
+            .entry((h_path.to_string(), hints.to_vec()))
+            .or_insert_with(|| header_candidates(base, h_path, hints))
+            .clone()
+    }
+}
+
+/// One speculative cache-warming unit: replay the preprocess (`I`, over
+/// the mutated tree) or compile (`O`, over the pristine tree) of one
+/// (file × arch × config) combination into the shared object cache, off
+/// the authoritative critical path. The work-stealing driver expands a
+/// patch into these on idle workers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarmProbe {
+    /// The `.c` file to probe.
+    pub file: String,
+    /// Architecture to probe under.
+    pub arch: String,
+    /// Configuration kind to probe under (never `Custom` — coverage
+    /// configs are synthesized per patch and not worth pre-warming).
+    pub kind: ConfigKind,
+    /// Preprocess the mutated tree (`I`) or compile the pristine one (`O`).
+    pub op: ObjKind,
+}
+
+impl JMake {
+    /// Expand `patch` into its mutated tree plus the speculative warm
+    /// probes an idle worker can run: every (file × arch × config) pair
+    /// the authoritative `check_patch` may preprocess or compile, in
+    /// roughly the order it would reach them. Pure planning — no engine,
+    /// no virtual-clock charge, no trace span. Over-planning is sound
+    /// (probes only populate the content-addressed cache); the returned
+    /// mutated tree is byte-identical to the one `check_patch` builds, so
+    /// probe keys match the authoritative lookups exactly.
+    pub fn plan_warm_probes(&self, base: &SourceTree, patch: &Patch) -> (SourceTree, Vec<WarmProbe>) {
+        struct PlanEntry {
+            path: String,
+            is_header: bool,
+            candidates: Vec<Target>,
+            hints: Vec<String>,
+            active: bool,
+        }
+        let selector = ArchSelector::new(base);
+        let bootstrap = bootstrap_files_of(base);
+        let mut mutated = base.clone();
+        let mut entries: Vec<PlanEntry> = Vec::new();
+        for fp in &patch.files {
+            if fp.kind != ChangeKind::Modify {
+                continue;
+            }
+            let path = fp.path().to_string();
+            let is_header = path.ends_with(".h");
+            if !is_header && !path.ends_with(".c") {
+                continue;
+            }
+            if self
+                .options
+                .skip_dirs
+                .iter()
+                .any(|d| path.starts_with(&format!("{d}/")))
+            {
+                continue;
+            }
+            let Some(content) = base.get(&path) else {
+                continue;
+            };
+            let new_len = content.lines().count() as u32;
+            let changed = changed_lines(fp, new_len);
+            let plan = if self.options.naive_mutations {
+                crate::mutation::mutate_naive(&path, content, &changed)
+            } else {
+                mutate(&path, content, &changed)
+            };
+            let boot = bootstrap.contains(&path);
+            if !boot {
+                mutated.insert(path.clone(), plan.mutated.clone());
+            }
+            let candidates = if is_header {
+                Vec::new()
+            } else {
+                self.filter_targets(selector.candidates(base, &path))
+            };
+            let hints = if self.options.use_header_hints {
+                plan.changed_macros.clone()
+            } else {
+                Vec::new()
+            };
+            entries.push(PlanEntry {
+                path,
+                is_header,
+                candidates,
+                hints,
+                active: !boot && !plan.is_trivial() && !plan.mutations.is_empty(),
+            });
+        }
+
+        let mut probes = Vec::new();
+        let mut seen: HashSet<(String, String, ConfigKind, ObjKind)> = HashSet::new();
+        let mut push = |probes: &mut Vec<WarmProbe>, file: &str, target: &Target, op: ObjKind| {
+            if matches!(target.kind, ConfigKind::Custom { .. }) {
+                return;
+            }
+            if seen.insert((file.to_string(), target.arch.clone(), target.kind.clone(), op)) {
+                probes.push(WarmProbe {
+                    file: file.to_string(),
+                    arch: target.arch.clone(),
+                    kind: target.kind.clone(),
+                    op,
+                });
+            }
+        };
+
+        // Mirror c_phase: global first-seen target order, then each
+        // pending file under that target.
+        let mut order: Vec<Target> = Vec::new();
+        for e in entries.iter().filter(|e| !e.is_header) {
+            for t in &e.candidates {
+                if !order.contains(t) {
+                    order.push(t.clone());
+                }
+            }
+        }
+        for target in &order {
+            for e in entries
+                .iter()
+                .filter(|e| !e.is_header && e.active && e.candidates.contains(target))
+            {
+                push(&mut probes, &e.path, target, ObjKind::I);
+                push(&mut probes, &e.path, target, ObjKind::O);
+            }
+        }
+
+        // Mirror h_phase: candidate .c files per header, targets derived
+        // from those candidates (allyesconfig only over the threshold).
+        let mut memo = HeaderCandidateMemo::default();
+        for e in entries.iter().filter(|e| e.is_header && e.active) {
+            let all = memo.get_or_compute(base, &e.path, &e.hints);
+            let over_threshold = all.len() > self.options.header_candidate_threshold;
+            let candidates: Vec<String> = all
+                .into_iter()
+                .take(self.options.max_header_candidates)
+                .collect();
+            let mut order: Vec<Target> = Vec::new();
+            for c in &candidates {
+                for t in self.filter_targets(selector.candidates(base, c)) {
+                    if over_threshold && !matches!(t.kind, ConfigKind::AllYes) {
+                        continue;
+                    }
+                    if !order.contains(&t) {
+                        order.push(t);
+                    }
+                }
+            }
+            for target in &order {
+                for c in &candidates {
+                    push(&mut probes, c, target, ObjKind::I);
+                    push(&mut probes, c, target, ObjKind::O);
+                }
+            }
+        }
+        (mutated, probes)
+    }
 }
 
 /// Keep `BTreeMap` import meaningful for future per-token bookkeeping.

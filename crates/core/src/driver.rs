@@ -22,15 +22,38 @@
 //!   simulated timings (Figure 4a) are identical either way — only host
 //!   wall-clock drops. [`DriverStats`] reports the hit rate and
 //!   per-stage wall-clock.
+//!
+//! Two further host-side accelerations (DESIGN.md §7), both preserving
+//! the same bit-identity contract:
+//!
+//! - **Preprocess/compile results are shared.** With
+//!   [`DriverOptions::object_cache`] (the default), workers share a
+//!   content-addressed [`ObjectCache`] keyed on file content, include
+//!   closure, macro environment, architecture, and build kind. `make .i`
+//!   and `make .o` outcomes — including *failures* (negative caching) —
+//!   are memoized across patches; hits replay the stored result and
+//!   charge the virtual clock exactly what a live run would.
+//! - **Idle workers warm caches for busy ones.** With
+//!   [`DriverOptions::work_stealing`] (the default), a worker that runs
+//!   out of patches steals speculative per-(file × arch × config) units
+//!   describing the probes in-flight patches are about to issue, and
+//!   executes them host-side only: no virtual clock, no tracer, no
+//!   authoritative cache counters. The per-patch pipeline itself stays
+//!   sequential, so reports, samples, and stats are unchanged.
 
-use crate::check::{JMake, Options};
+use crate::check::{JMake, Options, WarmProbe};
 use crate::report::PatchReport;
-use jmake_kbuild::{BuildEngine, CacheStats, ConfigCache, Samples};
+use jmake_diff::Patch;
+use jmake_kbuild::{
+    warm_object_entry, BuildEngine, CacheStats, ConfigCache, ConfigKey, ObjKind, ObjectCache,
+    ObjectCacheStats, Samples, SourceTree,
+};
 use jmake_trace::{Stage, Tracer};
 use jmake_vcs::{CommitId, Repo};
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Options for an evaluation run.
@@ -44,6 +67,19 @@ pub struct DriverOptions {
     /// host wall-clock only; reports and virtual timings are identical
     /// with or without it.
     pub shared_cache: bool,
+    /// Share memoized preprocess/compile outcomes across patches and
+    /// workers (the content-addressed [`ObjectCache`]). Host wall-clock
+    /// only; reports and virtual timings are identical with or without.
+    pub object_cache: bool,
+    /// Split patches into speculative (file × arch × config) warm units
+    /// that idle workers steal, so one heavy patch no longer leaves the
+    /// rest of the pool idle. Requires both caches; automatically off at
+    /// one worker. Host wall-clock only.
+    pub work_stealing: bool,
+    /// Reuse an existing object cache instead of starting cold — lets
+    /// benchmarks measure warm runs and long-lived tools keep their cache
+    /// across `run_evaluation` calls. Ignored when `object_cache` is off.
+    pub object_cache_handle: Option<Arc<ObjectCache>>,
     /// Span emitter for per-stage tracing. Disabled by default — a
     /// disabled tracer is a no-op and leaves reports and the Figure 4
     /// distributions bit-identical.
@@ -56,6 +92,9 @@ impl Default for DriverOptions {
             workers: 4,
             jmake: Options::default(),
             shared_cache: true,
+            object_cache: true,
+            work_stealing: true,
+            object_cache_handle: None,
             tracer: Tracer::disabled(),
         }
     }
@@ -134,6 +173,10 @@ pub struct DriverStats {
     pub panics: usize,
     /// Shared configuration-cache counters (zero when sharing is off).
     pub cache: CacheStats,
+    /// Shared object-cache counters (zero when the object cache is off).
+    /// Hits/misses count only the authoritative engines' lookups;
+    /// speculative warm probes peek without counting.
+    pub object: ObjectCacheStats,
     /// Wall-clock spent in `checkout`, summed across workers (µs).
     pub checkout_wall_us: u64,
     /// Wall-clock spent producing patches (`show`), summed (µs).
@@ -168,6 +211,14 @@ impl DriverStats {
             self.cache.hits,
             self.cache.misses,
             self.cache.entries
+        ));
+        out.push_str(&format!(
+            "  object cache    {:>8.1}% hit rate  ({} hits of which {} negative, {} misses, {} entries)\n",
+            self.object.hit_rate() * 100.0,
+            self.object.hits,
+            self.object.negative_hits,
+            self.object.misses,
+            self.object.entries
         ));
         out.push_str(&format!(
             "  stage wall      checkout {:.1} ms, show {:.1} ms, check {:.1} ms (summed over workers)\n",
@@ -222,6 +273,124 @@ struct WorkerOutput {
     check_us: u64,
 }
 
+/// Everything a speculative warm unit needs to know about its patch.
+/// `done` flips when the authoritative check finishes (or dies), turning
+/// every outstanding unit of this patch into a no-op.
+struct PatchCtx {
+    base: Arc<SourceTree>,
+    patch: Patch,
+    fingerprint: u64,
+    done: AtomicBool,
+}
+
+/// Marks the patch context done on drop — including when the
+/// authoritative check panics past its guard.
+struct DoneOnDrop(Arc<PatchCtx>);
+
+impl Drop for DoneOnDrop {
+    fn drop(&mut self) {
+        self.0.done.store(true, Ordering::Release);
+    }
+}
+
+/// One schedulable warm unit.
+enum Unit {
+    /// Expand a patch into per-(file × arch × config) probes. Planning is
+    /// itself stealable work: the owner only enqueues this marker, so the
+    /// mutation/selector replay runs on an idle worker, not on the
+    /// patch's critical path.
+    Plan(Arc<PatchCtx>),
+    /// Run one probe against the shared caches.
+    Probe {
+        ctx: Arc<PatchCtx>,
+        tree: Arc<SourceTree>,
+        probe: WarmProbe,
+    },
+}
+
+/// One worker's unit queue. The owner pushes at the back; both the owner
+/// and thieves take from the front (oldest first — the order the
+/// authoritative check will want the entries).
+#[derive(Default)]
+struct WorkerDeque {
+    queue: Mutex<VecDeque<Unit>>,
+}
+
+impl WorkerDeque {
+    fn push(&self, unit: Unit) {
+        self.queue
+            .lock()
+            .expect("worker deque poisoned")
+            .push_back(unit);
+    }
+
+    fn steal(&self) -> Option<Unit> {
+        self.queue
+            .lock()
+            .expect("worker deque poisoned")
+            .pop_front()
+    }
+}
+
+/// Shared scheduler state for the speculative warm units.
+struct Scheduler {
+    deques: Vec<WorkerDeque>,
+    /// Patches not yet completed; workers exit when it reaches zero.
+    remaining: AtomicUsize,
+    config_cache: Arc<ConfigCache>,
+    object_cache: Arc<ObjectCache>,
+}
+
+impl Scheduler {
+    /// Take a unit: own queue first, then round-robin from the others.
+    fn take_unit(&self, worker: usize) -> Option<Unit> {
+        let n = self.deques.len();
+        (0..n).find_map(|i| self.deques[(worker + i) % n].steal())
+    }
+
+    /// Execute one warm unit. Purely host-side: no virtual clock, no
+    /// tracer, no cache hit/miss counters — only `peek` and `insert`.
+    fn execute_unit(&self, unit: Unit, jmake: &JMake, worker: usize) {
+        match unit {
+            Unit::Plan(ctx) => {
+                if ctx.done.load(Ordering::Acquire) {
+                    return;
+                }
+                let (mutated, probes) = jmake.plan_warm_probes(&ctx.base, &ctx.patch);
+                let mutated = Arc::new(mutated);
+                for probe in probes {
+                    let tree = match probe.op {
+                        ObjKind::I => Arc::clone(&mutated),
+                        ObjKind::O => Arc::clone(&ctx.base),
+                    };
+                    self.deques[worker].push(Unit::Probe {
+                        ctx: Arc::clone(&ctx),
+                        tree,
+                        probe,
+                    });
+                }
+            }
+            Unit::Probe { ctx, tree, probe } => {
+                if ctx.done.load(Ordering::Acquire) {
+                    return;
+                }
+                let key = ConfigKey::new(&probe.arch, &probe.kind);
+                // Only configurations the authoritative run has already
+                // solved are worth probing — and peeking keeps the
+                // config-cache counters untouched.
+                let Some(cfg) = self.config_cache.peek(
+                    ctx.fingerprint,
+                    &key,
+                    probe.kind.content_fingerprint(),
+                ) else {
+                    return;
+                };
+                warm_object_entry(&self.object_cache, &cfg, &tree, &probe.file, probe.op);
+            }
+        }
+    }
+}
+
 /// Extract a readable message from a panic payload.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -248,6 +417,16 @@ where
     }
 }
 
+/// Everything a worker shares across the commits it checks: the
+/// cross-patch caches, the scheduler slot it may publish warm work to,
+/// and the span emitter.
+struct CheckCtx<'a> {
+    cache: Option<&'a Arc<ConfigCache>>,
+    object: Option<&'a Arc<ObjectCache>>,
+    warm: Option<(&'a Scheduler, usize)>,
+    tracer: &'a Tracer,
+}
+
 /// Check one commit end to end; timings land in `out`'s accumulators.
 ///
 /// Each stage's wall-clock is measured exactly once and the same value
@@ -258,11 +437,10 @@ fn check_commit(
     repo: &Repo,
     commit: CommitId,
     jmake: &JMake,
-    cache: Option<&Arc<ConfigCache>>,
-    tracer: &Tracer,
+    ctx: &CheckCtx<'_>,
     out: &mut WorkerOutput,
 ) -> (PatchOutcome, Samples) {
-    let tracer = tracer.for_patch_with(|| commit.to_string());
+    let tracer = ctx.tracer.for_patch_with(|| commit.to_string());
 
     let span = tracer.span(Stage::Checkout);
     let started = Instant::now();
@@ -294,16 +472,33 @@ fn check_commit(
         Err(e) => return (PatchOutcome::ShowFailed(e.to_string()), Samples::default()),
     };
 
+    // Publish this patch as stealable warm work before the authoritative
+    // check begins; the guard flips `done` when the check ends (or
+    // panics), turning any still-queued unit into a no-op.
+    let _warm_guard = ctx.warm.map(|(sched, worker)| {
+        let ctx = Arc::new(PatchCtx {
+            base: Arc::new(tree.clone()),
+            patch: patch.clone(),
+            fingerprint: ConfigCache::fingerprint_tree(&tree),
+            done: AtomicBool::new(false),
+        });
+        sched.deques[worker].push(Unit::Plan(Arc::clone(&ctx)));
+        DoneOnDrop(ctx)
+    });
+
     let mut span = tracer.span(Stage::Check);
     let started = Instant::now();
     let author = repo
         .get(commit)
         .map(|c| c.author.clone())
         .unwrap_or_default();
-    let mut engine = match cache {
+    let mut engine = match ctx.cache {
         Some(cache) => BuildEngine::with_shared_cache(tree, Arc::clone(cache)),
         None => BuildEngine::new(tree),
     };
+    if let Some(object) = ctx.object {
+        engine.set_object_cache(Arc::clone(object));
+    }
     engine.set_tracer(tracer.clone());
     let report = jmake.check_patch(&mut engine, &patch, &author);
     let elapsed_us = started.elapsed().as_micros() as u64;
@@ -321,27 +516,74 @@ fn check_commit(
 pub fn run_evaluation(repo: &Repo, commits: &[CommitId], opts: &DriverOptions) -> EvaluationRun {
     let run_started = Instant::now();
     let cache = opts.shared_cache.then(|| Arc::new(ConfigCache::new()));
+    let object = opts.object_cache.then(|| {
+        opts.object_cache_handle
+            .clone()
+            .unwrap_or_else(|| Arc::new(ObjectCache::new()))
+    });
     let next = AtomicUsize::new(0);
     let workers = opts.workers.max(1).min(commits.len().max(1));
 
+    // Work stealing only pays off when idle workers exist and both shared
+    // caches are on (probes feed the object cache and peek solved
+    // configurations out of the config cache).
+    let scheduler = match (&cache, &object) {
+        (Some(cache), Some(object)) if opts.work_stealing && workers > 1 => Some(Scheduler {
+            deques: (0..workers).map(|_| WorkerDeque::default()).collect(),
+            remaining: AtomicUsize::new(commits.len()),
+            config_cache: Arc::clone(cache),
+            object_cache: Arc::clone(object),
+        }),
+        _ => None,
+    };
+
     let outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
+            .map(|w| {
                 let cache = cache.as_ref();
+                let object = object.as_ref();
+                let scheduler = scheduler.as_ref();
                 let next = &next;
                 scope.spawn(move || {
                     let jmake = JMake::with_options(opts.jmake.clone());
                     let mut out = WorkerOutput::default();
+                    let ctx = CheckCtx {
+                        cache,
+                        object,
+                        warm: scheduler.map(|s| (s, w)),
+                        tracer: &opts.tracer,
+                    };
                     loop {
+                        // Authoritative patches always beat speculative
+                        // warm units.
                         let idx = next.fetch_add(1, Ordering::Relaxed);
-                        if idx >= commits.len() {
+                        if idx < commits.len() {
+                            let commit = commits[idx];
+                            let (outcome, samples) = guard_patch(AssertUnwindSafe(|| {
+                                check_commit(repo, commit, &jmake, &ctx, &mut out)
+                            }));
+                            out.items.push((idx, PatchResult { commit, outcome }, samples));
+                            if let Some(sched) = scheduler {
+                                sched.remaining.fetch_sub(1, Ordering::AcqRel);
+                            }
+                            continue;
+                        }
+                        // No patch left to start: help warm caches for the
+                        // patches still running, then exit.
+                        let Some(sched) = scheduler else { break };
+                        if sched.remaining.load(Ordering::Acquire) == 0 {
                             break;
                         }
-                        let commit = commits[idx];
-                        let (outcome, samples) = guard_patch(AssertUnwindSafe(|| {
-                            check_commit(repo, commit, &jmake, cache, &opts.tracer, &mut out)
-                        }));
-                        out.items.push((idx, PatchResult { commit, outcome }, samples));
+                        match sched.take_unit(w) {
+                            Some(unit) => {
+                                // A speculative unit must never kill a
+                                // worker; its panic is simply dropped.
+                                let _ = catch_unwind(AssertUnwindSafe(|| {
+                                    sched.execute_unit(unit, &jmake, w)
+                                }));
+                            }
+                            None => std::thread::yield_now(),
+                        }
                     }
                     out
                 })
@@ -395,6 +637,9 @@ pub fn run_evaluation(repo: &Repo, commits: &[CommitId], opts: &DriverOptions) -
 
     if let Some(cache) = &cache {
         stats.cache = cache.stats();
+    }
+    if let Some(object) = &object {
+        stats.object = object.stats();
     }
     stats.total_wall_us = run_started.elapsed().as_micros() as u64;
     run.stats = stats;

@@ -62,7 +62,7 @@ pub mod stats;
 pub mod token;
 
 pub use archsel::{ArchSelector, Target};
-pub use check::{JMake, Options};
+pub use check::{JMake, Options, WarmProbe};
 pub use classify::UncoveredReason;
 pub use covsel::{branch_wants, generate_cover_targets, Want};
 pub use driver::{

@@ -3,15 +3,17 @@
 use crate::arch::{Arch, ArchRegistry};
 use crate::cache::ConfigCache;
 use crate::clock::{CostModel, SampleKind, VirtualClock};
+use crate::hash::{ContentHash, Fnv};
+use crate::objcache::{include_fingerprint, CachedObj, ObjKind, ObjectCache, ObjectKey};
 use crate::objgraph::ObjGraph;
 use crate::tree::SourceTree;
 use jmake_cpp::{validate, CppError, IncludeResolver, PreprocessOutput, Preprocessor, SyntaxError};
-use jmake_kconfig::{Config, KconfigModel, Tristate};
+use jmake_kconfig::{Config, DeadSymbols, KconfigModel, Tristate};
 use jmake_trace::{CacheOutcome, Span, Stage, Tracer};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Which configuration to create (paper §II.B).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -42,16 +44,18 @@ impl ConfigKind {
         }
     }
 
-    /// Key used in the cross-patch [`ConfigCache`]. Unlike the per-engine
-    /// key, a custom configuration's *content* is folded in: two patches
-    /// may reuse one display name for different synthesized configs, and
-    /// the shared cache must not conflate them.
-    fn shared_key(&self) -> String {
+    /// Content fingerprint widening cross-patch [`ConfigCache`] keys.
+    /// Unlike the per-engine key, a custom configuration's *content* is
+    /// folded into the shared key: two patches may reuse one display name
+    /// for different synthesized configs, and the shared cache must not
+    /// conflate them. Non-custom kinds are fully named by [`ConfigKey`]
+    /// and fingerprint to zero.
+    pub fn content_fingerprint(&self) -> u64 {
         match self {
-            ConfigKind::Custom { name, content } => {
-                format!("custom:{name}:{:016x}", ConfigCache::fingerprint_bytes(content.as_bytes()))
+            ConfigKind::Custom { content, .. } => {
+                ConfigCache::fingerprint_bytes(content.as_bytes())
             }
-            other => other.cache_key(),
+            _ => 0,
         }
     }
 }
@@ -59,6 +63,38 @@ impl ConfigKind {
 impl fmt::Display for ConfigKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.cache_key())
+    }
+}
+
+/// Interned cache identity of a configuration: `(arch, kind key)` as
+/// shared `Arc<str>`s, precomputed once per [`BuildConfig`] so the hot
+/// lookup paths (`setup_cost`, the per-engine memo, the shared
+/// [`ConfigCache`]) hash existing allocations instead of formatting a
+/// fresh `String` per call.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConfigKey {
+    arch: Arc<str>,
+    kind: Arc<str>,
+}
+
+impl ConfigKey {
+    /// Build the key for `(arch, kind)`. Allocates; call once per
+    /// configuration and clone afterwards (two `Arc` bumps).
+    pub fn new(arch: &str, kind: &ConfigKind) -> ConfigKey {
+        ConfigKey {
+            arch: Arc::from(arch),
+            kind: Arc::from(kind.cache_key().as_str()),
+        }
+    }
+
+    /// The architecture name.
+    pub fn arch(&self) -> &str {
+        &self.arch
+    }
+
+    /// The kind's display key (`allyesconfig`, `defconfig:<path>`, …).
+    pub fn kind_key(&self) -> &str {
+        &self.kind
     }
 }
 
@@ -74,6 +110,59 @@ pub struct BuildConfig {
     /// The Kconfig model it was solved against (the failure classifier
     /// needs symbol declarations).
     pub model: KconfigModel,
+    /// Interned `(arch, kind)` identity, precomputed at solve time.
+    key: ConfigKey,
+    /// `kind.content_fingerprint()`, precomputed at solve time.
+    content_fp: u64,
+    /// Fingerprint of the macro environment `config.cpp_defines()`
+    /// induces — one of the object-cache key dimensions.
+    env_fp: u64,
+    /// Satisfiability lint over `model`, computed on first use and shared
+    /// by every clone (the classifier consults it once per patch; the
+    /// model is immutable after solving, so the result never changes).
+    dead: Arc<OnceLock<DeadSymbols>>,
+}
+
+impl BuildConfig {
+    /// The interned `(arch, kind)` cache identity.
+    pub fn key(&self) -> &ConfigKey {
+        &self.key
+    }
+
+    /// The custom-content fingerprint (zero for non-custom kinds).
+    pub fn content_fingerprint(&self) -> u64 {
+        self.content_fp
+    }
+
+    /// The model's dead-symbol set, computed once and shared across
+    /// clones — including the copies the shared [`crate::ConfigCache`]
+    /// hands to other workers, so one evaluation run pays the
+    /// O(symbols²) lint once per distinct configuration rather than
+    /// once per patch.
+    pub fn dead_symbols(&self) -> &DeadSymbols {
+        self.dead.get_or_init(|| DeadSymbols::compute(&self.model))
+    }
+
+    /// Fingerprint of the preprocessor macro environment this
+    /// configuration induces.
+    pub fn env_fingerprint(&self) -> u64 {
+        self.env_fp
+    }
+}
+
+/// Fingerprint the macro environment `config` induces on the
+/// preprocessor. `Config` stores symbol values in a `BTreeMap`, so
+/// `cpp_defines()` is deterministically ordered and the fingerprint is
+/// stable across engines and runs.
+fn env_fingerprint_of(config: &Config) -> u64 {
+    let mut h = Fnv::new();
+    for (name, value) in config.cpp_defines() {
+        h.write(name.as_bytes());
+        h.write(&[0x00]);
+        h.write(value.as_bytes());
+        h.write(&[0xff]);
+    }
+    h.finish()
 }
 
 /// Why a build operation failed.
@@ -202,13 +291,16 @@ pub struct BuildEngine {
     cost: CostModel,
     /// The simulated clock; the evaluation driver reads its samples.
     pub clock: VirtualClock,
-    config_cache: BTreeMap<(String, String), BuildConfig>,
-    warm: BTreeSet<(String, String)>,
+    config_cache: HashMap<ConfigKey, Arc<BuildConfig>>,
+    warm: HashSet<ConfigKey>,
     bootstrap: BTreeSet<String>,
     heavy: BTreeSet<String>,
     /// Cross-patch configuration cache plus this tree's fingerprint
     /// (computed once at construction); `None` runs fully per-engine.
     shared: Option<(Arc<ConfigCache>, u64)>,
+    /// Cross-patch object cache memoizing preprocess/compile outcomes;
+    /// `None` preprocesses everything live.
+    object: Option<Arc<ObjectCache>>,
     /// Span emitter for `config_solve`/`build_i`/`build_o`. Disabled by
     /// default; every span is then a no-op.
     tracer: Tracer,
@@ -224,21 +316,9 @@ impl BuildEngine {
     /// heavy file when present (paper §V.C: compiling it triggers
     /// compilation of the entire kernel).
     pub fn new(tree: SourceTree) -> Self {
-        let mut bootstrap: BTreeSet<String> = tree
-            .files_under("scripts")
-            .filter(|p| p.ends_with(".c") || p.ends_with(".h"))
-            .map(str::to_string)
-            .collect();
-        for candidate in ["kernel/bounds.c"] {
-            if tree.contains(candidate) {
-                bootstrap.insert(candidate.to_string());
-            }
-        }
+        let bootstrap = bootstrap_files_of(&tree);
         let mut heavy = BTreeSet::new();
         for p in tree.paths() {
-            if p.starts_with("arch/") && p.ends_with("/kernel/asm-offsets.c") {
-                bootstrap.insert(p.to_string());
-            }
             if p == "arch/powerpc/kernel/prom_init.c" {
                 heavy.insert(p.to_string());
             }
@@ -248,11 +328,12 @@ impl BuildEngine {
             registry: ArchRegistry::new(),
             cost: CostModel::default(),
             clock: VirtualClock::new(),
-            config_cache: BTreeMap::new(),
-            warm: BTreeSet::new(),
+            config_cache: HashMap::new(),
+            warm: HashSet::new(),
             bootstrap,
             heavy,
             shared: None,
+            object: None,
             tracer: Tracer::disabled(),
         }
     }
@@ -278,6 +359,19 @@ impl BuildEngine {
         self.shared.as_ref().map(|(cache, _)| cache)
     }
 
+    /// Attach a cross-patch [`ObjectCache`]. `make_i`/`make_o` will then
+    /// memoize preprocess and front-end outcomes (including failures) by
+    /// content-addressed key; hits skip host work but charge the virtual
+    /// clock exactly what a live run would.
+    pub fn set_object_cache(&mut self, cache: Arc<ObjectCache>) {
+        self.object = Some(cache);
+    }
+
+    /// The attached object cache, if any.
+    pub fn object_cache(&self) -> Option<&Arc<ObjectCache>> {
+        self.object.as_ref()
+    }
+
     /// Attach a tracer; build-side stages will emit spans through it.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
@@ -295,8 +389,7 @@ impl BuildEngine {
     fn stage_span(&self, stage: Stage, cfg: &BuildConfig) -> Span {
         let span = self.tracer.span(stage);
         if self.tracer.is_enabled() {
-            span.with_arch(cfg.arch.name)
-                .with_config(&cfg.kind.cache_key())
+            span.with_arch(cfg.arch.name).with_config(cfg.key.kind_key())
         } else {
             span
         }
@@ -353,11 +446,11 @@ impl BuildEngine {
         &mut self,
         arch: &str,
         kind: &ConfigKind,
-    ) -> Result<BuildConfig, BuildError> {
-        let key = (arch.to_string(), kind.cache_key());
+    ) -> Result<Arc<BuildConfig>, BuildError> {
+        let key = ConfigKey::new(arch, kind);
         let mut span = self.tracer.span(Stage::ConfigSolve);
         if self.tracer.is_enabled() {
-            span = span.with_arch(arch).with_config(&key.1);
+            span = span.with_arch(arch).with_config(key.kind_key());
         }
         let before = self.clock.now_us();
         let result = self.make_config_uncached(arch, kind, key, &mut span);
@@ -369,12 +462,12 @@ impl BuildEngine {
         &mut self,
         arch: &str,
         kind: &ConfigKind,
-        key: (String, String),
+        key: ConfigKey,
         span: &mut Span,
-    ) -> Result<BuildConfig, BuildError> {
+    ) -> Result<Arc<BuildConfig>, BuildError> {
         if let Some(cfg) = self.config_cache.get(&key) {
             span.set_cache(CacheOutcome::Local);
-            return Ok(cfg.clone());
+            return Ok(Arc::clone(cfg));
         }
         let arch_info = self
             .registry
@@ -383,18 +476,18 @@ impl BuildEngine {
         if !arch_info.cross_compiler_works {
             return Err(BuildError::CrossCompilerMissing(arch.to_string()));
         }
+        let content_fp = kind.content_fingerprint();
         // Consult the cross-patch cache before solving. A hit skips the
         // host-side model assembly and constraint solving but charges
         // the virtual clock exactly what solving would have — simulated
         // timing does not depend on the cache.
         if let Some((cache, fingerprint)) = self.shared.clone() {
-            let (found, outcome) = cache.lookup(fingerprint, arch, &kind.shared_key());
+            let (found, outcome) = cache.lookup(fingerprint, &key, content_fp);
             span.set_cache(outcome);
             if let Some(shared_cfg) = found {
-                let built = (*shared_cfg).clone();
-                self.charge_config_creation(built.model.len() as u64, &arch_info);
-                self.config_cache.insert(key, built.clone());
-                return Ok(built);
+                self.charge_config_creation(shared_cfg.model.len() as u64, &arch_info);
+                self.config_cache.insert(key, Arc::clone(&shared_cfg));
+                return Ok(shared_cfg);
             }
         } else {
             span.set_cache(CacheOutcome::Off);
@@ -413,16 +506,21 @@ impl BuildEngine {
             ConfigKind::Custom { content, .. } => model.defconfig(content),
         };
         self.charge_config_creation(model.len() as u64, &arch_info);
-        let built = BuildConfig {
+        let env_fp = env_fingerprint_of(&config);
+        let built = Arc::new(BuildConfig {
             arch: arch_info,
             kind: kind.clone(),
             config,
             model,
-        };
+            key: key.clone(),
+            content_fp,
+            env_fp,
+            dead: Arc::new(OnceLock::new()),
+        });
         if let Some((cache, fingerprint)) = &self.shared {
-            cache.insert(*fingerprint, arch, &kind.shared_key(), Arc::new(built.clone()));
+            cache.insert(*fingerprint, &key, content_fp, Arc::clone(&built));
         }
-        self.config_cache.insert(key, built.clone());
+        self.config_cache.insert(key, Arc::clone(&built));
         Ok(built)
     }
 
@@ -487,7 +585,7 @@ impl BuildEngine {
     ) -> Result<IResults, BuildError> {
         let mut span = self.stage_span(Stage::BuildI, cfg);
         let before = self.clock.now_us();
-        let result = self.make_i_uncharged(cfg, tree, files);
+        let result = self.make_i_uncharged(cfg, tree, files, &mut span);
         span.set_virtual_us(self.clock.now_us() - before);
         result
     }
@@ -497,35 +595,88 @@ impl BuildEngine {
         cfg: &BuildConfig,
         tree: &SourceTree,
         files: &[String],
+        span: &mut Span,
     ) -> Result<IResults, BuildError> {
         self.check_bootstrap(tree)?;
         let mut invocation_us = self.setup_cost(cfg);
         let graph = ObjGraph::new(tree);
+        // The grouped invocation gets one aggregate cache outcome: Miss
+        // when any file had to be preprocessed live, Hit when every
+        // cacheable file was served from the cache, Off with no cache.
+        let mut any_hit = false;
+        let mut any_miss = false;
         let mut out = Vec::with_capacity(files.len());
         for file in files {
             let result = if !tree.contains(file) {
                 Err(BuildError::MissingFile(file.clone()))
             } else {
-                let pp = self.preprocess(cfg, tree, &graph, file);
-                invocation_us +=
-                    self.cost.i_base_us + pp.text.len() as u64 * self.cost.i_per_byte_us;
-                if let Some(first) = pp.errors.first() {
-                    Err(BuildError::PreprocessFailed {
-                        file: file.clone(),
-                        first_error: first.to_string(),
-                    })
-                } else {
-                    Ok(IFile {
-                        path: file.clone(),
-                        text: pp.text,
-                        expanded_macros: pp.expanded_macros,
-                        includes: pp.includes,
-                    })
+                let module = graph.gating_value(file, &cfg.config) == Tristate::M;
+                let key = self
+                    .object
+                    .as_ref()
+                    .and_then(|_| object_key_for(tree, cfg, file, module, ObjKind::I));
+                let cached = match (&self.object, &key) {
+                    (Some(cache), Some(k)) => {
+                        let (found, _) = cache.lookup(k);
+                        if found.is_some() {
+                            any_hit = true;
+                        } else {
+                            any_miss = true;
+                        }
+                        found
+                    }
+                    _ => None,
+                };
+                match cached {
+                    Some(entry) => {
+                        let CachedObj::I { text_len, result } = &*entry else {
+                            unreachable!("kind is part of the key: an I key finds an I entry")
+                        };
+                        invocation_us +=
+                            self.cost.i_base_us + *text_len * self.cost.i_per_byte_us;
+                        match result {
+                            Ok(ifile) => Ok(ifile.clone()),
+                            Err(first_error) => Err(BuildError::PreprocessFailed {
+                                file: file.clone(),
+                                first_error: first_error.clone(),
+                            }),
+                        }
+                    }
+                    None => {
+                        let pp = preprocess_file(tree, cfg, module, file);
+                        invocation_us +=
+                            self.cost.i_base_us + pp.text.len() as u64 * self.cost.i_per_byte_us;
+                        if let (Some(cache), Some(k)) = (&self.object, key) {
+                            let entry = i_entry_from_pp(file, pp);
+                            let result = i_result_from_entry(&entry, file);
+                            cache.insert(k, Arc::new(entry));
+                            result
+                        } else if let Some(first) = pp.errors.first() {
+                            Err(BuildError::PreprocessFailed {
+                                file: file.clone(),
+                                first_error: first.to_string(),
+                            })
+                        } else {
+                            Ok(IFile {
+                                path: file.clone(),
+                                text: pp.text,
+                                expanded_macros: pp.expanded_macros,
+                                includes: pp.includes,
+                            })
+                        }
+                    }
                 }
             };
             out.push((file.clone(), result));
         }
         self.clock.charge(SampleKind::IGen, invocation_us);
+        if self.object.is_none() {
+            span.set_cache(CacheOutcome::Off);
+        } else if any_miss {
+            span.set_cache(CacheOutcome::Miss);
+        } else if any_hit {
+            span.set_cache(CacheOutcome::Hit);
+        }
         Ok(out)
     }
 
@@ -543,7 +694,7 @@ impl BuildEngine {
     ) -> Result<(), BuildError> {
         let mut span = self.stage_span(Stage::BuildO, cfg).with_file(file);
         let before = self.clock.now_us();
-        let result = self.make_o_charged(cfg, tree, file);
+        let result = self.make_o_charged(cfg, tree, file, &mut span);
         span.set_virtual_us(self.clock.now_us() - before);
         result
     }
@@ -553,10 +704,11 @@ impl BuildEngine {
         cfg: &BuildConfig,
         tree: &SourceTree,
         file: &str,
+        span: &mut Span,
     ) -> Result<(), BuildError> {
         self.check_bootstrap(tree)?;
         let mut invocation_us = self.setup_cost(cfg);
-        let result = self.make_o_inner(cfg, tree, file, &mut invocation_us);
+        let result = self.make_o_inner(cfg, tree, file, &mut invocation_us, span);
         self.clock.charge(SampleKind::OGen, invocation_us);
         result
     }
@@ -567,7 +719,11 @@ impl BuildEngine {
         tree: &SourceTree,
         file: &str,
         invocation_us: &mut u64,
+        span: &mut Span,
     ) -> Result<(), BuildError> {
+        if self.object.is_none() {
+            span.set_cache(CacheOutcome::Off);
+        }
         if !tree.contains(file) {
             return Err(BuildError::MissingFile(file.to_string()));
         }
@@ -575,20 +731,47 @@ impl BuildEngine {
         if !graph.has_makefile(file) {
             return Err(BuildError::NoMakefile(file.to_string()));
         }
-        if !graph.gating_value(file, &cfg.config).enabled() {
+        let gating = graph.gating_value(file, &cfg.config);
+        if !gating.enabled() {
             return Err(BuildError::NotEnabled(file.to_string()));
         }
-        let pp = self.preprocess(cfg, tree, &graph, file);
+        let module = gating == Tristate::M;
         let heavy = self.heavy.contains(file);
+        let key = self
+            .object
+            .as_ref()
+            .and_then(|_| object_key_for(tree, cfg, file, module, ObjKind::O));
+        if let (Some(cache), Some(k)) = (&self.object, &key) {
+            let (found, outcome) = cache.lookup(k);
+            span.set_cache(outcome);
+            if let Some(entry) = found {
+                let CachedObj::O { text_len, result } = &*entry else {
+                    unreachable!("kind is part of the key: an O key finds an O entry")
+                };
+                *invocation_us += self.cost.o_base_us + *text_len * self.cost.o_per_byte_us;
+                if heavy {
+                    *invocation_us += self.heavy_rebuild_us(tree);
+                }
+                return result.clone();
+            }
+        }
+        let pp = preprocess_file(tree, cfg, module, file);
         *invocation_us += self.cost.o_base_us + pp.text.len() as u64 * self.cost.o_per_byte_us;
         if heavy {
             // Compiling this file triggers compilation of the entire
             // kernel, whether or not JMake is used (paper §V.C): charge a
             // per-file base for every .c in the tree plus the whole tree's
             // byte-proportional cost, scaled for synthetic file sizes.
-            let c_files = tree.paths().filter(|p| p.ends_with(".c")).count() as u64;
-            *invocation_us += crate::clock::HEAVY_REBUILD_FACTOR
-                * (c_files * self.cost.o_base_us + tree.total_bytes() * self.cost.o_per_byte_us);
+            *invocation_us += self.heavy_rebuild_us(tree);
+        }
+        if let (Some(cache), Some(k)) = (&self.object, key) {
+            let entry = o_entry_from_pp(file, pp);
+            let CachedObj::O { result, .. } = &entry else {
+                unreachable!("o_entry_from_pp builds O entries")
+            };
+            let out = result.clone();
+            cache.insert(k, Arc::new(entry));
+            return out;
         }
         if let Some(first) = pp.errors.first() {
             return Err(BuildError::PreprocessFailed {
@@ -602,47 +785,18 @@ impl BuildEngine {
         })
     }
 
-    /// Run the preprocessor on `file` with the configuration's macro
-    /// environment and kernel include paths.
-    fn preprocess(
-        &self,
-        cfg: &BuildConfig,
-        tree: &SourceTree,
-        graph: &ObjGraph<'_>,
-        file: &str,
-    ) -> PreprocessOutput {
-        let resolver = TreeResolver {
-            tree,
-            search_paths: vec![
-                "include".to_string(),
-                format!("arch/{}/include", cfg.arch.name),
-            ],
-        };
-        let mut pp = Preprocessor::new(resolver);
-        pp.define_object("__KERNEL__", "1");
-        // The kernel's IS_ENABLED idiom: `#if IS_ENABLED(CONFIG_X)`
-        // expands to the CONFIG macro itself — 1 when the option is
-        // built in, an undefined identifier (hence 0 in #if) otherwise.
-        // (The real kernel also covers =m; module-only visibility is
-        // handled by the MODULE define below.)
-        pp.define_function("IS_ENABLED", vec!["option".to_string()], "(option)");
-        for (name, value) in cfg.config.cpp_defines() {
-            pp.define_object(&name, &value);
-        }
-        // Kbuild defines MODULE when the object is being built as a module.
-        if graph.gating_value(file, &cfg.config) == Tristate::M {
-            pp.define_object("MODULE", "1");
-        }
-        let content = tree.get(file).unwrap_or_default();
-        pp.preprocess(file, content)
+    /// The whole-kernel rebuild charge a heavy file triggers (paper §V.C).
+    fn heavy_rebuild_us(&self, tree: &SourceTree) -> u64 {
+        let c_files = tree.paths().filter(|p| p.ends_with(".c")).count() as u64;
+        crate::clock::HEAVY_REBUILD_FACTOR
+            * (c_files * self.cost.o_base_us + tree.total_bytes() * self.cost.o_per_byte_us)
     }
 
     /// Setup work for one make invocation: full operation sequence the
     /// first time a configuration is used, a handful of checks afterwards
     /// (paper §III.D).
     fn setup_cost(&mut self, cfg: &BuildConfig) -> u64 {
-        let key = (cfg.arch.name.to_string(), cfg.kind.cache_key());
-        if self.warm.insert(key) {
+        if self.warm.insert(cfg.key.clone()) {
             u64::from(cfg.arch.setup_ops) * self.cost.setup_op_us
         } else {
             self.cost.warm_setup_us
@@ -662,6 +816,179 @@ impl BuildEngine {
         }
         Ok(())
     }
+}
+
+/// Bootstrap files of `tree`: everything under `scripts/`, plus
+/// `kernel/bounds.c` and each `arch/*/kernel/asm-offsets.c` when present
+/// (paper §V.D — the build system compiles these before any target).
+pub fn bootstrap_files_of(tree: &SourceTree) -> BTreeSet<String> {
+    let mut bootstrap: BTreeSet<String> = tree
+        .files_under("scripts")
+        .filter(|p| p.ends_with(".c") || p.ends_with(".h"))
+        .map(str::to_string)
+        .collect();
+    for candidate in ["kernel/bounds.c"] {
+        if tree.contains(candidate) {
+            bootstrap.insert(candidate.to_string());
+        }
+    }
+    for p in tree.paths() {
+        if p.starts_with("arch/") && p.ends_with("/kernel/asm-offsets.c") {
+            bootstrap.insert(p.to_string());
+        }
+    }
+    bootstrap
+}
+
+/// Run the preprocessor on `file` with the configuration's macro
+/// environment and kernel include paths. Free-standing (no `&self`) so
+/// the engine's live path and the driver's speculative cache-warming
+/// path run the byte-identical computation.
+pub(crate) fn preprocess_file(
+    tree: &SourceTree,
+    cfg: &BuildConfig,
+    module: bool,
+    file: &str,
+) -> PreprocessOutput {
+    let resolver = TreeResolver {
+        tree,
+        search_paths: vec![
+            "include".to_string(),
+            format!("arch/{}/include", cfg.arch.name),
+        ],
+    };
+    let mut pp = Preprocessor::new(resolver);
+    pp.define_object("__KERNEL__", "1");
+    // The kernel's IS_ENABLED idiom: `#if IS_ENABLED(CONFIG_X)`
+    // expands to the CONFIG macro itself — 1 when the option is
+    // built in, an undefined identifier (hence 0 in #if) otherwise.
+    // (The real kernel also covers =m; module-only visibility is
+    // handled by the MODULE define below.)
+    pp.define_function("IS_ENABLED", vec!["option".to_string()], "(option)");
+    for (name, value) in cfg.config.cpp_defines() {
+        pp.define_object(&name, &value);
+    }
+    // Kbuild defines MODULE when the object is being built as a module.
+    if module {
+        pp.define_object("MODULE", "1");
+    }
+    let content = tree.get(file).unwrap_or_default();
+    pp.preprocess(file, content)
+}
+
+/// Derive the object-cache key for `(tree, cfg, file)`, or `None` when
+/// the file's include closure cannot be fingerprinted soundly (computed
+/// `#include` targets) — such files are simply never cached.
+fn object_key_for(
+    tree: &SourceTree,
+    cfg: &BuildConfig,
+    file: &str,
+    module: bool,
+    kind: ObjKind,
+) -> Option<ObjectKey> {
+    let include_fp = include_fingerprint(tree, cfg.arch.name, file)?;
+    Some(ObjectKey {
+        blob: ContentHash::of(tree.get(file).unwrap_or_default()),
+        path: Arc::from(file),
+        include_fp,
+        env_fp: cfg.env_fingerprint(),
+        module,
+        arch: cfg.arch.name,
+        kind,
+    })
+}
+
+/// Fold one preprocess run into the cache entry `make_i` stores —
+/// success keeps the full `.i` artifact, failure keeps the first
+/// diagnostic (negative caching).
+fn i_entry_from_pp(file: &str, pp: PreprocessOutput) -> CachedObj {
+    let text_len = pp.text.len() as u64;
+    let result = match pp.errors.first() {
+        Some(first) => Err(first.to_string()),
+        None => Ok(IFile {
+            path: file.to_string(),
+            text: pp.text,
+            expanded_macros: pp.expanded_macros,
+            includes: pp.includes,
+        }),
+    };
+    CachedObj::I { text_len, result }
+}
+
+fn i_result_from_entry(entry: &CachedObj, file: &str) -> Result<IFile, BuildError> {
+    let CachedObj::I { result, .. } = entry else {
+        unreachable!("i_entry_from_pp builds I entries")
+    };
+    match result {
+        Ok(ifile) => Ok(ifile.clone()),
+        Err(first_error) => Err(BuildError::PreprocessFailed {
+            file: file.to_string(),
+            first_error: first_error.clone(),
+        }),
+    }
+}
+
+/// Fold one preprocess run into the cache entry `make_o` stores: the
+/// preprocess diagnostics and the front-end verdict, success or not.
+fn o_entry_from_pp(file: &str, pp: PreprocessOutput) -> CachedObj {
+    let text_len = pp.text.len() as u64;
+    let result = if let Some(first) = pp.errors.first() {
+        Err(BuildError::PreprocessFailed {
+            file: file.to_string(),
+            first_error: first.to_string(),
+        })
+    } else {
+        validate(&pp.text).map_err(|error| BuildError::FrontEndRejected {
+            file: file.to_string(),
+            error,
+        })
+    };
+    CachedObj::O { text_len, result }
+}
+
+/// Host-side cache warming for the work-stealing driver: compute and
+/// insert the [`ObjectCache`] entry `make_i`/`make_o` would create for
+/// `(cfg, tree, file, kind)`, touching no virtual clock, no tracer, and
+/// no cache hit/miss counter. A no-op when the engine would not reach
+/// the cache for this unit (bootstrap mutation in the tree, missing
+/// file, no Makefile / not enabled for `.o`, unfingerprintable include
+/// closure) or when the entry already exists.
+pub fn warm_object_entry(
+    cache: &ObjectCache,
+    cfg: &BuildConfig,
+    tree: &SourceTree,
+    file: &str,
+    kind: ObjKind,
+) {
+    if !tree.contains(file) {
+        return;
+    }
+    // The engine fails the whole invocation before caching anything when
+    // a bootstrap file carries a mutation glyph.
+    let mutated_bootstrap = bootstrap_files_of(tree)
+        .iter()
+        .any(|p| tree.get(p).is_some_and(|c| c.contains('\u{2261}')));
+    if mutated_bootstrap {
+        return;
+    }
+    let graph = ObjGraph::new(tree);
+    let gating = graph.gating_value(file, &cfg.config);
+    if kind == ObjKind::O && (!graph.has_makefile(file) || !gating.enabled()) {
+        return;
+    }
+    let module = gating == Tristate::M;
+    let Some(key) = object_key_for(tree, cfg, file, module, kind) else {
+        return;
+    };
+    if cache.peek(&key).is_some() {
+        return;
+    }
+    let pp = preprocess_file(tree, cfg, module, file);
+    let entry = match kind {
+        ObjKind::I => i_entry_from_pp(file, pp),
+        ObjKind::O => o_entry_from_pp(file, pp),
+    };
+    cache.insert(key, Arc::new(entry));
 }
 
 /// Helpers for CppError conversion in messages.

@@ -15,7 +15,8 @@
 //! is bit-identical with or without the cache. Only real wall-clock
 //! drops.
 
-use crate::build::BuildConfig;
+use crate::build::{BuildConfig, ConfigKey};
+use crate::hash::Fnv;
 use crate::tree::SourceTree;
 use jmake_trace::CacheOutcome;
 use std::collections::HashMap;
@@ -26,9 +27,10 @@ use std::sync::{Arc, RwLock};
 /// hash so concurrent workers on different architectures rarely contend.
 const SHARDS: usize = 16;
 
-/// Key of one cached configuration: (tree fingerprint, arch name,
-/// configuration-kind key).
-type Key = (u64, String, String);
+/// Key of one cached configuration: (tree fingerprint, interned
+/// `(arch, kind)` identity, custom-content fingerprint — zero for
+/// non-custom kinds).
+type Key = (u64, ConfigKey, u64);
 
 /// Aggregate cache counters, cheap to copy into driver statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -71,15 +73,20 @@ impl ConfigCache {
     fn shard(&self, key: &Key) -> &RwLock<HashMap<Key, Arc<BuildConfig>>> {
         // The fingerprint is already a strong 64-bit hash; fold in the
         // kind key's length so AllYes/AllMod on one tree can land apart.
-        let idx = (key.0 ^ key.2.len() as u64) as usize % SHARDS;
+        let idx = (key.0 ^ key.1.kind_key().len() as u64) as usize % SHARDS;
         &self.shards[idx]
     }
 
     /// Look up a solved configuration; counts a hit or a miss. Under a
     /// concurrent miss-then-solve race both solvers count a miss — the
     /// counters describe lookups, not distinct solving work.
-    pub fn get(&self, fingerprint: u64, arch: &str, kind_key: &str) -> Option<Arc<BuildConfig>> {
-        self.lookup(fingerprint, arch, kind_key).0
+    pub fn get(
+        &self,
+        fingerprint: u64,
+        key: &ConfigKey,
+        content_fp: u64,
+    ) -> Option<Arc<BuildConfig>> {
+        self.lookup(fingerprint, key, content_fp).0
     }
 
     /// [`ConfigCache::get`] plus the [`CacheOutcome`] for tracing. The
@@ -89,16 +96,10 @@ impl ConfigCache {
     pub fn lookup(
         &self,
         fingerprint: u64,
-        arch: &str,
-        kind_key: &str,
+        key: &ConfigKey,
+        content_fp: u64,
     ) -> (Option<Arc<BuildConfig>>, CacheOutcome) {
-        let key = (fingerprint, arch.to_string(), kind_key.to_string());
-        let found = self
-            .shard(&key)
-            .read()
-            .expect("config cache shard poisoned")
-            .get(&key)
-            .cloned();
+        let found = self.read_entry(fingerprint, key, content_fp);
         let outcome = match &found {
             Some(_) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -112,10 +113,43 @@ impl ConfigCache {
         (found, outcome)
     }
 
+    /// Look up without touching the hit/miss counters. The speculative
+    /// cache-warming path uses this: its lookups are not part of the
+    /// authoritative run, so they must not perturb [`CacheStats`] (which
+    /// tracing reconciles per span, µs- and count-exact).
+    pub fn peek(
+        &self,
+        fingerprint: u64,
+        key: &ConfigKey,
+        content_fp: u64,
+    ) -> Option<Arc<BuildConfig>> {
+        self.read_entry(fingerprint, key, content_fp)
+    }
+
+    fn read_entry(
+        &self,
+        fingerprint: u64,
+        key: &ConfigKey,
+        content_fp: u64,
+    ) -> Option<Arc<BuildConfig>> {
+        let key = (fingerprint, key.clone(), content_fp);
+        self.shard(&key)
+            .read()
+            .expect("config cache shard poisoned")
+            .get(&key)
+            .cloned()
+    }
+
     /// Store a solved configuration. The first writer wins a race; later
     /// identical solutions are dropped.
-    pub fn insert(&self, fingerprint: u64, arch: &str, kind_key: &str, cfg: Arc<BuildConfig>) {
-        let key = (fingerprint, arch.to_string(), kind_key.to_string());
+    pub fn insert(
+        &self,
+        fingerprint: u64,
+        key: &ConfigKey,
+        content_fp: u64,
+        cfg: Arc<BuildConfig>,
+    ) {
+        let key = (fingerprint, key.clone(), content_fp);
         self.shard(&key)
             .write()
             .expect("config cache shard poisoned")
@@ -181,28 +215,6 @@ impl ConfigCache {
     }
 }
 
-/// FNV-1a, 64-bit: tiny, dependency-free, and strong enough for
-/// content addressing here (a collision merely shares a stale config,
-/// and the inputs are source text, not adversarial).
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
-        }
-    }
-
-    fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,19 +253,35 @@ mod tests {
     #[test]
     fn get_insert_and_counters() {
         let cache = ConfigCache::new();
+        let key = ConfigKey::new("x86_64", &ConfigKind::AllYes);
         assert!(cache.is_empty());
-        assert!(cache.get(1, "x86_64", "allyesconfig").is_none());
+        assert!(cache.get(1, &key, 0).is_none());
 
         let mut engine = BuildEngine::new(tiny_tree());
         let cfg = engine.make_config("x86_64", &ConfigKind::AllYes).unwrap();
-        cache.insert(1, "x86_64", "allyesconfig", Arc::new(cfg));
+        cache.insert(1, &key, 0, cfg);
         assert_eq!(cache.len(), 1);
-        assert!(cache.get(1, "x86_64", "allyesconfig").is_some());
-        assert!(cache.get(2, "x86_64", "allyesconfig").is_none());
+        assert!(cache.get(1, &key, 0).is_some());
+        assert!(cache.get(2, &key, 0).is_none());
 
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 1));
         assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peek_finds_entries_without_counting() {
+        let cache = ConfigCache::new();
+        let key = ConfigKey::new("x86_64", &ConfigKind::AllYes);
+        assert!(cache.peek(1, &key, 0).is_none());
+
+        let mut engine = BuildEngine::new(tiny_tree());
+        let cfg = engine.make_config("x86_64", &ConfigKind::AllYes).unwrap();
+        cache.insert(1, &key, 0, cfg);
+        assert!(cache.peek(1, &key, 0).is_some());
+
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0));
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Content hashing shared by the build-side caches and `jmake-vcs`.
+//!
+//! `jmake-vcs` depends on this crate (its trees *are* [`SourceTree`]s),
+//! so the hash lives here and the VCS's `BlobId` delegates to it — one
+//! definition of content identity for blobs and object-cache keys alike.
+//!
+//! [`SourceTree`]: crate::SourceTree
+
+use std::fmt;
+
+/// A 128-bit content hash: two FNV-1a passes with independent offsets.
+/// Not cryptographic, but collision-free for any workload this
+/// repository can produce, and exactly the identity `jmake_vcs::BlobId`
+/// uses for blob storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContentHash(u64, u64);
+
+impl ContentHash {
+    /// Hash `content`.
+    pub fn of(content: &str) -> ContentHash {
+        ContentHash(
+            fnv1a(content, 0xcbf29ce484222325),
+            fnv1a(content, 0x9e3779b97f4a7c15),
+        )
+    }
+
+    /// Rebuild from the two halves (the VCS stores them separately).
+    pub fn from_parts(hi: u64, lo: u64) -> ContentHash {
+        ContentHash(hi, lo)
+    }
+
+    /// First 64-bit half.
+    pub fn hi(self) -> u64 {
+        self.0
+    }
+
+    /// Second 64-bit half.
+    pub fn lo(self) -> u64 {
+        self.1
+    }
+}
+
+impl fmt::Display for ContentHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.0, self.1)
+    }
+}
+
+fn fnv1a(s: &str, offset: u64) -> u64 {
+    s.bytes().fold(offset, |acc, b| {
+        (acc ^ u64::from(b)).wrapping_mul(0x100000001b3)
+    })
+}
+
+/// FNV-1a, 64-bit, incremental: tiny, dependency-free, and strong enough
+/// for content addressing here (a collision merely shares a stale cache
+/// entry, and the inputs are source text, not adversarial).
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_contents_distinct_hashes() {
+        let hashes: std::collections::BTreeSet<ContentHash> = (0..1000)
+            .map(|i| ContentHash::of(&format!("line {i}\n")))
+            .collect();
+        assert_eq!(hashes.len(), 1000);
+    }
+
+    #[test]
+    fn display_is_32_hex_chars_and_parts_round_trip() {
+        let h = ContentHash::of("int x;\n");
+        let text = h.to_string();
+        assert_eq!(text.len(), 32);
+        assert!(text.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(ContentHash::from_parts(h.hi(), h.lo()), h);
+    }
+}

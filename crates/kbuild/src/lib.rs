@@ -32,14 +32,23 @@ pub mod arch;
 pub mod build;
 pub mod cache;
 pub mod clock;
+pub mod hash;
 pub mod makefile;
+pub mod objcache;
 pub mod objgraph;
 pub mod tree;
 
 pub use arch::{Arch, ArchRegistry};
-pub use build::{BuildConfig, BuildEngine, BuildError, ConfigKind, IFile, IResults};
+pub use build::{
+    bootstrap_files_of, warm_object_entry, BuildConfig, BuildEngine, BuildError, ConfigKey,
+    ConfigKind, IFile, IResults,
+};
 pub use cache::{CacheStats, ConfigCache};
 pub use clock::{CostModel, Samples, VirtualClock};
+pub use hash::ContentHash;
 pub use makefile::{Cond, Makefile};
+pub use objcache::{
+    include_fingerprint, CachedObj, ObjKind, ObjectCache, ObjectCacheStats, ObjectKey,
+};
 pub use objgraph::ObjGraph;
 pub use tree::SourceTree;

@@ -1,0 +1,497 @@
+//! Cross-patch, content-addressed object cache for `make file.i` /
+//! `make file.o`.
+//!
+//! Preprocessing and compilation dominate an evaluation run's host cost,
+//! and across a v4.3→v4.4-style sweep the vast majority of
+//! (file content, include chain, configuration, arch) combinations are
+//! bit-identical between neighbouring commits. [`ObjectCache`] memoizes
+//! the outcome of one preprocess/compile *including failures* — negative
+//! caching is where most mutation-probe wins are, because the same
+//! arch-specific file fails preprocessing the same way on every patch
+//! that does not touch it.
+//!
+//! Soundness comes entirely from the key ([`ObjectKey`]): the blob hash
+//! of the file's own content (the same [`ContentHash`] identity
+//! `jmake_vcs::BlobId` uses), a fingerprint of the transitive include
+//! closure ([`include_fingerprint`] — resolved exactly like the engine's
+//! resolver, conditional branches over-approximated), the configuration's
+//! macro environment, the `MODULE` define, the architecture, and the
+//! build kind. A mutated file changes its blob hash; a touched header
+//! changes the include fingerprint; a different configuration changes the
+//! environment fingerprint — each forces a miss. Files whose include
+//! closure contains a *computed* `#include` (macro-valued target, which
+//! the preprocessor supports but a lexical scan cannot see through) are
+//! simply never cached.
+//!
+//! Like [`ConfigCache`](crate::ConfigCache), this is a **host-side**
+//! optimization only: on a hit the engine still charges the virtual clock
+//! the full preprocess/compile cost, so every report, Fig. 4b/4c sample,
+//! and per-stage virtual-µs total is bit-identical with the cache on or
+//! off. Only real wall-clock drops.
+
+use crate::build::{BuildError, IFile};
+use crate::hash::{ContentHash, Fnv};
+use crate::tree::SourceTree;
+use jmake_trace::CacheOutcome;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Number of independent lock shards, mirroring `ConfigCache`.
+const SHARDS: usize = 16;
+
+/// Which build operation an entry memoizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObjKind {
+    /// `make file.i` — preprocess only.
+    I,
+    /// `make file.o` — preprocess plus front-end validation.
+    O,
+}
+
+/// Identity of one memoized build operation. Everything the operation's
+/// outcome can depend on is pinned here; see the module docs for the
+/// soundness argument.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ObjectKey {
+    /// Blob hash of the file's own content.
+    pub blob: ContentHash,
+    /// The file's path — quoted-include resolution anchors on its
+    /// directory, so equal content at different paths is not the same
+    /// translation unit.
+    pub path: Arc<str>,
+    /// Fingerprint of the transitive include closure
+    /// ([`include_fingerprint`]).
+    pub include_fp: u64,
+    /// Fingerprint of the configuration's macro environment.
+    pub env_fp: u64,
+    /// Whether Kbuild defines `MODULE` for this object.
+    pub module: bool,
+    /// Architecture (drives the `arch/<a>/include` search path).
+    pub arch: &'static str,
+    /// Preprocess or full compile.
+    pub kind: ObjKind,
+}
+
+/// One memoized outcome. `text_len` is stored even for failures: the
+/// virtual clock charges by preprocessed-output size whether or not the
+/// preprocessor reported errors, and a hit must charge exactly what the
+/// miss did.
+#[derive(Debug)]
+pub enum CachedObj {
+    /// A `make file.i` outcome: the full `.i` payload on success (JMake
+    /// scans its text for mutation tokens), the first diagnostic on
+    /// failure.
+    I {
+        /// Length of the preprocessed text (the `.i` charge driver).
+        text_len: u64,
+        /// The per-file result `make_i` produced.
+        result: Result<IFile, String>,
+    },
+    /// A `make file.o` outcome past the live makefile/gating checks:
+    /// success, `PreprocessFailed`, or `FrontEndRejected`.
+    O {
+        /// Length of the preprocessed text (the `.o` charge driver).
+        text_len: u64,
+        /// The result `make_o` produced.
+        result: Result<(), BuildError>,
+    },
+}
+
+impl CachedObj {
+    /// True when this entry memoizes a failure (a *negative* entry).
+    pub fn is_negative(&self) -> bool {
+        match self {
+            CachedObj::I { result, .. } => result.is_err(),
+            CachedObj::O { result, .. } => result.is_err(),
+        }
+    }
+}
+
+/// Aggregate object-cache counters, cheap to copy into driver statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ObjectCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to preprocess/compile.
+    pub misses: u64,
+    /// The subset of hits that returned a memoized *failure*.
+    pub negative_hits: u64,
+    /// Distinct outcomes currently held.
+    pub entries: u64,
+}
+
+impl ObjectCacheStats {
+    /// Fraction of lookups served from the cache, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A thread-safe, content-addressed store of preprocess/compile outcomes,
+/// shared across the build engines of an evaluation run.
+#[derive(Debug, Default)]
+pub struct ObjectCache {
+    shards: [RwLock<HashMap<ObjectKey, Arc<CachedObj>>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+    negative_hits: AtomicU64,
+}
+
+impl ObjectCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ObjectCache::default()
+    }
+
+    fn shard(&self, key: &ObjectKey) -> &RwLock<HashMap<ObjectKey, Arc<CachedObj>>> {
+        // The blob hash is already strong; fold in the environment and
+        // include fingerprints so one hot file spreads across shards per
+        // configuration.
+        let idx = (key.blob.hi() ^ key.env_fp ^ key.include_fp) as usize % SHARDS;
+        &self.shards[idx]
+    }
+
+    /// Look up a memoized outcome; counts a hit or a miss (and a negative
+    /// hit when the entry memoizes a failure). The [`CacheOutcome`] is
+    /// derived from the same lookup that bumps the counters.
+    pub fn lookup(&self, key: &ObjectKey) -> (Option<Arc<CachedObj>>, CacheOutcome) {
+        let found = self
+            .shard(key)
+            .read()
+            .expect("object cache shard poisoned")
+            .get(key)
+            .cloned();
+        let outcome = match &found {
+            Some(entry) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if entry.is_negative() {
+                    self.negative_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                CacheOutcome::Hit
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                CacheOutcome::Miss
+            }
+        };
+        (found, outcome)
+    }
+
+    /// Look without touching any counter — the speculative warm path uses
+    /// this so cache statistics describe only the authoritative run.
+    pub fn peek(&self, key: &ObjectKey) -> Option<Arc<CachedObj>> {
+        self.shard(key)
+            .read()
+            .expect("object cache shard poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    /// Store an outcome. The first writer wins a race; later identical
+    /// outcomes are dropped.
+    pub fn insert(&self, key: ObjectKey, entry: Arc<CachedObj>) {
+        self.shard(&key)
+            .write()
+            .expect("object cache shard poisoned")
+            .entry(key)
+            .or_insert(entry);
+    }
+
+    /// Number of distinct outcomes held.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("object cache shard poisoned").len())
+            .sum()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> ObjectCacheStats {
+        ObjectCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            negative_hits: self.negative_hits.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+        }
+    }
+}
+
+/// Fingerprint everything preprocessing `file` can read *besides* the
+/// file's own content: the transitive closure of its literal `#include`
+/// targets, resolved exactly like the engine's resolver (the including
+/// file's directory for quoted includes, then `include/`,
+/// `arch/<arch>/include/`, then the raw path — no normalization).
+///
+/// Conditional compilation is over-approximated: both branches' includes
+/// are walked, so the closure is a superset of what any configuration
+/// actually reads — equal fingerprints therefore imply equal resolution
+/// outcomes for every include the preprocessor *could* take, which is
+/// sound over-invalidation. Unresolvable targets are folded in too (a
+/// later tree that *does* provide the header must miss).
+///
+/// Returns `None` when any reachable include target is not a literal
+/// `"…"`/`<…>` (a computed include, `#include CONFIG_HDR`, which the
+/// preprocessor expands but this lexical scan cannot) — such files are
+/// not cacheable.
+pub fn include_fingerprint(tree: &SourceTree, arch: &str, file: &str) -> Option<u64> {
+    let search_paths = ["include".to_string(), format!("arch/{arch}/include")];
+    let mut h = Fnv::new();
+    let mut visited = std::collections::BTreeSet::new();
+    let mut queue = VecDeque::new();
+    visited.insert(file.to_string());
+    queue.push_back(file.to_string());
+    while let Some(path) = queue.pop_front() {
+        let content = tree.get(&path).unwrap_or_default();
+        h.write(path.as_bytes());
+        h.write(&[0x00]);
+        h.write(content.as_bytes());
+        h.write(&[0xff]);
+        for line in content.lines() {
+            let Some((target, quoted)) = parse_include_target(line)? else {
+                continue;
+            };
+            match resolve_like_engine(tree, &search_paths, &path, target, quoted) {
+                Some(resolved) => {
+                    if visited.insert(resolved.clone()) {
+                        queue.push_back(resolved);
+                    }
+                }
+                None => {
+                    // Unresolved: pin the failure so a tree that adds the
+                    // header invalidates.
+                    h.write(&[0x01, u8::from(quoted)]);
+                    h.write(target.as_bytes());
+                    h.write(&[0xff]);
+                }
+            }
+        }
+    }
+    Some(h.finish())
+}
+
+/// Classify one source line: `Some(Some((target, quoted)))` for a literal
+/// include, `Some(None)` for anything that is not an include, and `None`
+/// for an include this scan cannot pin down (computed or malformed) —
+/// which makes the whole file uncacheable.
+#[allow(clippy::type_complexity)]
+fn parse_include_target(line: &str) -> Option<Option<(&str, bool)>> {
+    let t = line.trim_start();
+    let Some(after_hash) = t.strip_prefix('#') else {
+        return Some(None);
+    };
+    let Some(rest) = after_hash.trim_start().strip_prefix("include") else {
+        return Some(None);
+    };
+    // `#include_next` and friends are distinct directives, not includes
+    // this resolver understands — refuse to cache rather than guess.
+    if rest
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+    {
+        return None;
+    }
+    let rest = rest.trim_start();
+    if let Some(body) = rest.strip_prefix('"') {
+        return match body.split_once('"') {
+            Some((target, _)) => Some(Some((target, true))),
+            None => None,
+        };
+    }
+    if let Some(body) = rest.strip_prefix('<') {
+        return match body.split_once('>') {
+            Some((target, _)) => Some(Some((target, false))),
+            None => None,
+        };
+    }
+    // A macro-valued target — the preprocessor supports it, we cannot.
+    None
+}
+
+/// Candidate order of the engine's `TreeResolver`, verbatim.
+fn resolve_like_engine(
+    tree: &SourceTree,
+    search_paths: &[String],
+    including_file: &str,
+    target: &str,
+    quoted: bool,
+) -> Option<String> {
+    if quoted {
+        let dir = crate::tree::dir_of(including_file);
+        let candidate = if dir.is_empty() {
+            target.to_string()
+        } else {
+            format!("{dir}/{target}")
+        };
+        if tree.contains(&candidate) {
+            return Some(candidate);
+        }
+    }
+    for sp in search_paths {
+        let candidate = format!("{sp}/{target}");
+        if tree.contains(&candidate) {
+            return Some(candidate);
+        }
+    }
+    tree.contains(target).then(|| target.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree_with(files: &[(&str, &str)]) -> SourceTree {
+        let mut t = SourceTree::new();
+        for (p, c) in files {
+            t.insert(*p, *c);
+        }
+        t
+    }
+
+    fn key(blob: &str, include_fp: u64) -> ObjectKey {
+        ObjectKey {
+            blob: ContentHash::of(blob),
+            path: Arc::from("drivers/a.c"),
+            include_fp,
+            env_fp: 7,
+            module: false,
+            arch: "x86_64",
+            kind: ObjKind::I,
+        }
+    }
+
+    #[test]
+    fn lookup_insert_and_counters_including_negative_hits() {
+        let cache = ObjectCache::new();
+        let k = key("int x;\n", 1);
+        assert!(matches!(cache.lookup(&k), (None, CacheOutcome::Miss)));
+        cache.insert(
+            k.clone(),
+            Arc::new(CachedObj::I {
+                text_len: 7,
+                result: Err("missing header".to_string()),
+            }),
+        );
+        assert_eq!(cache.len(), 1);
+        let (found, outcome) = cache.lookup(&k);
+        assert_eq!(outcome, CacheOutcome::Hit);
+        assert!(found.unwrap().is_negative());
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses, stats.negative_hits, stats.entries),
+            (1, 1, 1, 1)
+        );
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peek_does_not_touch_counters() {
+        let cache = ObjectCache::new();
+        let k = key("int x;\n", 1);
+        assert!(cache.peek(&k).is_none());
+        cache.insert(
+            k.clone(),
+            Arc::new(CachedObj::O {
+                text_len: 3,
+                result: Ok(()),
+            }),
+        );
+        assert!(cache.peek(&k).is_some());
+        assert_eq!(cache.stats(), ObjectCacheStats {
+            entries: 1,
+            ..ObjectCacheStats::default()
+        });
+    }
+
+    #[test]
+    fn include_fingerprint_tracks_transitive_headers() {
+        let base = tree_with(&[
+            ("drivers/a.c", "#include <linux/k.h>\nint a;\n"),
+            ("include/linux/k.h", "#include \"inner.h\"\n#define K 1\n"),
+            ("include/linux/inner.h", "#define INNER 2\n"),
+        ]);
+        let fp = include_fingerprint(&base, "x86_64", "drivers/a.c").unwrap();
+
+        // Touching a transitively-included header changes the fingerprint…
+        let mut deep = base.clone();
+        deep.insert("include/linux/inner.h", "#define INNER 3\n");
+        assert_ne!(
+            fp,
+            include_fingerprint(&deep, "x86_64", "drivers/a.c").unwrap()
+        );
+
+        // …while touching an unrelated file does not.
+        let mut unrelated = base.clone();
+        unrelated.insert("drivers/b.c", "int b;\n");
+        assert_eq!(
+            fp,
+            include_fingerprint(&unrelated, "x86_64", "drivers/a.c").unwrap()
+        );
+    }
+
+    #[test]
+    fn adding_a_previously_missing_header_changes_the_fingerprint() {
+        let base = tree_with(&[("drivers/a.c", "#include <linux/ghost.h>\nint a;\n")]);
+        let fp = include_fingerprint(&base, "x86_64", "drivers/a.c").unwrap();
+        let mut provided = base.clone();
+        provided.insert("include/linux/ghost.h", "#define GHOST 1\n");
+        assert_ne!(
+            fp,
+            include_fingerprint(&provided, "x86_64", "drivers/a.c").unwrap()
+        );
+    }
+
+    #[test]
+    fn quoted_include_resolves_via_including_dir_and_arch_search_path_matters() {
+        let t = tree_with(&[
+            ("drivers/a.c", "#include \"local.h\"\n"),
+            ("drivers/local.h", "#define L 1\n"),
+            ("arch/arm/include/asm/only.h", "#define O 1\n"),
+            ("drivers/b.c", "#include <asm/only.h>\n"),
+        ]);
+        // Quoted resolution anchors on the including directory.
+        assert!(include_fingerprint(&t, "x86_64", "drivers/a.c").is_some());
+        // The same file fingerprints differently per arch when the arch
+        // search path changes what resolves.
+        let on_arm = include_fingerprint(&t, "arm", "drivers/b.c").unwrap();
+        let on_x86 = include_fingerprint(&t, "x86_64", "drivers/b.c").unwrap();
+        assert_ne!(on_arm, on_x86);
+    }
+
+    #[test]
+    fn computed_and_malformed_includes_are_uncacheable() {
+        let computed = tree_with(&[("a.c", "#define H <x.h>\n#include H\n")]);
+        assert!(include_fingerprint(&computed, "x86_64", "a.c").is_none());
+        let via_header = tree_with(&[
+            ("a.c", "#include <b.h>\n"),
+            ("include/b.h", "#include MACRO_TARGET\n"),
+        ]);
+        // Transitive computed includes poison the root file too.
+        assert!(include_fingerprint(&via_header, "x86_64", "a.c").is_none());
+        let malformed = tree_with(&[("a.c", "#include \"unterminated\n")]);
+        assert!(include_fingerprint(&malformed, "x86_64", "a.c").is_none());
+        let include_next = tree_with(&[("a.c", "#include_next <x.h>\n")]);
+        assert!(include_fingerprint(&include_next, "x86_64", "a.c").is_none());
+    }
+
+    #[test]
+    fn include_cycles_terminate() {
+        let t = tree_with(&[
+            ("include/a.h", "#include <b.h>\n"),
+            ("include/b.h", "#include <a.h>\n"),
+            ("a.c", "#include <a.h>\n"),
+        ]);
+        assert!(include_fingerprint(&t, "x86_64", "a.c").is_some());
+    }
+}

@@ -1,34 +1,33 @@
 //! Content-addressed blob storage.
 
+use jmake_kbuild::ContentHash;
 use std::collections::HashMap;
 use std::fmt;
 
-/// Identity of a stored blob: a 128-bit content hash (two FNV-1a passes
-/// with independent offsets — not cryptographic, but collision-free for
-/// any workload this repository can produce).
+/// Identity of a stored blob: a 128-bit [`ContentHash`] (two FNV-1a
+/// passes with independent offsets — not cryptographic, but
+/// collision-free for any workload this repository can produce). The
+/// same identity keys `jmake-kbuild`'s object cache, so a blob id and an
+/// object-cache key agree on what "same content" means.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct BlobId(u64, u64);
+pub struct BlobId(ContentHash);
 
 impl fmt::Display for BlobId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:016x}{:016x}", self.0, self.1)
+        self.0.fmt(f)
     }
 }
 
 impl BlobId {
     /// Hash `content`.
     pub fn of(content: &str) -> BlobId {
-        BlobId(
-            fnv1a(content, 0xcbf29ce484222325),
-            fnv1a(content, 0x9e3779b97f4a7c15),
-        )
+        BlobId(ContentHash::of(content))
     }
-}
 
-fn fnv1a(s: &str, offset: u64) -> u64 {
-    s.bytes().fold(offset, |acc, b| {
-        (acc ^ u64::from(b)).wrapping_mul(0x100000001b3)
-    })
+    /// The underlying content hash (shared with the build-side caches).
+    pub fn content_hash(self) -> ContentHash {
+        self.0
+    }
 }
 
 /// Deduplicating blob store.

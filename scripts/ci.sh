@@ -17,9 +17,22 @@ cargo test --workspace -q
 echo "==> cargo clippy --all-targets -- -D warnings (workspace)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> trace smoke run (jmake-eval --trace + trace-check)"
+echo "==> object-cache identity run (cached vs uncached reports)"
+CACHED_OUT="$(mktemp /tmp/jmake-eval-cached.XXXXXX.out)"
+UNCACHED_OUT="$(mktemp /tmp/jmake-eval-uncached.XXXXXX.out)"
+trap 'rm -f "$CACHED_OUT" "$UNCACHED_OUT"' EXIT
+# Same window with every host-side acceleration on (object cache +
+# work stealing, the defaults) and with all of them off: every table,
+# figure, and summary line must be byte-identical — the caches may only
+# change wall-clock time.
+./target/release/jmake-eval --commits 120 --workers 8 all > "$CACHED_OUT"
+./target/release/jmake-eval --commits 120 --workers 1 \
+  --no-object-cache --no-work-stealing --no-shared-cache all > "$UNCACHED_OUT"
+diff -u "$UNCACHED_OUT" "$CACHED_OUT"
+
+echo "==> trace smoke run (jmake-eval --trace + trace-check, object cache on)"
 TRACE_FILE="$(mktemp /tmp/jmake-trace.XXXXXX.jsonl)"
-trap 'rm -f "$TRACE_FILE"' EXIT
+trap 'rm -f "$TRACE_FILE" "$CACHED_OUT" "$UNCACHED_OUT"' EXIT
 ./target/release/jmake-eval --commits 120 --trace "$TRACE_FILE" --metrics summary > /dev/null
 # The file must parse line-by-line against the documented schema, and
 # every stage name must be one of the documented eight.
