@@ -26,6 +26,18 @@
 //!   --trace FILE       write one JSON line per pipeline span to FILE
 //!   --metrics          print per-stage span metrics (count, p50/p90/max
 //!                      host µs, total virtual µs, config cache hit rate)
+//!   --reach            print the static reachability classification of
+//!                      the v4.4 tree (per-file allyes/conditional/dead
+//!                      line counts plus every dead line with its proof)
+//!                      as JSON on stdout
+//!   --cross-check      replay the run against the static analyzer and
+//!                      print the discrepancy report as JSON on stdout;
+//!                      exits non-zero when static and dynamic verdicts
+//!                      provably disagree (the CI gate)
+//!
+//! With `--reach`/`--cross-check` and no explicit table command, the
+//! tables are suppressed so stdout is pure JSON (pipe into a file and
+//! `diff` across worker counts / cache modes — the bytes must match).
 //!
 //! `trace-check` re-parses a `--trace` file, validates every line against
 //! the documented schema, and prints per-stage span counts. It exits
@@ -37,8 +49,61 @@ use jmake_bench::{
     render_table2, render_table3, render_table4,
 };
 use jmake_core::DriverOptions;
+use jmake_kbuild::{BuildEngine, ConfigKind, SourceTree};
+use jmake_reach::{Reach, ReachEnv};
 use jmake_synth::WorkloadProfile;
 use jmake_trace::Tracer;
+
+/// Classify the whole `tree` statically: one model and one
+/// allyes/allmod environment pair per architecture present, host
+/// (x86_64) first so it serves as the primary model for non-arch files.
+fn render_reach(tree: &SourceTree) -> Result<String, String> {
+    let mut arches: Vec<String> = tree
+        .iter()
+        .filter_map(|(p, _)| {
+            p.strip_prefix("arch/")
+                .and_then(|r| r.strip_suffix("/Kconfig"))
+                .filter(|a| !a.contains('/'))
+                .map(str::to_string)
+        })
+        .collect();
+    arches.sort();
+    if let Some(i) = arches.iter().position(|a| a == "x86_64") {
+        let host = arches.remove(i);
+        arches.insert(0, host);
+    }
+    if arches.is_empty() {
+        return Err("no arch/<a>/Kconfig in the tree".to_string());
+    }
+    let mut reach = Reach::new(tree);
+    let mut envs = Vec::new();
+    for arch in &arches {
+        let mut engine = BuildEngine::new(tree.clone());
+        let allyes = engine
+            .make_config(arch, &ConfigKind::AllYes)
+            .map_err(|e| format!("{arch}: {e}"))?;
+        let allmod = engine
+            .make_config(arch, &ConfigKind::AllMod)
+            .map_err(|e| format!("{arch}: {e}"))?;
+        reach.add_model(arch.clone(), allyes.model.clone());
+        envs.push(ReachEnv {
+            label: format!("{arch}-allyes"),
+            arch: arch.clone(),
+            config: allyes.config.clone(),
+            allyes: true,
+        });
+        envs.push(ReachEnv {
+            label: format!("{arch}-allmod"),
+            arch: arch.clone(),
+            config: allmod.config.clone(),
+            allyes: false,
+        });
+    }
+    for env in envs {
+        reach.add_env(env);
+    }
+    Ok(reach.analyze().to_json())
+}
 
 /// Validate a trace file produced by `--trace`: every line must parse as
 /// a span record with a documented stage name. Prints per-stage counts.
@@ -141,9 +206,11 @@ fn main() {
     }
     let mut profile = WorkloadProfile::default();
     let mut driver = DriverOptions::default();
-    let mut command = String::from("all");
+    let mut explicit_command: Option<String> = None;
     let mut show_stats = false;
     let mut show_metrics = false;
+    let mut do_reach = false;
+    let mut do_cross_check = false;
     let mut bench_json: Option<String> = None;
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -194,7 +261,9 @@ fn main() {
                 };
             }
             "--metrics" => show_metrics = true,
-            cmd if !cmd.starts_with("--") => command = cmd.to_string(),
+            "--reach" => do_reach = true,
+            "--cross-check" => do_cross_check = true,
+            cmd if !cmd.starts_with("--") => explicit_command = Some(cmd.to_string()),
             other => {
                 eprintln!("unknown option {other}");
                 std::process::exit(2);
@@ -254,6 +323,55 @@ fn main() {
         }
     }
 
+    let mut exit_code = 0;
+    if do_reach {
+        let tree = ctx
+            .workload
+            .repo
+            .resolve_tag("v4.4")
+            .and_then(|id| ctx.workload.repo.checkout(id));
+        match tree {
+            Ok(tree) => match render_reach(&tree) {
+                Ok(json) => print!("{json}"),
+                Err(e) => {
+                    eprintln!("--reach: {e}");
+                    std::process::exit(1);
+                }
+            },
+            Err(e) => {
+                eprintln!("--reach: cannot check out v4.4: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if do_cross_check {
+        let report = jmake_core::cross_check(&ctx.workload.repo, &ctx.run);
+        print!("{}", report.to_json());
+        if !report.is_clean() {
+            eprintln!(
+                "CROSS-CHECK FAILED: {} discrepanc{} between static reachability and mutation coverage",
+                report.discrepancies.len(),
+                if report.discrepancies.len() == 1 { "y" } else { "ies" }
+            );
+            exit_code = 1;
+        } else {
+            eprintln!(
+                "cross-check clean: {} patches, {} tokens, {} dead-agreed, {} allyes-agreed, {} skipped",
+                report.patches,
+                report.tokens,
+                report.dead_agreed,
+                report.allyes_agreed,
+                report.skipped.len()
+            );
+        }
+    }
+    // With `--reach`/`--cross-check` and no explicit command, stdout
+    // stays pure JSON for CI diffing.
+    if explicit_command.is_none() && (do_reach || do_cross_check) {
+        std::process::exit(exit_code);
+    }
+
+    let command = explicit_command.unwrap_or_else(|| "all".to_string());
     let print_all = command == "all";
     let mut printed = false;
     let mut emit = |name: &str, text: String| {
@@ -278,4 +396,5 @@ fn main() {
         eprintln!("unknown command {command:?}");
         std::process::exit(2);
     }
+    std::process::exit(exit_code);
 }

@@ -1,0 +1,670 @@
+//! Static-vs-dynamic cross-checking: does the reachability analyzer
+//! (`jmake-reach`) agree with what the mutation pipeline actually
+//! observed?
+//!
+//! The two sides answer the same question with independent machinery:
+//!
+//! - *dynamic*: a changed line is **covered** when its mutation token
+//!   surfaced in some configuration's `.i` and the pristine `.o`
+//!   compiled ([`crate::check`]);
+//! - *static*: a line is [`ReachClass::Dead`] when no configuration can
+//!   ever let the compiler see it, and
+//!   [`ReachClass::AllyesReachable`] when `allyesconfig` must see it
+//!   ([`jmake_reach`]).
+//!
+//! Agreement is a strong end-to-end property, so disagreement is always
+//! a bug somewhere — in the analyzer, the solver, the build engine, or
+//! the mutation pipeline. [`cross_check`] replays an [`EvaluationRun`]
+//! and reports every disagreement:
+//!
+//! 1. **dead-but-covered** — the analyzer proved the line unreachable,
+//!    yet a mutation on it was certified. The static proof is unsound.
+//! 2. **allyes-but-missed** — the analyzer proved `allyesconfig` sees
+//!    the line, the file's own gate is enabled under that very config,
+//!    the pipeline tried that allyesconfig and hit no operational
+//!    errors — yet the token never surfaced. The dynamic side lost a
+//!    mutation.
+//!
+//! Both rules are deliberately one-sided: every fuzzy case (conditional
+//! verdicts, files with build errors, headers that are only reached
+//! through other translation units, tokens parked on conditional
+//! directive lines whose insertion point belongs to a different region)
+//! is counted but never flagged. A clean report therefore means "no
+//! provable disagreement", which is exactly the property CI can gate
+//! on; see `jmake-eval --cross-check`.
+//!
+//! The report is deterministic: commits are visited in run order, files
+//! and tokens in report order, and the JSON rendering contains no
+//! wall-clock — byte-identical across worker counts and cache modes.
+
+use crate::driver::EvaluationRun;
+use crate::report::{FileReport, FileStatus};
+use crate::token::MutationKind;
+use jmake_cpp::lines::logical_lines;
+use jmake_kbuild::{BuildEngine, ConfigCache, ConfigKind, ObjGraph, SourceTree};
+use jmake_kconfig::Config;
+use jmake_reach::{Reach, ReachClass, ReachEnv, TreeReach};
+use jmake_vcs::Repo;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Which way the two sides disagreed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiscrepancyKind {
+    /// Statically proved dead, dynamically certified covered.
+    DeadButCovered,
+    /// Statically allyes-reachable with the gate enabled, allyesconfig
+    /// tried cleanly, yet the token never surfaced.
+    AllyesButMissed,
+}
+
+impl DiscrepancyKind {
+    /// Stable report tag.
+    pub fn label(self) -> &'static str {
+        match self {
+            DiscrepancyKind::DeadButCovered => "dead-but-covered",
+            DiscrepancyKind::AllyesButMissed => "allyes-but-missed",
+        }
+    }
+}
+
+/// One static/dynamic disagreement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Discrepancy {
+    /// Commit whose patch exposed the disagreement.
+    pub commit: String,
+    /// File the token lives in.
+    pub file: String,
+    /// 1-based line of the mutation token.
+    pub line: u32,
+    /// Direction of the disagreement.
+    pub kind: DiscrepancyKind,
+    /// Architecture whose model/configuration the static side used.
+    pub arch: String,
+    /// The static verdict (proof tag or class label).
+    pub static_detail: String,
+    /// The dynamic observation (certifying target or uncovered reason).
+    pub dynamic_detail: String,
+}
+
+/// The outcome of replaying a run against the static analyzer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrossCheckReport {
+    /// Commits examined (checked patches only).
+    pub patches: usize,
+    /// File reports examined.
+    pub files: usize,
+    /// Mutation tokens examined (covered + uncovered).
+    pub tokens: usize,
+    /// Uncovered tokens the analyzer also proved dead — the strongest
+    /// form of agreement.
+    pub dead_agreed: usize,
+    /// Tokens certified via an allyesconfig target that the analyzer
+    /// also classes allyes-reachable.
+    pub allyes_agreed: usize,
+    /// Deterministic notes about commits/architectures the cross-check
+    /// could not replay (checkout failures, missing cross-compilers).
+    /// Skips are reported, never silently dropped.
+    pub skipped: Vec<String>,
+    /// Every provable disagreement, in run order.
+    pub discrepancies: Vec<Discrepancy>,
+}
+
+impl CrossCheckReport {
+    /// True when static and dynamic sides never provably disagreed.
+    pub fn is_clean(&self) -> bool {
+        self.discrepancies.is_empty()
+    }
+
+    /// Deterministic JSON rendering — no wall-clock, no hashing order;
+    /// byte-identical for identical runs regardless of worker count or
+    /// cache mode.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"clean\": {},\n  \"patches\": {},\n  \"files\": {},\n  \"tokens\": {},\n  \"dead_agreed\": {},\n  \"allyes_agreed\": {},\n",
+            self.is_clean(),
+            self.patches,
+            self.files,
+            self.tokens,
+            self.dead_agreed,
+            self.allyes_agreed
+        ));
+        out.push_str("  \"skipped\": [");
+        for (i, s) in self.skipped.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(s));
+        }
+        out.push_str("],\n  \"discrepancies\": [");
+        for (i, d) in self.discrepancies.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            out.push_str(&format!(
+                "{{\"commit\": {}, \"file\": {}, \"line\": {}, \"kind\": {}, \"arch\": {}, \"static\": {}, \"dynamic\": {}}}",
+                json_string(&d.commit),
+                json_string(&d.file),
+                d.line,
+                json_string(d.kind.label()),
+                json_string(&d.arch),
+                json_string(&d.static_detail),
+                json_string(&d.dynamic_detail)
+            ));
+        }
+        if !self.discrepancies.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Replay `run` against the static analyzer and report disagreements.
+///
+/// Each checked commit's tree is re-checked-out from `repo`; for every
+/// architecture the dynamic side used (certifying targets plus any
+/// attempted allyesconfig), an `allyes`/`allmod` environment pair is
+/// solved — through a shared [`ConfigCache`], so the work is paid once
+/// per distinct Kconfig fingerprint, not once per commit — and the
+/// patch's files are classified with [`Reach::analyze_files`].
+pub fn cross_check(repo: &Repo, run: &EvaluationRun) -> CrossCheckReport {
+    let mut out = CrossCheckReport::default();
+    let cache = Arc::new(ConfigCache::new());
+    for result in &run.results {
+        let commit = result.commit.to_string();
+        let Some(report) = result.report() else {
+            let why = result.outcome.failure().unwrap_or("not checked");
+            out.skipped.push(format!("{commit}: {why}"));
+            continue;
+        };
+        out.patches += 1;
+        let tree = match repo.checkout(result.commit) {
+            Ok(t) => t,
+            Err(e) => {
+                out.skipped.push(format!("{commit}: re-checkout failed: {e}"));
+                continue;
+            }
+        };
+        let arches = arches_used(&report.files);
+        let statics = solve_arches(&tree, &arches, &report.files, &cache, &commit, &mut out);
+        let graph = ObjGraph::new(&tree);
+        for file in &report.files {
+            out.files += 1;
+            out.tokens += file.covered.len() + file.uncovered.len();
+            let shapes = line_shapes(tree.get(&file.path).unwrap_or(""));
+            check_file(file, &commit, &statics, &graph, &shapes, &mut out);
+        }
+    }
+    out
+}
+
+/// Per-arch static context: the classified files plus the solved
+/// allyesconfig (for the Kbuild gate test of rule 2).
+struct ArchStatic {
+    reach: TreeReach,
+    allyes: Config,
+}
+
+/// Architectures the dynamic side exercised: every certifying target's
+/// arch plus every arch whose allyesconfig was at least attempted.
+fn arches_used(files: &[FileReport]) -> BTreeSet<String> {
+    let mut arches = BTreeSet::new();
+    for f in files {
+        for (_, desc) in &f.covered {
+            if let Some((arch, _)) = desc.split_once('/') {
+                arches.insert(arch.to_string());
+            }
+        }
+        for desc in &f.targets_tried {
+            if let Some(arch) = desc.strip_suffix("/allyesconfig") {
+                arches.insert(arch.to_string());
+            }
+        }
+    }
+    arches
+}
+
+/// Solve allyes/allmod for each arch and classify the patch's files.
+/// Architectures that cannot be solved (missing cross-compiler in a
+/// stripped-down registry, say) are recorded in `skipped` and simply
+/// absent from the map — rules needing them stay silent.
+fn solve_arches(
+    tree: &SourceTree,
+    arches: &BTreeSet<String>,
+    files: &[FileReport],
+    cache: &Arc<ConfigCache>,
+    commit: &str,
+    out: &mut CrossCheckReport,
+) -> BTreeMap<String, ArchStatic> {
+    let paths: Vec<String> = files.iter().map(|f| f.path.clone()).collect();
+    let mut statics = BTreeMap::new();
+    for arch in arches {
+        let mut engine = BuildEngine::with_shared_cache(tree.clone(), Arc::clone(cache));
+        let allyes = match engine.make_config(arch, &ConfigKind::AllYes) {
+            Ok(c) => c,
+            Err(e) => {
+                out.skipped.push(format!("{commit}: {arch}: {e}"));
+                continue;
+            }
+        };
+        let allmod = match engine.make_config(arch, &ConfigKind::AllMod) {
+            Ok(c) => c,
+            Err(e) => {
+                out.skipped.push(format!("{commit}: {arch}: {e}"));
+                continue;
+            }
+        };
+        let mut reach = Reach::new(tree);
+        reach.add_model(arch.clone(), allyes.model.clone());
+        reach.add_env(ReachEnv {
+            label: format!("{arch}-allyes"),
+            arch: arch.clone(),
+            config: allyes.config.clone(),
+            allyes: true,
+        });
+        reach.add_env(ReachEnv {
+            label: format!("{arch}-allmod"),
+            arch: arch.clone(),
+            config: allmod.config.clone(),
+            allyes: false,
+        });
+        statics.insert(
+            arch.clone(),
+            ArchStatic {
+                reach: reach.analyze_files(&paths),
+                allyes: allyes.config.clone(),
+            },
+        );
+    }
+    statics
+}
+
+/// Apply both rules to one file report.
+fn check_file(
+    file: &FileReport,
+    commit: &str,
+    statics: &BTreeMap<String, ArchStatic>,
+    graph: &ObjGraph<'_>,
+    shapes: &BTreeMap<u32, LineShape>,
+    out: &mut CrossCheckReport,
+) {
+    // Rule 1: a certified token on a statically-dead line.
+    for (tok, desc) in &file.covered {
+        let Some((arch, _)) = desc.split_once('/') else {
+            continue;
+        };
+        let Some(st) = statics.get(arch) else { continue };
+        let Some(class) = token_class(st.reach.files.get(&file.path), shapes, tok.line) else {
+            continue;
+        };
+        match class {
+            ReachClass::Dead { proof } => out.discrepancies.push(Discrepancy {
+                commit: commit.to_string(),
+                file: file.path.clone(),
+                line: tok.line,
+                kind: DiscrepancyKind::DeadButCovered,
+                arch: arch.to_string(),
+                static_detail: proof.clone(),
+                dynamic_detail: format!("covered via {desc}"),
+            }),
+            ReachClass::AllyesReachable if desc.ends_with("/allyesconfig") => {
+                out.allyes_agreed += 1;
+            }
+            _ => {}
+        }
+    }
+
+    // Rule 2: an allyes-reachable token that allyesconfig missed.
+    if file.is_header
+        || matches!(
+            file.status,
+            FileStatus::Bootstrap | FileStatus::CommentOnly | FileStatus::NoViableTarget
+        )
+        || !file.errors.is_empty()
+    {
+        // Headers are only reached through other translation units and
+        // files with operational errors never got a fair dynamic shot —
+        // both fuzzy, neither flaggable.
+        return;
+    }
+    for unc in &file.uncovered {
+        let tok = &unc.token;
+        if tok.kind != MutationKind::Context {
+            continue;
+        }
+        let mut dead_seen = false;
+        for desc in &file.targets_tried {
+            let Some(arch) = desc.strip_suffix("/allyesconfig") else {
+                continue;
+            };
+            let Some(st) = statics.get(arch) else { continue };
+            let Some(class) = token_class(st.reach.files.get(&file.path), shapes, tok.line)
+            else {
+                continue;
+            };
+            match class {
+                ReachClass::AllyesReachable
+                    if graph.gating_value(&file.path, &st.allyes).enabled() =>
+                {
+                    out.discrepancies.push(Discrepancy {
+                        commit: commit.to_string(),
+                        file: file.path.clone(),
+                        line: tok.line,
+                        kind: DiscrepancyKind::AllyesButMissed,
+                        arch: arch.to_string(),
+                        static_detail: "allyes-reachable".to_string(),
+                        dynamic_detail: format!("uncovered: {}", unc.reason),
+                    });
+                    break;
+                }
+                ReachClass::Dead { .. } => dead_seen = true,
+                _ => {}
+            }
+        }
+        if dead_seen {
+            out.dead_agreed += 1;
+        }
+    }
+}
+
+/// What a physical line is, for token-region attribution. Lines absent
+/// from the map are plain (token and analyzer agree on the region).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LineShape {
+    /// `#if`/`#ifdef`/`#ifndef`/`#elif`/`#else`: the mutation engine
+    /// places the token *after* the directive, inside the branch it
+    /// opens. `end` is the last physical line of the (possibly spliced)
+    /// logical directive; `multi` flags splices.
+    Opens { end: u32, multi: bool },
+    /// `#endif`: a token keyed here sits in the region the directive
+    /// closes, which no pristine line unambiguously carries.
+    Closer,
+    /// `#if`/`#ifdef`/`#ifndef` specifically — safe as the *neighbor*
+    /// of a branch token, because the analyzer attributes an opener to
+    /// its enclosing region, which is exactly the branch the token
+    /// certifies. (`#elif`/`#else`/`#endif` neighbors are attributed
+    /// one region out and are not safe.)
+    OpensFresh { end: u32, multi: bool },
+}
+
+/// Map physical lines to their [`LineShape`].
+fn line_shapes(src: &str) -> BTreeMap<u32, LineShape> {
+    let mut shapes = BTreeMap::new();
+    for ll in logical_lines(src) {
+        let Some((name, _)) = ll.directive() else {
+            continue;
+        };
+        let multi = ll.first_line != ll.last_line;
+        let shape = match name {
+            "if" | "ifdef" | "ifndef" => LineShape::OpensFresh {
+                end: ll.last_line,
+                multi,
+            },
+            "elif" | "else" => LineShape::Opens {
+                end: ll.last_line,
+                multi,
+            },
+            "endif" => LineShape::Closer,
+            _ => continue,
+        };
+        for phys in ll.first_line..=ll.last_line {
+            shapes.insert(phys, shape);
+        }
+    }
+    shapes
+}
+
+/// The static class of the *region a mutation token actually sits in*.
+///
+/// A `Context` token recorded at line `L` physically lands:
+///
+/// - on a fresh line just before `L` when `L` is a plain line — same
+///   region as `L`, so `class(L)` is the answer;
+/// - just *after* the directive when `L` is a conditional opener or
+///   branch switch ([`mutation`](crate::mutation) certifies the branch
+///   the directive opens) — the region of the first line inside the
+///   branch. That class is only read off the pristine file when the
+///   next line is a plain line or a fresh opener (both attributed to
+///   exactly that region by the analyzer); spliced directives,
+///   `#endif`s, and `#elif`/`#else` neighbors are ambiguous and yield
+///   `None` (the token is counted but exempt from both rules).
+///
+/// `Define` tokens live on their `#define`/continuation line and take
+/// the plain-line path.
+fn token_class<'a>(
+    fr: Option<&'a jmake_reach::FileReach>,
+    shapes: &BTreeMap<u32, LineShape>,
+    line: u32,
+) -> Option<&'a ReachClass> {
+    let fr = fr?;
+    match shapes.get(&line) {
+        None => fr.class(line),
+        Some(LineShape::Closer) => None,
+        Some(LineShape::Opens { multi: true, .. })
+        | Some(LineShape::OpensFresh { multi: true, .. }) => None,
+        Some(LineShape::Opens { end, .. }) | Some(LineShape::OpensFresh { end, .. }) => {
+            let candidate = end + 1;
+            match shapes.get(&candidate) {
+                None | Some(LineShape::OpensFresh { multi: false, .. }) => fr.class(candidate),
+                _ => None,
+            }
+        }
+    }
+}
+
+/// JSON string literal with escaping.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_evaluation, DriverOptions};
+    use jmake_vcs::Repo;
+
+    /// A tiny repo: one commit planting a dead `#ifdef` block next to a
+    /// live edit, on a tree whose Kconfig declares a dead symbol.
+    fn planted_repo() -> (Repo, Vec<jmake_vcs::CommitId>) {
+        let mut tree = SourceTree::new();
+        tree.insert(
+            "Kconfig",
+            "config CRC\n\tbool \"crc\"\n\tdefault y\n\
+             config DEAD_OPTION\n\tbool \"dead\"\n\tdepends on MISSING_EVERYWHERE\n",
+        );
+        tree.insert("arch/x86_64/Kconfig", "config X86_64\n\tdef_bool y\n");
+        tree.insert("Makefile", "obj-y += lib/\n");
+        tree.insert("lib/Makefile", "obj-$(CONFIG_CRC) += crc.o\n");
+        tree.insert("lib/crc.c", "int crc_base;\nint crc_step;\n");
+
+        let mut repo = Repo::new();
+        let base = repo.commit(&[], "seed", "seed", &tree);
+        let mut t2 = tree.clone();
+        t2.insert(
+            "lib/crc.c",
+            "int crc_base;\nint crc_step2;\n\
+             #ifdef CONFIG_DEAD_OPTION\nint planted_dead;\n#endif\n",
+        );
+        let c1 = repo.commit(&[base], "janitor", "plant dead block", &t2);
+        (repo, vec![c1])
+    }
+
+    fn run_on(repo: &Repo, commits: &[jmake_vcs::CommitId]) -> EvaluationRun {
+        let opts = DriverOptions {
+            workers: 1,
+            ..DriverOptions::default()
+        };
+        run_evaluation(repo, commits, &opts)
+    }
+
+    #[test]
+    fn planted_dead_block_agrees_and_report_is_clean() {
+        let (repo, commits) = planted_repo();
+        let run = run_on(&repo, &commits);
+        assert_eq!(run.stats.checked, 1);
+        let report = cross_check(&repo, &run);
+        assert!(
+            report.is_clean(),
+            "expected clean cross-check, got {:?}",
+            report.discrepancies
+        );
+        assert_eq!(report.patches, 1);
+        assert!(report.tokens >= 2, "live edit + dead block tokens");
+        assert!(
+            report.dead_agreed >= 1,
+            "the planted dead line must be dead statically AND uncovered dynamically: {report:?}"
+        );
+        assert!(report.allyes_agreed >= 1, "the live edit agrees: {report:?}");
+    }
+
+    #[test]
+    fn report_json_is_deterministic() {
+        let (repo, commits) = planted_repo();
+        let run = run_on(&repo, &commits);
+        let a = cross_check(&repo, &run).to_json();
+        let b = cross_check(&repo, &run).to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"clean\": true"));
+        assert!(a.contains("\"dead_agreed\""));
+    }
+
+    #[test]
+    fn fabricated_dead_but_covered_is_flagged() {
+        // Forge a run claiming the planted dead line was certified: the
+        // cross-check must cry foul.
+        let (repo, commits) = planted_repo();
+        let mut run = run_on(&repo, &commits);
+        let report = match &mut run.results[0].outcome {
+            crate::driver::PatchOutcome::Checked(r) => r,
+            other => panic!("expected checked outcome, got {other:?}"),
+        };
+        let file = report
+            .files
+            .iter_mut()
+            .find(|f| f.path == "lib/crc.c")
+            .expect("crc.c report");
+        // The dead-block token is recorded on the `#ifdef` line (3); the
+        // mutation engine physically placed it inside the branch.
+        let dead_tok = file
+            .uncovered
+            .iter()
+            .map(|u| u.token.clone())
+            .find(|t| t.line == 3)
+            .expect("planted dead block token");
+        file.uncovered.retain(|u| u.token.line != 3);
+        file.covered
+            .push((dead_tok, "x86_64/allyesconfig".to_string()));
+
+        let cc = cross_check(&repo, &run);
+        assert!(!cc.is_clean());
+        let d = &cc.discrepancies[0];
+        assert_eq!(d.kind, DiscrepancyKind::DeadButCovered);
+        assert_eq!(d.file, "lib/crc.c");
+        assert_eq!(d.line, 3);
+        assert_eq!(d.arch, "x86_64");
+        assert!(cc.to_json().contains("dead-but-covered"));
+    }
+
+    #[test]
+    fn fabricated_allyes_but_missed_is_flagged() {
+        // Forge the opposite direction: claim the live edit's token was
+        // never covered despite a clean allyesconfig attempt.
+        let (repo, commits) = planted_repo();
+        let mut run = run_on(&repo, &commits);
+        let report = match &mut run.results[0].outcome {
+            crate::driver::PatchOutcome::Checked(r) => r,
+            other => panic!("expected checked outcome, got {other:?}"),
+        };
+        let file = report
+            .files
+            .iter_mut()
+            .find(|f| f.path == "lib/crc.c")
+            .expect("crc.c report");
+        let (live_tok, _) = file
+            .covered
+            .iter()
+            .find(|(t, _)| t.line == 2)
+            .cloned()
+            .expect("live edit token");
+        file.covered.retain(|(t, _)| t.line != 2);
+        file.uncovered.push(crate::report::UncoveredMutation {
+            token: live_tok,
+            reason: crate::classify::UncoveredReason::Unknown,
+        });
+        file.status = FileStatus::PartiallyCovered;
+
+        let cc = cross_check(&repo, &run);
+        assert!(cc
+            .discrepancies
+            .iter()
+            .any(|d| d.kind == DiscrepancyKind::AllyesButMissed && d.line == 2));
+    }
+
+    #[test]
+    fn unchecked_commits_are_skipped_with_a_note() {
+        let (repo, commits) = planted_repo();
+        let mut run = run_on(&repo, &commits);
+        run.results[0].outcome =
+            crate::driver::PatchOutcome::CheckoutFailed("gone".to_string());
+        let cc = cross_check(&repo, &run);
+        assert_eq!(cc.patches, 0);
+        assert_eq!(cc.skipped.len(), 1);
+        assert!(cc.skipped[0].contains("gone"));
+        assert!(cc.is_clean());
+    }
+
+    #[test]
+    fn line_shapes_classify_directives() {
+        let shapes =
+            line_shapes("int a;\n#if defined(X) && \\\n    defined(Y)\nint b;\n#else\nint c;\n#endif\n");
+        assert!(!shapes.contains_key(&1), "plain line");
+        assert_eq!(
+            shapes.get(&2),
+            Some(&LineShape::OpensFresh { end: 3, multi: true }),
+            "spliced opener marks both physical lines"
+        );
+        assert_eq!(shapes.get(&3), shapes.get(&2));
+        assert!(!shapes.contains_key(&4));
+        assert_eq!(shapes.get(&5), Some(&LineShape::Opens { end: 5, multi: false }));
+        assert_eq!(shapes.get(&7), Some(&LineShape::Closer));
+    }
+
+    #[test]
+    fn token_class_maps_opener_tokens_into_the_branch() {
+        use jmake_reach::FileReach;
+        let src = "int a;\n#ifdef CONFIG_X\nint b;\n#endif\nint c;\n";
+        let shapes = line_shapes(src);
+        let fr = FileReach {
+            path: "f.c".to_string(),
+            classes: vec![
+                ReachClass::AllyesReachable,                           // 1
+                ReachClass::AllyesReachable,                           // 2 (#ifdef → enclosing)
+                ReachClass::Dead { proof: "p".to_string() },           // 3 (branch)
+                ReachClass::AllyesReachable,                           // 4 (#endif → enclosing)
+                ReachClass::AllyesReachable,                           // 5
+            ],
+        };
+        // A token on the #ifdef line certifies the branch: line 3's class.
+        assert!(token_class(Some(&fr), &shapes, 2).is_some_and(ReachClass::is_dead));
+        // Plain lines map to themselves.
+        assert_eq!(token_class(Some(&fr), &shapes, 1), Some(&ReachClass::AllyesReachable));
+        // #endif tokens are ambiguous.
+        assert_eq!(token_class(Some(&fr), &shapes, 4), None);
+        // Missing file report → no verdict.
+        assert_eq!(token_class(None, &shapes, 1), None);
+    }
+}

@@ -54,6 +54,7 @@ pub mod archsel;
 pub mod check;
 pub mod classify;
 pub mod covsel;
+pub mod crosscheck;
 pub mod driver;
 pub mod mutation;
 pub mod precheck;
@@ -65,6 +66,7 @@ pub use archsel::{ArchSelector, Target};
 pub use check::{JMake, Options, WarmProbe};
 pub use classify::UncoveredReason;
 pub use covsel::{branch_wants, generate_cover_targets, Want};
+pub use crosscheck::{cross_check, CrossCheckReport, Discrepancy, DiscrepancyKind};
 pub use driver::{
     run_evaluation, DriverOptions, DriverStats, EvaluationRun, PatchOutcome, PatchResult,
 };

@@ -103,7 +103,8 @@ pub fn analyze(src: &str) -> SourceMap {
             info.is_directive = true;
         }
         if matches!(name, "if" | "ifdef" | "ifndef" | "elif" | "else") {
-            lines[first].is_conditional = true;
+            let anchor = conditional_anchor(src, &lines, first, last);
+            lines[anchor].is_conditional = true;
         }
         if name == "define" {
             let macro_name: String = rest
@@ -124,7 +125,70 @@ pub fn analyze(src: &str) -> SourceMap {
         }
     }
 
+    // Real cpp splices (phase 2) before stripping comments (phase 3), so a
+    // block comment opened on a `#define` line swallows its newline and the
+    // definition continues on the next physical line — through the comment
+    // tail and any further `\` continuations. `logical_lines` deliberately
+    // ends logical lines at comment-interior newlines, which truncated the
+    // macro span there: an `#elif` sitting in such a continuation body kept
+    // `is_conditional` from its (bogus) own logical line but lost the
+    // enclosing `in_macro_def`. Extend each span along the continuation
+    // chain and re-attribute the lines it covers.
+    for (idx, def) in macro_defs.iter_mut().enumerate() {
+        let mut end = def.end_line as usize - 1;
+        loop {
+            let next = end + 1;
+            if next >= lines.len() {
+                break;
+            }
+            // Continue while the definition's terminating newline was
+            // inside an open comment, or a closed comment tail ends in a
+            // continuation backslash.
+            if !lines[end].ends_with_continuation && !lines[next].starts_in_comment {
+                break;
+            }
+            // Never swallow a line some other definition already owns.
+            if lines[next].in_macro_def.is_some_and(|j| j != idx) {
+                break;
+            }
+            end = next;
+        }
+        let first = def.end_line as usize; // one past the old end
+        for info in &mut lines[first..=end] {
+            info.is_directive = true;
+            info.in_macro_def = Some(idx);
+            // Text spliced into a macro body is not a conditional boundary,
+            // whatever it lexically looks like.
+            info.is_conditional = false;
+        }
+        def.end_line = end as u32 + 1;
+    }
+
     SourceMap { lines, macro_defs }
+}
+
+/// Physical line (0-based index into `lines`) that carries the `#` of a
+/// directive whose logical line spans `first..=last`. When a directive's
+/// logical line opens on the tail of a multi-line comment (`*/ \` followed
+/// by `#elif …`), `first` is the comment tail, not the directive itself —
+/// anchor conditional flags to the line whose code portion starts with `#`.
+fn conditional_anchor(src: &str, lines: &[LineInfo], first: usize, last: usize) -> usize {
+    for (off, raw) in src.lines().skip(first).take(last - first + 1).enumerate() {
+        let idx = first + off;
+        let info = &lines[idx];
+        let code = if info.starts_in_comment {
+            match info.comment_close_col {
+                Some(col) => raw.get(col..).unwrap_or(""),
+                None => continue, // whole line is comment text
+            }
+        } else {
+            raw
+        };
+        if code.trim_start().starts_with('#') {
+            return idx;
+        }
+    }
+    first
 }
 
 /// Per-line comment facts via a char-level scan of the raw source.
@@ -324,6 +388,71 @@ mod tests {
         let m = analyze(src);
         assert!(m.line(1).unwrap().is_conditional);
         assert_eq!(m.macro_def_at(2).unwrap().name, "PM_OPS");
+    }
+
+    #[test]
+    fn elif_in_macro_continuation_body_keeps_in_macro_def() {
+        // The comment opened on the #define line swallows its newline
+        // (splice happens before comment removal in real cpp), and the
+        // `*/ \` tail splices the next line too — so the #elif text is
+        // part of PICK's replacement list, not a conditional boundary.
+        // Before the fix it was flagged is_conditional (attributed to the
+        // comment-tail line, at that) while losing in_macro_def entirely.
+        let src = "#ifdef CONFIG_X\n#define PICK(x) /* pick\nimpl */ \\\n#elif defined(CONFIG_Y)\nint y;\n#endif\n";
+        let m = analyze(src);
+        let d = &m.macro_defs[0];
+        assert_eq!((d.define_line, d.end_line), (2, 4));
+        for line in 2..=4 {
+            let info = m.line(line).unwrap();
+            assert_eq!(info.in_macro_def, Some(0), "line {line} lost in_macro_def");
+            assert!(!info.is_conditional, "line {line} flagged conditional inside macro body");
+            assert!(info.is_directive);
+        }
+        assert_eq!(m.macro_def_at(4).unwrap().name, "PICK");
+        assert_eq!(m.line(5).unwrap().in_macro_def, None);
+    }
+
+    #[test]
+    fn elif_spliced_into_define_is_macro_body() {
+        // Plain backslash chain: the #elif physical line is spliced into
+        // the define logical line and must carry its in_macro_def.
+        let src = "#define PICK(x) \\\n  first(x) \\\n#elif defined(CONFIG_Y)\nint y;\n";
+        let m = analyze(src);
+        assert_eq!((m.macro_defs[0].define_line, m.macro_defs[0].end_line), (1, 3));
+        let l3 = m.line(3).unwrap();
+        assert_eq!(l3.in_macro_def, Some(0));
+        assert!(!l3.is_conditional);
+    }
+
+    #[test]
+    fn elif_after_completed_define_is_plain_conditional() {
+        // Control: once the continuation chain ends, a following #elif is
+        // an ordinary conditional outside the macro span.
+        let src = "#ifdef CONFIG_X\n#define PICK(x) \\\n  first(x)\n#elif defined(CONFIG_Y)\nint y;\n#endif\n";
+        let m = analyze(src);
+        assert_eq!((m.macro_defs[0].define_line, m.macro_defs[0].end_line), (2, 3));
+        let l4 = m.line(4).unwrap();
+        assert!(l4.is_conditional);
+        assert_eq!(l4.in_macro_def, None);
+    }
+
+    #[test]
+    fn conditional_anchored_to_hash_line_after_comment_tail() {
+        // A directive whose logical line opens on a comment tail (`*/ \`)
+        // must flag the physical line holding the `#`, not the tail.
+        let src = "#ifdef A\nint a; /* c\nc2 */ \\\n#elif defined(B)\nint b;\n#endif\n";
+        let m = analyze(src);
+        assert!(!m.line(3).unwrap().is_conditional, "comment tail flagged");
+        assert!(m.line(4).unwrap().is_conditional, "#elif line not flagged");
+    }
+
+    #[test]
+    fn comment_split_define_body_rejoined() {
+        let src = "#define M(x) /* c\nc2 */ \\\n  body(x)\nint t;\n";
+        let m = analyze(src);
+        assert_eq!((m.macro_defs[0].define_line, m.macro_defs[0].end_line), (1, 3));
+        assert_eq!(m.line(3).unwrap().in_macro_def, Some(0));
+        assert_eq!(m.line(4).unwrap().in_macro_def, None);
     }
 
     #[test]

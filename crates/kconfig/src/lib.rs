@@ -53,7 +53,7 @@ pub use expr::Expr;
 pub use lint::{DeadSymbols, UndeadSymbols};
 pub use model::KconfigModel;
 pub use parse::ParseKconfigError;
-pub use solve::Config;
+pub use solve::{Config, ConjunctionVerdict, DeadnessProof};
 pub use tristate::Tristate;
 
 #[cfg(test)]

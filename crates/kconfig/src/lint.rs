@@ -21,37 +21,43 @@ impl DeadSymbols {
     ///
     /// A symbol is *live* when its dependencies are satisfiable assuming
     /// every other live symbol could be driven to any value its own
-    /// liveness allows, or when something live selects it. The computation
-    /// is an optimistic fixed point: start with everything potentially
-    /// live, and strike symbols whose `depends` cannot reach `m`/`y` even
-    /// under the most favourable assignment of the surviving symbols.
+    /// liveness allows, or when a live symbol selects it under a
+    /// satisfiable select condition. The computation is a least fixed
+    /// point: start with nothing live and add symbols whose liveness is
+    /// justified by already-live symbols. Growing from the bottom means a
+    /// `select` can never launder liveness through a symbol that is
+    /// itself dead — in the old greatest-fixed-point formulation two dead
+    /// symbols selecting each other kept both alive forever, and a
+    /// `select T if COND` counted even when COND was a contradiction.
+    /// Evaluation stays optimistic (`X` contributes Y when X is live,
+    /// `!X` is always satisfiable by leaving X off), so liveness is still
+    /// an over-approximation: a symbol reported dead really is dead.
     pub fn compute(model: &KconfigModel) -> Self {
-        let mut live: BTreeSet<String> = model.symbols().map(|s| s.name.clone()).collect();
+        let mut live: BTreeSet<String> = BTreeSet::new();
         loop {
             let mut changed = false;
-            let snapshot = live.clone();
             for sym in model.symbols() {
-                if !snapshot.contains(&sym.name) {
+                if live.contains(&sym.name) {
                     continue;
                 }
                 let satisfiable = match &sym.depends {
                     None => true,
-                    Some(e) => {
-                        // Optimistic evaluation: a live symbol can be Y or N
-                        // at our pleasure, so `X` contributes Y if live and
-                        // `!X` always contributes Y (we may leave X off).
-                        // This over-approximates satisfiability — which is
-                        // the safe direction for the classifier: a symbol
-                        // reported dead really is dead.
-                        optimistic(e, &snapshot) == Tristate::Y
-                    }
+                    Some(e) => optimistic(e, &live) == Tristate::Y,
                 };
+                // A select only justifies its target when the selector has
+                // already proved itself live *and* the select condition is
+                // satisfiable against the current live set.
                 let selected = model.symbols().any(|other| {
-                    snapshot.contains(&other.name)
-                        && other.selects.iter().any(|(t, _)| t == &sym.name)
+                    live.contains(&other.name)
+                        && other.selects.iter().any(|(t, cond)| {
+                            t == &sym.name
+                                && cond
+                                    .as_ref()
+                                    .is_none_or(|c| optimistic(c, &live) == Tristate::Y)
+                        })
                 });
-                if !satisfiable && !selected {
-                    live.remove(&sym.name);
+                if satisfiable || selected {
+                    live.insert(sym.name.clone());
                     changed = true;
                 }
             }
@@ -317,6 +323,57 @@ mod tests {
                 assert!(cfg.is_builtin(name), "{name} off in some config");
             }
         }
+    }
+
+    #[test]
+    fn dead_selector_chain_stays_dead() {
+        // ROOT is dead; its selects must not resurrect MID, and MID's
+        // select must not resurrect LEAF. Every link of the chain has
+        // unsatisfiable depends of its own, so nothing is legitimately
+        // reachable.
+        let m = model(
+            "config ROOT\n\tbool \"r\"\n\tdepends on MISSING\n\tselect MID\nconfig MID\n\tbool \"m\"\n\tdepends on MISSING\n\tselect LEAF\nconfig LEAF\n\tbool \"l\"\n\tdepends on MISSING\n",
+        );
+        let d = DeadSymbols::compute(&m);
+        assert!(d.is_dead(&m, "ROOT"));
+        assert!(d.is_dead(&m, "MID"), "select from a dead symbol resurrected MID");
+        assert!(d.is_dead(&m, "LEAF"), "dead selector chain resurrected LEAF");
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn mutual_select_cycle_of_dead_symbols_stays_dead() {
+        // The greatest-fixed-point formulation never struck either member
+        // of this cycle: each round's snapshot still contained the other,
+        // so the selects justified each other forever.
+        let m = model(
+            "config A\n\tbool \"a\"\n\tdepends on MISSING\n\tselect B\nconfig B\n\tbool \"b\"\n\tdepends on MISSING\n\tselect A\n",
+        );
+        let d = DeadSymbols::compute(&m);
+        assert!(d.is_dead(&m, "A"), "select cycle kept A alive");
+        assert!(d.is_dead(&m, "B"), "select cycle kept B alive");
+    }
+
+    #[test]
+    fn select_with_dead_condition_does_not_resurrect() {
+        // LIVE is healthy, but its select only fires `if DEADGATE`, and
+        // DEADGATE can never be enabled — so TARGET stays dead.
+        let m = model(
+            "config LIVE\n\tbool \"l\"\n\tselect TARGET if DEADGATE\nconfig DEADGATE\n\tbool \"g\"\n\tdepends on MISSING\nconfig TARGET\n\tbool \"t\"\n\tdepends on MISSING\n",
+        );
+        let d = DeadSymbols::compute(&m);
+        assert!(!d.is_dead(&m, "LIVE"));
+        assert!(d.is_dead(&m, "DEADGATE"));
+        assert!(d.is_dead(&m, "TARGET"), "conditionally-dead select resurrected TARGET");
+    }
+
+    #[test]
+    fn select_with_live_condition_still_resurrects() {
+        let m = model(
+            "config LIVE\n\tbool \"l\"\n\tselect TARGET if GATE\nconfig GATE\n\tbool \"g\"\nconfig TARGET\n\tbool \"t\"\n\tdepends on MISSING\n",
+        );
+        let d = DeadSymbols::compute(&m);
+        assert!(!d.is_dead(&m, "TARGET"));
     }
 
     #[test]

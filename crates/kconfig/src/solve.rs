@@ -261,6 +261,136 @@ pub(crate) fn solve_defconfig(model: &KconfigModel, wanted: &BTreeMap<String, Tr
     })
 }
 
+/// Why a conjunction of pinned symbol values has no satisfying
+/// configuration. The first three variants are *proofs* — the conjunction
+/// really is unsatisfiable; [`DeadnessProof::Exhausted`] only records that
+/// every solver strategy failed to produce a witness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeadnessProof {
+    /// An enabled pin names a symbol no Kconfig declares.
+    Undeclared(String),
+    /// An enabled pin names a symbol that can never be enabled
+    /// ([`crate::lint::DeadSymbols`]).
+    DeadSymbol(String),
+    /// Two pins enable members of the same mutually-exclusive choice group.
+    ChoiceConflict(String, String),
+    /// No strategy found a witness (not a proof of deadness on its own).
+    Exhausted,
+}
+
+impl std::fmt::Display for DeadnessProof {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeadnessProof::Undeclared(n) => write!(f, "undeclared symbol {n}"),
+            DeadnessProof::DeadSymbol(n) => write!(f, "dead symbol {n}"),
+            DeadnessProof::ChoiceConflict(a, b) => write!(f, "choice conflict {a}/{b}"),
+            DeadnessProof::Exhausted => write!(f, "no witness found"),
+        }
+    }
+}
+
+/// Result of a conjunction query: a configuration satisfying every pin, or
+/// a deadness tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConjunctionVerdict {
+    /// A full configuration in which every pinned symbol holds its pinned
+    /// value exactly.
+    Witness(Config),
+    /// No satisfying configuration was found; see [`DeadnessProof`].
+    Dead(DeadnessProof),
+}
+
+impl ConjunctionVerdict {
+    /// The witness configuration, if any.
+    pub fn witness(&self) -> Option<&Config> {
+        match self {
+            ConjunctionVerdict::Witness(c) => Some(c),
+            ConjunctionVerdict::Dead(_) => None,
+        }
+    }
+}
+
+/// Decide satisfiability of a conjunction of exact-value pins
+/// (`name = value` for every entry) against `model`, producing a witness
+/// configuration or a deadness tag.
+///
+/// Used by the `jmake-reach` presence-condition analysis: a line guarded by
+/// `#ifdef CONFIG_A` inside an `obj-$(CONFIG_B)` file reduces to the pins
+/// `{A: y, B: y}` (or `{A: y, B: m}` for the modular build). Completeness is
+/// heuristic — a handful of fixed-point strategies rather than a SAT
+/// search — but soundness is one-directional by construction: a returned
+/// witness always satisfies the pins (it is checked before being returned),
+/// while [`DeadnessProof::Exhausted`] leaves deadness open. The other three
+/// proof tags are sound: those conjunctions truly have no model.
+pub(crate) fn solve_conjunction(
+    model: &KconfigModel,
+    pins: &BTreeMap<String, Tristate>,
+) -> ConjunctionVerdict {
+    // Hard proofs first: enabled pins on undeclared or never-enabled
+    // symbols, and sibling pins inside one choice group.
+    for (name, v) in pins {
+        if v.enabled() && !model.is_declared(name) {
+            return ConjunctionVerdict::Dead(DeadnessProof::Undeclared(name.clone()));
+        }
+    }
+    let dead = crate::lint::DeadSymbols::compute(model);
+    for (name, v) in pins {
+        if v.enabled() && dead.is_dead(model, name) {
+            return ConjunctionVerdict::Dead(DeadnessProof::DeadSymbol(name.clone()));
+        }
+    }
+    let mut group_owner: BTreeMap<u32, &str> = BTreeMap::new();
+    for (name, v) in pins {
+        if !v.enabled() {
+            continue;
+        }
+        if let Some(g) = model.symbol(name).and_then(|s| s.choice_group) {
+            if let Some(prev) = group_owner.insert(g, name.as_str()) {
+                return ConjunctionVerdict::Dead(DeadnessProof::ChoiceConflict(
+                    prev.to_string(),
+                    name.clone(),
+                ));
+            }
+        }
+    }
+
+    // Witness strategies, cheapest-to-likeliest first. Each one runs the
+    // shared fixed point with the pins as the target and a different policy
+    // for unpinned symbols; the result only counts when every pin survived
+    // dependency clamping and select floors.
+    let defaults = |sym: &crate::ast::Symbol| match sym.defaults.first() {
+        Some((v, None)) => *v,
+        Some((v, Some(_))) if sym.prompt.is_none() => *v,
+        _ => Tristate::N,
+    };
+    let strategies: [&dyn Fn(&crate::ast::Symbol) -> Tristate; 4] = [
+        // defconfig-style: unpinned symbols follow their defaults — the
+        // closest match to a hand-prepared configuration.
+        &|sym| pins.get(&sym.name).copied().unwrap_or_else(|| defaults(sym)),
+        // minimal: everything unpinned stays off (good for `!X` pins).
+        &|sym| pins.get(&sym.name).copied().unwrap_or(Tristate::N),
+        // allyes-style: drive unpinned symbols up (good for deep
+        // positive dependency chains with no defaults).
+        &|sym| pins.get(&sym.name).copied().unwrap_or(Tristate::Y),
+        // allmod-style: tristates to m (good when a pin needs a
+        // module-value dependency).
+        &|sym| {
+            pins.get(&sym.name).copied().unwrap_or(if sym.is_tristate() {
+                Tristate::M
+            } else {
+                Tristate::Y
+            })
+        },
+    ];
+    for target in strategies {
+        let cfg = fixed_point(model, target);
+        if pins.iter().all(|(name, v)| cfg.get(name) == *v) {
+            return ConjunctionVerdict::Witness(cfg);
+        }
+    }
+    ConjunctionVerdict::Dead(DeadnessProof::Exhausted)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,6 +577,137 @@ mod tests {
             .filter(|n| cfg.is_builtin(n))
             .count();
         assert_eq!(winners, 2);
+    }
+
+    fn pins(entries: &[(&str, Tristate)]) -> BTreeMap<String, Tristate> {
+        entries.iter().map(|(n, v)| (n.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn conjunction_simple_positive_pins() {
+        let m = model(
+            "config NET\n\tbool \"net\"\nconfig VLAN\n\tbool \"vlan\"\n\tdepends on NET\n",
+        );
+        let v = solve_conjunction(&m, &pins(&[("VLAN", Tristate::Y)]));
+        let w = v.witness().expect("VLAN is reachable");
+        assert_eq!(w.get("VLAN"), Tristate::Y);
+        assert_eq!(w.get("NET"), Tristate::Y, "witness must pull the dependency up");
+    }
+
+    #[test]
+    fn conjunction_negative_pin_on_default_y_symbol() {
+        // `#ifndef CONFIG_CORE` reachability: CORE defaults to y, but a
+        // configuration pinning it off exists.
+        let m = model(
+            "config CORE\n\tdef_bool y\nconfig DRV\n\tbool \"d\"\n",
+        );
+        let v = solve_conjunction(&m, &pins(&[("CORE", Tristate::N), ("DRV", Tristate::Y)]));
+        let w = v.witness().expect("CORE can be pinned off");
+        assert_eq!(w.get("CORE"), Tristate::N);
+        assert_eq!(w.get("DRV"), Tristate::Y);
+    }
+
+    #[test]
+    fn conjunction_through_negative_dependency() {
+        // Reaching TINY requires FULL off — the allyes-style strategy
+        // drives FULL up and fails; the minimal strategy finds it.
+        let m = model(
+            "config FULL\n\tbool \"full\"\nconfig TINY\n\tbool \"tiny\"\n\tdepends on !FULL\n",
+        );
+        let v = solve_conjunction(&m, &pins(&[("TINY", Tristate::Y)]));
+        let w = v.witness().expect("TINY reachable with FULL off");
+        assert_eq!(w.get("FULL"), Tristate::N);
+        assert_eq!(w.get("TINY"), Tristate::Y);
+    }
+
+    #[test]
+    fn conjunction_module_pin() {
+        let m = model("config BUS\n\ttristate \"bus\"\nconfig DEV\n\ttristate \"dev\"\n\tdepends on BUS\n");
+        let v = solve_conjunction(&m, &pins(&[("DEV", Tristate::M)]));
+        let w = v.witness().expect("DEV=m reachable");
+        assert_eq!(w.get("DEV"), Tristate::M);
+        assert!(w.get("BUS").enabled());
+    }
+
+    #[test]
+    fn conjunction_undeclared_pin_is_dead() {
+        let m = model("config A\n\tbool \"a\"\n");
+        let v = solve_conjunction(&m, &pins(&[("NOWHERE", Tristate::Y)]));
+        assert_eq!(
+            v,
+            ConjunctionVerdict::Dead(DeadnessProof::Undeclared("NOWHERE".to_string()))
+        );
+    }
+
+    #[test]
+    fn conjunction_dead_symbol_pin_is_dead() {
+        let m = model("config DOOMED\n\tbool \"d\"\n\tdepends on MISSING\n");
+        let v = solve_conjunction(&m, &pins(&[("DOOMED", Tristate::Y)]));
+        assert_eq!(
+            v,
+            ConjunctionVerdict::Dead(DeadnessProof::DeadSymbol("DOOMED".to_string()))
+        );
+    }
+
+    #[test]
+    fn conjunction_choice_conflict_is_dead() {
+        let m = model(
+            "choice\nconfig HZ_100\n\tbool \"100\"\nconfig HZ_1000\n\tbool \"1000\"\nendchoice\n",
+        );
+        let v = solve_conjunction(
+            &m,
+            &pins(&[("HZ_100", Tristate::Y), ("HZ_1000", Tristate::Y)]),
+        );
+        assert!(matches!(
+            v,
+            ConjunctionVerdict::Dead(DeadnessProof::ChoiceConflict(_, _))
+        ));
+    }
+
+    #[test]
+    fn conjunction_single_choice_member_pin_has_witness() {
+        let m = model(
+            "choice\nconfig HZ_100\n\tbool \"100\"\nconfig HZ_1000\n\tbool \"1000\"\nendchoice\n",
+        );
+        // The non-default member: allyes picks HZ_100, but a pin can take
+        // the other slot.
+        let v = solve_conjunction(&m, &pins(&[("HZ_1000", Tristate::Y)]));
+        let w = v.witness().expect("losing choice member still reachable");
+        assert!(w.is_builtin("HZ_1000"));
+        assert!(!w.is_builtin("HZ_100"));
+    }
+
+    #[test]
+    fn conjunction_negative_pin_on_selected_symbol_exhausts() {
+        // CORE (always on, promptless default y) unconditionally selects
+        // HELPER, so HELPER=n has no witness; the solver cannot *prove*
+        // that, so the tag is Exhausted rather than a hard proof.
+        let m = model(
+            "config CORE\n\tdef_bool y\n\tselect HELPER\nconfig HELPER\n\tbool \"h\"\n",
+        );
+        let v = solve_conjunction(&m, &pins(&[("HELPER", Tristate::N), ("CORE", Tristate::Y)]));
+        assert_eq!(v, ConjunctionVerdict::Dead(DeadnessProof::Exhausted));
+    }
+
+    #[test]
+    fn conjunction_witness_is_a_valid_model_config() {
+        // The witness must respect dependencies for every symbol, not just
+        // the pinned ones (it gets rendered and fed to make_config).
+        let m = model(
+            "config A\n\tbool \"a\"\nconfig B\n\tbool \"b\"\n\tdepends on A\nconfig C\n\ttristate \"c\"\n\tdepends on B\n",
+        );
+        let v = solve_conjunction(&m, &pins(&[("C", Tristate::M)]));
+        let w = v.witness().unwrap();
+        for sym in m.symbols() {
+            if let Some(dep) = &sym.depends {
+                let limit = dep.eval(&|n: &str| w.get(n));
+                assert!(
+                    w.get(&sym.name) <= limit.max(Tristate::N),
+                    "{} exceeds its dependency limit",
+                    sym.name
+                );
+            }
+        }
     }
 
     #[test]

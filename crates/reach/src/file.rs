@@ -1,0 +1,346 @@
+//! Per-file presence conditions: a symbolic walk over the conditional
+//! structure of one source file.
+//!
+//! The walk mirrors `jmake_cpp::cond::CondStack` — same logical-line
+//! stream (`logical_lines`, phases 2 and 3), same `#if`/`#ifdef`/
+//! `#elif`/`#else`/`#endif` branch bookkeeping — but instead of deciding
+//! each branch against one concrete macro table it keeps the conditions
+//! symbolic: every physical line gets the conjunction of the branch
+//! conditions that must hold for the preprocessor to emit (or even
+//! tokenize the body of) that line.
+//!
+//! Directive lines themselves (`#if`, `#elif`, `#else`, `#endif`) are
+//! attributed to the *enclosing* region: the preprocessor reads them
+//! whenever their parent stack is active, regardless of which branch
+//! wins. That matches what the compiler "sees" and is the property the
+//! cross-check needs.
+
+use crate::cond::{parse_directive, parse_if_expr, CondExpr};
+use jmake_cpp::lines::{logical_lines, LogicalLine};
+
+/// An `#include` occurrence with the condition under which it fires.
+#[derive(Debug, Clone)]
+pub struct IncludeRef {
+    /// Path text between the delimiters.
+    pub path: String,
+    /// `"..."` (true) vs `<...>` (false).
+    pub quoted: bool,
+    /// Presence condition of the directive line.
+    pub cond: CondExpr,
+}
+
+/// The symbolic analysis of one file.
+#[derive(Debug, Clone)]
+pub struct FileAnalysis {
+    /// Presence condition per physical line (index = line − 1).
+    pub conds: Vec<CondExpr>,
+    /// All `#include` directives with their conditions.
+    pub includes: Vec<IncludeRef>,
+    /// False when `#endif`s don't pair up with openers — callers must
+    /// fall back to a conservative classification for the whole file.
+    pub balanced: bool,
+    /// Detected include-guard macro, if the file has the classic
+    /// `#ifndef G` / `#define G` / … / `#endif` shape. The guard frame is
+    /// already discharged to `True` in `conds`.
+    pub guard: Option<String>,
+}
+
+/// One open conditional region during the walk.
+struct Frame {
+    /// Condition for the branch currently open: its own test conjoined
+    /// with the negation of every earlier branch in the chain.
+    cond: CondExpr,
+    /// Conjunction of negations of all branch tests so far — the premise
+    /// an `#elif`/`#else` inherits.
+    not_taken: CondExpr,
+}
+
+/// Analyze `src`, producing per-line presence conditions.
+pub fn analyze_file(src: &str) -> FileAnalysis {
+    let lls = logical_lines(src);
+    let guard = detect_include_guard(&lls);
+    let total = src.lines().count().max(
+        lls.last().map(|l| l.last_line as usize).unwrap_or(0),
+    );
+    let mut conds = vec![CondExpr::True; total];
+    let mut includes = Vec::new();
+    let mut balanced = true;
+
+    let mut stack: Vec<Frame> = Vec::new();
+    let stack_cond = |stack: &[Frame], depth: usize| -> CondExpr {
+        stack[..depth]
+            .iter()
+            .fold(CondExpr::True, |acc, f| acc.and(f.cond.clone()))
+    };
+
+    for (idx, ll) in lls.iter().enumerate() {
+        let mut line_cond = stack_cond(&stack, stack.len());
+        if let Some((name, rest)) = ll.directive() {
+            match name {
+                "if" | "ifdef" | "ifndef" => {
+                    // The opener is read whenever the *outer* region is
+                    // active — which is the current full stack.
+                    let mut test = parse_directive(name, rest).unwrap_or(CondExpr::Unknown);
+                    if guard.as_deref().is_some_and(|g| is_guard_opener(&lls, idx, g)) {
+                        test = CondExpr::True;
+                    }
+                    stack.push(Frame {
+                        not_taken: test.clone().negate(),
+                        cond: test,
+                    });
+                }
+                "elif" => match stack.pop() {
+                    Some(frame) => {
+                        line_cond = stack_cond(&stack, stack.len());
+                        let test = parse_if_expr(rest);
+                        stack.push(Frame {
+                            cond: frame.not_taken.clone().and(test.clone()),
+                            not_taken: frame.not_taken.and(test.negate()),
+                        });
+                    }
+                    None => balanced = false,
+                },
+                "else" => match stack.pop() {
+                    Some(frame) => {
+                        line_cond = stack_cond(&stack, stack.len());
+                        stack.push(Frame {
+                            cond: frame.not_taken.clone(),
+                            not_taken: frame.not_taken.and(CondExpr::False),
+                        });
+                    }
+                    None => balanced = false,
+                },
+                "endif" => {
+                    if stack.pop().is_none() {
+                        balanced = false;
+                    }
+                    line_cond = stack_cond(&stack, stack.len());
+                }
+                "include" => {
+                    if let Some(inc) = parse_include(rest) {
+                        includes.push(IncludeRef {
+                            path: inc.0,
+                            quoted: inc.1,
+                            cond: line_cond.clone(),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        for phys in ll.first_line..=ll.last_line {
+            let i = phys as usize - 1;
+            if i < conds.len() {
+                conds[i] = line_cond.clone();
+            }
+        }
+    }
+    if !stack.is_empty() {
+        balanced = false;
+    }
+
+    FileAnalysis {
+        conds,
+        includes,
+        balanced,
+        guard,
+    }
+}
+
+/// `#include "p"` / `#include <p>` → (path, quoted).
+fn parse_include(rest: &str) -> Option<(String, bool)> {
+    let t = rest.trim();
+    if let Some(r) = t.strip_prefix('"') {
+        let end = r.find('"')?;
+        return Some((r[..end].to_string(), true));
+    }
+    if let Some(r) = t.strip_prefix('<') {
+        let end = r.find('>')?;
+        return Some((r[..end].to_string(), false));
+    }
+    None
+}
+
+/// Is logical line `idx` the opener of the detected include guard? The
+/// guard's `#ifndef` is the first non-blank logical line.
+fn is_guard_opener(lls: &[LogicalLine], idx: usize, guard: &str) -> bool {
+    let first = lls.iter().position(|l| !l.is_blank());
+    first == Some(idx)
+        && lls[idx]
+            .directive()
+            .is_some_and(|(n, r)| n == "ifndef" && r.split_whitespace().next() == Some(guard))
+}
+
+/// Detect the classic include-guard shape: the first non-blank logical
+/// line is `#ifndef G`, the second is `#define G`, and the matching
+/// `#endif` is the last non-blank logical line. Inside one translation
+/// unit's first inclusion the guard test is vacuously true, so the frame
+/// can be discharged.
+fn detect_include_guard(lls: &[LogicalLine]) -> Option<String> {
+    let mut nonblank = lls.iter().enumerate().filter(|(_, l)| !l.is_blank());
+    let (open_idx, first) = nonblank.next()?;
+    let (_, second) = nonblank.next()?;
+    let (n1, r1) = first.directive()?;
+    if n1 != "ifndef" {
+        return None;
+    }
+    let guard = r1.split_whitespace().next()?.to_string();
+    let (n2, r2) = second.directive()?;
+    if n2 != "define" || r2.split_whitespace().next() != Some(guard.as_str()) {
+        return None;
+    }
+    // Find where the guard frame closes and make sure nothing non-blank
+    // follows.
+    let mut depth = 0usize;
+    for (idx, ll) in lls.iter().enumerate() {
+        if idx < open_idx {
+            continue;
+        }
+        if let Some((name, _)) = ll.directive() {
+            match name {
+                "if" | "ifdef" | "ifndef" => depth += 1,
+                "endif" => {
+                    depth = depth.checked_sub(1)?;
+                    if depth == 0 {
+                        return if lls[idx + 1..].iter().all(|l| l.is_blank()) {
+                            Some(guard)
+                        } else {
+                            None
+                        };
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::Truth;
+    use jmake_kconfig::{Config, Tristate};
+
+    fn cfg(pairs: &[(&str, Tristate)]) -> Config {
+        let mut c = Config::default();
+        for (k, v) in pairs {
+            c.set(*k, *v);
+        }
+        c
+    }
+
+    #[test]
+    fn unconditional_lines_are_true() {
+        let fa = analyze_file("int x;\nint y;\n");
+        assert!(fa.balanced);
+        assert_eq!(fa.conds, vec![CondExpr::True, CondExpr::True]);
+    }
+
+    #[test]
+    fn ifdef_body_gets_defined_cond() {
+        let src = "#ifdef CONFIG_NET\nint net;\n#endif\nint always;\n";
+        let fa = analyze_file(src);
+        let on = cfg(&[("NET", Tristate::Y)]);
+        let off = cfg(&[]);
+        // Line 1 (#ifdef) and line 3 (#endif) belong to the outer region.
+        assert_eq!(fa.conds[0], CondExpr::True);
+        assert_eq!(fa.conds[2], CondExpr::True);
+        assert_eq!(fa.conds[1].eval(&on), Truth::True);
+        assert_eq!(fa.conds[1].eval(&off), Truth::False);
+        assert_eq!(fa.conds[3], CondExpr::True);
+    }
+
+    #[test]
+    fn elif_chain_branches_exclude_earlier_tests() {
+        let src = "#if defined(CONFIG_A)\na\n#elif defined(CONFIG_B)\nb\n#else\nc\n#endif\n";
+        let fa = analyze_file(src);
+        let a = cfg(&[("A", Tristate::Y), ("B", Tristate::Y)]);
+        // A set: branch a holds, b excluded even though B is set.
+        assert_eq!(fa.conds[1].eval(&a), Truth::True);
+        assert_eq!(fa.conds[3].eval(&a), Truth::False);
+        assert_eq!(fa.conds[5].eval(&a), Truth::False);
+        let b = cfg(&[("B", Tristate::Y)]);
+        assert_eq!(fa.conds[1].eval(&b), Truth::False);
+        assert_eq!(fa.conds[3].eval(&b), Truth::True);
+        assert_eq!(fa.conds[5].eval(&b), Truth::False);
+        let none = cfg(&[]);
+        assert_eq!(fa.conds[5].eval(&none), Truth::True);
+        // The #elif and #else directive lines are read in all three cases.
+        for c in [&a, &b, &none] {
+            assert_eq!(fa.conds[2].eval(c), Truth::True);
+            assert_eq!(fa.conds[4].eval(c), Truth::True);
+        }
+    }
+
+    #[test]
+    fn nested_conditions_conjoin() {
+        let src = "#ifdef CONFIG_A\n#ifdef CONFIG_B\nboth\n#endif\n#endif\n";
+        let fa = analyze_file(src);
+        let both = cfg(&[("A", Tristate::Y), ("B", Tristate::Y)]);
+        let only_a = cfg(&[("A", Tristate::Y)]);
+        assert_eq!(fa.conds[2].eval(&both), Truth::True);
+        assert_eq!(fa.conds[2].eval(&only_a), Truth::False);
+        // The inner #ifdef line is under the outer condition only.
+        assert_eq!(fa.conds[1].eval(&only_a), Truth::True);
+        assert_eq!(fa.conds[1].eval(&cfg(&[])), Truth::False);
+    }
+
+    #[test]
+    fn include_guard_is_discharged() {
+        let src = "#ifndef MY_H\n#define MY_H\nint decl;\n#endif\n";
+        let fa = analyze_file(src);
+        assert_eq!(fa.guard.as_deref(), Some("MY_H"));
+        assert_eq!(fa.conds[2], CondExpr::True);
+    }
+
+    #[test]
+    fn guard_shape_with_trailing_code_is_not_a_guard() {
+        let src = "#ifndef MY_H\n#define MY_H\nint decl;\n#endif\nint after;\n";
+        let fa = analyze_file(src);
+        assert_eq!(fa.guard, None);
+    }
+
+    #[test]
+    fn if_zero_block_is_false() {
+        let src = "#if 0\ndead\n#endif\n";
+        let fa = analyze_file(src);
+        assert_eq!(fa.conds[1], CondExpr::False);
+    }
+
+    #[test]
+    fn includes_carry_conditions() {
+        let src = "#include <linux/kernel.h>\n#ifdef CONFIG_X\n#include \"x.h\"\n#endif\n";
+        let fa = analyze_file(src);
+        assert_eq!(fa.includes.len(), 2);
+        assert_eq!(fa.includes[0].path, "linux/kernel.h");
+        assert!(!fa.includes[0].quoted);
+        assert_eq!(fa.includes[0].cond, CondExpr::True);
+        assert_eq!(fa.includes[1].path, "x.h");
+        assert!(fa.includes[1].quoted);
+        assert_eq!(
+            fa.includes[1].cond.eval(&cfg(&[("X", Tristate::Y)])),
+            Truth::True
+        );
+    }
+
+    #[test]
+    fn unbalanced_endif_flags_file() {
+        let fa = analyze_file("#endif\nint x;\n");
+        assert!(!fa.balanced);
+        let fa2 = analyze_file("#ifdef CONFIG_A\nint x;\n");
+        assert!(!fa2.balanced);
+    }
+
+    #[test]
+    fn spliced_condition_covers_all_physical_lines() {
+        let src = "#if defined(CONFIG_A) && \\\n    defined(CONFIG_B)\nbody\n#endif\n";
+        let fa = analyze_file(src);
+        // Both physical lines of the spliced #if are outer-region lines.
+        assert_eq!(fa.conds[0], CondExpr::True);
+        assert_eq!(fa.conds[1], CondExpr::True);
+        let both = cfg(&[("A", Tristate::Y), ("B", Tristate::Y)]);
+        assert_eq!(fa.conds[2].eval(&both), Truth::True);
+        assert_eq!(fa.conds[2].eval(&cfg(&[("A", Tristate::Y)])), Truth::False);
+    }
+}

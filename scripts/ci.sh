@@ -30,9 +30,23 @@ trap 'rm -f "$CACHED_OUT" "$UNCACHED_OUT"' EXIT
   --no-object-cache --no-work-stealing --no-shared-cache all > "$UNCACHED_OUT"
 diff -u "$UNCACHED_OUT" "$CACHED_OUT"
 
+echo "==> cross-check smoke run (static reachability vs mutation coverage)"
+CC_A="$(mktemp /tmp/jmake-crosscheck-a.XXXXXX.json)"
+CC_B="$(mktemp /tmp/jmake-crosscheck-b.XXXXXX.json)"
+trap 'rm -f "$CC_A" "$CC_B" "$CACHED_OUT" "$UNCACHED_OUT"' EXIT
+# The static analyzer and the mutation pipeline must never provably
+# disagree (jmake-eval exits non-zero on any discrepancy), and the
+# discrepancy report must be byte-identical across worker counts and
+# cache modes — it contains no wall-clock and no nondeterminism.
+./target/release/jmake-eval --commits 120 --workers 8 --cross-check > "$CC_A"
+./target/release/jmake-eval --commits 120 --workers 1 \
+  --no-object-cache --no-work-stealing --no-shared-cache --cross-check > "$CC_B"
+diff -u "$CC_A" "$CC_B"
+grep -q '"clean": true' "$CC_A"
+
 echo "==> trace smoke run (jmake-eval --trace + trace-check, object cache on)"
 TRACE_FILE="$(mktemp /tmp/jmake-trace.XXXXXX.jsonl)"
-trap 'rm -f "$TRACE_FILE" "$CACHED_OUT" "$UNCACHED_OUT"' EXIT
+trap 'rm -f "$TRACE_FILE" "$CC_A" "$CC_B" "$CACHED_OUT" "$UNCACHED_OUT"' EXIT
 ./target/release/jmake-eval --commits 120 --trace "$TRACE_FILE" --metrics summary > /dev/null
 # The file must parse line-by-line against the documented schema, and
 # every stage name must be one of the documented eight.

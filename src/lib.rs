@@ -5,8 +5,9 @@
 //! tool itself ([`core`]) and every substrate it stands on — a C
 //! preprocessor ([`cpp`]), a Kconfig solver ([`kconfig`]), a Kbuild build
 //! engine ([`kbuild`]), a diff toolchain ([`diff`]), a mini VCS ([`vcs`]),
-//! the janitor-identification analysis ([`janitor`]), and the synthetic
-//! evaluation workload ([`synth`]).
+//! the janitor-identification analysis ([`janitor`]), the static
+//! reachability analyzer ([`reach`]), and the synthetic evaluation
+//! workload ([`synth`]).
 //!
 //! The short version of what JMake answers: *"my patch compiled — but did
 //! the compiler actually see every line I changed?"*
@@ -53,6 +54,7 @@ pub use jmake_diff as diff;
 pub use jmake_janitor as janitor;
 pub use jmake_kbuild as kbuild;
 pub use jmake_kconfig as kconfig;
+pub use jmake_reach as reach;
 pub use jmake_synth as synth;
 pub use jmake_trace as trace;
 pub use jmake_vcs as vcs;
