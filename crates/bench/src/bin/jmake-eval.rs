@@ -26,6 +26,17 @@
 //!   --trace FILE       write one JSON line per pipeline span to FILE
 //!   --metrics          print per-stage span metrics (count, p50/p90/max
 //!                      host µs, total virtual µs, config cache hit rate)
+//!   --faults SPEC      inject deterministic faults; SPEC is a comma list
+//!                      of kind:rate with kinds transient, latency,
+//!                      corrupt, hang (e.g. "transient:0.2,corrupt:0.1").
+//!                      Recovery is automatic (bounded retry, timeouts,
+//!                      cache-shard quarantine); a commit whose retry
+//!                      budget is exhausted degrades explicitly instead
+//!                      of disappearing. Without --faults the run is
+//!                      byte-identical to a build without the fault layer
+//!   --fault-seed N     seed for the fault plan (default 1); the same
+//!                      seed faults the same operations regardless of
+//!                      worker count, scheduling, or cache mode
 //!   --reach            print the static reachability classification of
 //!                      the v4.4 tree (per-file allyes/conditional/dead
 //!                      line counts plus every dead line with its proof)
@@ -49,6 +60,7 @@ use jmake_bench::{
     render_table2, render_table3, render_table4,
 };
 use jmake_core::DriverOptions;
+use jmake_faults::{FaultSpec, Faults};
 use jmake_kbuild::{BuildEngine, ConfigKind, SourceTree};
 use jmake_reach::{Reach, ReachEnv};
 use jmake_synth::WorkloadProfile;
@@ -212,6 +224,8 @@ fn main() {
     let mut do_reach = false;
     let mut do_cross_check = false;
     let mut bench_json: Option<String> = None;
+    let mut fault_spec: Option<FaultSpec> = None;
+    let mut fault_seed: u64 = 1;
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -261,6 +275,26 @@ fn main() {
                 };
             }
             "--metrics" => show_metrics = true,
+            "--faults" => {
+                let Some(spec) = it.next() else {
+                    eprintln!("--faults needs a spec like transient:0.2,corrupt:0.1");
+                    std::process::exit(2);
+                };
+                fault_spec = match FaultSpec::parse(spec) {
+                    Ok(s) => Some(s),
+                    Err(e) => {
+                        eprintln!("--faults: {e}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--fault-seed" => {
+                let Some(seed) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--fault-seed needs an integer");
+                    std::process::exit(2);
+                };
+                fault_seed = seed;
+            }
             "--reach" => do_reach = true,
             "--cross-check" => do_cross_check = true,
             cmd if !cmd.starts_with("--") => explicit_command = Some(cmd.to_string()),
@@ -276,6 +310,10 @@ fn main() {
         driver.tracer = Tracer::in_memory();
     }
     let tracer = driver.tracer.clone();
+    if let Some(spec) = &fault_spec {
+        driver.faults = Faults::new(*spec, fault_seed);
+        eprintln!("fault injection enabled: {spec} (seed {fault_seed})");
+    }
 
     eprintln!(
         "generating workload (seed {:#x}, {} commits) and running JMake with {} workers (shared config cache: {})…",
@@ -294,9 +332,15 @@ fn main() {
     let failures = ctx.run.stats.patches - ctx.run.stats.checked;
     if failures > 0 {
         eprintln!(
-            "WARNING: {failures} patch(es) did not produce a report (checkout {}, show {}, panics {})",
-            ctx.run.stats.checkout_failures, ctx.run.stats.show_failures, ctx.run.stats.panics
+            "WARNING: {failures} patch(es) did not produce a report (checkout {}, show {}, panics {}, degraded {})",
+            ctx.run.stats.checkout_failures,
+            ctx.run.stats.show_failures,
+            ctx.run.stats.panics,
+            ctx.run.stats.degraded
         );
+    }
+    if fault_spec.is_some() {
+        eprintln!("fault recovery: {}", ctx.run.stats.faults);
     }
     if show_stats {
         eprint!("{}", ctx.run.stats.render());

@@ -9,7 +9,7 @@ use crate::token::{MutationKind, MutationToken};
 use jmake_cpp::analyze;
 use jmake_diff::{changed_lines, ChangeKind, Patch};
 use jmake_kbuild::{
-    bootstrap_files_of, tree::file_name, BuildEngine, ConfigKind, ObjKind, SourceTree,
+    bootstrap_files_of, tree::file_name, BuildEngine, BuildError, ConfigKind, ObjKind, SourceTree,
 };
 use jmake_trace::Stage;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
@@ -203,6 +203,7 @@ impl JMake {
                 header_candidates_used: 0,
                 header_covered_by_patch_c: false,
                 errors: Vec::new(),
+                degraded: Vec::new(),
             });
         }
         works
@@ -440,9 +441,13 @@ impl JMake {
         let cfg = match engine.make_config(&target.arch, &target.kind) {
             Ok(c) => c,
             Err(e) => {
+                let gave_up = matches!(e, BuildError::RetriesExhausted { .. });
                 for path in record_tried {
                     if let Some(w) = works.iter_mut().find(|w| &w.path == path) {
                         let msg = format!("{desc}: {e}");
+                        if gave_up && !w.degraded.contains(&msg) {
+                            w.degraded.push(msg.clone());
+                        }
                         if !w.errors.contains(&msg) {
                             w.errors.push(msg);
                         }
@@ -455,9 +460,14 @@ impl JMake {
             let results = match engine.make_i(&cfg, mutated, chunk) {
                 Ok(r) => r,
                 Err(e) => {
+                    let gave_up = matches!(e, BuildError::RetriesExhausted { .. });
                     for path in record_tried {
                         if let Some(w) = works.iter_mut().find(|w| &w.path == path) {
-                            w.errors.push(format!("{desc}: {e}"));
+                            let msg = format!("{desc}: {e}");
+                            if gave_up && !w.degraded.contains(&msg) {
+                                w.degraded.push(msg.clone());
+                            }
+                            w.errors.push(msg);
                         }
                     }
                     return;
@@ -530,6 +540,11 @@ impl JMake {
                     Err(e) => {
                         if let Some(w) = works.iter_mut().find(|w| w.path == c_path) {
                             let msg = format!("{desc}: {e}");
+                            if matches!(e, BuildError::RetriesExhausted { .. })
+                                && !w.degraded.contains(&msg)
+                            {
+                                w.degraded.push(msg.clone());
+                            }
                             if !w.errors.contains(&msg) {
                                 w.errors.push(msg);
                             }
@@ -656,6 +671,7 @@ impl JMake {
                     header_candidates_used: w.header_candidates_used,
                     header_covered_by_patch_c: w.header_covered_by_patch_c,
                     errors: w.errors,
+                    degraded_trials: w.degraded,
                 };
                 if both_branches {
                     for u in &mut report.uncovered {
@@ -692,6 +708,7 @@ struct Work {
     header_candidates_used: usize,
     header_covered_by_patch_c: bool,
     errors: Vec<String>,
+    degraded: Vec<String>,
 }
 
 /// Candidate `.c` files likely to exercise a changed header, in priority

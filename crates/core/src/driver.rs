@@ -44,9 +44,10 @@
 use crate::check::{JMake, Options, WarmProbe};
 use crate::report::PatchReport;
 use jmake_diff::Patch;
+use jmake_faults::{FaultKind, FaultSite, FaultStatsSnapshot, Faults};
 use jmake_kbuild::{
-    warm_object_entry, BuildEngine, CacheStats, ConfigCache, ConfigKey, ObjKind, ObjectCache,
-    ObjectCacheStats, Samples, SourceTree,
+    warm_object_entry, BuildEngine, CacheStats, ConfigCache, ConfigKey, ContentHash, ObjKind,
+    ObjectCache, ObjectCacheStats, Samples, SourceTree,
 };
 use jmake_trace::{Stage, Tracer};
 use jmake_vcs::{CommitId, Repo};
@@ -84,6 +85,11 @@ pub struct DriverOptions {
     /// disabled tracer is a no-op and leaves reports and the Figure 4
     /// distributions bit-identical.
     pub tracer: Tracer,
+    /// Deterministic fault-injection plan (`--faults`). Disabled by
+    /// default; the driver salts it per commit, so whether a given
+    /// operation faults depends only on the seed and the commit — never
+    /// on worker count, scheduling, or cache mode.
+    pub faults: Faults,
 }
 
 impl Default for DriverOptions {
@@ -96,6 +102,7 @@ impl Default for DriverOptions {
             work_stealing: true,
             object_cache_handle: None,
             tracer: Tracer::disabled(),
+            faults: Faults::disabled(),
         }
     }
 }
@@ -113,6 +120,15 @@ pub enum PatchOutcome {
     /// Checking this patch panicked; the message is preserved and the
     /// run continued.
     Panicked(String),
+    /// Injected faults exhausted a host-side stage's retry budget; the
+    /// commit still gets an explicit outcome instead of vanishing. Only
+    /// ever produced under `--faults`.
+    Degraded {
+        /// The stage that gave up (`checkout` or `show`).
+        stage: &'static str,
+        /// Why (attempt count and fault site).
+        reason: String,
+    },
 }
 
 impl PatchOutcome {
@@ -137,6 +153,7 @@ impl PatchOutcome {
             PatchOutcome::CheckoutFailed(m)
             | PatchOutcome::ShowFailed(m)
             | PatchOutcome::Panicked(m) => Some(m),
+            PatchOutcome::Degraded { reason, .. } => Some(reason),
         }
     }
 }
@@ -171,6 +188,12 @@ pub struct DriverStats {
     pub show_failures: usize,
     /// Outcomes that are [`PatchOutcome::Panicked`].
     pub panics: usize,
+    /// Outcomes that are [`PatchOutcome::Degraded`] (retry budget
+    /// exhausted under injected faults).
+    pub degraded: usize,
+    /// Fault-injection and recovery counters (all zero without
+    /// `--faults`).
+    pub faults: FaultStatsSnapshot,
     /// Shared configuration-cache counters (zero when sharing is off).
     pub cache: CacheStats,
     /// Shared object-cache counters (zero when the object cache is off).
@@ -231,6 +254,12 @@ impl DriverStats {
             self.patches_per_sec(),
             self.total_wall_us as f64 / 1e3
         ));
+        // Fault lines only appear when the harness actually ran, so
+        // fault-free `--stats` output is unchanged.
+        if self.degraded > 0 || self.faults.injected_total() > 0 {
+            out.push_str(&format!("  degraded        {:>8}\n", self.degraded));
+            out.push_str(&format!("  faults          {}\n", self.faults));
+        }
         out
     }
 }
@@ -425,6 +454,53 @@ struct CheckCtx<'a> {
     object: Option<&'a Arc<ObjectCache>>,
     warm: Option<(&'a Scheduler, usize)>,
     tracer: &'a Tracer,
+    faults: &'a Faults,
+}
+
+/// Consult the fault plan before a host-side stage (checkout/show) runs.
+///
+/// Host stages live outside the virtual clock, so recovery here is pure
+/// control flow: a transient fault fails the attempt, a hang consumes
+/// the (virtual) timeout budget, and a latency spike is a no-op — there
+/// is no clock to charge it to. Retries and timeouts are still visible
+/// as trace spans and [`FaultStatsSnapshot`] counters. Returns the
+/// degradation reason when the retry budget is exhausted.
+fn host_fault_gate(faults: &Faults, site: FaultSite, tracer: &Tracer) -> Result<(), String> {
+    if !faults.is_enabled() {
+        return Ok(());
+    }
+    let policy = faults.policy();
+    let stats = faults.stats();
+    let mut attempt = 0u32;
+    loop {
+        match faults.decide(site, "", attempt) {
+            None | Some(FaultKind::Latency) => return Ok(()),
+            Some(FaultKind::Corrupt) => unreachable!("corruption only fires on cache lookups"),
+            Some(kind @ (FaultKind::Transient | FaultKind::Hang)) => {
+                if kind == FaultKind::Hang {
+                    if let Some(stats) = &stats {
+                        stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let mut span = tracer.span(Stage::Timeout);
+                    span.set_virtual_us(policy.timeout_us);
+                }
+                attempt += 1;
+                if attempt >= policy.max_attempts {
+                    if let Some(stats) = &stats {
+                        stats.exhausted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Err(format!(
+                        "{site} gave up after {attempt} attempts under injected faults"
+                    ));
+                }
+                if let Some(stats) = &stats {
+                    stats.retries.fetch_add(1, Ordering::Relaxed);
+                }
+                let mut span = tracer.span(Stage::Retry);
+                span.set_virtual_us(policy.backoff_us(attempt - 1));
+            }
+        }
+    }
 }
 
 /// Check one commit end to end; timings land in `out`'s accumulators.
@@ -442,6 +518,21 @@ fn check_commit(
 ) -> (PatchOutcome, Samples) {
     let tracer = ctx.tracer.for_patch_with(|| commit.to_string());
 
+    // Salt the fault plan with the commit identity so each operation's
+    // fate travels with the commit: the same seed faults the same
+    // commits regardless of worker count, scheduling, or cache mode.
+    let faults = if ctx.faults.is_enabled() {
+        ctx.faults.with_salt(ContentHash::of(&commit.to_string()).hi())
+    } else {
+        Faults::disabled()
+    };
+
+    if let Err(reason) = host_fault_gate(&faults, FaultSite::Checkout, &tracer) {
+        return (
+            PatchOutcome::Degraded { stage: "checkout", reason },
+            Samples::default(),
+        );
+    }
     let span = tracer.span(Stage::Checkout);
     let started = Instant::now();
     let tree = repo.checkout(commit);
@@ -455,6 +546,12 @@ fn check_commit(
         }
     };
 
+    if let Err(reason) = host_fault_gate(&faults, FaultSite::Show, &tracer) {
+        return (
+            PatchOutcome::Degraded { stage: "show", reason },
+            Samples::default(),
+        );
+    }
     let span = tracer.span(Stage::Show);
     let started = Instant::now();
     let shown = repo.show_with(
@@ -500,6 +597,7 @@ fn check_commit(
         engine.set_object_cache(Arc::clone(object));
     }
     engine.set_tracer(tracer.clone());
+    engine.set_faults(faults);
     let report = jmake.check_patch(&mut engine, &patch, &author);
     let elapsed_us = started.elapsed().as_micros() as u64;
     out.check_us += elapsed_us;
@@ -552,6 +650,7 @@ pub fn run_evaluation(repo: &Repo, commits: &[CommitId], opts: &DriverOptions) -
                         object,
                         warm: scheduler.map(|s| (s, w)),
                         tracer: &opts.tracer,
+                        faults: &opts.faults,
                     };
                     loop {
                         // Authoritative patches always beat speculative
@@ -630,6 +729,7 @@ pub fn run_evaluation(repo: &Repo, commits: &[CommitId], opts: &DriverOptions) -
             PatchOutcome::CheckoutFailed(_) => stats.checkout_failures += 1,
             PatchOutcome::ShowFailed(_) => stats.show_failures += 1,
             PatchOutcome::Panicked(_) => stats.panics += 1,
+            PatchOutcome::Degraded { .. } => stats.degraded += 1,
         }
         run.samples.merge(&samples);
         run.results.push(result);
@@ -641,6 +741,7 @@ pub fn run_evaluation(repo: &Repo, commits: &[CommitId], opts: &DriverOptions) -
     if let Some(object) = &object {
         stats.object = object.stats();
     }
+    stats.faults = opts.faults.stats_snapshot();
     stats.total_wall_us = run_started.elapsed().as_micros() as u64;
     run.stats = stats;
     assert_eq!(

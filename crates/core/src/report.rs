@@ -84,6 +84,10 @@ pub struct FileReport {
     pub header_covered_by_patch_c: bool,
     /// Operational errors seen while trying (missing cross-compilers …).
     pub errors: Vec<String>,
+    /// Trials that gave up after exhausting the fault-injection retry
+    /// budget. Always empty without `--faults`, and rendered/serialized
+    /// only when non-empty, so fault-free reports are byte-identical.
+    pub degraded_trials: Vec<String>,
 }
 
 impl FileReport {
@@ -112,6 +116,9 @@ impl fmt::Display for FileReport {
             for e in &self.errors {
                 writeln!(f, "  note: {e}")?;
             }
+        }
+        for d in &self.degraded_trials {
+            writeln!(f, "  DEGRADED: {d}")?;
         }
         Ok(())
     }
@@ -254,7 +261,21 @@ impl PatchReport {
                 }
                 out.push_str(&json_string(e));
             }
-            out.push_str("]}");
+            out.push(']');
+            // Key present only when a trial actually degraded, so
+            // fault-free JSON is byte-identical to builds without the
+            // fault layer.
+            if !f.degraded_trials.is_empty() {
+                out.push_str(",\"degraded\":[");
+                for (j, d) in f.degraded_trials.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&json_string(d));
+                }
+                out.push(']');
+            }
+            out.push('}');
         }
         out.push_str("]}");
         out
@@ -308,6 +329,7 @@ mod tests {
             header_candidates_used: 0,
             header_covered_by_patch_c: false,
             errors: vec![],
+            degraded_trials: vec![],
         }
     }
 

@@ -270,6 +270,7 @@ mod tests {
             header_candidates_used: 0,
             header_covered_by_patch_c: is_header && status == FileStatus::FullyCovered,
             errors: vec![],
+            degraded_trials: vec![],
         }
     }
 

@@ -25,7 +25,7 @@
 //!   preprocessed output and rejects invalid characters, unterminated
 //!   literals, and unbalanced bracketing, exactly the class of verification
 //!   that makes a mutated file fail to produce a `.o`;
-//! - [`analyze`] — the lexical source map the mutation
+//! - [`analyze()`] — the lexical source map the mutation
 //!   engine needs (paper §III.B): comment spans, macro-definition line
 //!   ranges, conditional-compilation directive lines.
 //!

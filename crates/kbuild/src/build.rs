@@ -8,11 +8,13 @@ use crate::objcache::{include_fingerprint, CachedObj, ObjKind, ObjectCache, Obje
 use crate::objgraph::ObjGraph;
 use crate::tree::SourceTree;
 use jmake_cpp::{validate, CppError, IncludeResolver, PreprocessOutput, Preprocessor, SyntaxError};
+use jmake_faults::{FaultKind, FaultSite, Faults};
 use jmake_kconfig::{Config, DeadSymbols, KconfigModel, Tristate};
 use jmake_trace::{CacheOutcome, Span, Stage, Tracer};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, OnceLock};
 
 /// Which configuration to create (paper §II.B).
@@ -201,6 +203,16 @@ pub enum BuildError {
         /// What the front end objected to.
         error: SyntaxError,
     },
+    /// Injected faults kept failing the operation until the bounded-retry
+    /// budget ran out; callers degrade the trial instead of aborting the
+    /// run. Only ever produced under `--faults`.
+    RetriesExhausted {
+        /// The fault site that exhausted its budget (`config_solve`,
+        /// `make_i`, `make_o`).
+        op: &'static str,
+        /// Attempts consumed (the policy's `max_attempts`).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -223,6 +235,9 @@ impl fmt::Display for BuildError {
             }
             BuildError::FrontEndRejected { file, error } => {
                 write!(f, "compiling {file} failed: {error}")
+            }
+            BuildError::RetriesExhausted { op, attempts } => {
+                write!(f, "{op} gave up after {attempts} attempts under injected faults")
             }
         }
     }
@@ -304,6 +319,11 @@ pub struct BuildEngine {
     /// Span emitter for `config_solve`/`build_i`/`build_o`. Disabled by
     /// default; every span is then a no-op.
     tracer: Tracer,
+    /// Fault-injection plan consulted before each build operation and at
+    /// object-cache lookups. Disabled by default: the gate is then a
+    /// single branch, so fault-free runs are bit-identical to a build
+    /// without the harness.
+    faults: Faults,
 }
 
 impl BuildEngine {
@@ -335,6 +355,7 @@ impl BuildEngine {
             shared: None,
             object: None,
             tracer: Tracer::disabled(),
+            faults: Faults::disabled(),
         }
     }
 
@@ -375,6 +396,77 @@ impl BuildEngine {
     /// Attach a tracer; build-side stages will emit spans through it.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Attach a fault-injection plan (usually pre-salted per commit by the
+    /// driver). `make_config`/`make_i`/`make_o` then run behind a bounded
+    /// retry gate, and object-cache lookups verify entry integrity.
+    pub fn set_faults(&mut self, faults: Faults) {
+        self.faults = faults;
+    }
+
+    /// The engine's fault plan (disabled unless [`set_faults`] was
+    /// called).
+    ///
+    /// [`set_faults`]: BuildEngine::set_faults
+    pub fn faults(&self) -> &Faults {
+        &self.faults
+    }
+
+    /// Consult the fault plan before one build operation. Returns `Ok(())`
+    /// when the operation should run — possibly after charging latency
+    /// spikes, cancelled-hang timeouts, and retry backoff to the virtual
+    /// clock (via `advance`, which adds time without minting a Fig. 4
+    /// sample, so sample streams keep their one-per-invocation shape) —
+    /// or [`BuildError::RetriesExhausted`] when every attempt failed.
+    fn fault_gate(&mut self, site: FaultSite, identity: &str) -> Result<(), BuildError> {
+        if !self.faults.is_enabled() {
+            return Ok(());
+        }
+        let policy = self.faults.policy();
+        let stats = self.faults.stats();
+        let mut attempt = 0u32;
+        loop {
+            match self.faults.decide(site, identity, attempt) {
+                None => return Ok(()),
+                Some(FaultKind::Latency) => {
+                    self.clock.advance(policy.latency_spike_us);
+                    return Ok(());
+                }
+                Some(kind @ (FaultKind::Transient | FaultKind::Hang)) => {
+                    if kind == FaultKind::Hang {
+                        // The attempt hangs; the per-unit timeout cancels
+                        // it after consuming its virtual budget.
+                        self.clock.advance(policy.timeout_us);
+                        let mut span = self.tracer.span(Stage::Timeout).with_file(identity);
+                        span.set_virtual_us(policy.timeout_us);
+                        if let Some(s) = &stats {
+                            s.timeouts.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    attempt += 1;
+                    if attempt >= policy.max_attempts {
+                        if let Some(s) = &stats {
+                            s.exhausted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return Err(BuildError::RetriesExhausted {
+                            op: site.name(),
+                            attempts: attempt,
+                        });
+                    }
+                    let backoff = policy.backoff_us(attempt - 1);
+                    self.clock.advance(backoff);
+                    let mut span = self.tracer.span(Stage::Retry).with_file(identity);
+                    span.set_virtual_us(backoff);
+                    if let Some(s) = &stats {
+                        s.retries.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Some(FaultKind::Corrupt) => {
+                    unreachable!("corrupt faults only fire at cache-lookup sites")
+                }
+            }
+        }
     }
 
     /// The engine's tracer (disabled unless [`set_tracer`] was called).
@@ -448,6 +540,10 @@ impl BuildEngine {
         kind: &ConfigKind,
     ) -> Result<Arc<BuildConfig>, BuildError> {
         let key = ConfigKey::new(arch, kind);
+        if self.faults.is_enabled() {
+            let identity = format!("{arch}:{}", key.kind_key());
+            self.fault_gate(FaultSite::ConfigSolve, &identity)?;
+        }
         let mut span = self.tracer.span(Stage::ConfigSolve);
         if self.tracer.is_enabled() {
             span = span.with_arch(arch).with_config(key.kind_key());
@@ -583,6 +679,10 @@ impl BuildEngine {
         tree: &SourceTree,
         files: &[String],
     ) -> Result<IResults, BuildError> {
+        if self.faults.is_enabled() {
+            let identity = files.join(",");
+            self.fault_gate(FaultSite::MakeI, &identity)?;
+        }
         let mut span = self.stage_span(Stage::BuildI, cfg);
         let before = self.clock.now_us();
         let result = self.make_i_uncharged(cfg, tree, files, &mut span);
@@ -617,13 +717,16 @@ impl BuildEngine {
                     .and_then(|_| object_key_for(tree, cfg, file, module, ObjKind::I));
                 let cached = match (&self.object, &key) {
                     (Some(cache), Some(k)) => {
-                        let (found, _) = cache.lookup(k);
-                        if found.is_some() {
+                        let v = cache.lookup_verified(k, &self.faults);
+                        if v.quarantined_now {
+                            let _ = self.tracer.span(Stage::Quarantine).with_file(file);
+                        }
+                        if v.entry.is_some() {
                             any_hit = true;
                         } else {
                             any_miss = true;
                         }
-                        found
+                        v.entry
                     }
                     _ => None,
                 };
@@ -692,6 +795,7 @@ impl BuildEngine {
         tree: &SourceTree,
         file: &str,
     ) -> Result<(), BuildError> {
+        self.fault_gate(FaultSite::MakeO, file)?;
         let mut span = self.stage_span(Stage::BuildO, cfg).with_file(file);
         let before = self.clock.now_us();
         let result = self.make_o_charged(cfg, tree, file, &mut span);
@@ -742,9 +846,12 @@ impl BuildEngine {
             .as_ref()
             .and_then(|_| object_key_for(tree, cfg, file, module, ObjKind::O));
         if let (Some(cache), Some(k)) = (&self.object, &key) {
-            let (found, outcome) = cache.lookup(k);
-            span.set_cache(outcome);
-            if let Some(entry) = found {
+            let v = cache.lookup_verified(k, &self.faults);
+            span.set_cache(v.outcome);
+            if v.quarantined_now {
+                let _ = self.tracer.span(Stage::Quarantine).with_file(file);
+            }
+            if let Some(entry) = v.entry {
                 let CachedObj::O { text_len, result } = &*entry else {
                     unreachable!("kind is part of the key: an O key finds an O entry")
                 };
@@ -1317,6 +1424,77 @@ mod tests {
             vec!["arch/arm/configs/vexpress_defconfig".to_string()]
         );
         assert!(e.defconfig_paths("x86_64").is_empty());
+    }
+
+    #[test]
+    fn transient_faults_exhaust_the_retry_budget_and_charge_backoff() {
+        use jmake_faults::FaultSpec;
+        let tracer = Tracer::in_memory();
+        let mut e = BuildEngine::new(mini_kernel());
+        e.set_tracer(tracer.clone());
+        e.set_faults(Faults::new(FaultSpec::parse("transient:1.0").unwrap(), 1));
+        let err = e.make_config("x86_64", &ConfigKind::AllYes).unwrap_err();
+        assert!(matches!(
+            err,
+            BuildError::RetriesExhausted {
+                op: "config_solve",
+                attempts: 4
+            }
+        ));
+        // Backoff is charged via advance(): time passes, no Fig. 4 sample.
+        assert!(e.clock.samples.config.is_empty());
+        assert_eq!(e.clock.now_us(), 250_000 + 500_000 + 1_000_000);
+        // Three retry spans carrying the backoff, no solve span.
+        let retries: Vec<_> = tracer
+            .jsonl_lines()
+            .iter()
+            .map(|l| jmake_trace::jsonl::parse_line(l).unwrap())
+            .filter(|r| r.stage == Some(Stage::Retry))
+            .collect();
+        assert_eq!(retries.len(), 3);
+        assert_eq!(retries[0].virtual_us, 250_000);
+        let snap = e.faults().stats_snapshot();
+        assert_eq!((snap.retries, snap.exhausted), (3, 1));
+    }
+
+    #[test]
+    fn latency_spike_adds_time_but_the_operation_still_succeeds() {
+        use jmake_faults::FaultSpec;
+        let mut plain = BuildEngine::new(mini_kernel());
+        plain.make_config("x86_64", &ConfigKind::AllYes).unwrap();
+        let baseline = plain.clock.now_us();
+
+        let mut spiked = BuildEngine::new(mini_kernel());
+        spiked.set_faults(Faults::new(FaultSpec::parse("latency:1.0").unwrap(), 1));
+        spiked.make_config("x86_64", &ConfigKind::AllYes).unwrap();
+        assert_eq!(spiked.clock.now_us(), baseline + 2_000_000);
+        // The sample stream keeps its one-sample-per-invocation shape.
+        assert_eq!(
+            spiked.clock.samples.config,
+            plain.clock.samples.config,
+        );
+    }
+
+    #[test]
+    fn hang_consumes_the_timeout_budget_before_retrying() {
+        use jmake_faults::FaultSpec;
+        let mut e = BuildEngine::new(mini_kernel());
+        e.set_faults(Faults::new(FaultSpec::parse("hang:1.0").unwrap(), 1));
+        let err = e
+            .make_o(&fresh_cfg(), &e.tree().clone(), "kernel/core.c")
+            .unwrap_err();
+        assert!(matches!(err, BuildError::RetriesExhausted { op: "make_o", .. }));
+        let snap = e.faults().stats_snapshot();
+        assert_eq!(snap.timeouts, 4);
+        // Each of the four attempts consumed the 30 s timeout budget.
+        assert!(e.clock.now_us() >= 4 * 30_000_000);
+    }
+
+    /// A config solved by a fault-free engine, for tests that inject
+    /// faults only into the compile ops.
+    fn fresh_cfg() -> Arc<BuildConfig> {
+        let mut e = BuildEngine::new(mini_kernel());
+        e.make_config("x86_64", &ConfigKind::AllYes).unwrap()
     }
 
     #[test]

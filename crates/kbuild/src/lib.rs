@@ -49,6 +49,7 @@ pub use hash::ContentHash;
 pub use makefile::{Cond, Makefile};
 pub use objcache::{
     include_fingerprint, CachedObj, ObjKind, ObjectCache, ObjectCacheStats, ObjectKey,
+    VerifiedLookup,
 };
 pub use objgraph::ObjGraph;
 pub use tree::SourceTree;

@@ -40,6 +40,7 @@
 //! assert_eq!(cfg.get("E1000"), Tristate::Y);
 //! ```
 
+#![deny(missing_docs)]
 pub mod ast;
 pub mod expr;
 pub mod lint;

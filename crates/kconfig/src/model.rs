@@ -128,7 +128,7 @@ impl KconfigModel {
     /// Decide satisfiability of a conjunction of exact-value pins and
     /// return a witness configuration or a deadness tag — the solver
     /// behind `jmake-reach` presence conditions. See
-    /// [`crate::solve::solve_conjunction`] for soundness notes.
+    /// `crate::solve::solve_conjunction` for soundness notes.
     pub fn solve_conjunction(
         &self,
         pins: &BTreeMap<String, crate::tristate::Tristate>,

@@ -36,7 +36,43 @@
 //! Anything fuzzy — unknown macros, arithmetic `#if`s, unlisted files,
 //! headers nobody includes, solver exhaustion — degrades to
 //! `ConditionallyReachable { witness: None }`, never to `Dead`.
+//!
+//! # Example
+//!
+//! ```
+//! use jmake_kbuild::{BuildEngine, ConfigKind, SourceTree};
+//! use jmake_reach::{Reach, ReachEnv};
+//!
+//! let mut tree = SourceTree::new();
+//! tree.insert("Kconfig", "config DRV\n\tbool \"drv\"\n");
+//! tree.insert("arch/x86_64/Kconfig", "config X86_64\n\tdef_bool y\n");
+//! tree.insert("Makefile", "obj-y += drivers/\n");
+//! tree.insert("drivers/Makefile", "obj-$(CONFIG_DRV) += drv.o\n");
+//! tree.insert(
+//!     "drivers/drv.c",
+//!     "#ifdef CONFIG_NEVER\nint dead;\n#endif\nint live;\n",
+//! );
+//!
+//! // Solve allyesconfig once; its model doubles as the solver's input.
+//! let mut engine = BuildEngine::new(tree.clone());
+//! let allyes = engine.make_config("x86_64", &ConfigKind::AllYes).unwrap();
+//!
+//! let mut reach = Reach::new(&tree);
+//! reach.add_model("x86_64", allyes.model.clone());
+//! reach.add_env(ReachEnv {
+//!     label: "x86_64-allyes".to_string(),
+//!     arch: "x86_64".to_string(),
+//!     config: allyes.config.clone(),
+//!     allyes: true,
+//! });
+//! let report = reach.analyze();
+//! let drv = &report.files["drivers/drv.c"];
+//! // CONFIG_NEVER is declared nowhere: line 2 is provably dead.
+//! assert!(drv.class(2).unwrap().is_dead());
+//! assert_eq!(drv.class(4).unwrap().label(), "allyes");
+//! ```
 
+#![deny(missing_docs)]
 pub mod cond;
 pub mod file;
 
@@ -296,6 +332,40 @@ impl<'t> Reach<'t> {
             .iter()
             .map(|env| self.must_included(env, &sources, &fas))
             .collect();
+        // Over-approximation of "some configuration pulls this file in by
+        // `#include`": every include directive in the tree whose condition
+        // is not constant-false, resolved under every registered arch,
+        // regardless of whether the includer itself is reachable. A Dead
+        // proof that rests on the Kbuild gate barring a translation unit
+        // is only sound when no `#include` can open the file text behind
+        // the gate's back — and that question ranges over all
+        // configurations, not just the environments in `included` (an
+        // include guarded by `#ifndef CONFIG_X` is invisible to allyes
+        // environments yet very much alive when X is off).
+        let maybe_included: BTreeSet<String> = {
+            let arches: BTreeSet<&str> = self
+                .envs
+                .iter()
+                .map(|e| e.arch.as_str())
+                .chain(self.models.iter().map(|(a, _)| a.as_str()))
+                .collect();
+            let mut out = BTreeSet::new();
+            for (path, fa) in &fas {
+                for inc in &fa.includes {
+                    if inc.cond == CondExpr::False {
+                        continue;
+                    }
+                    for arch in &arches {
+                        if let Some(r) =
+                            self.resolve_include(path, &inc.path, inc.quoted, arch)
+                        {
+                            out.insert(r);
+                        }
+                    }
+                }
+            }
+            out
+        };
 
         let mut solver_memo: BTreeMap<(usize, BTreeMap<String, Tristate>), ConjunctionVerdict> =
             BTreeMap::new();
@@ -305,7 +375,8 @@ impl<'t> Reach<'t> {
                 continue;
             }
             let fa = &fas[path];
-            let fr = self.classify_file(path, fa, &included, &mut solver_memo);
+            let fr =
+                self.classify_file(path, fa, &included, &maybe_included, &mut solver_memo);
             files.insert(path.clone(), fr);
         }
         TreeReach {
@@ -395,6 +466,7 @@ impl<'t> Reach<'t> {
         path: &str,
         fa: &FileAnalysis,
         included: &[BTreeSet<String>],
+        maybe_included: &BTreeSet<String>,
         solver_memo: &mut BTreeMap<(usize, BTreeMap<String, Tristate>), ConjunctionVerdict>,
     ) -> FileReach {
         let conservative = || FileReach {
@@ -413,9 +485,11 @@ impl<'t> Reach<'t> {
             // The Makefile chain contains an unconditional dead guard
             // (`obj-n`/never-descended directory): the build system never
             // opens this translation unit. A line could still be reached
-            // through `#include` of the .c file; that path is checked
-            // per-line below, so only fall through when nobody includes it.
-            if !included.iter().any(|set| set.contains(path)) {
+            // through `#include` of the .c file under *some* configuration
+            // — not necessarily one of the registered environments — so
+            // the whole-file proof stands only when no include directive
+            // anywhere can resolve to this path.
+            if !maybe_included.contains(path) {
                 return FileReach {
                     path: path.to_string(),
                     classes: vec![
@@ -440,7 +514,15 @@ impl<'t> Reach<'t> {
                 classes.push(c.clone());
                 continue;
             }
-            let class = self.classify_cond(path, is_c, &cond, &chain, included, solver_memo);
+            let class = self.classify_cond(
+                path,
+                is_c,
+                &cond,
+                &chain,
+                included,
+                maybe_included.contains(path),
+                solver_memo,
+            );
             memo.insert(cond, class.clone());
             classes.push(class);
         }
@@ -471,6 +553,7 @@ impl<'t> Reach<'t> {
         file_open && cond.eval(&env.config) == Truth::True
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn classify_cond(
         &self,
         path: &str,
@@ -478,6 +561,7 @@ impl<'t> Reach<'t> {
         cond: &CondExpr,
         chain: &Chain,
         included: &[BTreeSet<String>],
+        bypassable: bool,
         solver_memo: &mut BTreeMap<(usize, BTreeMap<String, Tristate>), ConjunctionVerdict>,
     ) -> ReachClass {
         if *cond == CondExpr::False {
@@ -504,7 +588,7 @@ impl<'t> Reach<'t> {
         if !is_c {
             return ReachClass::ConditionallyReachable { witness: None };
         }
-        self.classify_by_solver(path, cond, chain, solver_memo)
+        self.classify_by_solver(path, cond, chain, bypassable, solver_memo)
     }
 
     fn classify_by_solver(
@@ -512,6 +596,7 @@ impl<'t> Reach<'t> {
         path: &str,
         cond: &CondExpr,
         chain: &Chain,
+        bypassable: bool,
         solver_memo: &mut BTreeMap<(usize, BTreeMap<String, Tristate>), ConjunctionVerdict>,
     ) -> ReachClass {
         let conservative = ReachClass::ConditionallyReachable { witness: None };
@@ -526,13 +611,18 @@ impl<'t> Reach<'t> {
         let Some(model_idx) = self.model_idx_for(path) else {
             return conservative;
         };
-        // Gate pins are only posed for simple chains; for complex or
-        // unlisted shapes the solver sees the condition atoms alone, so a
-        // hard proof there is about the condition itself and stays sound
-        // regardless of what the gate would have added.
+        // Gate pins are only posed for simple chains that no `#include`
+        // can bypass; if another translation unit may open the file text
+        // directly, the gate need not hold for the line to be compiled.
+        // For complex/unlisted/bypassable shapes the solver sees the
+        // condition atoms alone, so a hard proof there is about the
+        // condition itself and stays sound regardless of what the gate
+        // would have added. (The witness end-to-end check below still
+        // demands the gate, so dropping the pins only ever degrades a
+        // verdict to the conservative class, never inflates it.)
         let chain_vars: &[String] = match chain {
-            Chain::Simple(v) => v,
-            Chain::Never | Chain::Complex | Chain::Unlisted => &[],
+            Chain::Simple(v) if !bypassable => v,
+            _ => &[],
         };
 
         let atom_list: Vec<&String> = atoms.iter().collect();

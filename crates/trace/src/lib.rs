@@ -14,6 +14,27 @@
 //! with `std::time::Instant`; `virtual_us` is the simulated kernel-build cost
 //! charged to the deterministic virtual clock. Host time varies run to run,
 //! virtual time must not.
+//!
+//! # Example
+//!
+//! ```
+//! use jmake_trace::{CacheOutcome, Stage, Tracer, jsonl};
+//!
+//! let tracer = Tracer::in_memory();
+//! {
+//!     let mut span = tracer.span(Stage::ConfigSolve).with_arch("x86_64");
+//!     span.set_virtual_us(2_400_000);
+//!     span.set_cache(CacheOutcome::Miss);
+//! } // recorded here, on drop
+//!
+//! let lines = tracer.jsonl_lines();
+//! let record = jsonl::parse_line(&lines[0]).unwrap();
+//! assert_eq!(record.stage, Some(Stage::ConfigSolve));
+//! assert_eq!(record.virtual_us, 2_400_000);
+//! assert!(tracer.balance().is_balanced());
+//! ```
+
+#![deny(missing_docs)]
 
 pub mod jsonl;
 pub mod metrics;
@@ -48,11 +69,20 @@ pub enum Stage {
     BuildO,
     /// Classify scan results into per-file coverage verdicts.
     Classify,
+    /// A failed attempt was retried after exponential backoff; `virtual_us`
+    /// carries the backoff charged to the virtual clock.
+    Retry,
+    /// A hung attempt was cancelled by the per-unit timeout; `virtual_us`
+    /// carries the timeout budget the attempt consumed.
+    Timeout,
+    /// A cache shard served a corrupted entry and was taken out of service.
+    Quarantine,
 }
 
 impl Stage {
-    /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 8] = [
+    /// Every stage: the pipeline stages in order, then the recovery stages
+    /// (`retry`, `timeout`, `quarantine`) emitted only under fault injection.
+    pub const ALL: [Stage; 11] = [
         Stage::Checkout,
         Stage::Show,
         Stage::Check,
@@ -61,6 +91,9 @@ impl Stage {
         Stage::BuildI,
         Stage::BuildO,
         Stage::Classify,
+        Stage::Retry,
+        Stage::Timeout,
+        Stage::Quarantine,
     ];
 
     /// The canonical wire name used in JSONL and the metrics table.
@@ -74,6 +107,9 @@ impl Stage {
             Stage::BuildI => "build_i",
             Stage::BuildO => "build_o",
             Stage::Classify => "classify",
+            Stage::Retry => "retry",
+            Stage::Timeout => "timeout",
+            Stage::Quarantine => "quarantine",
         }
     }
 
@@ -130,6 +166,8 @@ impl CacheOutcome {
 /// One completed span, as written to the JSONL log.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SpanRecord {
+    /// The pipeline stage this span measured (always present on real spans;
+    /// `None` only in hand-built defaults).
     pub stage: Option<Stage>,
     /// Patch (commit) identifier, if the span ran under a per-patch tracer.
     pub patch: Option<String>,
@@ -162,7 +200,9 @@ struct Inner {
 /// Open/closed span counters, for asserting that tracing is balanced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SpanBalance {
+    /// Spans opened via [`Tracer::span`].
     pub opened: u64,
+    /// Spans recorded (dropped) so far.
     pub closed: u64,
 }
 
@@ -206,7 +246,14 @@ impl Tracer {
     }
 
     /// Tracer that streams JSONL to `path` (truncating any existing file).
+    /// Missing parent directories are created, so `--trace target/x/t.jsonl`
+    /// works on a fresh checkout.
     pub fn to_file(path: &Path) -> io::Result<Tracer> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
         let file = File::create(path)?;
         Ok(Tracer::with_sink(Sink::File(BufWriter::new(file))))
     }
@@ -223,6 +270,7 @@ impl Tracer {
         }
     }
 
+    /// True when spans are being recorded somewhere.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
     }

@@ -29,26 +29,32 @@ impl StageMetrics {
         }
     }
 
+    /// Number of spans recorded for this stage.
     pub fn count(&self) -> u64 {
         self.host_us.len() as u64
     }
 
+    /// Sum of host-clock durations across all spans, in microseconds.
     pub fn host_total_us(&self) -> u64 {
         self.host_total_us
     }
 
+    /// Sum of virtual-clock charges across all spans, in microseconds.
     pub fn virtual_total_us(&self) -> u64 {
         self.virtual_total_us
     }
 
+    /// Shared-cache hits observed on this stage's spans.
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits
     }
 
+    /// Shared-cache misses observed on this stage's spans.
     pub fn cache_misses(&self) -> u64 {
         self.cache_misses
     }
 
+    /// Engine-local memo hits (shared cache never consulted).
     pub fn cache_local(&self) -> u64 {
         self.cache_local
     }
@@ -65,6 +71,7 @@ impl StageMetrics {
         sorted[rank.max(1) - 1]
     }
 
+    /// Largest single host-clock duration, in microseconds.
     pub fn host_max_us(&self) -> u64 {
         self.host_us.iter().copied().max().unwrap_or(0)
     }
@@ -88,6 +95,7 @@ impl Metrics {
         &self.stages
     }
 
+    /// Measurements for one stage, if any span of it was recorded.
     pub fn stage(&self, stage: Stage) -> Option<&StageMetrics> {
         self.stages.get(&stage)
     }

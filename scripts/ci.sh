@@ -17,6 +17,12 @@ cargo test --workspace -q
 echo "==> cargo clippy --all-targets -- -D warnings (workspace)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings: broken intra-doc links fail)"
+# The vendored offline stand-ins (rand/proptest/criterion) are excluded:
+# they mimic external APIs and are not part of this repo's doc surface.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q \
+  --exclude rand --exclude proptest --exclude criterion
+
 echo "==> object-cache identity run (cached vs uncached reports)"
 CACHED_OUT="$(mktemp /tmp/jmake-eval-cached.XXXXXX.out)"
 UNCACHED_OUT="$(mktemp /tmp/jmake-eval-uncached.XXXXXX.out)"
@@ -53,9 +59,24 @@ trap 'rm -f "$TRACE_FILE" "$CC_A" "$CC_B" "$CACHED_OUT" "$UNCACHED_OUT"' EXIT
 ./target/release/jmake-eval trace-check "$TRACE_FILE" | tee /tmp/jmake-trace-check.out
 for stage in $(awk 'NR > 1 { print $1 }' /tmp/jmake-trace-check.out); do
   case "$stage" in
-    checkout|show|check|mutation_plan|config_solve|build_i|build_o|classify) ;;
+    checkout|show|check|mutation_plan|config_solve|build_i|build_o|classify|retry|timeout|quarantine) ;;
     *) echo "unexpected stage name in trace: $stage" >&2; exit 1 ;;
   esac
 done
+
+echo "==> fault-injection smoke run (--faults transient:0.2 --fault-seed 7)"
+FAULT_ERR="$(mktemp /tmp/jmake-faults.XXXXXX.err)"
+trap 'rm -f "$FAULT_ERR" "$TRACE_FILE" "$CC_A" "$CC_B" "$CACHED_OUT" "$UNCACHED_OUT"' EXIT
+# Every commit must produce exactly one outcome even under injected
+# faults, and at a 20% transient rate bounded retry must recover every
+# single one — no patch may go unreported or degrade.
+./target/release/jmake-eval --commits 120 --workers 8 \
+  --faults transient:0.2 --fault-seed 7 --stats summary > /dev/null 2> "$FAULT_ERR"
+grep -q "fault recovery: injected" "$FAULT_ERR"
+if grep -q "did not produce a report" "$FAULT_ERR"; then
+  echo "fault smoke run left commits without an outcome:" >&2
+  cat "$FAULT_ERR" >&2
+  exit 1
+fi
 
 echo "==> tier-1 gate passed"

@@ -6,8 +6,9 @@
 //! preprocessor ([`cpp`]), a Kconfig solver ([`kconfig`]), a Kbuild build
 //! engine ([`kbuild`]), a diff toolchain ([`diff`]), a mini VCS ([`vcs`]),
 //! the janitor-identification analysis ([`janitor`]), the static
-//! reachability analyzer ([`reach`]), and the synthetic evaluation
-//! workload ([`synth`]).
+//! reachability analyzer ([`reach`]), the deterministic fault-injection
+//! harness ([`faults`]), and the synthetic evaluation workload
+//! ([`synth`]).
 //!
 //! The short version of what JMake answers: *"my patch compiled — but did
 //! the compiler actually see every line I changed?"*
@@ -51,6 +52,7 @@
 pub use jmake_core as core;
 pub use jmake_cpp as cpp;
 pub use jmake_diff as diff;
+pub use jmake_faults as faults;
 pub use jmake_janitor as janitor;
 pub use jmake_kbuild as kbuild;
 pub use jmake_kconfig as kconfig;
