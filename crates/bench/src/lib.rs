@@ -243,6 +243,37 @@ pub fn render_summary(ctx: &EvalContext) -> String {
     out
 }
 
+/// Render exactly the stdout `jmake-eval` produces for `command` — each
+/// matching section followed by one newline, `"all"` emitting every
+/// section in order. `jmake-serve` responds with the same bytes, so a
+/// served report is byte-identical to a locally rendered one (the CI
+/// gate diffs them). `None` for an unknown command.
+pub fn render_command(ctx: &EvalContext, command: &str) -> Option<String> {
+    let print_all = command == "all";
+    let mut out = String::new();
+    let mut printed = false;
+    let mut emit = |name: &str, text: String| {
+        if print_all || command == name {
+            out.push_str(&text);
+            out.push('\n');
+            printed = true;
+        }
+    };
+    emit("table1", render_table1(ctx));
+    emit("table2", render_table2(ctx));
+    emit("table3", render_table3(ctx));
+    emit("table4", render_table4(ctx));
+    let (f4a, f4b, f4c) = render_fig4(ctx);
+    emit("fig4a", f4a);
+    emit("fig4b", f4b);
+    emit("fig4c", f4c);
+    let (f5, f6) = render_fig5_fig6(ctx);
+    emit("fig5", f5);
+    emit("fig6", f6);
+    emit("summary", render_summary(ctx));
+    printed.then_some(out)
+}
+
 /// Figure 4a/4b/4c.
 pub fn render_fig4(ctx: &EvalContext) -> (String, String, String) {
     let s = &ctx.run.samples;

@@ -81,6 +81,11 @@ pub struct DriverOptions {
     /// benchmarks measure warm runs and long-lived tools keep their cache
     /// across `run_evaluation` calls. Ignored when `object_cache` is off.
     pub object_cache_handle: Option<Arc<ObjectCache>>,
+    /// Reuse an existing configuration cache instead of starting cold —
+    /// the companion of `object_cache_handle` for the solved-config
+    /// store (`--cache-dir` pre-loads both from disk). Ignored when
+    /// `shared_cache` is off.
+    pub config_cache_handle: Option<Arc<ConfigCache>>,
     /// Span emitter for per-stage tracing. Disabled by default — a
     /// disabled tracer is a no-op and leaves reports and the Figure 4
     /// distributions bit-identical.
@@ -101,6 +106,7 @@ impl Default for DriverOptions {
             object_cache: true,
             work_stealing: true,
             object_cache_handle: None,
+            config_cache_handle: None,
             tracer: Tracer::disabled(),
             faults: Faults::disabled(),
         }
@@ -613,7 +619,11 @@ fn check_commit(
 /// its result; the other patches still run.
 pub fn run_evaluation(repo: &Repo, commits: &[CommitId], opts: &DriverOptions) -> EvaluationRun {
     let run_started = Instant::now();
-    let cache = opts.shared_cache.then(|| Arc::new(ConfigCache::new()));
+    let cache = opts.shared_cache.then(|| {
+        opts.config_cache_handle
+            .clone()
+            .unwrap_or_else(|| Arc::new(ConfigCache::new()))
+    });
     let object = opts.object_cache.then(|| {
         opts.object_cache_handle
             .clone()

@@ -150,6 +150,32 @@ impl BuildConfig {
     pub fn env_fingerprint(&self) -> u64 {
         self.env_fp
     }
+
+    /// Reassemble a configuration from its serialized parts (the disk
+    /// cache tier). The derived fields — interned key, content and
+    /// environment fingerprints, dead-symbol lazy cell — are recomputed
+    /// from the parts rather than trusted from disk, so a reassembled
+    /// configuration is indistinguishable from a freshly solved one.
+    pub(crate) fn from_parts(
+        arch: Arch,
+        kind: ConfigKind,
+        config: Config,
+        model: KconfigModel,
+    ) -> BuildConfig {
+        let key = ConfigKey::new(arch.name, &kind);
+        let content_fp = kind.content_fingerprint();
+        let env_fp = env_fingerprint_of(&config);
+        BuildConfig {
+            arch,
+            kind,
+            config,
+            model,
+            key,
+            content_fp,
+            env_fp,
+            dead: Arc::new(OnceLock::new()),
+        }
+    }
 }
 
 /// Fingerprint the macro environment `config` induces on the

@@ -170,6 +170,24 @@ impl ConfigCache {
         self.len() == 0
     }
 
+    /// Every entry currently held — `(tree fingerprint, key,
+    /// content fingerprint, configuration)` — in unspecified order. The
+    /// disk tier uses this to persist the cache at the end of a run.
+    pub fn snapshot(&self) -> Vec<(u64, ConfigKey, u64, Arc<BuildConfig>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.read().expect("config cache shard poisoned");
+            out.extend(
+                shard
+                    .iter()
+                    .map(|((fp, key, content_fp), cfg)| {
+                        (*fp, key.clone(), *content_fp, Arc::clone(cfg))
+                    }),
+            );
+        }
+        out
+    }
+
     /// Snapshot of the counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {

@@ -153,11 +153,7 @@ impl Cdf {
     /// [`Cdf::fraction_at`], so `fraction_at(quantile(q)) >= q` holds for
     /// every `q` (a rounding nearest-rank can undershoot by half a step).
     pub fn quantile(&self, q: f64) -> u64 {
-        if self.sorted.is_empty() {
-            return 0;
-        }
-        let rank = (q.clamp(0.0, 1.0) * self.sorted.len() as f64).ceil() as usize;
-        self.sorted[rank.max(1) - 1]
+        jmake_trace::quantile::ceil_nearest_rank(&self.sorted, q)
     }
 
     /// Largest sample.
@@ -260,6 +256,24 @@ mod tests {
         assert_eq!(c.quantile(0.6), 30);
         assert_eq!(c.quantile(0.25), 10);
         assert_eq!(c.quantile(0.26), 20);
+    }
+
+    #[test]
+    fn quantile_matches_shared_helper() {
+        // Cdf::quantile and the shared helper are one implementation; this
+        // pins the delegation so a local reimplementation cannot sneak back.
+        let samples = [5u64, 1, 3, 9, 9, 2, 8];
+        let c = Cdf::new(&samples);
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            assert_eq!(
+                c.quantile(q),
+                jmake_trace::quantile::ceil_nearest_rank(&sorted, q),
+                "q={q}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,1115 @@
+//! Persistent, digest-verified on-disk tier behind [`ConfigCache`] and
+//! [`ObjectCache`].
+//!
+//! Both in-memory caches are content-addressed and immutable per key, so
+//! persisting them is safe by construction: an entry loaded from a
+//! previous run answers a lookup if and only if the *key* — which pins
+//! everything the outcome depends on — matches, and a warm hit charges
+//! the virtual clock exactly what a cold miss would, keeping reports
+//! byte-identical cold vs. warm (the CI gate diffs them).
+//!
+//! What the disk can do that memory cannot is rot. Every entry file
+//! carries an FNV-1a integrity digest of its payload, written at store
+//! time and re-verified on load; a mismatch (flipped bytes), a truncated
+//! payload, or an unparseable frame (torn concurrent write) routes the
+//! entry through the same quarantine discipline the PR-5 in-memory
+//! machinery applies to corrupted shards: the entry is moved to
+//! `<root>/quarantine/`, never served, counted in [`DiskTierStats`] and —
+//! when fault injection is active — in the shared
+//! [`FaultStats`](jmake_faults::FaultStats). The `jmake-faults` layer can
+//! also corrupt disk loads deterministically ([`FaultSite::CacheLookup`]
+//! with [`FaultKind::Corrupt`]), exercising the same detection path
+//! end-to-end.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! <root>/objects/<hh>/<16-hex-key-digest>.entry   memoized .i/.o outcomes
+//! <root>/configs/<hh>/<16-hex-key-digest>.entry   solved configurations
+//! <root>/quarantine/<filename>                    entries that failed verification
+//! ```
+//!
+//! `<hh>` is the first byte of the key digest in hex (256-way fan-out).
+//! Entry files are immutable once written: stores go to a temporary file
+//! in the same directory and `rename(2)` into place, and existing files
+//! are never rewritten (same name ⇒ same content-addressed key ⇒ same
+//! outcome). Eviction is by quarantine only — a corrupt entry is moved
+//! aside, everything healthy persists indefinitely.
+//!
+//! ## Entry format
+//!
+//! ```text
+//! jmake-cache v1 <object|config>\n
+//! <16-hex digest of payload>\n
+//! <payload>
+//! ```
+//!
+//! The payload is a deterministic sequence of length-prefixed fields (no
+//! escaping, so arbitrary file text round-trips byte-exactly).
+
+use crate::arch::ArchRegistry;
+use crate::build::{BuildConfig, BuildError, ConfigKind, IFile};
+use crate::cache::ConfigCache;
+use crate::hash::{ContentHash, Fnv};
+use crate::objcache::{CachedObj, ObjKind, ObjectCache, ObjectKey};
+use jmake_cpp::SyntaxError;
+use jmake_faults::{FaultKind, FaultSite, Faults};
+use jmake_kconfig::{Config, Expr, KconfigModel, Symbol, SymbolType, Tristate};
+use std::collections::HashSet;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+const MAGIC_OBJECT: &str = "jmake-cache v1 object";
+const MAGIC_CONFIG: &str = "jmake-cache v1 config";
+
+/// Counters for one load or store pass over the disk tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskTierStats {
+    /// Object entries verified and loaded into the in-memory cache.
+    pub objects_loaded: u64,
+    /// Configuration entries verified and loaded.
+    pub configs_loaded: u64,
+    /// Object entries written (existing files are never rewritten).
+    pub objects_stored: u64,
+    /// Configuration entries written.
+    pub configs_stored: u64,
+    /// Entry files that failed digest verification or parsing and were
+    /// moved to `<root>/quarantine/` — never served.
+    pub entries_quarantined: u64,
+}
+
+impl DiskTierStats {
+    /// Fold another pass's counters into this one.
+    pub fn merge(&mut self, other: &DiskTierStats) {
+        self.objects_loaded += other.objects_loaded;
+        self.configs_loaded += other.configs_loaded;
+        self.objects_stored += other.objects_stored;
+        self.configs_stored += other.configs_stored;
+        self.entries_quarantined += other.entries_quarantined;
+    }
+}
+
+/// Handle to one on-disk cache directory. See the module docs for layout
+/// and integrity rules.
+#[derive(Debug, Clone)]
+pub struct DiskCache {
+    root: PathBuf,
+}
+
+impl DiskCache {
+    /// Open (creating if needed) the cache rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<DiskCache> {
+        let root = root.into();
+        std::fs::create_dir_all(root.join("objects"))?;
+        std::fs::create_dir_all(root.join("configs"))?;
+        std::fs::create_dir_all(root.join("quarantine"))?;
+        Ok(DiskCache { root })
+    }
+
+    /// The cache's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Load every verifiable entry into `objects` and `configs`. Entries
+    /// that fail digest verification or parsing — including loads the
+    /// fault plan corrupts — are quarantined, never served. Entry files
+    /// are visited in sorted order, so the pass is deterministic.
+    pub fn load(
+        &self,
+        objects: &ObjectCache,
+        configs: &ConfigCache,
+        faults: &Faults,
+    ) -> io::Result<DiskTierStats> {
+        let mut stats = DiskTierStats::default();
+        let registry = ArchRegistry::new();
+        for path in self.entry_files("objects")? {
+            match self.read_verified(&path, MAGIC_OBJECT, faults) {
+                Ok(payload) => match decode_object_entry(&payload, &registry) {
+                    Ok((key, obj)) => {
+                        objects.insert(key, Arc::new(obj));
+                        stats.objects_loaded += 1;
+                    }
+                    Err(reason) => self.quarantine(&path, &reason, faults, &mut stats),
+                },
+                Err(reason) => self.quarantine(&path, &reason, faults, &mut stats),
+            }
+        }
+        for path in self.entry_files("configs")? {
+            match self.read_verified(&path, MAGIC_CONFIG, faults) {
+                Ok(payload) => match decode_config_entry(&payload, &registry) {
+                    Ok((fingerprint, content_fp, cfg)) => {
+                        let key = cfg.key().clone();
+                        configs.insert(fingerprint, &key, content_fp, Arc::new(cfg));
+                        stats.configs_loaded += 1;
+                    }
+                    Err(reason) => self.quarantine(&path, &reason, faults, &mut stats),
+                },
+                Err(reason) => self.quarantine(&path, &reason, faults, &mut stats),
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Persist every entry currently held by `objects` and `configs`.
+    /// Existing entry files are left untouched; new ones are written to a
+    /// temporary name and renamed into place, so a concurrent reader never
+    /// observes a partial entry under its final name.
+    pub fn store(&self, objects: &ObjectCache, configs: &ConfigCache) -> io::Result<DiskTierStats> {
+        let mut stats = DiskTierStats::default();
+        for (key, obj) in objects.snapshot() {
+            let payload = encode_object_entry(&key, &obj);
+            if self.write_entry("objects", object_key_digest(&key), MAGIC_OBJECT, &payload)? {
+                stats.objects_stored += 1;
+            }
+        }
+        for (fingerprint, key, content_fp, cfg) in configs.snapshot() {
+            let payload = encode_config_entry(fingerprint, content_fp, &cfg);
+            let digest = config_key_digest(fingerprint, key.arch(), key.kind_key(), content_fp);
+            if self.write_entry("configs", digest, MAGIC_CONFIG, &payload)? {
+                stats.configs_stored += 1;
+            }
+        }
+        Ok(stats)
+    }
+
+    /// All `.entry` files under `<root>/<section>/`, sorted.
+    fn entry_files(&self, section: &str) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        let dir = self.root.join(section);
+        for bucket in std::fs::read_dir(&dir)? {
+            let bucket = bucket?.path();
+            if !bucket.is_dir() {
+                continue;
+            }
+            for entry in std::fs::read_dir(&bucket)? {
+                let path = entry?.path();
+                if path.extension().is_some_and(|e| e == "entry") {
+                    out.push(path);
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Read one entry file, check its frame and digest, and hand back the
+    /// payload bytes. The fault plan may corrupt the read (simulated media
+    /// rot), which the digest check then catches.
+    fn read_verified(
+        &self,
+        path: &Path,
+        magic: &str,
+        faults: &Faults,
+    ) -> Result<Vec<u8>, String> {
+        let bytes = std::fs::read(path).map_err(|e| format!("unreadable: {e}"))?;
+        let header_end = find_payload_start(&bytes).ok_or("truncated header")?;
+        let header = std::str::from_utf8(&bytes[..header_end]).map_err(|_| "malformed header")?;
+        let mut lines = header.lines();
+        let got_magic = lines.next().unwrap_or_default();
+        if got_magic != magic {
+            return Err(format!("bad magic {got_magic:?}"));
+        }
+        let digest_line = lines.next().unwrap_or_default();
+        let stored_digest =
+            u64::from_str_radix(digest_line, 16).map_err(|_| "malformed digest line")?;
+        let payload = &bytes[header_end..];
+        let mut served_digest = payload_digest(payload);
+        if faults.is_enabled() {
+            let identity = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or_default()
+                .to_string();
+            if faults.decide(FaultSite::CacheLookup, &identity, 0) == Some(FaultKind::Corrupt) {
+                served_digest ^= 0xdead_beef_dead_beef;
+            }
+        }
+        if served_digest != stored_digest {
+            return Err("digest mismatch".to_string());
+        }
+        Ok(payload.to_vec())
+    }
+
+    /// Move a failed entry to `<root>/quarantine/` and count it —
+    /// the disk-tier analogue of flushing a corrupted in-memory shard.
+    fn quarantine(&self, path: &Path, reason: &str, faults: &Faults, stats: &mut DiskTierStats) {
+        stats.entries_quarantined += 1;
+        if let Some(fault_stats) = faults.stats() {
+            fault_stats.corruptions_detected.fetch_add(1, Ordering::Relaxed);
+        }
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "unnamed.entry".to_string());
+        let dest = self.root.join("quarantine").join(name);
+        // Best-effort: if the move fails (another process already moved
+        // it), fall back to removal so the bad entry cannot be re-served.
+        if std::fs::rename(path, &dest).is_err() {
+            let _ = std::fs::remove_file(path);
+        }
+        let _ = reason; // reasons surface via stats; entries keep their bytes for post-mortem
+    }
+
+    /// Write one framed entry unless its file already exists. Returns
+    /// whether a new file was written.
+    fn write_entry(
+        &self,
+        section: &str,
+        key_digest: u64,
+        magic: &str,
+        payload: &[u8],
+    ) -> io::Result<bool> {
+        let bucket = self.root.join(section).join(format!("{:02x}", key_digest >> 56));
+        let dest = bucket.join(format!("{key_digest:016x}.entry"));
+        if dest.exists() {
+            return Ok(false);
+        }
+        std::fs::create_dir_all(&bucket)?;
+        let mut framed = Vec::with_capacity(payload.len() + 64);
+        framed.extend_from_slice(magic.as_bytes());
+        framed.push(b'\n');
+        framed.extend_from_slice(format!("{:016x}\n", payload_digest(payload)).as_bytes());
+        framed.extend_from_slice(payload);
+        let tmp = bucket.join(format!(
+            "{key_digest:016x}.tmp.{}",
+            std::process::id()
+        ));
+        std::fs::write(&tmp, &framed)?;
+        match std::fs::rename(&tmp, &dest) {
+            Ok(()) => Ok(true),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                // A concurrent writer beat us to it: same key, same
+                // content-addressed outcome — not an error.
+                if dest.exists() {
+                    Ok(false)
+                } else {
+                    Err(e)
+                }
+            }
+        }
+    }
+}
+
+/// Byte offset where the payload starts: after the magic and digest
+/// lines. `None` when the frame is truncated before that.
+fn find_payload_start(bytes: &[u8]) -> Option<usize> {
+    let first_nl = bytes.iter().position(|&b| b == b'\n')?;
+    let second_nl = bytes[first_nl + 1..].iter().position(|&b| b == b'\n')?;
+    Some(first_nl + 1 + second_nl + 1)
+}
+
+/// FNV-1a digest of an entry payload.
+fn payload_digest(payload: &[u8]) -> u64 {
+    let mut h = Fnv::new();
+    h.write(payload);
+    h.finish()
+}
+
+/// Stable file name for one object key.
+fn object_key_digest(key: &ObjectKey) -> u64 {
+    let mut h = Fnv::new();
+    h.write(&key.blob.hi().to_le_bytes());
+    h.write(&key.blob.lo().to_le_bytes());
+    h.write(key.path.as_bytes());
+    h.write(&key.include_fp.to_le_bytes());
+    h.write(&key.env_fp.to_le_bytes());
+    h.write(&[u8::from(key.module)]);
+    h.write(key.arch.as_bytes());
+    h.write(if key.kind == ObjKind::I { b"I" } else { b"O" });
+    h.finish()
+}
+
+/// Stable file name for one config-cache key.
+fn config_key_digest(fingerprint: u64, arch: &str, kind_key: &str, content_fp: u64) -> u64 {
+    let mut h = Fnv::new();
+    h.write(&fingerprint.to_le_bytes());
+    h.write(arch.as_bytes());
+    h.write(&[0]);
+    h.write(kind_key.as_bytes());
+    h.write(&content_fp.to_le_bytes());
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Payload encoding: deterministic length-prefixed fields.
+// ---------------------------------------------------------------------------
+
+/// Payload writer. Strings are length-prefixed raw bytes (no escaping),
+/// numbers are fixed-width hex lines, so encoding is deterministic and
+/// file text of any shape round-trips byte-exactly.
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new() -> Enc {
+        Enc { buf: Vec::new() }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(format!("{v:016x}\n").as_bytes());
+    }
+
+    fn boolean(&mut self, v: bool) {
+        self.buf.push(if v { b'y' } else { b'n' });
+        self.buf.push(b'\n');
+    }
+
+    /// A short ASCII token (a variant tag).
+    fn tag(&mut self, t: &str) {
+        debug_assert!(t.bytes().all(|b| b.is_ascii_graphic()));
+        self.buf.extend_from_slice(t.as_bytes());
+        self.buf.push(b'\n');
+    }
+
+    fn str(&mut self, s: &str) {
+        self.buf
+            .extend_from_slice(format!("{}\n", s.len()).as_bytes());
+        self.buf.extend_from_slice(s.as_bytes());
+        self.buf.push(b'\n');
+    }
+
+    fn opt_str(&mut self, s: Option<&str>) {
+        match s {
+            Some(s) => {
+                self.tag("some");
+                self.str(s);
+            }
+            None => self.tag("none"),
+        }
+    }
+}
+
+/// Payload reader mirroring [`Enc`]. Every error is a short reason string
+/// — the caller quarantines the entry, it never panics.
+struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(bytes: &'a [u8]) -> Dec<'a> {
+        Dec { bytes, pos: 0 }
+    }
+
+    fn line(&mut self) -> Result<&'a str, String> {
+        let rest = &self.bytes[self.pos..];
+        let nl = rest
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or("truncated payload")?;
+        let line = std::str::from_utf8(&rest[..nl]).map_err(|_| "non-utf8 field")?;
+        self.pos += nl + 1;
+        Ok(line)
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let line = self.line()?;
+        u64::from_str_radix(line, 16).map_err(|_| format!("bad number {line:?}"))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        u32::try_from(self.u64()?).map_err(|_| "number out of u32 range".to_string())
+    }
+
+    fn boolean(&mut self) -> Result<bool, String> {
+        match self.line()? {
+            "y" => Ok(true),
+            "n" => Ok(false),
+            other => Err(format!("bad bool {other:?}")),
+        }
+    }
+
+    fn tag(&mut self) -> Result<&'a str, String> {
+        self.line()
+    }
+
+    fn str(&mut self) -> Result<String, String> {
+        let len: usize = self
+            .line()?
+            .parse()
+            .map_err(|_| "bad string length".to_string())?;
+        let rest = &self.bytes[self.pos..];
+        if rest.len() < len + 1 {
+            return Err("truncated string".to_string());
+        }
+        let s = std::str::from_utf8(&rest[..len]).map_err(|_| "non-utf8 string")?;
+        if rest[len] != b'\n' {
+            return Err("unterminated string".to_string());
+        }
+        self.pos += len + 1;
+        Ok(s.to_string())
+    }
+
+    fn opt_str(&mut self) -> Result<Option<String>, String> {
+        match self.tag()? {
+            "some" => Ok(Some(self.str()?)),
+            "none" => Ok(None),
+            other => Err(format!("bad option tag {other:?}")),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Object entries.
+// ---------------------------------------------------------------------------
+
+fn encode_object_entry(key: &ObjectKey, obj: &CachedObj) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(key.blob.hi());
+    e.u64(key.blob.lo());
+    e.str(&key.path);
+    e.u64(key.include_fp);
+    e.u64(key.env_fp);
+    e.boolean(key.module);
+    e.str(key.arch);
+    match obj {
+        CachedObj::I { text_len, result } => {
+            e.tag("I");
+            e.u64(*text_len);
+            match result {
+                Ok(ifile) => {
+                    e.tag("ok");
+                    e.str(&ifile.path);
+                    e.str(&ifile.text);
+                    // HashSet iteration order is nondeterministic; sort so
+                    // equal entries encode to equal bytes.
+                    let mut macros: Vec<&str> =
+                        ifile.expanded_macros.iter().map(String::as_str).collect();
+                    macros.sort_unstable();
+                    e.u64(macros.len() as u64);
+                    for m in macros {
+                        e.str(m);
+                    }
+                    e.u64(ifile.includes.len() as u64);
+                    for inc in &ifile.includes {
+                        e.str(inc);
+                    }
+                }
+                Err(msg) => {
+                    e.tag("err");
+                    e.str(msg);
+                }
+            }
+        }
+        CachedObj::O { text_len, result } => {
+            e.tag("O");
+            e.u64(*text_len);
+            match result {
+                Ok(()) => e.tag("ok"),
+                Err(err) => {
+                    e.tag("err");
+                    encode_build_error(&mut e, err);
+                }
+            }
+        }
+    }
+    e.buf
+}
+
+fn decode_object_entry(
+    payload: &[u8],
+    registry: &ArchRegistry,
+) -> Result<(ObjectKey, CachedObj), String> {
+    let mut d = Dec::new(payload);
+    let blob = ContentHash::from_parts(d.u64()?, d.u64()?);
+    let path: Arc<str> = Arc::from(d.str()?.as_str());
+    let include_fp = d.u64()?;
+    let env_fp = d.u64()?;
+    let module = d.boolean()?;
+    let arch_name = d.str()?;
+    // Re-intern the architecture: the key wants the registry's 'static
+    // name, and an arch this build does not know cannot be served.
+    let arch = registry
+        .get(&arch_name)
+        .ok_or_else(|| format!("unknown arch {arch_name:?}"))?
+        .name;
+    let kind_tag = d.tag()?.to_string();
+    let (kind, obj) = match kind_tag.as_str() {
+        "I" => {
+            let text_len = d.u64()?;
+            let result = match d.tag()? {
+                "ok" => {
+                    let ipath = d.str()?;
+                    let text = d.str()?;
+                    let n_macros = d.u64()?;
+                    let mut expanded_macros = HashSet::new();
+                    for _ in 0..n_macros {
+                        expanded_macros.insert(d.str()?);
+                    }
+                    let n_includes = d.u64()?;
+                    let mut includes = Vec::new();
+                    for _ in 0..n_includes {
+                        includes.push(d.str()?);
+                    }
+                    Ok(IFile {
+                        path: ipath,
+                        text,
+                        expanded_macros,
+                        includes,
+                    })
+                }
+                "err" => Err(d.str()?),
+                other => return Err(format!("bad result tag {other:?}")),
+            };
+            (ObjKind::I, CachedObj::I { text_len, result })
+        }
+        "O" => {
+            let text_len = d.u64()?;
+            let result = match d.tag()? {
+                "ok" => Ok(()),
+                "err" => Err(decode_build_error(&mut d)?),
+                other => return Err(format!("bad result tag {other:?}")),
+            };
+            (ObjKind::O, CachedObj::O { text_len, result })
+        }
+        other => return Err(format!("bad kind tag {other:?}")),
+    };
+    if !d.at_end() {
+        return Err("trailing bytes".to_string());
+    }
+    Ok((
+        ObjectKey {
+            blob,
+            path,
+            include_fp,
+            env_fp,
+            module,
+            arch,
+            kind,
+        },
+        obj,
+    ))
+}
+
+fn encode_build_error(e: &mut Enc, err: &BuildError) {
+    match err {
+        BuildError::UnknownArch(a) => {
+            e.tag("unknown_arch");
+            e.str(a);
+        }
+        BuildError::CrossCompilerMissing(a) => {
+            e.tag("cross_compiler_missing");
+            e.str(a);
+        }
+        BuildError::NoKconfig(a) => {
+            e.tag("no_kconfig");
+            e.str(a);
+        }
+        BuildError::KconfigParse(m) => {
+            e.tag("kconfig_parse");
+            e.str(m);
+        }
+        BuildError::MissingFile(p) => {
+            e.tag("missing_file");
+            e.str(p);
+        }
+        BuildError::NoMakefile(p) => {
+            e.tag("no_makefile");
+            e.str(p);
+        }
+        BuildError::NotEnabled(p) => {
+            e.tag("not_enabled");
+            e.str(p);
+        }
+        BuildError::SetupCompilationFailed(p) => {
+            e.tag("setup_compilation_failed");
+            e.str(p);
+        }
+        BuildError::PreprocessFailed { file, first_error } => {
+            e.tag("preprocess_failed");
+            e.str(file);
+            e.str(first_error);
+        }
+        BuildError::FrontEndRejected { file, error } => {
+            e.tag("front_end_rejected");
+            e.str(file);
+            encode_syntax_error(e, error);
+        }
+        BuildError::RetriesExhausted { op, attempts } => {
+            e.tag("retries_exhausted");
+            e.str(op);
+            e.u64(u64::from(*attempts));
+        }
+    }
+}
+
+fn decode_build_error(d: &mut Dec) -> Result<BuildError, String> {
+    Ok(match d.tag()? {
+        "unknown_arch" => BuildError::UnknownArch(d.str()?),
+        "cross_compiler_missing" => BuildError::CrossCompilerMissing(d.str()?),
+        "no_kconfig" => BuildError::NoKconfig(d.str()?),
+        "kconfig_parse" => BuildError::KconfigParse(d.str()?),
+        "missing_file" => BuildError::MissingFile(d.str()?),
+        "no_makefile" => BuildError::NoMakefile(d.str()?),
+        "not_enabled" => BuildError::NotEnabled(d.str()?),
+        "setup_compilation_failed" => BuildError::SetupCompilationFailed(d.str()?),
+        "preprocess_failed" => BuildError::PreprocessFailed {
+            file: d.str()?,
+            first_error: d.str()?,
+        },
+        "front_end_rejected" => BuildError::FrontEndRejected {
+            file: d.str()?,
+            error: decode_syntax_error(d)?,
+        },
+        "retries_exhausted" => BuildError::RetriesExhausted {
+            op: intern_fault_op(&d.str()?)?,
+            attempts: d.u32()?,
+        },
+        other => return Err(format!("bad error tag {other:?}")),
+    })
+}
+
+/// Map a serialized retry-site name back to the `'static` string the
+/// fault layer uses. The set is closed — an unknown name means a corrupt
+/// or incompatible entry.
+fn intern_fault_op(name: &str) -> Result<&'static str, String> {
+    for site in [
+        FaultSite::Checkout,
+        FaultSite::Show,
+        FaultSite::ConfigSolve,
+        FaultSite::MakeI,
+        FaultSite::MakeO,
+        FaultSite::CacheLookup,
+    ] {
+        if site.name() == name {
+            return Ok(site.name());
+        }
+    }
+    Err(format!("unknown fault op {name:?}"))
+}
+
+fn encode_syntax_error(e: &mut Enc, err: &SyntaxError) {
+    match err {
+        SyntaxError::InvalidCharacter { ch, line } => {
+            e.tag("invalid_character");
+            e.u64(u64::from(*ch as u32));
+            e.u64(u64::from(*line));
+        }
+        SyntaxError::UnbalancedDelimiter { ch, line } => {
+            e.tag("unbalanced_delimiter");
+            e.u64(u64::from(*ch as u32));
+            e.u64(u64::from(*line));
+        }
+        SyntaxError::UnterminatedLiteral { line } => {
+            e.tag("unterminated_literal");
+            e.u64(u64::from(*line));
+        }
+        SyntaxError::EmptyTranslationUnit => e.tag("empty_translation_unit"),
+    }
+}
+
+fn decode_syntax_error(d: &mut Dec) -> Result<SyntaxError, String> {
+    let ch_of = |v: u32| char::from_u32(v).ok_or_else(|| format!("bad char {v:#x}"));
+    Ok(match d.tag()? {
+        "invalid_character" => SyntaxError::InvalidCharacter {
+            ch: ch_of(d.u32()?)?,
+            line: d.u32()?,
+        },
+        "unbalanced_delimiter" => SyntaxError::UnbalancedDelimiter {
+            ch: ch_of(d.u32()?)?,
+            line: d.u32()?,
+        },
+        "unterminated_literal" => SyntaxError::UnterminatedLiteral { line: d.u32()? },
+        "empty_translation_unit" => SyntaxError::EmptyTranslationUnit,
+        other => return Err(format!("bad syntax-error tag {other:?}")),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Config entries.
+// ---------------------------------------------------------------------------
+
+fn encode_config_entry(fingerprint: u64, content_fp: u64, cfg: &BuildConfig) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(fingerprint);
+    e.u64(content_fp);
+    e.str(cfg.arch.name);
+    match &cfg.kind {
+        ConfigKind::AllYes => e.tag("allyes"),
+        ConfigKind::AllMod => e.tag("allmod"),
+        ConfigKind::Defconfig(path) => {
+            e.tag("defconfig");
+            e.str(path);
+        }
+        ConfigKind::Custom { name, content } => {
+            e.tag("custom");
+            e.str(name);
+            e.str(content);
+        }
+    }
+    // The Config's `.config` rendering lists every symbol (set *and*
+    // explicitly-unset) in BTreeMap order — a lossless, deterministic
+    // serialization the decoder re-parses line by line.
+    e.str(&cfg.config.render());
+    let symbols: Vec<&Symbol> = cfg.model.symbols().collect();
+    e.u64(symbols.len() as u64);
+    for sym in symbols {
+        e.str(&sym.name);
+        e.tag(match sym.ty {
+            SymbolType::Bool => "bool",
+            SymbolType::Tristate => "tristate",
+            SymbolType::Int => "int",
+            SymbolType::Hex => "hex",
+            SymbolType::String => "string",
+        });
+        e.opt_str(sym.prompt.as_deref());
+        // `Expr::Display` round-trips through `Expr::parse` (pinned by
+        // jmake-kconfig's display_round_trips test).
+        e.opt_str(sym.depends.as_ref().map(|x| x.to_string()).as_deref());
+        e.u64(sym.selects.len() as u64);
+        for (target, cond) in &sym.selects {
+            e.str(target);
+            e.opt_str(cond.as_ref().map(|x| x.to_string()).as_deref());
+        }
+        e.u64(sym.defaults.len() as u64);
+        for (value, cond) in &sym.defaults {
+            e.tag(&value.to_string());
+            e.opt_str(cond.as_ref().map(|x| x.to_string()).as_deref());
+        }
+        e.str(&sym.declared_in);
+        match sym.choice_group {
+            Some(g) => {
+                e.tag("some");
+                e.u64(u64::from(g));
+            }
+            None => e.tag("none"),
+        }
+    }
+    e.buf
+}
+
+fn decode_config_entry(
+    payload: &[u8],
+    registry: &ArchRegistry,
+) -> Result<(u64, u64, BuildConfig), String> {
+    let mut d = Dec::new(payload);
+    let fingerprint = d.u64()?;
+    let content_fp = d.u64()?;
+    let arch_name = d.str()?;
+    let arch = registry
+        .get(&arch_name)
+        .ok_or_else(|| format!("unknown arch {arch_name:?}"))?;
+    let kind = match d.tag()? {
+        "allyes" => ConfigKind::AllYes,
+        "allmod" => ConfigKind::AllMod,
+        "defconfig" => ConfigKind::Defconfig(d.str()?),
+        "custom" => ConfigKind::Custom {
+            name: d.str()?,
+            content: d.str()?,
+        },
+        other => return Err(format!("bad kind tag {other:?}")),
+    };
+    let config = parse_config_render(&d.str()?)?;
+    let n_symbols = d.u64()?;
+    let mut model = KconfigModel::new();
+    for _ in 0..n_symbols {
+        let name = d.str()?;
+        let ty = match d.tag()? {
+            "bool" => SymbolType::Bool,
+            "tristate" => SymbolType::Tristate,
+            "int" => SymbolType::Int,
+            "hex" => SymbolType::Hex,
+            "string" => SymbolType::String,
+            other => return Err(format!("bad symbol type {other:?}")),
+        };
+        let mut sym = Symbol::new(name, ty);
+        sym.prompt = d.opt_str()?;
+        sym.depends = parse_opt_expr(&mut d)?;
+        let n_selects = d.u64()?;
+        for _ in 0..n_selects {
+            let target = d.str()?;
+            sym.selects.push((target, parse_opt_expr(&mut d)?));
+        }
+        let n_defaults = d.u64()?;
+        for _ in 0..n_defaults {
+            let value = parse_tristate(d.tag()?)?;
+            sym.defaults.push((value, parse_opt_expr(&mut d)?));
+        }
+        sym.declared_in = d.str()?;
+        sym.choice_group = match d.tag()? {
+            "some" => Some(d.u32()?),
+            "none" => None,
+            other => return Err(format!("bad option tag {other:?}")),
+        };
+        model.insert(sym);
+    }
+    if !d.at_end() {
+        return Err("trailing bytes".to_string());
+    }
+    let built = BuildConfig::from_parts(arch, kind, config, model);
+    if built.content_fingerprint() != content_fp {
+        // The stored key disagrees with the recomputed one — the entry
+        // cannot be trusted to answer the lookups it claims to.
+        return Err("content fingerprint mismatch".to_string());
+    }
+    Ok((fingerprint, content_fp, built))
+}
+
+fn parse_opt_expr(d: &mut Dec) -> Result<Option<Expr>, String> {
+    match d.opt_str()? {
+        None => Ok(None),
+        Some(text) => Expr::parse(&text).map(Some).map_err(|e| format!("bad expr: {e}")),
+    }
+}
+
+fn parse_tristate(tag: &str) -> Result<Tristate, String> {
+    let mut chars = tag.chars();
+    match (chars.next(), chars.next()) {
+        (Some(c), None) => {
+            Tristate::from_config_char(c).ok_or_else(|| format!("bad tristate {tag:?}"))
+        }
+        _ => Err(format!("bad tristate {tag:?}")),
+    }
+}
+
+/// Re-parse `Config::render` output: `CONFIG_X=y|m` or
+/// `# CONFIG_X is not set`, one line each.
+fn parse_config_render(text: &str) -> Result<Config, String> {
+    let mut config = Config::default();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# CONFIG_") {
+            let name = rest
+                .strip_suffix(" is not set")
+                .ok_or_else(|| format!("bad config line {line:?}"))?;
+            config.set(name, Tristate::N);
+        } else if let Some(rest) = line.strip_prefix("CONFIG_") {
+            let (name, value) = rest
+                .split_once('=')
+                .ok_or_else(|| format!("bad config line {line:?}"))?;
+            let value = parse_tristate(value)?;
+            config.set(name, value);
+        } else if !line.trim().is_empty() {
+            return Err(format!("bad config line {line:?}"));
+        }
+    }
+    Ok(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{BuildEngine, ConfigKind};
+    use crate::tree::SourceTree;
+    use jmake_faults::FaultSpec;
+
+    fn tiny_tree() -> SourceTree {
+        let mut t = SourceTree::new();
+        t.insert(
+            "Kconfig",
+            "config NET\n\tbool \"net\"\n\nconfig E1000\n\ttristate \"e1000\"\n\tdepends on NET\n",
+        );
+        t.insert("arch/x86_64/Kconfig", "config X86_64\n\tdef_bool y\n");
+        t.insert("Makefile", "obj-y += kernel/\n");
+        t.insert("kernel/Makefile", "obj-y += core.o\n");
+        t.insert("kernel/core.c", "int core;\n");
+        t
+    }
+
+    fn sample_object() -> (ObjectKey, CachedObj) {
+        let key = ObjectKey {
+            blob: ContentHash::of("int x;\n"),
+            path: Arc::from("drivers/net/a.c"),
+            include_fp: 0x1234,
+            env_fp: 0x5678,
+            module: true,
+            arch: "x86_64",
+            kind: ObjKind::I,
+        };
+        let mut macros = HashSet::new();
+        macros.insert("CONFIG_NET".to_string());
+        macros.insert("MODULE".to_string());
+        let obj = CachedObj::I {
+            text_len: 42,
+            result: Ok(IFile {
+                path: "drivers/net/a.c".to_string(),
+                text: "int x;\nweird \"text\"\nwith\nnewlines\n".to_string(),
+                expanded_macros: macros,
+                includes: vec!["include/linux/k.h".to_string()],
+            }),
+        };
+        (key, obj)
+    }
+
+    fn solved_config() -> Arc<BuildConfig> {
+        let mut engine = BuildEngine::new(tiny_tree());
+        engine.make_config("x86_64", &ConfigKind::AllYes).unwrap()
+    }
+
+    #[test]
+    fn object_entry_round_trips() {
+        let registry = ArchRegistry::new();
+        let (key, obj) = sample_object();
+        let payload = encode_object_entry(&key, &obj);
+        let (key2, obj2) = decode_object_entry(&payload, &registry).unwrap();
+        assert_eq!(key, key2);
+        assert_eq!(payload, encode_object_entry(&key2, &obj2));
+    }
+
+    #[test]
+    fn object_entry_round_trips_every_error_shape() {
+        let registry = ArchRegistry::new();
+        let (key, _) = sample_object();
+        let errors = vec![
+            BuildError::UnknownArch("weird".into()),
+            BuildError::KconfigParse("bad line".into()),
+            BuildError::PreprocessFailed {
+                file: "a.c".into(),
+                first_error: "missing.h not found".into(),
+            },
+            BuildError::FrontEndRejected {
+                file: "a.c".into(),
+                error: SyntaxError::UnbalancedDelimiter { ch: '}', line: 7 },
+            },
+            BuildError::RetriesExhausted {
+                op: "make_o",
+                attempts: 4,
+            },
+        ];
+        for err in errors {
+            let key = ObjectKey {
+                kind: ObjKind::O,
+                ..key.clone()
+            };
+            let obj = CachedObj::O {
+                text_len: 9,
+                result: Err(err),
+            };
+            let payload = encode_object_entry(&key, &obj);
+            let (key2, obj2) = decode_object_entry(&payload, &registry).unwrap();
+            assert_eq!(key, key2);
+            assert_eq!(payload, encode_object_entry(&key2, &obj2));
+        }
+    }
+
+    #[test]
+    fn config_entry_round_trips() {
+        let registry = ArchRegistry::new();
+        let cfg = solved_config();
+        let payload = encode_config_entry(11, 0, &cfg);
+        let (fp, content_fp, cfg2) = decode_config_entry(&payload, &registry).unwrap();
+        assert_eq!((fp, content_fp), (11, 0));
+        assert_eq!(cfg.config, cfg2.config);
+        assert_eq!(cfg.env_fingerprint(), cfg2.env_fingerprint());
+        assert_eq!(cfg.key(), cfg2.key());
+        assert_eq!(payload, encode_config_entry(11, 0, &cfg2));
+    }
+
+    #[test]
+    fn store_load_round_trips_through_disk() {
+        let dir = tempdir("round");
+        let disk = DiskCache::open(&dir).unwrap();
+        let objects = ObjectCache::new();
+        let configs = ConfigCache::new();
+        let (key, obj) = sample_object();
+        objects.insert(key.clone(), Arc::new(obj));
+        let cfg = solved_config();
+        configs.insert(5, &cfg.key().clone(), 0, Arc::clone(&cfg));
+        let stored = disk.store(&objects, &configs).unwrap();
+        assert_eq!((stored.objects_stored, stored.configs_stored), (1, 1));
+        // Storing again writes nothing: entries are immutable.
+        let again = disk.store(&objects, &configs).unwrap();
+        assert_eq!((again.objects_stored, again.configs_stored), (0, 0));
+
+        let objects2 = ObjectCache::new();
+        let configs2 = ConfigCache::new();
+        let loaded = disk
+            .load(&objects2, &configs2, &Faults::disabled())
+            .unwrap();
+        assert_eq!((loaded.objects_loaded, loaded.configs_loaded), (1, 1));
+        assert_eq!(loaded.entries_quarantined, 0);
+        assert!(objects2.peek(&key).is_some());
+        assert!(configs2.peek(5, cfg.key(), 0).is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_entry_is_quarantined_not_served() {
+        let dir = tempdir("trunc");
+        let disk = DiskCache::open(&dir).unwrap();
+        let objects = ObjectCache::new();
+        let configs = ConfigCache::new();
+        let (key, obj) = sample_object();
+        objects.insert(key.clone(), Arc::new(obj));
+        disk.store(&objects, &configs).unwrap();
+        let entry = find_one_entry(&dir, "objects");
+        let bytes = std::fs::read(&entry).unwrap();
+        std::fs::write(&entry, &bytes[..bytes.len() / 2]).unwrap();
+
+        let objects2 = ObjectCache::new();
+        let loaded = disk.load(&objects2, &configs, &Faults::disabled()).unwrap();
+        assert_eq!(loaded.objects_loaded, 0);
+        assert_eq!(loaded.entries_quarantined, 1);
+        assert!(objects2.peek(&key).is_none());
+        assert!(!entry.exists(), "corrupt entry must leave the live tree");
+        assert!(dir.join("quarantine").read_dir().unwrap().next().is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flipped_digest_byte_is_quarantined() {
+        let dir = tempdir("flip");
+        let disk = DiskCache::open(&dir).unwrap();
+        let objects = ObjectCache::new();
+        let configs = ConfigCache::new();
+        let (key, obj) = sample_object();
+        objects.insert(key.clone(), Arc::new(obj));
+        disk.store(&objects, &configs).unwrap();
+        let entry = find_one_entry(&dir, "objects");
+        let mut bytes = std::fs::read(&entry).unwrap();
+        // Flip one hex digit of the digest line (second line).
+        let digest_pos = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+        bytes[digest_pos] = if bytes[digest_pos] == b'0' { b'1' } else { b'0' };
+        std::fs::write(&entry, &bytes).unwrap();
+
+        let objects2 = ObjectCache::new();
+        let loaded = disk.load(&objects2, &configs, &Faults::disabled()).unwrap();
+        assert_eq!(loaded.objects_loaded, 0);
+        assert_eq!(loaded.entries_quarantined, 1);
+        assert!(objects2.peek(&key).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fault_injected_corruption_quarantines_and_counts() {
+        let dir = tempdir("fault");
+        let disk = DiskCache::open(&dir).unwrap();
+        let objects = ObjectCache::new();
+        let configs = ConfigCache::new();
+        let (key, obj) = sample_object();
+        objects.insert(key.clone(), Arc::new(obj));
+        disk.store(&objects, &configs).unwrap();
+
+        let faults = Faults::new(FaultSpec::default().with_rate(FaultKind::Corrupt, 1.0), 9);
+        let objects2 = ObjectCache::new();
+        let loaded = disk.load(&objects2, &configs, &faults).unwrap();
+        assert_eq!(loaded.objects_loaded, 0);
+        assert_eq!(loaded.entries_quarantined, 1);
+        let snap = faults.stats_snapshot();
+        assert_eq!(snap.corruptions_detected, 1);
+        assert!(snap.injected_corrupt >= 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "jmake-diskcache-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn find_one_entry(root: &Path, section: &str) -> PathBuf {
+        let disk = DiskCache { root: root.to_path_buf() };
+        disk.entry_files(section).unwrap().pop().expect("one entry")
+    }
+}

@@ -32,6 +32,7 @@ pub mod arch;
 pub mod build;
 pub mod cache;
 pub mod clock;
+pub mod diskcache;
 pub mod hash;
 pub mod makefile;
 pub mod objcache;
@@ -45,6 +46,7 @@ pub use build::{
 };
 pub use cache::{CacheStats, ConfigCache};
 pub use clock::{CostModel, Samples, VirtualClock};
+pub use diskcache::{DiskCache, DiskTierStats};
 pub use hash::ContentHash;
 pub use makefile::{Cond, Makefile};
 pub use objcache::{

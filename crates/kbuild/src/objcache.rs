@@ -315,6 +315,26 @@ impl ObjectCache {
         self.len() == 0
     }
 
+    /// Every entry currently held, in unspecified order. Quarantined
+    /// shards contribute nothing (they were flushed when quarantined and
+    /// must not leak back out through persistence). The disk tier uses
+    /// this to persist the cache at the end of a run.
+    pub fn snapshot(&self) -> Vec<(ObjectKey, Arc<CachedObj>)> {
+        let mut out = Vec::new();
+        for (idx, shard) in self.shards.iter().enumerate() {
+            if self.quarantined[idx].load(Ordering::Acquire) {
+                continue;
+            }
+            let shard = shard.read().expect("object cache shard poisoned");
+            out.extend(
+                shard
+                    .iter()
+                    .map(|(k, stored)| (k.clone(), Arc::clone(&stored.obj))),
+            );
+        }
+        out
+    }
+
     /// Snapshot of the counters.
     pub fn stats(&self) -> ObjectCacheStats {
         ObjectCacheStats {

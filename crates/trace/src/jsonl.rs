@@ -6,6 +6,16 @@
 
 use crate::{CacheOutcome, SpanRecord, Stage};
 
+/// Escape `value` for inclusion inside a JSON string literal and return
+/// the escaped text. Exposed for other JSONL protocols in the workspace
+/// (the `jmake-serve` request/response framing reuses it) so the encoder
+/// and the [`JsonParser`] decoder cannot drift apart.
+pub fn escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    escape_into(&mut out, value);
+    out
+}
+
 /// Serialize one record as a single JSON line (no trailing newline).
 /// Optional fields are omitted when absent.
 pub fn to_json_line(record: &SpanRecord) -> String {
@@ -73,10 +83,7 @@ fn escape_into(out: &mut String, value: &str) {
 /// Parse one JSONL line back into a [`SpanRecord`]. Strict: unknown keys,
 /// unknown stage or cache names, and malformed JSON are all errors.
 pub fn parse_line(line: &str) -> Result<SpanRecord, String> {
-    let mut p = Parser {
-        chars: line.trim().char_indices().peekable(),
-        src: line.trim(),
-    };
+    let mut p = JsonParser::new(line.trim());
     p.expect('{')?;
     let mut record = SpanRecord::default();
     let mut saw_stage = false;
@@ -118,7 +125,7 @@ pub fn parse_line(line: &str) -> Result<SpanRecord, String> {
         }
     }
     p.skip_ws();
-    if p.chars.next().is_some() {
+    if !p.at_end() {
         return Err("trailing content after object".to_owned());
     }
     if !saw_stage {
@@ -140,19 +147,40 @@ pub fn parse(text: &str) -> Result<Vec<SpanRecord>, String> {
     Ok(records)
 }
 
-struct Parser<'a> {
+/// Minimal hand-rolled JSON scanner shared by the trace-log parser above
+/// and the other JSONL protocols in the workspace (`jmake-serve` framing).
+/// It exposes exactly the primitives a flat, known-key object needs:
+/// [`expect`](Self::expect)/[`eat`](Self::eat) for punctuation,
+/// [`string`](Self::string) and [`number`](Self::number) for scalars.
+///
+/// String decoding follows RFC 8259: `\u` escapes in the UTF-16 surrogate
+/// range combine in pairs (a high surrogate must be followed by a `\u`-escaped
+/// low surrogate), so text that stock JSON encoders emit for non-BMP
+/// characters — emoji in commit subjects, say — round-trips. Lone or
+/// mismatched surrogates are rejected with a descriptive error.
+pub struct JsonParser<'a> {
     chars: std::iter::Peekable<std::str::CharIndices<'a>>,
     src: &'a str,
 }
 
-impl Parser<'_> {
-    fn skip_ws(&mut self) {
+impl<'a> JsonParser<'a> {
+    /// Start scanning `src` from the beginning.
+    pub fn new(src: &'a str) -> Self {
+        JsonParser {
+            chars: src.char_indices().peekable(),
+            src,
+        }
+    }
+
+    /// Skip ASCII whitespace.
+    pub fn skip_ws(&mut self) {
         while matches!(self.chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
             self.chars.next();
         }
     }
 
-    fn expect(&mut self, want: char) -> Result<(), String> {
+    /// Consume exactly `want` or fail.
+    pub fn expect(&mut self, want: char) -> Result<(), String> {
         match self.chars.next() {
             Some((_, c)) if c == want => Ok(()),
             Some((i, c)) => Err(format!("expected {want:?} at byte {i}, found {c:?}")),
@@ -160,7 +188,8 @@ impl Parser<'_> {
         }
     }
 
-    fn eat(&mut self, want: char) -> bool {
+    /// Consume `want` if it is next; report whether it was.
+    pub fn eat(&mut self, want: char) -> bool {
         if matches!(self.chars.peek(), Some((_, c)) if *c == want) {
             self.chars.next();
             true
@@ -169,7 +198,62 @@ impl Parser<'_> {
         }
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    /// True when the input is exhausted.
+    pub fn at_end(&mut self) -> bool {
+        self.chars.peek().is_none()
+    }
+
+    /// Read the four hex digits of a `\u` escape body (the `\u` itself has
+    /// already been consumed).
+    fn hex4(&mut self, start: usize) -> Result<u32, String> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let Some((_, c)) = self.chars.next() else {
+                return Err("truncated \\u escape".to_owned());
+            };
+            let digit = c
+                .to_digit(16)
+                .ok_or_else(|| format!("bad \\u escape at byte {start}"))?;
+            code = code * 16 + digit;
+        }
+        Ok(code)
+    }
+
+    /// Decode one `\u` escape starting after its `u`, consuming the paired
+    /// low-surrogate escape when `code` is a high surrogate.
+    fn unicode_escape(&mut self, start: usize) -> Result<char, String> {
+        let code = self.hex4(start)?;
+        match code {
+            // High surrogate: must be followed by an escaped low surrogate;
+            // the pair combines into one supplementary-plane scalar.
+            0xD800..=0xDBFF => {
+                if !(self.eat('\\') && self.eat('u')) {
+                    return Err(format!(
+                        "lone high surrogate \\u{code:04x}: expected a \\uDC00-\\uDFFF low \
+                         surrogate escape to follow"
+                    ));
+                }
+                let lo = self.hex4(start)?;
+                if !(0xDC00..=0xDFFF).contains(&lo) {
+                    return Err(format!(
+                        "mismatched surrogate pair \\u{code:04x}\\u{lo:04x}: second escape \
+                         is not a \\uDC00-\\uDFFF low surrogate"
+                    ));
+                }
+                let combined = 0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+                char::from_u32(combined)
+                    .ok_or_else(|| format!("invalid codepoint \\u{combined:04x}"))
+            }
+            0xDC00..=0xDFFF => Err(format!(
+                "lone low surrogate \\u{code:04x}: low surrogates are only valid \
+                 immediately after a \\uD800-\\uDBFF high surrogate escape"
+            )),
+            _ => char::from_u32(code).ok_or_else(|| format!("invalid codepoint \\u{code:04x}")),
+        }
+    }
+
+    /// Parse a quoted JSON string (including the opening `"`).
+    pub fn string(&mut self) -> Result<String, String> {
         self.expect('"')?;
         let mut out = String::new();
         loop {
@@ -182,23 +266,10 @@ impl Parser<'_> {
                     Some((_, 'n')) => out.push('\n'),
                     Some((_, 't')) => out.push('\t'),
                     Some((_, 'r')) => out.push('\r'),
+                    Some((_, 'b')) => out.push('\u{8}'),
+                    Some((_, 'f')) => out.push('\u{c}'),
                     Some((_, '/')) => out.push('/'),
-                    Some((start, 'u')) => {
-                        let mut code = 0u32;
-                        for _ in 0..4 {
-                            let Some((_, c)) = self.chars.next() else {
-                                return Err("truncated \\u escape".to_owned());
-                            };
-                            let digit = c
-                                .to_digit(16)
-                                .ok_or_else(|| format!("bad \\u escape at byte {start}"))?;
-                            code = code * 16 + digit;
-                        }
-                        out.push(
-                            char::from_u32(code)
-                                .ok_or_else(|| format!("invalid codepoint \\u{code:04x}"))?,
-                        );
-                    }
+                    Some((start, 'u')) => out.push(self.unicode_escape(start)?),
                     Some((i, c)) => return Err(format!("bad escape \\{c} at byte {i}")),
                     None => return Err("truncated escape".to_owned()),
                 },
@@ -207,7 +278,23 @@ impl Parser<'_> {
         }
     }
 
-    fn number(&mut self) -> Result<u64, String> {
+    /// Parse a JSON `true`/`false` literal.
+    pub fn boolean(&mut self) -> Result<bool, String> {
+        let (word, value) = if self.eat('t') {
+            ("rue", true)
+        } else if self.eat('f') {
+            ("alse", false)
+        } else {
+            return Err("expected boolean".to_owned());
+        };
+        for c in word.chars() {
+            self.expect(c)?;
+        }
+        Ok(value)
+    }
+
+    /// Parse a non-negative integer.
+    pub fn number(&mut self) -> Result<u64, String> {
         let start = match self.chars.peek() {
             Some((i, c)) if c.is_ascii_digit() => *i,
             _ => return Err("expected number".to_owned()),
@@ -285,6 +372,91 @@ mod tests {
         assert_eq!(parse(text).unwrap().len(), 1);
         let bad = "{\"stage\":\"show\",\"host_us\":1,\"virtual_us\":0}\nnope\n";
         assert!(parse(bad).unwrap_err().starts_with("line 2:"));
+    }
+
+    #[test]
+    fn round_trips_non_bmp_text_through_encoder() {
+        // Our own encoder emits non-BMP characters raw (valid JSON); the
+        // parser must hand them back unchanged.
+        let record = SpanRecord {
+            stage: Some(Stage::Show),
+            patch: Some("fix 😀 oops \u{1F600}\u{10FFFF}".to_owned()),
+            file: Some("drivers/net/émoji_\u{1D11E}.c".to_owned()),
+            ..SpanRecord::default()
+        };
+        let line = to_json_line(&record);
+        assert_eq!(parse_line(&line), Ok(record));
+    }
+
+    #[test]
+    fn decodes_surrogate_pair_escapes() {
+        // Stock JSON encoders (serde_json with ASCII escaping, Python's
+        // json.dumps, JavaScript's JSON.stringify) emit non-BMP characters
+        // as UTF-16 surrogate pairs; the parser must combine them.
+        let line = r#"{"stage":"show","patch":"\ud83d\ude00","host_us":1,"virtual_us":0}"#;
+        let record = parse_line(line).unwrap();
+        assert_eq!(record.patch.as_deref(), Some("😀"));
+
+        // Highest scalar value U+10FFFF.
+        let line = r#"{"stage":"show","patch":"\udbff\udfff","host_us":1,"virtual_us":0}"#;
+        assert_eq!(
+            parse_line(line).unwrap().patch.as_deref(),
+            Some("\u{10FFFF}")
+        );
+
+        // Pairs mixed with surrounding text and other escapes.
+        let line = r#"{"stage":"show","patch":"a\tb \ud834\udd1e c","host_us":1,"virtual_us":0}"#;
+        assert_eq!(
+            parse_line(line).unwrap().patch.as_deref(),
+            Some("a\tb \u{1D11E} c")
+        );
+    }
+
+    #[test]
+    fn accepts_shorthand_escapes_other_encoders_emit() {
+        let line = r#"{"stage":"show","patch":"a\bb\ff","host_us":1,"virtual_us":0}"#;
+        assert_eq!(
+            parse_line(line).unwrap().patch.as_deref(),
+            Some("a\u{8}b\u{c}f")
+        );
+    }
+
+    #[test]
+    fn rejects_lone_and_mismatched_surrogates_with_clear_errors() {
+        // Lone high surrogate at end of string.
+        let err = parse_line(r#"{"stage":"show","patch":"\ud83d","host_us":1,"virtual_us":0}"#)
+            .unwrap_err();
+        assert!(err.contains("lone high surrogate \\ud83d"), "{err}");
+
+        // High surrogate followed by a non-escape character.
+        let err = parse_line(r#"{"stage":"show","patch":"\ud83dx","host_us":1,"virtual_us":0}"#)
+            .unwrap_err();
+        assert!(err.contains("lone high surrogate"), "{err}");
+
+        // High surrogate followed by an escaped non-surrogate.
+        let err = parse_line(
+            r#"{"stage":"show","patch":"\ud83d\u0041","host_us":1,"virtual_us":0}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("mismatched surrogate pair"), "{err}");
+
+        // Two high surrogates in a row.
+        let err =
+            parse_line(r#"{"stage":"show","patch":"\ud83d\ud83d","host_us":1,"virtual_us":0}"#)
+                .unwrap_err();
+        assert!(err.contains("mismatched surrogate pair"), "{err}");
+
+        // Lone low surrogate.
+        let err = parse_line(r#"{"stage":"show","patch":"\ude00","host_us":1,"virtual_us":0}"#)
+            .unwrap_err();
+        assert!(err.contains("lone low surrogate \\ude00"), "{err}");
+    }
+
+    #[test]
+    fn escape_helper_matches_encoder() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("😀"), "😀");
     }
 
     #[test]

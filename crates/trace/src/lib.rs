@@ -38,6 +38,7 @@
 
 pub mod jsonl;
 pub mod metrics;
+pub mod quantile;
 
 use metrics::Metrics;
 use std::fmt;

@@ -60,15 +60,12 @@ impl StageMetrics {
     }
 
     /// Ceil nearest-rank quantile of the host durations (same convention as
-    /// `Cdf::quantile` in jmake-kbuild). Zero when no samples.
+    /// `Cdf::quantile` in jmake-kbuild; both call
+    /// [`crate::quantile::ceil_nearest_rank`]). Zero when no samples.
     pub fn host_quantile_us(&self, q: f64) -> u64 {
-        if self.host_us.is_empty() {
-            return 0;
-        }
         let mut sorted = self.host_us.clone();
         sorted.sort_unstable();
-        let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize;
-        sorted[rank.max(1) - 1]
+        crate::quantile::ceil_nearest_rank(&sorted, q)
     }
 
     /// Largest single host-clock duration, in microseconds.
@@ -189,6 +186,28 @@ mod tests {
         assert_eq!(s.host_quantile_us(0.5), 20);
         assert_eq!(s.host_quantile_us(0.9), 40);
         assert_eq!(s.host_max_us(), 40);
+    }
+
+    #[test]
+    fn host_quantile_matches_shared_helper() {
+        // StageMetrics must agree with the shared ceil nearest-rank helper
+        // (and therefore with Cdf::quantile) on every q.
+        let samples = [5u64, 1, 3, 9, 9, 2, 8];
+        let mut m = Metrics::default();
+        for &host in &samples {
+            m.record(&record(Stage::BuildI, host, 0, None));
+        }
+        let s = m.stage(Stage::BuildI).unwrap();
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            assert_eq!(
+                s.host_quantile_us(q),
+                crate::quantile::ceil_nearest_rank(&sorted, q),
+                "q={q}"
+            );
+        }
     }
 
     #[test]

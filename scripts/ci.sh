@@ -8,8 +8,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
 
 echo "==> cargo test -q (workspace)"
 cargo test --workspace -q
@@ -64,9 +64,45 @@ for stage in $(awk 'NR > 1 { print $1 }' /tmp/jmake-trace-check.out); do
   esac
 done
 
+echo "==> persistent-tier identity run (cold vs warm --cache-dir reports)"
+CACHE_DIR="$(mktemp -d /tmp/jmake-cache-dir.XXXXXX)"
+COLD_OUT="$(mktemp /tmp/jmake-eval-cold.XXXXXX.out)"
+WARM_OUT="$(mktemp /tmp/jmake-eval-warm.XXXXXX.out)"
+WARM_ERR="$(mktemp /tmp/jmake-eval-warm.XXXXXX.err)"
+trap 'rm -rf "$CACHE_DIR"; rm -f "$COLD_OUT" "$WARM_OUT" "$WARM_ERR" "$TRACE_FILE" "$CC_A" "$CC_B" "$CACHED_OUT" "$UNCACHED_OUT"' EXIT
+# A cold run populates the disk tier; a warm run must load it, report a
+# non-zero object-cache hit count, and print byte-identical tables —
+# the tier may only move host-side time, never simulated results.
+./target/release/jmake-eval --commits 120 --workers 8 \
+  --cache-dir "$CACHE_DIR" all > "$COLD_OUT"
+./target/release/jmake-eval --commits 120 --workers 8 \
+  --cache-dir "$CACHE_DIR" --stats all > "$WARM_OUT" 2> "$WARM_ERR"
+diff -u "$COLD_OUT" "$WARM_OUT"
+grep -q "disk cache: loaded" "$WARM_ERR"
+grep -q "object cache" "$WARM_ERR"
+if grep -Eq "object cache +0\.0% hit rate" "$WARM_ERR"; then
+  echo "warm --cache-dir run never hit the loaded tier:" >&2
+  cat "$WARM_ERR" >&2
+  exit 1
+fi
+
+echo "==> jmake-serve smoke run (daemon report vs local jmake-eval, then drain)"
+SERVE_SOCK="$(mktemp -u /tmp/jmake-serve.XXXXXX.sock)"
+SERVED_OUT="$(mktemp /tmp/jmake-serve.XXXXXX.out)"
+trap 'rm -rf "$CACHE_DIR"; rm -f "$SERVE_SOCK" "$SERVED_OUT" "$COLD_OUT" "$WARM_OUT" "$WARM_ERR" "$TRACE_FILE" "$CC_A" "$CC_B" "$CACHED_OUT" "$UNCACHED_OUT"' EXIT
+./target/release/jmake-serve --socket "$SERVE_SOCK" --parallel 2 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -S "$SERVE_SOCK" ] && break; sleep 0.1; done
+# The served report must be byte-identical to the local run above.
+./target/release/jmake-serve --client "$SERVE_SOCK" \
+  --commits 120 --workers 8 all > "$SERVED_OUT"
+diff -u "$COLD_OUT" "$SERVED_OUT"
+./target/release/jmake-serve --client "$SERVE_SOCK" --shutdown
+wait "$SERVE_PID"
+
 echo "==> fault-injection smoke run (--faults transient:0.2 --fault-seed 7)"
 FAULT_ERR="$(mktemp /tmp/jmake-faults.XXXXXX.err)"
-trap 'rm -f "$FAULT_ERR" "$TRACE_FILE" "$CC_A" "$CC_B" "$CACHED_OUT" "$UNCACHED_OUT"' EXIT
+trap 'rm -rf "$CACHE_DIR"; rm -f "$FAULT_ERR" "$SERVE_SOCK" "$SERVED_OUT" "$COLD_OUT" "$WARM_OUT" "$WARM_ERR" "$TRACE_FILE" "$CC_A" "$CC_B" "$CACHED_OUT" "$UNCACHED_OUT"' EXIT
 # Every commit must produce exactly one outcome even under injected
 # faults, and at a 20% transient rate bounded retry must recover every
 # single one — no patch may go unreported or degrade.
