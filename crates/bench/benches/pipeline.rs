@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use jmake_core::{mutate, mutate_naive, run_evaluation, DriverOptions, JMake, Options};
 use jmake_diff::{diff_to_patch, DiffOptions};
-use jmake_kbuild::{BuildEngine, ConfigCache, ConfigKey, ConfigKind, ObjectCache};
+use jmake_kbuild::{
+    BuildEngine, ConfigCache, ConfigKey, ConfigKind, ObjectCache, PathId, PreprocCache, TokenId,
+};
 use jmake_synth::WorkloadProfile;
 use jmake_vcs::LogOptions;
 use std::sync::Arc;
@@ -48,6 +50,85 @@ fn bench_preprocess(c: &mut Criterion) {
     });
 }
 
+/// Hot path (DESIGN.md §13.1): preprocessing with the cross-patch
+/// include memo cold vs warm. The warm case replays recorded
+/// header-inclusion effects instead of re-expanding every header, which
+/// is where the cross-patch speedup comes from.
+fn bench_preproc_memo(c: &mut Criterion) {
+    let (tree, layout) = jmake_synth::generate_tree(&bench_profile());
+    let file = layout
+        .drivers
+        .iter()
+        .find(|d| d.arch_specific.is_none())
+        .map(|d| d.c_path.clone())
+        .expect("host driver exists");
+    let mut group = c.benchmark_group("check/preproc_memo");
+    group.bench_function("memo_off", |b| {
+        let mut engine = BuildEngine::new(tree.clone());
+        let cfg = engine.make_config("x86_64", &ConfigKind::AllYes).unwrap();
+        b.iter(|| {
+            engine
+                .make_i(&cfg, &tree, std::slice::from_ref(&file))
+                .unwrap()
+        })
+    });
+    group.bench_function("memo_warm", |b| {
+        let mut engine = BuildEngine::new(tree.clone());
+        let memo = Arc::new(PreprocCache::new());
+        engine.set_preproc_cache(Arc::clone(&memo));
+        let cfg = engine.make_config("x86_64", &ConfigKind::AllYes).unwrap();
+        // Prime the memo once; subsequent iterations replay from it.
+        engine
+            .make_i(&cfg, &tree, std::slice::from_ref(&file))
+            .unwrap();
+        b.iter(|| {
+            engine
+                .make_i(&cfg, &tree, std::slice::from_ref(&file))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+/// Hot path (DESIGN.md §13.2): interner lookup cost. `hit` is the
+/// steady-state path every cache key construction takes; `resolve` is
+/// the id → &str direction used when rendering reports.
+fn bench_intern_lookup(c: &mut Criterion) {
+    let paths: Vec<String> = (0..64)
+        .map(|i| format!("drivers/net/bench_intern_{i}/main.c"))
+        .collect();
+    for p in &paths {
+        PathId::intern(p);
+    }
+    let ids: Vec<PathId> = paths.iter().map(|p| PathId::intern(p)).collect();
+    let mut group = c.benchmark_group("intern/lookup");
+    group.bench_function("hit", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % paths.len();
+            PathId::intern(&paths[i])
+        })
+    });
+    group.bench_function("resolve", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % ids.len();
+            ids[i].as_str()
+        })
+    });
+    group.bench_function("miss_then_hit", |b| {
+        // Token text is bounded in practice; reuse a small rotating set
+        // so the pool stays bounded while still exercising the hash.
+        let tokens: Vec<String> = (0..16).map(|i| format!("jmake_bench_tok_{i}")).collect();
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % tokens.len();
+            TokenId::intern(&tokens[i])
+        })
+    });
+    group.finish();
+}
+
 /// Substrate: Kconfig allyesconfig resolution.
 fn bench_kconfig(c: &mut Criterion) {
     let (tree, _) = jmake_synth::generate_tree(&bench_profile());
@@ -80,7 +161,7 @@ fn bench_check_patch(c: &mut Criterion) {
     let old = tree.get(&path).unwrap().to_string();
     let new = old.replace("+ 0;", "+ 1;");
     let patch = diff_to_patch(&path, &old, &new, &DiffOptions::default());
-    let mut patched = tree.clone();
+    let mut patched = tree;
     patched.insert(&path, new);
     c.bench_function("core/check_patch_end_to_end", |b| {
         b.iter(|| {
@@ -146,7 +227,7 @@ fn ablation_hint_ranking(c: &mut Criterion) {
     let old = tree.get(&header.path).unwrap().to_string();
     let new = old.replace("<< 1)", "<< 2)");
     let patch = diff_to_patch(&header.path, &old, &new, &DiffOptions::default());
-    let mut patched = tree.clone();
+    let mut patched = tree;
     patched.insert(&header.path, new);
     let mut group = c.benchmark_group("ablation/hint_ranking");
     for (name, hints) in [("with_hints", true), ("without_hints", false)] {
@@ -175,7 +256,7 @@ fn ablation_config_sets(c: &mut Criterion) {
     let old = tree.get(&drv.c_path).unwrap().to_string();
     let new = old.replace("+ 0;", "+ 1;");
     let patch = diff_to_patch(&drv.c_path, &old, &new, &DiffOptions::default());
-    let mut patched = tree.clone();
+    let mut patched = tree;
     patched.insert(&drv.c_path, new);
     let mut group = c.benchmark_group("ablation/config_sets");
     let variants: [(&str, Options); 3] = [
@@ -298,7 +379,7 @@ fn config_key_lookup(c: &mut Criterion) {
     let cache = ConfigCache::new();
     let kinds = [ConfigKind::AllYes, ConfigKind::AllMod];
     let arches = ["x86_64", "arm", "powerpc", "mips"];
-    let mut engine = BuildEngine::new(tree.clone());
+    let mut engine = BuildEngine::new(tree);
     for arch in arches {
         for kind in &kinds {
             let cfg = engine.make_config(arch, kind).unwrap();
@@ -331,6 +412,8 @@ criterion_group!(
     config = Criterion::default().sample_size(20);
     targets = bench_diff,
         bench_preprocess,
+        bench_preproc_memo,
+        bench_intern_lookup,
         bench_kconfig,
         bench_mutation,
         bench_check_patch,

@@ -16,11 +16,16 @@
 //!   --no-object-cache  disable the content-addressed object cache
 //!                      (every .i/.o is preprocessed from scratch;
 //!                      slower wall-clock, identical reports)
-//!   --no-work-stealing disable speculative cache warming by idle
-//!                      workers (identical reports either way)
+//!   --no-work-stealing disable the typed warm-packet scheduler (idle
+//!                      workers stop warming caches speculatively;
+//!                      identical reports either way)
+//!   --no-preproc-cache disable the cross-patch preprocess memo (every
+//!                      header inclusion is expanded live; slower
+//!                      wall-clock, identical reports)
 //!   --bench-json FILE  write a machine-readable benchmark summary
-//!                      (patches/sec, per-stage host wall µs, cache
-//!                      hit rates) to FILE
+//!                      (schema 2: patches/sec, per-stage host CPU µs,
+//!                      end-to-end wall µs, cache hit rates, scheduler
+//!                      stage counters — see DESIGN.md) to FILE
 //!   --cache-dir DIR    persist the config and object caches under DIR
 //!                      (created if missing) and pre-load them from it,
 //!                      so a second run starts warm. Entries carry an
@@ -66,7 +71,9 @@
 use jmake_bench::{build_context_with_driver, render_command};
 use jmake_core::DriverOptions;
 use jmake_faults::{FaultSpec, Faults};
-use jmake_kbuild::{BuildEngine, ConfigCache, ConfigKind, DiskCache, ObjectCache, SourceTree};
+use jmake_kbuild::{
+    BuildEngine, ConfigCache, ConfigKind, DiskCache, ObjectCache, PreprocCache, SourceTree,
+};
 use jmake_reach::{Reach, ReachEnv};
 use jmake_synth::WorkloadProfile;
 use jmake_trace::Tracer;
@@ -132,7 +139,7 @@ fn trace_check(path: &str) -> ! {
             std::process::exit(1);
         }
     };
-    let records = match jmake_trace::jsonl::parse(&text) {
+    let lines = match jmake_trace::jsonl::parse_all(&text) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("trace-check: {path}: {e}");
@@ -140,12 +147,20 @@ fn trace_check(path: &str) -> ! {
         }
     };
     let mut counts = std::collections::BTreeMap::new();
-    for r in &records {
-        if let Some(stage) = r.stage {
-            *counts.entry(stage.name()).or_insert(0u64) += 1;
+    let mut spans = 0usize;
+    let mut counters = 0usize;
+    for line in &lines {
+        match line {
+            jmake_trace::jsonl::TraceLine::Span(r) => {
+                spans += 1;
+                if let Some(stage) = r.stage {
+                    *counts.entry(stage.name()).or_insert(0u64) += 1;
+                }
+            }
+            jmake_trace::jsonl::TraceLine::Counter { .. } => counters += 1,
         }
     }
-    println!("trace-check: {path}: {} span(s) OK", records.len());
+    println!("trace-check: {path}: {spans} span(s), {counters} counter(s) OK");
     for (stage, n) in counts {
         println!("  {stage:<14} {n}");
     }
@@ -154,6 +169,13 @@ fn trace_check(path: &str) -> ! {
 
 /// Machine-readable benchmark summary for `--bench-json` (hand-rolled:
 /// the workspace carries no JSON serializer and the shape is fixed).
+///
+/// Schema 2 (documented in DESIGN.md): `host_cpu_us` holds the
+/// per-stage host time *summed over workers* (schema 1 called this
+/// `host_wall_us`, which misread as end-to-end time); `wall_us` is the
+/// actual end-to-end evaluation wall clock; `preproc_cache_stats` and
+/// `scheduler` cover the cross-patch preprocess memo and the typed
+/// warm-packet scheduler.
 fn render_bench_json(
     profile: &WorkloadProfile,
     driver: &DriverOptions,
@@ -166,22 +188,39 @@ fn render_bench_json(
     } else {
         0.0
     };
+    let sched = s
+        .scheduler
+        .stages()
+        .iter()
+        .map(|(name, st)| {
+            format!(
+                "    \"{}\": {{ \"enqueued\": {}, \"executed\": {}, \"dropped\": {}, \"peak_depth\": {} }}",
+                name, st.enqueued, st.executed, st.dropped, st.peak_depth
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     format!(
         concat!(
             "{{\n",
+            "  \"schema\": 2,\n",
             "  \"commits\": {},\n",
             "  \"seed\": {},\n",
             "  \"workers\": {},\n",
             "  \"shared_config_cache\": {},\n",
             "  \"object_cache\": {},\n",
             "  \"work_stealing\": {},\n",
+            "  \"preproc_cache\": {},\n",
             "  \"patches\": {},\n",
             "  \"checked\": {},\n",
             "  \"wall_seconds\": {:.3},\n",
             "  \"patches_per_sec\": {:.2},\n",
-            "  \"host_wall_us\": {{ \"checkout\": {}, \"show\": {}, \"check\": {}, \"total\": {} }},\n",
+            "  \"wall_us\": {},\n",
+            "  \"host_cpu_us\": {{ \"checkout\": {}, \"show\": {}, \"check\": {}, \"total\": {} }},\n",
             "  \"config_cache_stats\": {{ \"hits\": {}, \"misses\": {}, \"entries\": {}, \"hit_rate\": {:.4} }},\n",
-            "  \"object_cache_stats\": {{ \"hits\": {}, \"negative_hits\": {}, \"misses\": {}, \"entries\": {}, \"hit_rate\": {:.4} }}\n",
+            "  \"object_cache_stats\": {{ \"hits\": {}, \"negative_hits\": {}, \"misses\": {}, \"entries\": {}, \"hit_rate\": {:.4} }},\n",
+            "  \"preproc_cache_stats\": {{ \"hits\": {}, \"misses\": {}, \"entries\": {}, \"hit_rate\": {:.4}, \"closure_hits\": {}, \"closure_misses\": {} }},\n",
+            "  \"scheduler\": {{\n{}\n  }}\n",
             "}}\n",
         ),
         profile.commits,
@@ -190,10 +229,12 @@ fn render_bench_json(
         driver.shared_cache,
         driver.object_cache,
         driver.work_stealing,
+        driver.preproc_cache,
         s.patches,
         s.checked,
         wall_secs,
         pps,
+        (wall_secs * 1e6) as u64,
         s.checkout_wall_us,
         s.show_wall_us,
         s.check_wall_us,
@@ -207,6 +248,13 @@ fn render_bench_json(
         s.object.misses,
         s.object.entries,
         s.object.hit_rate(),
+        s.preproc.hits,
+        s.preproc.misses,
+        s.preproc.entries,
+        s.preproc.hit_rate(),
+        s.preproc.closure_hits,
+        s.preproc.closure_misses,
+        sched,
     )
 }
 
@@ -271,6 +319,7 @@ fn main() {
             "--no-shared-cache" => driver.shared_cache = false,
             "--no-object-cache" => driver.object_cache = false,
             "--no-work-stealing" => driver.work_stealing = false,
+            "--no-preproc-cache" => driver.preproc_cache = false,
             "--bench-json" => {
                 let Some(path) = it.next() else {
                     eprintln!("--bench-json needs a file path");
@@ -351,12 +400,14 @@ fn main() {
     if let Some(disk) = &disk {
         let objects = std::sync::Arc::new(ObjectCache::new());
         let configs = std::sync::Arc::new(ConfigCache::new());
-        match disk.load(&objects, &configs, &driver.faults) {
+        let preproc = std::sync::Arc::new(PreprocCache::new());
+        match disk.load(&objects, &configs, &preproc, &driver.faults) {
             Ok(s) => eprintln!(
-                "disk cache: loaded {} object / {} config entr{} from {} ({} quarantined)",
+                "disk cache: loaded {} object / {} config / {} preproc entr{} from {} ({} quarantined)",
                 s.objects_loaded,
                 s.configs_loaded,
-                if s.objects_loaded + s.configs_loaded == 1 { "y" } else { "ies" },
+                s.preproc_loaded,
+                if s.objects_loaded + s.configs_loaded + s.preproc_loaded == 1 { "y" } else { "ies" },
                 disk.root().display(),
                 s.entries_quarantined,
             ),
@@ -367,6 +418,7 @@ fn main() {
         }
         driver.object_cache_handle = Some(objects);
         driver.config_cache_handle = Some(configs);
+        driver.preproc_cache_handle = Some(preproc);
     }
 
     eprintln!(
@@ -392,13 +444,18 @@ fn main() {
             .config_cache_handle
             .as_ref()
             .expect("set alongside --cache-dir");
+        let preproc = driver
+            .preproc_cache_handle
+            .as_ref()
+            .expect("set alongside --cache-dir");
         // Persisting is best-effort: a full disk loses warm starts, not
         // results.
-        match disk.store(objects, configs) {
+        match disk.store(objects, configs, preproc) {
             Ok(s) => eprintln!(
-                "disk cache: stored {} new object / {} new config entries under {}",
+                "disk cache: stored {} new object / {} new config / {} new preproc entries under {}",
                 s.objects_stored,
                 s.configs_stored,
+                s.preproc_stored,
                 disk.root().display(),
             ),
             Err(e) => {

@@ -8,7 +8,7 @@
 use jmake_bench::{build_context_with_driver, render_command};
 use jmake_core::DriverOptions;
 use jmake_faults::Faults;
-use jmake_kbuild::{ConfigCache, DiskCache, ObjectCache};
+use jmake_kbuild::{ConfigCache, DiskCache, DiskTierStats, ObjectCache, PreprocCache};
 use jmake_synth::WorkloadProfile;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -32,39 +32,48 @@ fn profile() -> WorkloadProfile {
 }
 
 /// Evaluate with fresh in-memory caches backed by `cache_dir`, returning
-/// the full rendered report plus the in-memory object-cache hit count.
-fn run(cache_dir: &PathBuf, workers: usize) -> (String, u64) {
+/// the full rendered report, the in-memory object-cache hit count, and
+/// the disk-tier load stats.
+fn run(cache_dir: &PathBuf, workers: usize) -> (String, u64, DiskTierStats) {
     let objects = Arc::new(ObjectCache::new());
     let configs = Arc::new(ConfigCache::new());
+    let preproc = Arc::new(PreprocCache::new());
     let disk = DiskCache::open(cache_dir).unwrap();
-    let loaded = disk.load(&objects, &configs, &Faults::disabled()).unwrap();
+    let loaded = disk
+        .load(&objects, &configs, &preproc, &Faults::disabled())
+        .unwrap();
     assert_eq!(loaded.entries_quarantined, 0, "healthy tier, nothing quarantined");
     let driver = DriverOptions {
         workers,
         object_cache_handle: Some(Arc::clone(&objects)),
         config_cache_handle: Some(Arc::clone(&configs)),
+        preproc_cache_handle: Some(Arc::clone(&preproc)),
         ..DriverOptions::default()
     };
     let ctx = build_context_with_driver(&profile(), &driver);
     let report = render_command(&ctx, "all").unwrap();
-    disk.store(&objects, &configs).unwrap();
-    (report, objects.stats().hits)
+    disk.store(&objects, &configs, &preproc).unwrap();
+    (report, objects.stats().hits, loaded)
 }
 
 #[test]
 fn cold_warm_warm_reports_are_byte_identical_across_worker_counts() {
     let dir = tempdir("identity");
 
-    let (cold, _) = run(&dir, 1);
+    let (cold, _, _) = run(&dir, 1);
     assert!(!cold.is_empty());
 
     // The cold run persisted entries the warm runs must find.
     let stored: Vec<_> = walk(&dir.join("objects"));
     assert!(!stored.is_empty(), "cold run persisted object entries");
+    assert!(
+        !walk(&dir.join("preproc")).is_empty(),
+        "cold run persisted preproc entries"
+    );
 
     for workers in [1, 8] {
         for round in ["warm", "warm again"] {
-            let (report, hits) = run(&dir, workers);
+            let (report, hits, loaded) = run(&dir, workers);
             assert_eq!(
                 report, cold,
                 "{round} report with {workers} worker(s) differs from cold"
@@ -72,6 +81,10 @@ fn cold_warm_warm_reports_are_byte_identical_across_worker_counts() {
             assert!(
                 hits > 0,
                 "{round} run with {workers} worker(s) never hit the loaded tier"
+            );
+            assert!(
+                loaded.preproc_loaded > 0,
+                "{round} run with {workers} worker(s) loaded no preproc entries"
             );
         }
     }
@@ -82,13 +95,14 @@ fn cold_warm_warm_reports_are_byte_identical_across_worker_counts() {
 #[test]
 fn corrupting_every_entry_on_disk_changes_nothing_but_the_quarantine() {
     let dir = tempdir("corrupt");
-    let (cold, _) = run(&dir, 2);
+    let (cold, _, _) = run(&dir, 2);
 
     // Truncate every persisted entry: each must quarantine, none may
     // surface as a wrong result — the report stays byte-identical.
     let entries: Vec<_> = walk(&dir.join("objects"))
         .into_iter()
         .chain(walk(&dir.join("configs")))
+        .chain(walk(&dir.join("preproc")))
         .collect();
     assert!(!entries.is_empty());
     for path in &entries {
@@ -98,15 +112,22 @@ fn corrupting_every_entry_on_disk_changes_nothing_but_the_quarantine() {
 
     let objects = Arc::new(ObjectCache::new());
     let configs = Arc::new(ConfigCache::new());
+    let preproc = Arc::new(PreprocCache::new());
     let disk = DiskCache::open(&dir).unwrap();
-    let loaded = disk.load(&objects, &configs, &Faults::disabled()).unwrap();
+    let loaded = disk
+        .load(&objects, &configs, &preproc, &Faults::disabled())
+        .unwrap();
     assert_eq!(loaded.entries_quarantined as usize, entries.len());
-    assert_eq!(loaded.objects_loaded + loaded.configs_loaded, 0);
+    assert_eq!(
+        loaded.objects_loaded + loaded.configs_loaded + loaded.preproc_loaded,
+        0
+    );
 
     let driver = DriverOptions {
         workers: 2,
         object_cache_handle: Some(objects),
         config_cache_handle: Some(configs),
+        preproc_cache_handle: Some(preproc),
         ..DriverOptions::default()
     };
     let report = render_command(&build_context_with_driver(&profile(), &driver), "all").unwrap();

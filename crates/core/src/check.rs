@@ -9,7 +9,8 @@ use crate::token::{MutationKind, MutationToken};
 use jmake_cpp::analyze;
 use jmake_diff::{changed_lines, ChangeKind, Patch};
 use jmake_kbuild::{
-    bootstrap_files_of, tree::file_name, BuildEngine, BuildError, ConfigKind, ObjKind, SourceTree,
+    bootstrap_files_of, tree::file_name, ArchId, BuildEngine, BuildError, ConfigKind, ObjKind,
+    PathId, SourceTree,
 };
 use jmake_trace::Stage;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
@@ -104,6 +105,13 @@ impl JMake {
         let base = engine.tree().clone();
         let selector = ArchSelector::new(&base);
         let mut works = self.collect_work(engine, &base, &selector, patch);
+        // Path → work-slot index: `run_target` resolves files by name on
+        // every trial, so give it O(1) lookups instead of linear scans.
+        let index: WorkIndex = works
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.path.clone(), i))
+            .collect();
 
         // Build the mutated tree (bootstrap files stay pristine: mutating
         // them would fail every make invocation, paper §V.D).
@@ -114,9 +122,9 @@ impl JMake {
 
         let mut expanded_macros: HashSet<String> = HashSet::new();
 
-        self.c_phase(engine, &base, &mutated, &mut works, &mut expanded_macros);
+        self.c_phase(engine, &base, &mutated, &mut works, &index, &mut expanded_macros);
         if self.options.use_coverage_configs {
-            self.coverage_phase(engine, &base, &mutated, &mut works, &mut expanded_macros);
+            self.coverage_phase(engine, &base, &mutated, &mut works, &index, &mut expanded_macros);
         }
         for w in works.iter_mut().filter(|w| w.is_header) {
             w.header_covered_by_patch_c = !w.plan.is_trivial() && w.remaining.is_empty();
@@ -128,6 +136,7 @@ impl JMake {
             &mutated,
             &selector,
             &mut works,
+            &index,
             &mut expanded_macros,
             &mut header_memo,
         );
@@ -227,12 +236,14 @@ impl JMake {
     }
 
     /// §III.D: process the patch's `.c` files across candidate targets.
+    #[allow(clippy::too_many_arguments)]
     fn c_phase(
         &self,
         engine: &mut BuildEngine,
         base: &SourceTree,
         mutated: &SourceTree,
         works: &mut [Work],
+        index: &WorkIndex,
         expanded_macros: &mut HashSet<String>,
     ) {
         // Global target order: first-seen across the files' candidates.
@@ -263,6 +274,7 @@ impl JMake {
                 base,
                 mutated,
                 works,
+                index,
                 expanded_macros,
                 target,
                 &pending,
@@ -279,12 +291,14 @@ impl JMake {
 
     /// §VII extension: for `.c` leftovers, synthesize configurations that
     /// flip variables off so `#ifndef`/`#else` branches become live.
+    #[allow(clippy::too_many_arguments)]
     fn coverage_phase(
         &self,
         engine: &mut BuildEngine,
         base: &SourceTree,
         mutated: &SourceTree,
         works: &mut [Work],
+        index: &WorkIndex,
         expanded_macros: &mut HashSet<String>,
     ) {
         let pending: Vec<(String, Vec<Target>)> = works
@@ -321,15 +335,15 @@ impl JMake {
                     base,
                     mutated,
                     works,
+                    index,
                     expanded_macros,
                     target,
                     std::slice::from_ref(&path),
                     std::slice::from_ref(&path),
                 );
-                let done = works
-                    .iter()
-                    .find(|w| w.path == path)
-                    .is_some_and(|w| w.remaining.is_empty());
+                let done = index
+                    .get(path.as_str())
+                    .is_some_and(|&i| works[i].remaining.is_empty());
                 if done {
                     break;
                 }
@@ -346,6 +360,7 @@ impl JMake {
         mutated: &SourceTree,
         selector: &ArchSelector,
         works: &mut [Work],
+        index: &WorkIndex,
         expanded_macros: &mut HashSet<String>,
         memo: &mut HeaderCandidateMemo,
     ) {
@@ -400,6 +415,7 @@ impl JMake {
                     base,
                     mutated,
                     works,
+                    index,
                     expanded_macros,
                     target,
                     &candidates,
@@ -425,14 +441,17 @@ impl JMake {
         base: &SourceTree,
         mutated: &SourceTree,
         works: &mut [Work],
+        index: &WorkIndex,
         expanded_macros: &mut HashSet<String>,
         target: &Target,
         c_files: &[String],
         record_tried: &[String],
     ) {
+        let work_of = |path: &str| -> Option<usize> { index.get(path).copied() };
         let desc = target.describe();
         for path in record_tried {
-            if let Some(w) = works.iter_mut().find(|w| &w.path == path) {
+            if let Some(i) = work_of(path) {
+                let w = &mut works[i];
                 if !w.targets_tried.contains(&desc) {
                     w.targets_tried.push(desc.clone());
                 }
@@ -443,7 +462,8 @@ impl JMake {
             Err(e) => {
                 let gave_up = matches!(e, BuildError::RetriesExhausted { .. });
                 for path in record_tried {
-                    if let Some(w) = works.iter_mut().find(|w| &w.path == path) {
+                    if let Some(i) = work_of(path) {
+                        let w = &mut works[i];
                         let msg = format!("{desc}: {e}");
                         if gave_up && !w.degraded.contains(&msg) {
                             w.degraded.push(msg.clone());
@@ -462,7 +482,8 @@ impl JMake {
                 Err(e) => {
                     let gave_up = matches!(e, BuildError::RetriesExhausted { .. });
                     for path in record_tried {
-                        if let Some(w) = works.iter_mut().find(|w| &w.path == path) {
+                        if let Some(i) = work_of(path) {
+                            let w = &mut works[i];
                             let msg = format!("{desc}: {e}");
                             if gave_up && !w.degraded.contains(&msg) {
                                 w.degraded.push(msg.clone());
@@ -477,7 +498,8 @@ impl JMake {
                 let ifile = match res {
                     Ok(f) => f,
                     Err(e) => {
-                        if let Some(w) = works.iter_mut().find(|w| w.path == c_path) {
+                        if let Some(i) = work_of(&c_path) {
+                            let w = &mut works[i];
                             let msg = format!("{desc}: {e}");
                             if !w.errors.contains(&msg) {
                                 w.errors.push(msg);
@@ -491,9 +513,9 @@ impl JMake {
                 let new_tokens: Vec<MutationToken> = found
                     .iter()
                     .filter(|t| {
-                        works
-                            .iter()
-                            .any(|w| w.path == t.file && w.remaining.contains(t))
+                        index
+                            .get(t.file.as_str())
+                            .is_some_and(|&i| works[i].remaining.contains(t))
                     })
                     .cloned()
                     .collect();
@@ -503,14 +525,15 @@ impl JMake {
                 // A mutant surfaced: certify by compiling the pristine file
                 // (paper §III.D step 4).
                 let compiled = {
-                    if let Some(w) = works.iter_mut().find(|w| w.path == c_path) {
-                        w.o_attempts += 1;
+                    if let Some(i) = work_of(&c_path) {
+                        works[i].o_attempts += 1;
                     }
                     engine.make_o(&cfg, base, &c_path)
                 };
                 match compiled {
                     Ok(()) => {
-                        if let Some(w) = works.iter_mut().find(|w| w.path == c_path) {
+                        if let Some(i) = work_of(&c_path) {
+                            let w = &mut works[i];
                             w.compiled_somewhere = true;
                             if !w.first_success_seen {
                                 w.first_success_seen = true;
@@ -520,7 +543,8 @@ impl JMake {
                         }
                         let mut credited_headers: BTreeSet<String> = BTreeSet::new();
                         for tok in new_tokens {
-                            if let Some(w) = works.iter_mut().find(|w| w.path == tok.file) {
+                            if let Some(i) = work_of(&tok.file) {
+                                let w = &mut works[i];
                                 if w.remaining.remove(&tok) {
                                     if w.is_header && w.path != c_path {
                                         credited_headers.insert(w.path.clone());
@@ -532,13 +556,14 @@ impl JMake {
                         // One candidate compilation may certify several
                         // header tokens; count it once per header.
                         for h in credited_headers {
-                            if let Some(w) = works.iter_mut().find(|w| w.path == h) {
-                                w.header_candidates_used += 1;
+                            if let Some(i) = work_of(&h) {
+                                works[i].header_candidates_used += 1;
                             }
                         }
                     }
                     Err(e) => {
-                        if let Some(w) = works.iter_mut().find(|w| w.path == c_path) {
+                        if let Some(i) = work_of(&c_path) {
+                            let w = &mut works[i];
                             let msg = format!("{desc}: {e}");
                             if matches!(e, BuildError::RetriesExhausted { .. })
                                 && !w.degraded.contains(&msg)
@@ -596,8 +621,10 @@ impl JMake {
         works
             .into_iter()
             .map(|w| {
-                let content = base.get(&w.path).unwrap_or_default().to_string();
-                let map = analyze(&content);
+                // Borrow the file body straight out of the tree: cloning it
+                // here used to copy every changed file once per report.
+                let content = base.get(&w.path).unwrap_or_default();
+                let map = analyze(content);
                 let uncovered: Vec<UncoveredMutation> = w
                     .remaining
                     .iter()
@@ -612,7 +639,7 @@ impl JMake {
                                 };
                                 classify(
                                     tok,
-                                    &content,
+                                    content,
                                     &cfg.model,
                                     dead,
                                     &cfg.config,
@@ -633,7 +660,7 @@ impl JMake {
                 // mutation, not just the leftover ones.
                 let both_branches = {
                     let refs: Vec<&MutationToken> = w.plan.mutations.iter().collect();
-                    !w.remaining.is_empty() && detect_both_branches(&content, &refs)
+                    !w.remaining.is_empty() && detect_both_branches(content, &refs)
                 };
                 let status = if w.bootstrap {
                     FileStatus::Bootstrap
@@ -689,6 +716,10 @@ impl JMake {
             .collect()
     }
 }
+
+/// Path → work-slot index, built once per patch so the hot trial loop in
+/// `run_target` resolves files in O(1) instead of scanning `works`.
+type WorkIndex = HashMap<String, usize>;
 
 /// Work-in-progress state for one file of the patch.
 #[derive(Debug)]
@@ -866,12 +897,19 @@ impl JMake {
         }
 
         let mut probes = Vec::new();
-        let mut seen: HashSet<(String, String, ConfigKind, ObjKind)> = HashSet::new();
+        // Interned ids keep the dedup set Copy-cheap: no per-probe String
+        // clones just to test membership.
+        let mut seen: HashSet<(PathId, ArchId, ConfigKind, ObjKind)> = HashSet::new();
         let mut push = |probes: &mut Vec<WarmProbe>, file: &str, target: &Target, op: ObjKind| {
             if matches!(target.kind, ConfigKind::Custom { .. }) {
                 return;
             }
-            if seen.insert((file.to_string(), target.arch.clone(), target.kind.clone(), op)) {
+            if seen.insert((
+                PathId::intern(file),
+                ArchId::intern(&target.arch),
+                target.kind.clone(),
+                op,
+            )) {
                 probes.push(WarmProbe {
                     file: file.to_string(),
                     arch: target.arch.clone(),

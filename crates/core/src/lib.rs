@@ -69,6 +69,7 @@ pub use covsel::{branch_wants, generate_cover_targets, Want};
 pub use crosscheck::{cross_check, CrossCheckReport, Discrepancy, DiscrepancyKind};
 pub use driver::{
     run_evaluation, DriverOptions, DriverStats, EvaluationRun, PatchOutcome, PatchResult,
+    SchedulerStats, StageQueueStats,
 };
 pub use mutation::{mutate, mutate_naive, MutationPlan};
 pub use precheck::{precheck, PrecheckKind, PrecheckWarning};

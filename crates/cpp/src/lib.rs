@@ -49,6 +49,7 @@ pub mod expr;
 pub mod lexer;
 pub mod lines;
 pub mod macros;
+pub mod memo;
 pub mod preprocess;
 pub mod syntax;
 pub mod token;
@@ -57,6 +58,7 @@ pub use analyze::{analyze, LineInfo, MacroDefSpan, SourceMap};
 pub use error::{CppError, SyntaxError};
 pub use lexer::lex;
 pub use macros::{MacroDef, MacroTable};
+pub use memo::{IncludeEffect, IncludeKey, IncludeMemo, MacroEvent};
 pub use preprocess::{IncludeResolver, MapResolver, PreprocessOutput, Preprocessor};
 pub use syntax::validate;
 pub use token::{Token, TokenKind};

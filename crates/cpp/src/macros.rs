@@ -1,8 +1,9 @@
 //! Macro definitions and the macro table.
 
 use crate::lexer::lex;
-use crate::token::Token;
+use crate::token::{Token, TokenKind};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A macro definition.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,12 +43,92 @@ impl MacroDef {
     pub fn is_function_like(&self) -> bool {
         self.params.is_some()
     }
+
+    /// A 64-bit content hash of the definition (name, parameters, body
+    /// tokens including layout and provenance lines — anything that can
+    /// influence expansion output).
+    pub fn content_hash(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        fnv_str(&mut h, &self.name);
+        match &self.params {
+            None => fnv_byte(&mut h, 0),
+            Some(params) => {
+                fnv_byte(&mut h, 1);
+                fnv_u64(&mut h, params.len() as u64);
+                for p in params {
+                    fnv_str(&mut h, p);
+                }
+            }
+        }
+        fnv_byte(&mut h, self.variadic as u8);
+        fnv_u64(&mut h, self.body.len() as u64);
+        for t in &self.body {
+            let (tag, ch) = match t.kind {
+                TokenKind::Ident => (0u8, 0u32),
+                TokenKind::Number => (1, 0),
+                TokenKind::Str => (2, 0),
+                TokenKind::Char => (3, 0),
+                TokenKind::Punct => (4, 0),
+                TokenKind::Other(c) => (5, c as u32),
+            };
+            fnv_byte(&mut h, tag);
+            fnv_u64(&mut h, ch as u64);
+            fnv_str(&mut h, &t.text);
+            fnv_byte(&mut h, t.space_before as u8);
+            fnv_u64(&mut h, t.line as u64);
+        }
+        h
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_byte(h: &mut u64, b: u8) {
+    *h ^= b as u64;
+    *h = h.wrapping_mul(FNV_PRIME);
+}
+
+fn fnv_u64(h: &mut u64, v: u64) {
+    for b in v.to_le_bytes() {
+        fnv_byte(h, b);
+    }
+}
+
+fn fnv_str(h: &mut u64, s: &str) {
+    for b in s.as_bytes() {
+        fnv_byte(h, *b);
+    }
+    // Length-prefix-free separator: a byte that never occurs in UTF-8.
+    fnv_byte(h, 0xff);
+}
+
+/// A 64-bit hash of a standalone string (used for the pragma-once set
+/// fingerprint).
+pub(crate) fn str_hash(s: &str) -> u64 {
+    let mut h = FNV_OFFSET;
+    fnv_str(&mut h, s);
+    h
 }
 
 /// The set of live macro definitions during preprocessing.
+///
+/// Maintains a running order-independent fingerprint of its contents
+/// (a multiset fold over per-definition hashes), so "is the macro
+/// environment identical to last time?" is an O(1) question — the key
+/// discipline behind cross-patch preprocess memoization.
 #[derive(Debug, Clone, Default)]
 pub struct MacroTable {
-    defs: HashMap<String, MacroDef>,
+    defs: HashMap<Arc<str>, MacroSlot>,
+    fp: u64,
+}
+
+/// One live definition plus its memoized content hash, so replacement
+/// and `#undef` adjust the running fingerprint without re-hashing.
+#[derive(Debug, Clone)]
+struct MacroSlot {
+    hash: u64,
+    def: Arc<MacroDef>,
 }
 
 impl MacroTable {
@@ -58,17 +139,37 @@ impl MacroTable {
 
     /// Define (or redefine) a macro.
     pub fn define(&mut self, def: MacroDef) {
-        self.defs.insert(def.name.clone(), def);
+        self.define_shared(Arc::new(def));
+    }
+
+    /// Define (or redefine) a macro whose definition is already shared —
+    /// cloning a table and replaying recorded definitions both bump a
+    /// refcount instead of deep-copying token bodies.
+    pub fn define_shared(&mut self, def: Arc<MacroDef>) {
+        let hash = def.content_hash();
+        let name: Arc<str> = Arc::from(def.name.as_str());
+        if let Some(old) = self.defs.insert(name, MacroSlot { hash, def }) {
+            self.fp = self.fp.wrapping_sub(old.hash);
+        }
+        self.fp = self.fp.wrapping_add(hash);
     }
 
     /// Remove a macro; silently ignores unknown names (like `#undef`).
     pub fn undef(&mut self, name: &str) {
-        self.defs.remove(name);
+        if let Some(old) = self.defs.remove(name) {
+            self.fp = self.fp.wrapping_sub(old.hash);
+        }
+    }
+
+    /// The running fingerprint: equal for tables holding identical
+    /// definition multisets, regardless of the order they were built in.
+    pub fn fingerprint(&self) -> u64 {
+        self.fp
     }
 
     /// Look up a macro.
     pub fn get(&self, name: &str) -> Option<&MacroDef> {
-        self.defs.get(name)
+        self.defs.get(name).map(|slot| &*slot.def)
     }
 
     /// `defined(name)`.
@@ -88,7 +189,7 @@ impl MacroTable {
 
     /// Iterate over the defined names (arbitrary order).
     pub fn names(&self) -> impl Iterator<Item = &str> {
-        self.defs.keys().map(String::as_str)
+        self.defs.keys().map(|k| &**k)
     }
 }
 
@@ -115,6 +216,48 @@ mod tests {
         t.define(MacroDef::object("X", "2"));
         assert_eq!(t.get("X").unwrap().body[0].text, "2");
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_is_order_independent_and_tracks_content() {
+        let mut a = MacroTable::new();
+        a.define(MacroDef::object("X", "1"));
+        a.define(MacroDef::object("Y", "2"));
+        let mut b = MacroTable::new();
+        b.define(MacroDef::object("Y", "2"));
+        b.define(MacroDef::object("X", "1"));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+
+        // Redefinition changes the fingerprint; undef restores emptiness.
+        let before = a.fingerprint();
+        a.define(MacroDef::object("X", "99"));
+        assert_ne!(a.fingerprint(), before);
+        a.undef("X");
+        a.undef("Y");
+        assert_eq!(a.fingerprint(), MacroTable::new().fingerprint());
+
+        // Define-then-undef round-trips to the prior fingerprint.
+        let mut c = MacroTable::new();
+        c.define(MacroDef::object("K", "7"));
+        let mid = c.fingerprint();
+        c.define(MacroDef::object("T", "t"));
+        c.undef("T");
+        assert_eq!(c.fingerprint(), mid);
+    }
+
+    #[test]
+    fn content_hash_distinguishes_shape() {
+        let obj = MacroDef::object("M", "1");
+        let f = MacroDef::function("M", vec![], "1");
+        assert_ne!(obj.content_hash(), f.content_hash());
+        assert_ne!(
+            MacroDef::object("M", "1").content_hash(),
+            MacroDef::object("M", "2").content_hash()
+        );
+        assert_eq!(
+            MacroDef::object("M", "1").content_hash(),
+            MacroDef::object("M", "1").content_hash()
+        );
     }
 
     #[test]

@@ -6,9 +6,11 @@ use crate::expand::Expander;
 use crate::expr::eval_if_expr;
 use crate::lexer::lex;
 use crate::lines::{logical_lines, LogicalLine};
-use crate::macros::{MacroDef, MacroTable};
+use crate::macros::{str_hash, MacroDef, MacroTable};
+use crate::memo::{IncludeEffect, IncludeKey, IncludeMemo, MacroEvent};
 use crate::token::{render_tokens, Token, TokenKind};
 use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
 
 /// Maximum include nesting before [`CppErrorKind::IncludeDepthExceeded`].
 const MAX_INCLUDE_DEPTH: usize = 64;
@@ -21,9 +23,11 @@ const MAX_INCLUDE_DEPTH: usize = 64;
 pub trait IncludeResolver {
     /// Resolve `target`; `quoted` distinguishes `"x.h"` from `<x.h>`,
     /// `including_file` is the canonical path of the file containing the
-    /// directive. Returns the canonical path and content.
+    /// directive. Returns the canonical path and content; the content is
+    /// a shared handle so resolvers over long-lived trees hand out
+    /// pointers instead of copying file text per inclusion.
     fn resolve(&self, target: &str, quoted: bool, including_file: &str)
-        -> Option<(String, String)>;
+        -> Option<(String, Arc<str>)>;
 }
 
 /// An [`IncludeResolver`] over an in-memory file map — the whole workspace
@@ -31,7 +35,7 @@ pub trait IncludeResolver {
 /// for the same reason).
 #[derive(Debug, Clone, Default)]
 pub struct MapResolver {
-    files: BTreeMap<String, String>,
+    files: BTreeMap<String, Arc<str>>,
     search_paths: Vec<String>,
 }
 
@@ -43,6 +47,7 @@ impl MapResolver {
 
     /// Add (or replace) a file.
     pub fn add_file(&mut self, path: impl Into<String>, content: impl Into<String>) {
+        let content: String = content.into();
         self.files.insert(normalize(&path.into()), content.into());
     }
 
@@ -53,7 +58,7 @@ impl MapResolver {
 
     /// Borrow a file's content by canonical path.
     pub fn get(&self, path: &str) -> Option<&str> {
-        self.files.get(&normalize(path)).map(String::as_str)
+        self.files.get(&normalize(path)).map(|c| &**c)
     }
 }
 
@@ -63,7 +68,7 @@ impl IncludeResolver for MapResolver {
         target: &str,
         quoted: bool,
         including_file: &str,
-    ) -> Option<(String, String)> {
+    ) -> Option<(String, Arc<str>)> {
         let mut candidates = Vec::new();
         if quoted {
             let dir = match including_file.rsplit_once('/') {
@@ -83,7 +88,7 @@ impl IncludeResolver for MapResolver {
         for c in candidates {
             let c = normalize(&c);
             if let Some(content) = self.files.get(&c) {
-                return Some((c, content.clone()));
+                return Some((c, Arc::clone(content)));
             }
         }
         None
@@ -143,10 +148,21 @@ impl PreprocessOutput {
 
 /// The preprocessor: configure predefined macros and search behaviour, then
 /// run [`Preprocessor::preprocess`] per translation unit.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Preprocessor<R> {
     resolver: R,
     predefined: MacroTable,
+    memo: Option<Arc<dyn IncludeMemo>>,
+}
+
+impl<R: std::fmt::Debug> std::fmt::Debug for Preprocessor<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Preprocessor")
+            .field("resolver", &self.resolver)
+            .field("predefined", &self.predefined)
+            .field("memo", &self.memo.is_some())
+            .finish()
+    }
 }
 
 impl<R: IncludeResolver> Preprocessor<R> {
@@ -155,7 +171,23 @@ impl<R: IncludeResolver> Preprocessor<R> {
         Preprocessor {
             resolver,
             predefined: MacroTable::new(),
+            memo: None,
         }
+    }
+
+    /// Attach a header-inclusion memo (see [`crate::memo`]). Replayed
+    /// inclusions leave the output and all preprocessor state
+    /// byte-identical to live processing; only host time changes.
+    pub fn set_memo(&mut self, memo: Arc<dyn IncludeMemo>) {
+        self.memo = Some(memo);
+    }
+
+    /// Replace the whole predefined-macro table at once. A table built
+    /// ahead of time (e.g. one per build configuration) shares its
+    /// definitions by refcount, so installing it costs far less than
+    /// re-`define`-ing every macro per translation unit.
+    pub fn set_predefined(&mut self, table: MacroTable) {
+        self.predefined = table;
     }
 
     /// Predefine an object-like macro (like `-D name=body`).
@@ -184,11 +216,19 @@ impl<R: IncludeResolver> Preprocessor<R> {
     pub fn preprocess(&self, path: &str, content: &str) -> PreprocessOutput {
         let mut st = State {
             resolver: &self.resolver,
+            memo: self.memo.as_deref(),
             table: self.predefined.clone(),
             errors: Vec::new(),
             expanded: HashSet::new(),
             includes: Vec::new(),
             pragma_once: HashSet::new(),
+            pragma_fp: 0,
+            recording: false,
+            rec_macros: Vec::new(),
+            rec_expanded: Vec::new(),
+            rec_includes: Vec::new(),
+            rec_pragma: Vec::new(),
+            rec_first_flush: None,
             out: String::new(),
             out_file: String::new(),
             out_line: 0,
@@ -214,11 +254,26 @@ impl<R: IncludeResolver> Preprocessor<R> {
 
 struct State<'r, R> {
     resolver: &'r R,
+    memo: Option<&'r dyn IncludeMemo>,
     table: MacroTable,
     errors: Vec<CppError>,
     expanded: HashSet<String>,
     includes: Vec<String>,
     pragma_once: HashSet<String>,
+    /// Multiset fingerprint of `pragma_once` (memo key component).
+    pragma_fp: u64,
+    /// An include-effect recording is active (at most one at a time; the
+    /// outermost memoizable inclusion records, nested ones run live or
+    /// replay into the outer recording).
+    recording: bool,
+    rec_macros: Vec<MacroEvent>,
+    rec_expanded: Vec<String>,
+    rec_includes: Vec<String>,
+    rec_pragma: Vec<String>,
+    /// `(path, first_line, marker_emitted)` of the first flush inside the
+    /// active recording — the only output decision that depends on the
+    /// caller's state (see [`crate::memo`]).
+    rec_first_flush: Option<(String, u32, bool)>,
     out: String,
     /// File the last emitted marker named.
     out_file: String,
@@ -338,7 +393,7 @@ impl<'r, R: IncludeResolver> State<'r, R> {
             }
             "define" => self.handle_define(path, line, rest),
             "undef" => match first_ident(rest) {
-                Some(id) => self.table.undef(&id),
+                Some(id) => self.undef_macro(&id),
                 None => self.error(
                     path,
                     line,
@@ -349,7 +404,7 @@ impl<'r, R: IncludeResolver> State<'r, R> {
             "error" => self.error(path, line, CppErrorKind::UserError(rest.to_string())),
             "warning" | "pragma" | "line" | "ident" => {
                 if name == "pragma" && rest.trim() == "once" {
-                    self.pragma_once.insert(path.to_string());
+                    self.pragma_insert(path);
                 }
             }
             other => self.error(
@@ -423,12 +478,12 @@ impl<'r, R: IncludeResolver> State<'r, R> {
         };
         let body_text: String = rest_chars[body_start..].iter().collect();
         let body = lex(body_text.trim_start(), line);
-        self.table.define(MacroDef {
+        self.define_macro(Arc::new(MacroDef {
             name,
             params,
             variadic,
             body,
-        });
+        }));
     }
 
     fn handle_include(&mut self, path: &str, line: u32, rest: &str, depth: usize) {
@@ -441,7 +496,11 @@ impl<'r, R: IncludeResolver> State<'r, R> {
         } else {
             let mut ex = Expander::new(&self.table);
             let toks = ex.expand(&lex(rest, line));
-            self.expanded.extend(ex.expanded_names.iter().cloned());
+            let names = std::mem::take(&mut ex.expanded_names);
+            drop(ex);
+            for name in &names {
+                self.note_expanded(name);
+            }
             expanded_rest = render_tokens(&toks);
             expanded_rest.trim()
         };
@@ -482,13 +541,171 @@ impl<'r, R: IncludeResolver> State<'r, R> {
                 if self.pragma_once.contains(&canon) {
                     return;
                 }
-                if !self.includes.contains(&canon) {
-                    self.includes.push(canon.clone());
-                }
-                self.process_file(&canon, &content, depth + 1);
+                self.note_include(&canon);
+                self.memo_or_process(&canon, &content, depth);
             }
             None => self.error(path, line, CppErrorKind::IncludeNotFound(target)),
         }
+    }
+
+    /// Process an inclusion through the memo when one is attached and the
+    /// header's closure is fingerprintable: replay a recorded effect,
+    /// record a fresh one, or fall through to live processing.
+    fn memo_or_process(&mut self, canon: &str, content: &str, depth: usize) {
+        let inc_depth = depth + 1;
+        if let Some(memo) = self.memo {
+            if let Some(closure_fp) = memo.closure_fp(canon) {
+                let key = IncludeKey {
+                    path: canon.to_string(),
+                    closure_fp,
+                    macro_fp: self.table.fingerprint(),
+                    pragma_fp: self.pragma_fp,
+                    depth: inc_depth as u32,
+                };
+                if let Some(effect) = memo.lookup(&key) {
+                    if self.marker_decision_matches(&effect) {
+                        self.replay(&effect);
+                        return;
+                    }
+                } else if !self.recording {
+                    self.record(memo, key, canon, content, inc_depth);
+                    return;
+                }
+            }
+        }
+        self.process_file(canon, content, inc_depth);
+    }
+
+    /// A recorded effect's opening bytes are valid here iff the current
+    /// output state would make the same first-marker decision the
+    /// recording saw (recordings whose first flush skipped its marker are
+    /// never stored, so the decision to match is always "emit").
+    fn marker_decision_matches(&self, effect: &IncludeEffect) -> bool {
+        match &effect.first_flush {
+            None => true,
+            Some((p, l)) => self.out_file != *p || *l != self.out_line + 1,
+        }
+    }
+
+    /// Live-process `canon` while capturing its effect, then store the
+    /// recording under `key`.
+    fn record(
+        &mut self,
+        memo: &dyn IncludeMemo,
+        key: IncludeKey,
+        canon: &str,
+        content: &str,
+        inc_depth: usize,
+    ) {
+        self.recording = true;
+        self.rec_first_flush = None;
+        let out_start = self.out.len();
+        let err_start = self.errors.len();
+        self.process_file(canon, content, inc_depth);
+        self.recording = false;
+        let expanded = std::mem::take(&mut self.rec_expanded);
+        let includes = std::mem::take(&mut self.rec_includes);
+        let pragma_adds = std::mem::take(&mut self.rec_pragma);
+        let macro_events = std::mem::take(&mut self.rec_macros);
+        let first_flush = match self.rec_first_flush.take() {
+            None => None,
+            Some((p, l, true)) => Some((p, l)),
+            // The first flush skipped its marker, so the chunk's opening
+            // bytes depend on the caller's output state in a way replay
+            // cannot re-create; drop the recording.
+            Some((_, _, false)) => return,
+        };
+        let chunk = self.out[out_start..].to_string();
+        let effect = IncludeEffect {
+            exit_marker: (!chunk.is_empty()).then(|| (self.out_file.clone(), self.out_line)),
+            chunk,
+            errors: self.errors[err_start..].to_vec(),
+            expanded,
+            includes,
+            pragma_adds,
+            macro_events,
+            first_flush,
+        };
+        memo.insert(key, Arc::new(effect));
+    }
+
+    /// Apply a recorded effect, leaving every piece of state byte-for-byte
+    /// as live processing would have. Runs through the recording-aware
+    /// helpers so a replay inside an outer recording is captured by it.
+    fn replay(&mut self, effect: &IncludeEffect) {
+        if self.recording && self.rec_first_flush.is_none() {
+            if let Some((p, l)) = &effect.first_flush {
+                self.rec_first_flush = Some((p.clone(), *l, true));
+            }
+        }
+        self.out.push_str(&effect.chunk);
+        if let Some((file, line)) = &effect.exit_marker {
+            self.out_file.clone_from(file);
+            self.out_line = *line;
+        }
+        // Plain pushes: an outer recording captures errors by index range.
+        self.errors.extend(effect.errors.iter().cloned());
+        for name in &effect.expanded {
+            self.note_expanded(name);
+        }
+        for inc in &effect.includes {
+            self.note_include(inc);
+        }
+        for p in &effect.pragma_adds {
+            self.pragma_insert(p);
+        }
+        for ev in &effect.macro_events {
+            match ev {
+                MacroEvent::Define(def) => self.define_macro(def.clone()),
+                MacroEvent::Undef(name) => self.undef_macro(name),
+            }
+        }
+    }
+
+    /// Record a first inclusion, in translation-unit order.
+    fn note_include(&mut self, canon: &str) {
+        if self.recording && !self.rec_includes.iter().any(|p| p == canon) {
+            self.rec_includes.push(canon.to_string());
+        }
+        if !self.includes.iter().any(|p| p == canon) {
+            self.includes.push(canon.to_string());
+        }
+    }
+
+    /// Record an expanded-macro name.
+    fn note_expanded(&mut self, name: &str) {
+        if self.recording && !self.rec_expanded.iter().any(|n| n == name) {
+            self.rec_expanded.push(name.to_string());
+        }
+        if !self.expanded.contains(name) {
+            self.expanded.insert(name.to_string());
+        }
+    }
+
+    /// Add to the pragma-once set, maintaining its fingerprint.
+    fn pragma_insert(&mut self, path: &str) {
+        if self.pragma_once.insert(path.to_string()) {
+            self.pragma_fp = self.pragma_fp.wrapping_add(str_hash(path));
+            if self.recording {
+                self.rec_pragma.push(path.to_string());
+            }
+        }
+    }
+
+    /// Define a macro, logging the event when recording.
+    fn define_macro(&mut self, def: Arc<MacroDef>) {
+        if self.recording {
+            self.rec_macros.push(MacroEvent::Define(Arc::clone(&def)));
+        }
+        self.table.define_shared(def);
+    }
+
+    /// Undefine a macro, logging the event when recording.
+    fn undef_macro(&mut self, name: &str) {
+        if self.recording {
+            self.rec_macros.push(MacroEvent::Undef(name.to_string()));
+        }
+        self.table.undef(name);
     }
 
     /// Replace `__FILE__` and `__LINE__` before expansion.
@@ -515,12 +732,21 @@ impl<'r, R: IncludeResolver> State<'r, R> {
         let first_line = tokens.first().map(|t| t.line).unwrap_or(0);
         let mut ex = Expander::new(&self.table);
         let expanded = ex.expand(&tokens);
-        self.expanded.extend(ex.expanded_names.iter().cloned());
-        for kind in ex.errors {
+        let names = std::mem::take(&mut ex.expanded_names);
+        let kinds = std::mem::take(&mut ex.errors);
+        drop(ex);
+        for name in &names {
+            self.note_expanded(name);
+        }
+        for kind in kinds {
             self.error(path, first_line, kind);
         }
         // Re-sync line markers like gcc -E.
-        if self.out_file != path || first_line != self.out_line + 1 {
+        let emit_marker = self.out_file != path || first_line != self.out_line + 1;
+        if self.recording && self.rec_first_flush.is_none() {
+            self.rec_first_flush = Some((path.to_string(), first_line, emit_marker));
+        }
+        if emit_marker {
             self.out.push_str(&format!("# {first_line} \"{path}\"\n"));
             self.out_file = path.to_string();
         }

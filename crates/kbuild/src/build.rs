@@ -6,8 +6,12 @@ use crate::clock::{CostModel, SampleKind, VirtualClock};
 use crate::hash::{ContentHash, Fnv};
 use crate::objcache::{include_fingerprint, CachedObj, ObjKind, ObjectCache, ObjectKey};
 use crate::objgraph::ObjGraph;
+use crate::ppcache::{PreprocCache, TreeMemo};
 use crate::tree::SourceTree;
-use jmake_cpp::{validate, CppError, IncludeResolver, PreprocessOutput, Preprocessor, SyntaxError};
+use jmake_cpp::{
+    validate, CppError, IncludeResolver, MacroDef, MacroTable, PreprocessOutput, Preprocessor,
+    SyntaxError,
+};
 use jmake_faults::{FaultKind, FaultSite, Faults};
 use jmake_kconfig::{Config, DeadSymbols, KconfigModel, Tristate};
 use jmake_trace::{CacheOutcome, Span, Stage, Tracer};
@@ -123,6 +127,12 @@ pub struct BuildConfig {
     /// by every clone (the classifier consults it once per patch; the
     /// model is immutable after solving, so the result never changes).
     dead: Arc<OnceLock<DeadSymbols>>,
+    /// Predefined preprocessor macro tables ([0] = builtin, [1] =
+    /// modular), built from `config.cpp_defines()` on first use and
+    /// shared by every clone — the per-file preprocess path installs
+    /// one by refcount instead of re-defining hundreds of `CONFIG_*`
+    /// macros per translation unit.
+    macros: Arc<[OnceLock<Arc<MacroTable>>; 2]>,
 }
 
 impl BuildConfig {
@@ -145,10 +155,49 @@ impl BuildConfig {
         self.dead.get_or_init(|| DeadSymbols::compute(&self.model))
     }
 
+    /// True when the dead-symbol lint is already computed for this
+    /// configuration (the cell is shared across clones). The warm
+    /// scheduler uses this to skip classify packets that would be
+    /// no-ops.
+    pub fn dead_symbols_ready(&self) -> bool {
+        self.dead.get().is_some()
+    }
+
     /// Fingerprint of the preprocessor macro environment this
     /// configuration induces.
     pub fn env_fingerprint(&self) -> u64 {
         self.env_fp
+    }
+
+    /// The predefined macro table this configuration induces on the
+    /// preprocessor (`__KERNEL__`, `IS_ENABLED`, every `CONFIG_*`
+    /// define, plus `MODULE` when the object builds modular). Built once
+    /// per distinct configuration and shared across clones; the multiset
+    /// fingerprint is identical to defining each macro individually, so
+    /// preprocess-memo keys are unchanged.
+    pub(crate) fn macro_table(&self, module: bool) -> Arc<MacroTable> {
+        Arc::clone(self.macros[usize::from(module)].get_or_init(|| {
+            let mut table = MacroTable::new();
+            table.define(MacroDef::object("__KERNEL__", "1"));
+            // The kernel's IS_ENABLED idiom: `#if IS_ENABLED(CONFIG_X)`
+            // expands to the CONFIG macro itself — 1 when the option is
+            // built in, an undefined identifier (hence 0 in #if)
+            // otherwise. (The real kernel also covers =m; module-only
+            // visibility is handled by the MODULE define below.)
+            table.define(MacroDef::function(
+                "IS_ENABLED",
+                vec!["option".to_string()],
+                "(option)",
+            ));
+            for (name, value) in self.config.cpp_defines() {
+                table.define(MacroDef::object(name, &value));
+            }
+            // Kbuild defines MODULE when the object is built as a module.
+            if module {
+                table.define(MacroDef::object("MODULE", "1"));
+            }
+            Arc::new(table)
+        }))
     }
 
     /// Reassemble a configuration from its serialized parts (the disk
@@ -174,6 +223,7 @@ impl BuildConfig {
             content_fp,
             env_fp,
             dead: Arc::new(OnceLock::new()),
+            macros: Arc::new([OnceLock::new(), OnceLock::new()]),
         }
     }
 }
@@ -299,7 +349,7 @@ impl<'t> IncludeResolver for TreeResolver<'t> {
         target: &str,
         quoted: bool,
         including_file: &str,
-    ) -> Option<(String, String)> {
+    ) -> Option<(String, Arc<str>)> {
         let mut candidates = Vec::new();
         if quoted {
             let dir = crate::tree::dir_of(including_file);
@@ -314,8 +364,8 @@ impl<'t> IncludeResolver for TreeResolver<'t> {
         }
         candidates.push(target.to_string());
         for c in candidates {
-            if let Some(content) = self.tree.get(&c) {
-                return Some((c, content.to_string()));
+            if let Some(blob) = self.tree.get_blob(&c) {
+                return Some((c, blob.shared_text()));
             }
         }
         None
@@ -342,6 +392,9 @@ pub struct BuildEngine {
     /// Cross-patch object cache memoizing preprocess/compile outcomes;
     /// `None` preprocesses everything live.
     object: Option<Arc<ObjectCache>>,
+    /// Cross-patch preprocess cache memoizing header-inclusion effects;
+    /// `None` expands every inclusion live.
+    preproc: Option<Arc<PreprocCache>>,
     /// Span emitter for `config_solve`/`build_i`/`build_o`. Disabled by
     /// default; every span is then a no-op.
     tracer: Tracer,
@@ -380,6 +433,7 @@ impl BuildEngine {
             heavy,
             shared: None,
             object: None,
+            preproc: None,
             tracer: Tracer::disabled(),
             faults: Faults::disabled(),
         }
@@ -417,6 +471,19 @@ impl BuildEngine {
     /// The attached object cache, if any.
     pub fn object_cache(&self) -> Option<&Arc<ObjectCache>> {
         self.object.as_ref()
+    }
+
+    /// Attach a cross-patch [`PreprocCache`]. Preprocessor runs will then
+    /// record and replay header-inclusion effects; replay is
+    /// byte-identical to live expansion and the virtual clock is charged
+    /// per make invocation above this layer, so only host time changes.
+    pub fn set_preproc_cache(&mut self, cache: Arc<PreprocCache>) {
+        self.preproc = Some(cache);
+    }
+
+    /// The attached preprocess cache, if any.
+    pub fn preproc_cache(&self) -> Option<&Arc<PreprocCache>> {
+        self.preproc.as_ref()
     }
 
     /// Attach a tracer; build-side stages will emit spans through it.
@@ -638,6 +705,7 @@ impl BuildEngine {
             content_fp,
             env_fp,
             dead: Arc::new(OnceLock::new()),
+            macros: Arc::new([OnceLock::new(), OnceLock::new()]),
         });
         if let Some((cache, fingerprint)) = &self.shared {
             cache.insert(*fingerprint, &key, content_fp, Arc::clone(&built));
@@ -731,6 +799,7 @@ impl BuildEngine {
         // cacheable file was served from the cache, Off with no cache.
         let mut any_hit = false;
         let mut any_miss = false;
+        let memo = tree_memo(tree, cfg, self.preproc.as_ref());
         let mut out = Vec::with_capacity(files.len());
         for file in files {
             let result = if !tree.contains(file) {
@@ -772,7 +841,7 @@ impl BuildEngine {
                         }
                     }
                     None => {
-                        let pp = preprocess_file(tree, cfg, module, file);
+                        let pp = preprocess_file(tree, cfg, module, file, memo.as_ref());
                         invocation_us +=
                             self.cost.i_base_us + pp.text.len() as u64 * self.cost.i_per_byte_us;
                         if let (Some(cache), Some(k)) = (&self.object, key) {
@@ -888,7 +957,8 @@ impl BuildEngine {
                 return result.clone();
             }
         }
-        let pp = preprocess_file(tree, cfg, module, file);
+        let memo = tree_memo(tree, cfg, self.preproc.as_ref());
+        let pp = preprocess_file(tree, cfg, module, file, memo.as_ref());
         *invocation_us += self.cost.o_base_us + pp.text.len() as u64 * self.cost.o_per_byte_us;
         if heavy {
             // Compiling this file triggers compilation of the entire
@@ -973,6 +1043,18 @@ pub fn bootstrap_files_of(tree: &SourceTree) -> BTreeSet<String> {
     bootstrap
 }
 
+/// Build the cross-patch include memo for preprocessing runs over
+/// `tree` — one per make invocation, shared by every file in the group
+/// (the tree clone inside is Arc-shared blob pointers; it pins the
+/// epoch the closure-fingerprint memo keys on).
+pub(crate) fn tree_memo(
+    tree: &SourceTree,
+    cfg: &BuildConfig,
+    preproc: Option<&Arc<PreprocCache>>,
+) -> Option<Arc<TreeMemo>> {
+    preproc.map(|cache| Arc::new(TreeMemo::new(tree.clone(), cfg.arch.name, Arc::clone(cache))))
+}
+
 /// Run the preprocessor on `file` with the configuration's macro
 /// environment and kernel include paths. Free-standing (no `&self`) so
 /// the engine's live path and the driver's speculative cache-warming
@@ -982,6 +1064,7 @@ pub(crate) fn preprocess_file(
     cfg: &BuildConfig,
     module: bool,
     file: &str,
+    memo: Option<&Arc<TreeMemo>>,
 ) -> PreprocessOutput {
     let resolver = TreeResolver {
         tree,
@@ -991,20 +1074,13 @@ pub(crate) fn preprocess_file(
         ],
     };
     let mut pp = Preprocessor::new(resolver);
-    pp.define_object("__KERNEL__", "1");
-    // The kernel's IS_ENABLED idiom: `#if IS_ENABLED(CONFIG_X)`
-    // expands to the CONFIG macro itself — 1 when the option is
-    // built in, an undefined identifier (hence 0 in #if) otherwise.
-    // (The real kernel also covers =m; module-only visibility is
-    // handled by the MODULE define below.)
-    pp.define_function("IS_ENABLED", vec!["option".to_string()], "(option)");
-    for (name, value) in cfg.config.cpp_defines() {
-        pp.define_object(&name, &value);
+    if let Some(memo) = memo {
+        pp.set_memo(Arc::clone(memo) as Arc<dyn jmake_cpp::IncludeMemo>);
     }
-    // Kbuild defines MODULE when the object is being built as a module.
-    if module {
-        pp.define_object("MODULE", "1");
-    }
+    // The configuration's macro environment, memoized per (config,
+    // module) pair: installing the shared table costs refcount bumps,
+    // not hundreds of per-file `#define`s.
+    pp.set_predefined((*cfg.macro_table(module)).clone());
     let content = tree.get(file).unwrap_or_default();
     pp.preprocess(file, content)
 }
@@ -1021,7 +1097,10 @@ fn object_key_for(
 ) -> Option<ObjectKey> {
     let include_fp = include_fingerprint(tree, cfg.arch.name, file)?;
     Some(ObjectKey {
-        blob: ContentHash::of(tree.get(file).unwrap_or_default()),
+        blob: match tree.get_blob(file) {
+            Some(blob) => blob.hash(),
+            None => ContentHash::of(""),
+        },
         path: Arc::from(file),
         include_fp,
         env_fp: cfg.env_fingerprint(),
@@ -1092,6 +1171,7 @@ pub fn warm_object_entry(
     tree: &SourceTree,
     file: &str,
     kind: ObjKind,
+    preproc: Option<&Arc<PreprocCache>>,
 ) {
     if !tree.contains(file) {
         return;
@@ -1116,7 +1196,8 @@ pub fn warm_object_entry(
     if cache.peek(&key).is_some() {
         return;
     }
-    let pp = preprocess_file(tree, cfg, module, file);
+    let memo = tree_memo(tree, cfg, preproc);
+    let pp = preprocess_file(tree, cfg, module, file, memo.as_ref());
     let entry = match kind {
         ObjKind::I => i_entry_from_pp(file, pp),
         ObjKind::O => o_entry_from_pp(file, pp),

@@ -263,7 +263,7 @@ mod tests {
         k_change.insert("Kconfig", "config NET\n\tbool \"network\"\n");
         assert_ne!(fp, ConfigCache::fingerprint_tree(&k_change));
 
-        let mut d_change = base.clone();
+        let mut d_change = base;
         d_change.insert("arch/x86_64/configs/tiny_defconfig", "CONFIG_NET=y\n");
         assert_ne!(fp, ConfigCache::fingerprint_tree(&d_change));
     }

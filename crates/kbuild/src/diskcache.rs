@@ -26,6 +26,7 @@
 //! ```text
 //! <root>/objects/<hh>/<16-hex-key-digest>.entry   memoized .i/.o outcomes
 //! <root>/configs/<hh>/<16-hex-key-digest>.entry   solved configurations
+//! <root>/preproc/<hh>/<16-hex-key-digest>.entry   recorded header-inclusion effects
 //! <root>/quarantine/<filename>                    entries that failed verification
 //! ```
 //!
@@ -52,7 +53,11 @@ use crate::build::{BuildConfig, BuildError, ConfigKind, IFile};
 use crate::cache::ConfigCache;
 use crate::hash::{ContentHash, Fnv};
 use crate::objcache::{CachedObj, ObjKind, ObjectCache, ObjectKey};
-use jmake_cpp::SyntaxError;
+use crate::ppcache::PreprocCache;
+use jmake_cpp::error::CppErrorKind;
+use jmake_cpp::{
+    CppError, IncludeEffect, IncludeKey, MacroDef, MacroEvent, SyntaxError, Token, TokenKind,
+};
 use jmake_faults::{FaultKind, FaultSite, Faults};
 use jmake_kconfig::{Config, Expr, KconfigModel, Symbol, SymbolType, Tristate};
 use std::collections::HashSet;
@@ -63,6 +68,7 @@ use std::sync::Arc;
 
 const MAGIC_OBJECT: &str = "jmake-cache v1 object";
 const MAGIC_CONFIG: &str = "jmake-cache v1 config";
+const MAGIC_PREPROC: &str = "jmake-cache v1 preproc";
 
 /// Counters for one load or store pass over the disk tier.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -75,6 +81,11 @@ pub struct DiskTierStats {
     pub objects_stored: u64,
     /// Configuration entries written.
     pub configs_stored: u64,
+    /// Recorded header-inclusion effects verified and loaded into the
+    /// in-memory [`PreprocCache`].
+    pub preproc_loaded: u64,
+    /// Header-inclusion effects written.
+    pub preproc_stored: u64,
     /// Entry files that failed digest verification or parsing and were
     /// moved to `<root>/quarantine/` — never served.
     pub entries_quarantined: u64,
@@ -87,6 +98,8 @@ impl DiskTierStats {
         self.configs_loaded += other.configs_loaded;
         self.objects_stored += other.objects_stored;
         self.configs_stored += other.configs_stored;
+        self.preproc_loaded += other.preproc_loaded;
+        self.preproc_stored += other.preproc_stored;
         self.entries_quarantined += other.entries_quarantined;
     }
 }
@@ -104,6 +117,7 @@ impl DiskCache {
         let root = root.into();
         std::fs::create_dir_all(root.join("objects"))?;
         std::fs::create_dir_all(root.join("configs"))?;
+        std::fs::create_dir_all(root.join("preproc"))?;
         std::fs::create_dir_all(root.join("quarantine"))?;
         Ok(DiskCache { root })
     }
@@ -113,14 +127,16 @@ impl DiskCache {
         &self.root
     }
 
-    /// Load every verifiable entry into `objects` and `configs`. Entries
-    /// that fail digest verification or parsing — including loads the
-    /// fault plan corrupts — are quarantined, never served. Entry files
-    /// are visited in sorted order, so the pass is deterministic.
+    /// Load every verifiable entry into `objects`, `configs`, and
+    /// `preproc`. Entries that fail digest verification or parsing —
+    /// including loads the fault plan corrupts — are quarantined, never
+    /// served. Entry files are visited in sorted order, so the pass is
+    /// deterministic.
     pub fn load(
         &self,
         objects: &ObjectCache,
         configs: &ConfigCache,
+        preproc: &PreprocCache,
         faults: &Faults,
     ) -> io::Result<DiskTierStats> {
         let mut stats = DiskTierStats::default();
@@ -150,14 +166,31 @@ impl DiskCache {
                 Err(reason) => self.quarantine(&path, &reason, faults, &mut stats),
             }
         }
+        for path in self.entry_files("preproc")? {
+            match self.read_verified(&path, MAGIC_PREPROC, faults) {
+                Ok(payload) => match decode_preproc_entry(&payload) {
+                    Ok((key, effect)) => {
+                        preproc.insert(key, Arc::new(effect));
+                        stats.preproc_loaded += 1;
+                    }
+                    Err(reason) => self.quarantine(&path, &reason, faults, &mut stats),
+                },
+                Err(reason) => self.quarantine(&path, &reason, faults, &mut stats),
+            }
+        }
         Ok(stats)
     }
 
-    /// Persist every entry currently held by `objects` and `configs`.
-    /// Existing entry files are left untouched; new ones are written to a
-    /// temporary name and renamed into place, so a concurrent reader never
-    /// observes a partial entry under its final name.
-    pub fn store(&self, objects: &ObjectCache, configs: &ConfigCache) -> io::Result<DiskTierStats> {
+    /// Persist every entry currently held by `objects`, `configs`, and
+    /// `preproc`. Existing entry files are left untouched; new ones are
+    /// written to a temporary name and renamed into place, so a concurrent
+    /// reader never observes a partial entry under its final name.
+    pub fn store(
+        &self,
+        objects: &ObjectCache,
+        configs: &ConfigCache,
+        preproc: &PreprocCache,
+    ) -> io::Result<DiskTierStats> {
         let mut stats = DiskTierStats::default();
         for (key, obj) in objects.snapshot() {
             let payload = encode_object_entry(&key, &obj);
@@ -170,6 +203,12 @@ impl DiskCache {
             let digest = config_key_digest(fingerprint, key.arch(), key.kind_key(), content_fp);
             if self.write_entry("configs", digest, MAGIC_CONFIG, &payload)? {
                 stats.configs_stored += 1;
+            }
+        }
+        for (key, effect) in preproc.snapshot() {
+            let payload = encode_preproc_entry(&key, &effect);
+            if self.write_entry("preproc", preproc_key_digest(&key), MAGIC_PREPROC, &payload)? {
+                stats.preproc_stored += 1;
             }
         }
         Ok(stats)
@@ -320,6 +359,18 @@ fn object_key_digest(key: &ObjectKey) -> u64 {
     h.write(&[u8::from(key.module)]);
     h.write(key.arch.as_bytes());
     h.write(if key.kind == ObjKind::I { b"I" } else { b"O" });
+    h.finish()
+}
+
+/// Stable file name for one preprocess-memo key.
+fn preproc_key_digest(key: &IncludeKey) -> u64 {
+    let mut h = Fnv::new();
+    h.write(key.path.as_bytes());
+    h.write(&[0]);
+    h.write(&key.closure_fp.to_le_bytes());
+    h.write(&key.macro_fp.to_le_bytes());
+    h.write(&key.pragma_fp.to_le_bytes());
+    h.write(&key.depth.to_le_bytes());
     h.finish()
 }
 
@@ -725,6 +776,262 @@ fn decode_syntax_error(d: &mut Dec) -> Result<SyntaxError, String> {
 }
 
 // ---------------------------------------------------------------------------
+// Preproc entries: recorded header-inclusion effects.
+// ---------------------------------------------------------------------------
+
+fn encode_preproc_entry(key: &IncludeKey, effect: &IncludeEffect) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.str(&key.path);
+    e.u64(key.closure_fp);
+    e.u64(key.macro_fp);
+    e.u64(key.pragma_fp);
+    e.u64(u64::from(key.depth));
+    e.str(&effect.chunk);
+    encode_opt_marker(&mut e, effect.exit_marker.as_ref());
+    e.u64(effect.errors.len() as u64);
+    for err in &effect.errors {
+        encode_cpp_error(&mut e, err);
+    }
+    e.u64(effect.expanded.len() as u64);
+    for name in &effect.expanded {
+        e.str(name);
+    }
+    e.u64(effect.includes.len() as u64);
+    for inc in &effect.includes {
+        e.str(inc);
+    }
+    e.u64(effect.pragma_adds.len() as u64);
+    for p in &effect.pragma_adds {
+        e.str(p);
+    }
+    e.u64(effect.macro_events.len() as u64);
+    for event in &effect.macro_events {
+        match event {
+            MacroEvent::Define(def) => {
+                e.tag("define");
+                encode_macro_def(&mut e, def);
+            }
+            MacroEvent::Undef(name) => {
+                e.tag("undef");
+                e.str(name);
+            }
+        }
+    }
+    encode_opt_marker(&mut e, effect.first_flush.as_ref());
+    e.buf
+}
+
+fn decode_preproc_entry(payload: &[u8]) -> Result<(IncludeKey, IncludeEffect), String> {
+    let mut d = Dec::new(payload);
+    let key = IncludeKey {
+        path: d.str()?,
+        closure_fp: d.u64()?,
+        macro_fp: d.u64()?,
+        pragma_fp: d.u64()?,
+        depth: d.u32()?,
+    };
+    let chunk = d.str()?;
+    let exit_marker = decode_opt_marker(&mut d)?;
+    let n_errors = d.u64()?;
+    let mut errors = Vec::new();
+    for _ in 0..n_errors {
+        errors.push(decode_cpp_error(&mut d)?);
+    }
+    let strs = |d: &mut Dec| -> Result<Vec<String>, String> {
+        let n = d.u64()?;
+        (0..n).map(|_| d.str()).collect()
+    };
+    let expanded = strs(&mut d)?;
+    let includes = strs(&mut d)?;
+    let pragma_adds = strs(&mut d)?;
+    let n_events = d.u64()?;
+    let mut macro_events = Vec::new();
+    for _ in 0..n_events {
+        macro_events.push(match d.tag()? {
+            "define" => MacroEvent::Define(Arc::new(decode_macro_def(&mut d)?)),
+            "undef" => MacroEvent::Undef(d.str()?),
+            other => return Err(format!("bad macro-event tag {other:?}")),
+        });
+    }
+    let first_flush = decode_opt_marker(&mut d)?;
+    if !d.at_end() {
+        return Err("trailing bytes".to_string());
+    }
+    Ok((
+        key,
+        IncludeEffect {
+            chunk,
+            exit_marker,
+            errors,
+            expanded,
+            includes,
+            pragma_adds,
+            macro_events,
+            first_flush,
+        },
+    ))
+}
+
+/// An optional `(file, line)` output marker.
+fn encode_opt_marker(e: &mut Enc, marker: Option<&(String, u32)>) {
+    match marker {
+        Some((file, line)) => {
+            e.tag("some");
+            e.str(file);
+            e.u64(u64::from(*line));
+        }
+        None => e.tag("none"),
+    }
+}
+
+fn decode_opt_marker(d: &mut Dec) -> Result<Option<(String, u32)>, String> {
+    match d.tag()? {
+        "some" => Ok(Some((d.str()?, d.u32()?))),
+        "none" => Ok(None),
+        other => Err(format!("bad option tag {other:?}")),
+    }
+}
+
+fn encode_macro_def(e: &mut Enc, def: &MacroDef) {
+    e.str(&def.name);
+    match &def.params {
+        None => e.tag("none"),
+        Some(params) => {
+            e.tag("some");
+            e.u64(params.len() as u64);
+            for p in params {
+                e.str(p);
+            }
+        }
+    }
+    e.boolean(def.variadic);
+    e.u64(def.body.len() as u64);
+    for t in &def.body {
+        encode_token(e, t);
+    }
+}
+
+fn decode_macro_def(d: &mut Dec) -> Result<MacroDef, String> {
+    let name = d.str()?;
+    let params = match d.tag()? {
+        "none" => None,
+        "some" => {
+            let n = d.u64()?;
+            Some((0..n).map(|_| d.str()).collect::<Result<Vec<_>, _>>()?)
+        }
+        other => return Err(format!("bad option tag {other:?}")),
+    };
+    let variadic = d.boolean()?;
+    let n_body = d.u64()?;
+    let mut body = Vec::new();
+    for _ in 0..n_body {
+        body.push(decode_token(d)?);
+    }
+    Ok(MacroDef {
+        name,
+        params,
+        variadic,
+        body,
+    })
+}
+
+fn encode_token(e: &mut Enc, t: &Token) {
+    match t.kind {
+        TokenKind::Ident => e.tag("id"),
+        TokenKind::Number => e.tag("num"),
+        TokenKind::Str => e.tag("str"),
+        TokenKind::Char => e.tag("chr"),
+        TokenKind::Punct => e.tag("pun"),
+        TokenKind::Other(c) => {
+            e.tag("oth");
+            e.u64(u64::from(c as u32));
+        }
+    }
+    e.str(&t.text);
+    e.boolean(t.space_before);
+    e.u64(u64::from(t.line));
+}
+
+fn decode_token(d: &mut Dec) -> Result<Token, String> {
+    let kind = match d.tag()? {
+        "id" => TokenKind::Ident,
+        "num" => TokenKind::Number,
+        "str" => TokenKind::Str,
+        "chr" => TokenKind::Char,
+        "pun" => TokenKind::Punct,
+        "oth" => {
+            let v = d.u32()?;
+            TokenKind::Other(char::from_u32(v).ok_or_else(|| format!("bad char {v:#x}"))?)
+        }
+        other => return Err(format!("bad token kind {other:?}")),
+    };
+    let text = d.str()?;
+    let space_before = d.boolean()?;
+    let line = d.u32()?;
+    Ok(Token {
+        kind,
+        text,
+        space_before,
+        line,
+    })
+}
+
+fn encode_cpp_error(e: &mut Enc, err: &CppError) {
+    e.str(&err.file);
+    e.u64(u64::from(err.line));
+    match &err.kind {
+        CppErrorKind::IncludeNotFound(t) => {
+            e.tag("include_not_found");
+            e.str(t);
+        }
+        CppErrorKind::IncludeDepthExceeded => e.tag("include_depth_exceeded"),
+        CppErrorKind::MalformedDirective(m) => {
+            e.tag("malformed_directive");
+            e.str(m);
+        }
+        CppErrorKind::BadExpression(x) => {
+            e.tag("bad_expression");
+            e.str(x);
+        }
+        CppErrorKind::UserError(m) => {
+            e.tag("user_error");
+            e.str(m);
+        }
+        CppErrorKind::UnterminatedConditional => e.tag("unterminated_conditional"),
+        CppErrorKind::WrongArgumentCount {
+            name,
+            expected,
+            got,
+        } => {
+            e.tag("wrong_argument_count");
+            e.str(name);
+            e.u64(*expected as u64);
+            e.u64(*got as u64);
+        }
+    }
+}
+
+fn decode_cpp_error(d: &mut Dec) -> Result<CppError, String> {
+    let file = d.str()?;
+    let line = d.u32()?;
+    let kind = match d.tag()? {
+        "include_not_found" => CppErrorKind::IncludeNotFound(d.str()?),
+        "include_depth_exceeded" => CppErrorKind::IncludeDepthExceeded,
+        "malformed_directive" => CppErrorKind::MalformedDirective(d.str()?),
+        "bad_expression" => CppErrorKind::BadExpression(d.str()?),
+        "user_error" => CppErrorKind::UserError(d.str()?),
+        "unterminated_conditional" => CppErrorKind::UnterminatedConditional,
+        "wrong_argument_count" => CppErrorKind::WrongArgumentCount {
+            name: d.str()?,
+            expected: d.u64()? as usize,
+            got: d.u64()? as usize,
+        },
+        other => return Err(format!("bad cpp-error tag {other:?}")),
+    };
+    Ok(CppError { file, line, kind })
+}
+
+// ---------------------------------------------------------------------------
 // Config entries.
 // ---------------------------------------------------------------------------
 
@@ -944,6 +1251,50 @@ mod tests {
         engine.make_config("x86_64", &ConfigKind::AllYes).unwrap()
     }
 
+    fn sample_preproc() -> (IncludeKey, IncludeEffect) {
+        let key = IncludeKey {
+            path: "include/linux/k.h".to_string(),
+            closure_fp: 0xfeed,
+            macro_fp: 0xbead,
+            pragma_fp: 0,
+            depth: 2,
+        };
+        let effect = IncludeEffect {
+            chunk: "# 1 \"include/linux/k.h\"\nint k;\nweird \"text\"\n".to_string(),
+            exit_marker: Some(("drivers/net/a.c".to_string(), 17)),
+            errors: vec![
+                CppError {
+                    file: "include/linux/k.h".into(),
+                    line: 3,
+                    kind: CppErrorKind::IncludeNotFound("missing.h".into()),
+                },
+                CppError {
+                    file: "include/linux/k.h".into(),
+                    line: 9,
+                    kind: CppErrorKind::WrongArgumentCount {
+                        name: "MAX".into(),
+                        expected: 2,
+                        got: 3,
+                    },
+                },
+            ],
+            expanded: vec!["CONFIG_NET".to_string()],
+            includes: vec!["include/linux/inner.h".to_string()],
+            pragma_adds: vec!["include/linux/k.h".to_string()],
+            macro_events: vec![
+                MacroEvent::Define(Arc::new(MacroDef::object("K", "1"))),
+                MacroEvent::Define(Arc::new(MacroDef::function(
+                    "MAX",
+                    vec!["a".into(), "b".into()],
+                    "((a)>(b)?(a):(b))",
+                ))),
+                MacroEvent::Undef("K".to_string()),
+            ],
+            first_flush: Some(("include/linux/k.h".to_string(), 1)),
+        };
+        (key, effect)
+    }
+
     #[test]
     fn object_entry_round_trips() {
         let registry = ArchRegistry::new();
@@ -991,6 +1342,27 @@ mod tests {
     }
 
     #[test]
+    fn preproc_entry_round_trips() {
+        let (key, effect) = sample_preproc();
+        let payload = encode_preproc_entry(&key, &effect);
+        let (key2, effect2) = decode_preproc_entry(&payload).unwrap();
+        assert_eq!(key, key2);
+        assert_eq!(effect.chunk, effect2.chunk);
+        assert_eq!(effect.macro_events, effect2.macro_events);
+        assert_eq!(payload, encode_preproc_entry(&key2, &effect2));
+    }
+
+    #[test]
+    fn preproc_entry_round_trips_empty_effect() {
+        let (key, _) = sample_preproc();
+        let effect = IncludeEffect::default();
+        let payload = encode_preproc_entry(&key, &effect);
+        let (key2, effect2) = decode_preproc_entry(&payload).unwrap();
+        assert_eq!(key, key2);
+        assert_eq!(payload, encode_preproc_entry(&key2, &effect2));
+    }
+
+    #[test]
     fn config_entry_round_trips() {
         let registry = ArchRegistry::new();
         let cfg = solved_config();
@@ -1009,25 +1381,39 @@ mod tests {
         let disk = DiskCache::open(&dir).unwrap();
         let objects = ObjectCache::new();
         let configs = ConfigCache::new();
+        let preproc = PreprocCache::new();
         let (key, obj) = sample_object();
         objects.insert(key.clone(), Arc::new(obj));
         let cfg = solved_config();
         configs.insert(5, &cfg.key().clone(), 0, Arc::clone(&cfg));
-        let stored = disk.store(&objects, &configs).unwrap();
-        assert_eq!((stored.objects_stored, stored.configs_stored), (1, 1));
+        let (pkey, effect) = sample_preproc();
+        preproc.insert(pkey.clone(), Arc::new(effect));
+        let stored = disk.store(&objects, &configs, &preproc).unwrap();
+        assert_eq!(
+            (stored.objects_stored, stored.configs_stored, stored.preproc_stored),
+            (1, 1, 1)
+        );
         // Storing again writes nothing: entries are immutable.
-        let again = disk.store(&objects, &configs).unwrap();
-        assert_eq!((again.objects_stored, again.configs_stored), (0, 0));
+        let again = disk.store(&objects, &configs, &preproc).unwrap();
+        assert_eq!(
+            (again.objects_stored, again.configs_stored, again.preproc_stored),
+            (0, 0, 0)
+        );
 
         let objects2 = ObjectCache::new();
         let configs2 = ConfigCache::new();
+        let preproc2 = PreprocCache::new();
         let loaded = disk
-            .load(&objects2, &configs2, &Faults::disabled())
+            .load(&objects2, &configs2, &preproc2, &Faults::disabled())
             .unwrap();
-        assert_eq!((loaded.objects_loaded, loaded.configs_loaded), (1, 1));
+        assert_eq!(
+            (loaded.objects_loaded, loaded.configs_loaded, loaded.preproc_loaded),
+            (1, 1, 1)
+        );
         assert_eq!(loaded.entries_quarantined, 0);
         assert!(objects2.peek(&key).is_some());
         assert!(configs2.peek(5, cfg.key(), 0).is_some());
+        assert!(preproc2.lookup(&pkey).is_some());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1039,13 +1425,15 @@ mod tests {
         let configs = ConfigCache::new();
         let (key, obj) = sample_object();
         objects.insert(key.clone(), Arc::new(obj));
-        disk.store(&objects, &configs).unwrap();
+        disk.store(&objects, &configs, &PreprocCache::new()).unwrap();
         let entry = find_one_entry(&dir, "objects");
         let bytes = std::fs::read(&entry).unwrap();
         std::fs::write(&entry, &bytes[..bytes.len() / 2]).unwrap();
 
         let objects2 = ObjectCache::new();
-        let loaded = disk.load(&objects2, &configs, &Faults::disabled()).unwrap();
+        let loaded = disk
+            .load(&objects2, &configs, &PreprocCache::new(), &Faults::disabled())
+            .unwrap();
         assert_eq!(loaded.objects_loaded, 0);
         assert_eq!(loaded.entries_quarantined, 1);
         assert!(objects2.peek(&key).is_none());
@@ -1062,7 +1450,7 @@ mod tests {
         let configs = ConfigCache::new();
         let (key, obj) = sample_object();
         objects.insert(key.clone(), Arc::new(obj));
-        disk.store(&objects, &configs).unwrap();
+        disk.store(&objects, &configs, &PreprocCache::new()).unwrap();
         let entry = find_one_entry(&dir, "objects");
         let mut bytes = std::fs::read(&entry).unwrap();
         // Flip one hex digit of the digest line (second line).
@@ -1071,7 +1459,9 @@ mod tests {
         std::fs::write(&entry, &bytes).unwrap();
 
         let objects2 = ObjectCache::new();
-        let loaded = disk.load(&objects2, &configs, &Faults::disabled()).unwrap();
+        let loaded = disk
+            .load(&objects2, &configs, &PreprocCache::new(), &Faults::disabled())
+            .unwrap();
         assert_eq!(loaded.objects_loaded, 0);
         assert_eq!(loaded.entries_quarantined, 1);
         assert!(objects2.peek(&key).is_none());
@@ -1085,18 +1475,96 @@ mod tests {
         let objects = ObjectCache::new();
         let configs = ConfigCache::new();
         let (key, obj) = sample_object();
-        objects.insert(key.clone(), Arc::new(obj));
-        disk.store(&objects, &configs).unwrap();
+        objects.insert(key, Arc::new(obj));
+        disk.store(&objects, &configs, &PreprocCache::new()).unwrap();
 
         let faults = Faults::new(FaultSpec::default().with_rate(FaultKind::Corrupt, 1.0), 9);
         let objects2 = ObjectCache::new();
-        let loaded = disk.load(&objects2, &configs, &faults).unwrap();
+        let loaded = disk
+            .load(&objects2, &configs, &PreprocCache::new(), &faults)
+            .unwrap();
         assert_eq!(loaded.objects_loaded, 0);
         assert_eq!(loaded.entries_quarantined, 1);
         let snap = faults.stats_snapshot();
         assert_eq!(snap.corruptions_detected, 1);
         assert!(snap.injected_corrupt >= 1);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    mod preproc_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Arbitrary text, including newlines and quotes — the codec is
+        /// length-prefixed, so any payload must round-trip byte-exactly.
+        fn any_text() -> impl Strategy<Value = String> {
+            "[ -~\n\"\\\\]{0,40}"
+        }
+
+        fn any_marker() -> impl Strategy<Value = Option<(String, u32)>> {
+            proptest::option::of((any_text(), 0u32..u32::MAX))
+        }
+
+        fn any_event() -> impl Strategy<Value = MacroEvent> {
+            prop_oneof![
+                ("[A-Z_]{1,8}", "[ -~]{0,20}")
+                    .prop_map(|(n, b)| MacroEvent::Define(Arc::new(MacroDef::object(n, &b)))),
+                (
+                    "[A-Z_]{1,8}",
+                    proptest::collection::vec("[a-z]{1,4}".prop_map(String::from), 0..3),
+                    "[ -~]{0,20}"
+                )
+                    .prop_map(|(n, p, b)| MacroEvent::Define(Arc::new(MacroDef::function(n, p, &b)))),
+                "[A-Z_]{1,8}".prop_map(MacroEvent::Undef),
+            ]
+        }
+
+        fn any_effect() -> impl Strategy<Value = IncludeEffect> {
+            (
+                (any_text(), any_marker(), any_marker()),
+                (
+                    proptest::collection::vec(any_text(), 0..4),
+                    proptest::collection::vec(any_text(), 0..4),
+                    proptest::collection::vec(any_text(), 0..4),
+                    proptest::collection::vec(any_event(), 0..4),
+                ),
+            )
+                .prop_map(
+                    |(
+                        (chunk, exit_marker, first_flush),
+                        (expanded, includes, pragma_adds, macro_events),
+                    )| IncludeEffect {
+                        chunk,
+                        exit_marker,
+                        errors: Vec::new(),
+                        expanded,
+                        includes,
+                        pragma_adds,
+                        macro_events,
+                        first_flush,
+                    },
+                )
+        }
+
+        proptest! {
+            /// encode → decode → encode is a fixpoint for any effect.
+            #[test]
+            fn preproc_entries_round_trip(
+                path in "[ -~]{1,30}",
+                closure_fp in 0u64..u64::MAX,
+                macro_fp in 0u64..u64::MAX,
+                pragma_fp in 0u64..u64::MAX,
+                depth in 0u32..u32::MAX,
+                effect in any_effect(),
+            ) {
+                let key = IncludeKey { path, closure_fp, macro_fp, pragma_fp, depth };
+                let payload = encode_preproc_entry(&key, &effect);
+                let (key2, effect2) = decode_preproc_entry(&payload).unwrap();
+                prop_assert_eq!(&key, &key2);
+                prop_assert_eq!(&effect.macro_events, &effect2.macro_events);
+                prop_assert_eq!(payload, encode_preproc_entry(&key2, &effect2));
+            }
+        }
     }
 
     fn tempdir(tag: &str) -> PathBuf {

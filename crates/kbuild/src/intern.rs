@@ -1,0 +1,189 @@
+//! Global string interners: paths, architectures, and target descriptors.
+//!
+//! The check hot path used to clone `String` paths and arch names per
+//! trial and hash full strings on every map lookup. Interning maps each
+//! distinct string to a dense `u32` id once; afterwards keys are `Copy`,
+//! comparisons are integer compares, and `as_str()` returns a
+//! `&'static str` borrowed from the interner's arena.
+//!
+//! Lifetime rules: interned strings are leaked into a process-global
+//! arena and live until exit. That is the right trade for this workload —
+//! the universe of distinct paths/arches/descriptors is bounded by the
+//! synthetic kernel layout (a few thousand entries), while the number of
+//! lookups grows with patches × trials. Never intern unbounded
+//! user-supplied data (e.g. file *contents*).
+
+use std::collections::HashMap;
+use std::sync::RwLock;
+
+/// One interner: string → dense id, id → `&'static str`.
+#[derive(Default)]
+struct Interner {
+    ids: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+impl Interner {
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.ids.get(s) {
+            return id;
+        }
+        let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+        let id = self.strings.len() as u32;
+        self.strings.push(leaked);
+        self.ids.insert(leaked, id);
+        id
+    }
+}
+
+/// A lock-guarded interner with a read-path fast lane.
+struct SharedInterner {
+    inner: RwLock<Interner>,
+}
+
+impl SharedInterner {
+    fn intern(&self, s: &str) -> u32 {
+        // Fast path: already interned — a read lock suffices.
+        if let Some(&id) = self.inner.read().expect("interner poisoned").ids.get(s) {
+            return id;
+        }
+        self.inner.write().expect("interner poisoned").intern(s)
+    }
+
+    fn resolve(&self, id: u32) -> &'static str {
+        self.inner.read().expect("interner poisoned").strings[id as usize]
+    }
+
+    fn len(&self) -> usize {
+        self.inner.read().expect("interner poisoned").strings.len()
+    }
+}
+
+macro_rules! global_interner {
+    ($name:ident) => {
+        fn $name() -> &'static SharedInterner {
+            static CELL: std::sync::OnceLock<SharedInterner> = std::sync::OnceLock::new();
+            CELL.get_or_init(|| SharedInterner {
+                inner: RwLock::new(Interner::default()),
+            })
+        }
+    };
+}
+
+global_interner!(paths);
+global_interner!(arches);
+global_interner!(tokens);
+
+macro_rules! intern_id {
+    ($(#[$doc:meta])* $name:ident, $pool:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Intern `s`, returning its dense id.
+            pub fn intern(s: &str) -> Self {
+                $name($pool().intern(s))
+            }
+
+            /// The interned string, borrowed from the process-global arena.
+            pub fn as_str(self) -> &'static str {
+                $pool().resolve(self.0)
+            }
+
+            /// The raw dense id (for vector-indexed side tables).
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Number of distinct strings interned in this pool so far.
+            pub fn pool_len() -> usize {
+                $pool().len()
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str(self.as_str())
+            }
+        }
+
+        impl From<&str> for $name {
+            fn from(s: &str) -> Self {
+                $name::intern(s)
+            }
+        }
+    };
+}
+
+intern_id!(
+    /// An interned source-tree path (`drivers/net/e1000.c`).
+    PathId,
+    paths
+);
+intern_id!(
+    /// An interned architecture name (`x86_64`).
+    ArchId,
+    arches
+);
+intern_id!(
+    /// An interned target descriptor (`x86_64/allyesconfig`) or other
+    /// small bounded token.
+    TokenId,
+    tokens
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let a = PathId::intern("drivers/net/a.c");
+        let b = PathId::intern("drivers/net/b.c");
+        let a2 = PathId::intern("drivers/net/a.c");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.as_str(), "drivers/net/a.c");
+        assert_eq!(b.as_str(), "drivers/net/b.c");
+    }
+
+    #[test]
+    fn pools_are_independent() {
+        let p = PathId::intern("x86_64");
+        let a = ArchId::intern("x86_64");
+        let t = TokenId::intern("x86_64");
+        assert_eq!(p.as_str(), a.as_str());
+        assert_eq!(a.as_str(), t.as_str());
+        // Ids are per-pool dense indices; equality across types does not
+        // even compile, which is the point.
+        assert_eq!(p.as_str(), "x86_64");
+    }
+
+    #[test]
+    fn display_matches_str() {
+        let a = ArchId::intern("riscv");
+        assert_eq!(a.to_string(), "riscv");
+        assert_eq!(ArchId::from("riscv"), a);
+    }
+
+    #[test]
+    fn index_is_dense_per_pool() {
+        let before = TokenId::pool_len();
+        let t = TokenId::intern(&format!("unique-token-{before}-xyzzy"));
+        assert!(t.index() < TokenId::pool_len());
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let ids: Vec<PathId> = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| s.spawn(|| PathId::intern("concurrent/agree.c")))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -34,9 +34,13 @@ pub mod cache;
 pub mod clock;
 pub mod diskcache;
 pub mod hash;
+pub mod intern;
 pub mod makefile;
 pub mod objcache;
 pub mod objgraph;
+pub mod ppcache;
+#[cfg(test)]
+mod proptests;
 pub mod tree;
 
 pub use arch::{Arch, ArchRegistry};
@@ -53,5 +57,7 @@ pub use objcache::{
     include_fingerprint, CachedObj, ObjKind, ObjectCache, ObjectCacheStats, ObjectKey,
     VerifiedLookup,
 };
+pub use intern::{ArchId, PathId, TokenId};
 pub use objgraph::ObjGraph;
-pub use tree::SourceTree;
+pub use ppcache::{PreprocCache, PreprocCacheStats};
+pub use tree::{Blob, SourceTree};

@@ -92,17 +92,18 @@ impl Makefile {
         mk
     }
 
-    /// Parse the makefile of directory `dir` in `tree`, if present.
-    pub fn of_dir(tree: &SourceTree, dir: &str) -> Option<Makefile> {
-        let path = if dir.is_empty() {
-            "Makefile".to_string()
+    /// The parsed makefile of directory `dir` in `tree`, if present.
+    ///
+    /// Parsed once per distinct blob (memoized on the blob itself), so
+    /// repeated gating queries over shared trees re-parse nothing.
+    pub fn of_dir(tree: &SourceTree, dir: &str) -> Option<std::sync::Arc<Makefile>> {
+        let blob = if dir.is_empty() {
+            tree.get_blob("Makefile")
         } else {
-            format!("{dir}/Makefile")
-        };
-        let content = tree
-            .get(&path)
-            .or_else(|| tree.get(&format!("{dir}/Kbuild")))?;
-        Some(Makefile::parse(content))
+            tree.get_blob(&format!("{dir}/Makefile"))
+                .or_else(|| tree.get_blob(&format!("{dir}/Kbuild")))
+        }?;
+        Some(std::sync::Arc::clone(blob.makefile()))
     }
 
     /// The conditions directly guarding `object` (e.g. `e1000.o`),

@@ -31,7 +31,7 @@
 
 use crate::build::{BuildError, IFile};
 use crate::hash::{ContentHash, Fnv};
-use crate::tree::SourceTree;
+use crate::tree::{IncludeScan, SourceTree};
 use jmake_faults::{FaultKind, FaultSite, Faults};
 use jmake_trace::CacheOutcome;
 use std::collections::{HashMap, VecDeque};
@@ -411,16 +411,27 @@ pub fn include_fingerprint(tree: &SourceTree, arch: &str, file: &str) -> Option<
     visited.insert(file.to_string());
     queue.push_back(file.to_string());
     while let Some(path) = queue.pop_front() {
-        let content = tree.get(&path).unwrap_or_default();
         h.write(path.as_bytes());
         h.write(&[0x00]);
-        h.write(content.as_bytes());
+        let Some(blob) = tree.get_blob(&path) else {
+            // Only the root file can be absent; queued paths resolved.
+            h.write(&[0xff]);
+            continue;
+        };
+        // Both the content hash and the lexical include scan are computed
+        // once per distinct blob process-wide and shared by every tree
+        // holding it — the walk touches no file content after the first
+        // visit of a given blob anywhere in the run.
+        let hash = blob.hash();
+        h.write(&hash.hi().to_le_bytes());
+        h.write(&hash.lo().to_le_bytes());
         h.write(&[0xff]);
-        for line in content.lines() {
-            let Some((target, quoted)) = parse_include_target(line)? else {
-                continue;
-            };
-            match resolve_like_engine(tree, &search_paths, &path, target, quoted) {
+        let scan = blob.include_scan_with(scan_includes);
+        if scan.uncacheable {
+            return None;
+        }
+        for (target, quoted) in &scan.targets {
+            match resolve_like_engine(tree, &search_paths, &path, target, *quoted) {
                 Some(resolved) => {
                     if visited.insert(resolved.clone()) {
                         queue.push_back(resolved);
@@ -429,7 +440,7 @@ pub fn include_fingerprint(tree: &SourceTree, arch: &str, file: &str) -> Option<
                 None => {
                     // Unresolved: pin the failure so a tree that adds the
                     // header invalidates.
-                    h.write(&[0x01, u8::from(quoted)]);
+                    h.write(&[0x01, u8::from(*quoted)]);
                     h.write(target.as_bytes());
                     h.write(&[0xff]);
                 }
@@ -437,6 +448,23 @@ pub fn include_fingerprint(tree: &SourceTree, arch: &str, file: &str) -> Option<
         }
     }
     Some(h.finish())
+}
+
+/// Pre-parse one blob's `#include` lines for the fingerprint walk. The
+/// result is cached on the blob ([`crate::tree::Blob::include_scan_with`]).
+fn scan_includes(content: &str) -> IncludeScan {
+    let mut scan = IncludeScan::default();
+    for line in content.lines() {
+        match parse_include_target(line) {
+            Some(None) => {}
+            Some(Some((target, quoted))) => scan.targets.push((target.into(), quoted)),
+            None => {
+                scan.uncacheable = true;
+                return scan;
+            }
+        }
+    }
+    scan
 }
 
 /// Classify one source line: `Some(Some((target, quoted)))` for a literal
@@ -646,7 +674,7 @@ mod tests {
         );
 
         // …while touching an unrelated file does not.
-        let mut unrelated = base.clone();
+        let mut unrelated = base;
         unrelated.insert("drivers/b.c", "int b;\n");
         assert_eq!(
             fp,
@@ -658,7 +686,7 @@ mod tests {
     fn adding_a_previously_missing_header_changes_the_fingerprint() {
         let base = tree_with(&[("drivers/a.c", "#include <linux/ghost.h>\nint a;\n")]);
         let fp = include_fingerprint(&base, "x86_64", "drivers/a.c").unwrap();
-        let mut provided = base.clone();
+        let mut provided = base;
         provided.insert("include/linux/ghost.h", "#define GHOST 1\n");
         assert_ne!(
             fp,

@@ -1,36 +1,176 @@
 //! The in-memory source tree.
 
+use crate::hash::ContentHash;
+use crate::makefile::Makefile;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Monotone counter behind [`SourceTree::epoch`]. Epochs are globally
+/// unique across all trees in the process: two trees share an epoch only
+/// when one is an unmutated clone of the other, so an epoch value is a
+/// sound memoization key for any pure function of tree content.
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+fn next_epoch() -> u64 {
+    NEXT_EPOCH.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The `#include` directives of one file, pre-parsed for the
+/// include-closure fingerprint walk (`objcache::include_fingerprint`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IncludeScan {
+    /// `(target, quoted)` per literal `#include "t"` / `#include <t>`
+    /// line, in order.
+    pub targets: Vec<(Box<str>, bool)>,
+    /// The file contains a computed include, a malformed target, or
+    /// `#include_next` — its closure cannot be fingerprinted lexically.
+    pub uncacheable: bool,
+}
+
+/// One file's content plus lazily-computed derived state.
+///
+/// Blobs always live behind `Arc` and are shared: between the version
+/// store and every checkout, between a tree and its clones, and between a
+/// patch's base and mutated trees. The derived state (content hash,
+/// parsed makefile, include scan) is therefore computed once per distinct
+/// content per process, no matter how many trees or patches touch it.
+pub struct Blob {
+    text: Arc<str>,
+    hash: OnceLock<ContentHash>,
+    makefile: OnceLock<Arc<Makefile>>,
+    includes: OnceLock<IncludeScan>,
+}
+
+impl Blob {
+    /// A blob over `text`; derived state is computed on demand.
+    pub fn new(text: impl Into<Arc<str>>) -> Arc<Blob> {
+        Arc::new(Blob {
+            text: text.into(),
+            hash: OnceLock::new(),
+            makefile: OnceLock::new(),
+            includes: OnceLock::new(),
+        })
+    }
+
+    /// A blob whose content hash is already known (the version store
+    /// hashes content to address it — no point hashing twice).
+    pub fn with_hash(text: impl Into<Arc<str>>, hash: ContentHash) -> Arc<Blob> {
+        let blob = Blob::new(text);
+        let _ = blob.hash.set(hash);
+        blob
+    }
+
+    /// The content.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The content as a shareable handle (for include resolution — the
+    /// preprocessor holds file contents across calls without copying).
+    pub fn shared_text(&self) -> Arc<str> {
+        Arc::clone(&self.text)
+    }
+
+    /// Content length in bytes.
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// True when the content is empty.
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+
+    /// The content hash, computed once per blob.
+    pub fn hash(&self) -> ContentHash {
+        *self.hash.get_or_init(|| ContentHash::of(&self.text))
+    }
+
+    /// The blob parsed as a Kbuild makefile, once per blob.
+    pub fn makefile(&self) -> &Arc<Makefile> {
+        self.makefile
+            .get_or_init(|| Arc::new(Makefile::parse(&self.text)))
+    }
+
+    /// The blob's `#include` scan, computed by `scan` once per blob.
+    pub fn include_scan_with(&self, scan: impl FnOnce(&str) -> IncludeScan) -> &IncludeScan {
+        self.includes.get_or_init(|| scan(&self.text))
+    }
+}
+
+impl std::fmt::Debug for Blob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Blob")
+            .field("len", &self.text.len())
+            .field("hash", &self.hash.get())
+            .finish()
+    }
+}
+
+impl PartialEq for Blob {
+    fn eq(&self, other: &Self) -> bool {
+        self.text == other.text
+    }
+}
+
+impl Eq for Blob {}
 
 /// A kernel source tree held entirely in memory, path → content.
 ///
 /// Paths are `/`-separated and relative to the tree root
 /// (`drivers/net/e1000.c`). The paper's evaluation kept 25 clones of the
 /// kernel tree in a tmpfs for the same reason: eliminate disk access.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+/// Contents are [`Blob`]s behind `Arc`, so cloning a tree copies pointers,
+/// not file text.
+#[derive(Debug, Clone)]
 pub struct SourceTree {
-    files: BTreeMap<String, String>,
+    files: BTreeMap<Arc<str>, Arc<Blob>>,
+    bytes: u64,
+    epoch: u64,
 }
 
 impl SourceTree {
     /// An empty tree.
     pub fn new() -> Self {
-        SourceTree::default()
+        SourceTree {
+            files: BTreeMap::new(),
+            bytes: 0,
+            epoch: next_epoch(),
+        }
     }
 
     /// Insert or replace a file.
     pub fn insert(&mut self, path: impl Into<String>, content: impl Into<String>) {
-        self.files.insert(path.into(), content.into());
+        let content: String = content.into();
+        self.insert_blob(Arc::from(path.into()), Blob::new(content));
+    }
+
+    /// Insert or replace a file as a pre-built (possibly shared) blob.
+    pub fn insert_blob(&mut self, path: Arc<str>, blob: Arc<Blob>) {
+        self.bytes += blob.len() as u64;
+        if let Some(old) = self.files.insert(path, blob) {
+            self.bytes -= old.len() as u64;
+        }
+        self.epoch = next_epoch();
     }
 
     /// Remove a file; returns its content if present.
     pub fn remove(&mut self, path: &str) -> Option<String> {
-        self.files.remove(path)
+        let old = self.files.remove(path)?;
+        self.bytes -= old.len() as u64;
+        self.epoch = next_epoch();
+        Some(old.text().to_string())
     }
 
     /// Content of `path`.
     pub fn get(&self, path: &str) -> Option<&str> {
-        self.files.get(path).map(String::as_str)
+        self.files.get(path).map(|b| b.text())
+    }
+
+    /// The blob of `path`.
+    pub fn get_blob(&self, path: &str) -> Option<&Arc<Blob>> {
+        self.files.get(path)
     }
 
     /// True when `path` exists.
@@ -40,13 +180,18 @@ impl SourceTree {
 
     /// Iterate over `(path, content)` in path order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
-        self.files.iter().map(|(p, c)| (p.as_str(), c.as_str()))
+        self.files.iter().map(|(p, c)| (&**p, c.text()))
+    }
+
+    /// Iterate over `(path, blob)` in path order.
+    pub fn iter_blobs(&self) -> impl Iterator<Item = (&Arc<str>, &Arc<Blob>)> {
+        self.files.iter()
     }
 
     /// Iterate over paths under `prefix` (a directory path without a
     /// trailing slash, or `""` for the whole tree).
     pub fn files_under<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a str> + 'a {
-        self.files.keys().map(String::as_str).filter(move |p| {
+        self.files.keys().map(|p| &**p).filter(move |p| {
             prefix.is_empty() || p.strip_prefix(prefix).is_some_and(|r| r.starts_with('/'))
         })
     }
@@ -62,28 +207,56 @@ impl SourceTree {
     }
 
     /// Total bytes of content — the virtual clock's whole-kernel compile
-    /// cost scales with this.
+    /// cost scales with this. Maintained incrementally, O(1).
     pub fn total_bytes(&self) -> u64 {
-        self.files.values().map(|c| c.len() as u64).sum()
+        self.bytes
     }
 
     /// Paths of every file, in order.
     pub fn paths(&self) -> impl Iterator<Item = &str> {
-        self.files.keys().map(String::as_str)
+        self.files.keys().map(|p| &**p)
+    }
+
+    /// The tree's content epoch: globally unique per mutation, copied by
+    /// `clone`. Equal epochs imply byte-identical content, so pure
+    /// functions of tree content may memoize on `(epoch, …)` keys.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 }
 
+impl Default for SourceTree {
+    fn default() -> Self {
+        SourceTree::new()
+    }
+}
+
+impl PartialEq for SourceTree {
+    fn eq(&self, other: &Self) -> bool {
+        self.files.len() == other.files.len()
+            && self
+                .files
+                .iter()
+                .zip(other.files.iter())
+                .all(|((pa, ba), (pb, bb))| pa == pb && (Arc::ptr_eq(ba, bb) || ba == bb))
+    }
+}
+
+impl Eq for SourceTree {}
+
 impl FromIterator<(String, String)> for SourceTree {
     fn from_iter<T: IntoIterator<Item = (String, String)>>(iter: T) -> Self {
-        SourceTree {
-            files: iter.into_iter().collect(),
-        }
+        let mut tree = SourceTree::new();
+        tree.extend(iter);
+        tree
     }
 }
 
 impl Extend<(String, String)> for SourceTree {
     fn extend<T: IntoIterator<Item = (String, String)>>(&mut self, iter: T) {
-        self.files.extend(iter);
+        for (p, c) in iter {
+            self.insert(p, c);
+        }
     }
 }
 
@@ -137,6 +310,17 @@ mod tests {
             t.total_bytes(),
             t.iter().map(|(_, c)| c.len() as u64).sum::<u64>()
         );
+        let mut t = t;
+        t.insert("drivers/net/a.c", "int aa;\n"); // replace: 7 -> 8 bytes
+        assert_eq!(
+            t.total_bytes(),
+            t.iter().map(|(_, c)| c.len() as u64).sum::<u64>()
+        );
+        t.remove("drivers/nvme/b.c");
+        assert_eq!(
+            t.total_bytes(),
+            t.iter().map(|(_, c)| c.len() as u64).sum::<u64>()
+        );
     }
 
     #[test]
@@ -145,5 +329,50 @@ mod tests {
         assert_eq!(dir_of("top.c"), "");
         assert_eq!(file_name("a/b/c.c"), "c.c");
         assert_eq!(file_name("top.c"), "top.c");
+    }
+
+    #[test]
+    fn clone_shares_blobs_and_epoch() {
+        let t = sample();
+        let u = t.clone();
+        assert_eq!(t.epoch(), u.epoch());
+        assert_eq!(t, u);
+        let (_, a) = t.iter_blobs().next().unwrap();
+        let (_, b) = u.iter_blobs().next().unwrap();
+        assert!(Arc::ptr_eq(a, b));
+    }
+
+    #[test]
+    fn mutation_changes_epoch() {
+        let t = sample();
+        let mut u = t.clone();
+        u.insert("drivers/net/a.c", "int mutated;\n");
+        assert_ne!(t.epoch(), u.epoch());
+        assert_ne!(t, u);
+        // The untouched files are still shared.
+        assert!(Arc::ptr_eq(
+            t.get_blob("Makefile").unwrap(),
+            u.get_blob("Makefile").unwrap()
+        ));
+    }
+
+    #[test]
+    fn blob_hash_is_content_hash() {
+        let t = sample();
+        let blob = t.get_blob("drivers/net/a.c").unwrap();
+        assert_eq!(blob.hash(), ContentHash::of("int a;\n"));
+        // with_hash trusts the caller.
+        let b = Blob::with_hash("xyz", ContentHash::of("xyz"));
+        assert_eq!(b.hash(), ContentHash::of("xyz"));
+    }
+
+    #[test]
+    fn blob_makefile_parses_once() {
+        let t = sample();
+        let blob = t.get_blob("Makefile").unwrap();
+        let a = Arc::as_ptr(blob.makefile());
+        let b = Arc::as_ptr(blob.makefile());
+        assert_eq!(a, b);
+        assert_eq!(blob.makefile().objs.len(), 1);
     }
 }

@@ -29,7 +29,7 @@ use crate::protocol::{self, EvalRequest, Request, Response};
 use jmake_bench::{build_context_with_driver, render_command};
 use jmake_core::DriverOptions;
 use jmake_faults::Faults;
-use jmake_kbuild::{ConfigCache, DiskCache, ObjectCache};
+use jmake_kbuild::{ConfigCache, DiskCache, ObjectCache, PreprocCache};
 use jmake_synth::WorkloadProfile;
 use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Write};
@@ -184,6 +184,7 @@ impl Queue {
 struct Engine {
     objects: Arc<ObjectCache>,
     configs: Arc<ConfigCache>,
+    preproc: Arc<PreprocCache>,
 }
 
 impl Engine {
@@ -191,6 +192,7 @@ impl Engine {
         Engine {
             objects: Arc::new(ObjectCache::new()),
             configs: Arc::new(ConfigCache::new()),
+            preproc: Arc::new(PreprocCache::new()),
         }
     }
 
@@ -212,6 +214,7 @@ impl Engine {
             },
             object_cache_handle: Some(Arc::clone(&self.objects)),
             config_cache_handle: Some(Arc::clone(&self.configs)),
+            preproc_cache_handle: Some(Arc::clone(&self.preproc)),
             ..DriverOptions::default()
         };
         let ctx = build_context_with_driver(&profile, &driver);
@@ -231,11 +234,17 @@ pub fn serve(opts: &ServerOptions) -> io::Result<()> {
     let disk = match &opts.cache_dir {
         Some(dir) => {
             let disk = DiskCache::open(dir)?;
-            let s = disk.load(&engine.objects, &engine.configs, &Faults::disabled())?;
+            let s = disk.load(
+                &engine.objects,
+                &engine.configs,
+                &engine.preproc,
+                &Faults::disabled(),
+            )?;
             eprintln!(
-                "jmake-serve: loaded {} object / {} config entries from {} ({} quarantined)",
+                "jmake-serve: loaded {} object / {} config / {} preproc entries from {} ({} quarantined)",
                 s.objects_loaded,
                 s.configs_loaded,
+                s.preproc_loaded,
                 disk.root().display(),
                 s.entries_quarantined,
             );
@@ -296,11 +305,12 @@ pub fn serve(opts: &ServerOptions) -> io::Result<()> {
         let _ = worker.join();
     }
     if let Some(disk) = &disk {
-        match disk.store(&engine.objects, &engine.configs) {
+        match disk.store(&engine.objects, &engine.configs, &engine.preproc) {
             Ok(s) => eprintln!(
-                "jmake-serve: persisted {} new object / {} new config entries under {}",
+                "jmake-serve: persisted {} new object / {} new config / {} new preproc entries under {}",
                 s.objects_stored,
                 s.configs_stored,
+                s.preproc_stored,
                 disk.root().display(),
             ),
             Err(e) => eprintln!(

@@ -1,8 +1,9 @@
 //! Content-addressed blob storage.
 
-use jmake_kbuild::ContentHash;
+use jmake_kbuild::{Blob, ContentHash};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Identity of a stored blob: a 128-bit [`ContentHash`] (two FNV-1a
 /// passes with independent offsets — not cryptographic, but
@@ -31,9 +32,15 @@ impl BlobId {
 }
 
 /// Deduplicating blob store.
+///
+/// Blobs are held behind `Arc` and shared into every checkout, so one
+/// commit sequence materializes each distinct content exactly once —
+/// checkouts copy pointers, and per-blob derived state (content hash,
+/// parsed makefile, include scan) accumulates on the stored blob for all
+/// trees that reference it.
 #[derive(Debug, Clone, Default)]
 pub struct BlobStore {
-    blobs: HashMap<BlobId, String>,
+    blobs: HashMap<BlobId, Arc<Blob>>,
 }
 
 impl BlobStore {
@@ -45,13 +52,27 @@ impl BlobStore {
     /// Store `content`, returning its id (idempotent).
     pub fn put(&mut self, content: &str) -> BlobId {
         let id = BlobId::of(content);
-        self.blobs.entry(id).or_insert_with(|| content.to_string());
+        self.blobs
+            .entry(id)
+            .or_insert_with(|| Blob::with_hash(content, id.content_hash()));
         id
     }
 
-    /// Retrieve a blob.
+    /// Store an existing (possibly shared) blob, returning its id.
+    pub fn put_blob(&mut self, blob: &Arc<Blob>) -> BlobId {
+        let id = BlobId(blob.hash());
+        self.blobs.entry(id).or_insert_with(|| Arc::clone(blob));
+        id
+    }
+
+    /// Retrieve a blob's content.
     pub fn get(&self, id: BlobId) -> Option<&str> {
-        self.blobs.get(&id).map(String::as_str)
+        self.blobs.get(&id).map(|b| b.text())
+    }
+
+    /// Retrieve a blob as a shareable handle.
+    pub fn get_blob(&self, id: BlobId) -> Option<&Arc<Blob>> {
+        self.blobs.get(&id)
     }
 
     /// Number of distinct blobs.

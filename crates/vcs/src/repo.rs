@@ -6,6 +6,7 @@ use jmake_kbuild::SourceTree;
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Identity of a commit (index into the repository's commit sequence,
 /// displayed as a short hex id like git abbreviates hashes).
@@ -40,8 +41,9 @@ pub struct Commit {
     pub author: String,
     /// Commit message subject.
     pub message: String,
-    /// Snapshot: path → blob.
-    pub tree: BTreeMap<String, BlobId>,
+    /// Snapshot: path → blob. Paths are shared handles so checkouts
+    /// clone pointers, not strings.
+    pub tree: BTreeMap<Arc<str>, BlobId>,
 }
 
 impl Commit {
@@ -129,8 +131,8 @@ impl Repo {
     ) -> CommitId {
         let id = CommitId(self.commits.len() as u32);
         let snapshot = tree
-            .iter()
-            .map(|(p, c)| (p.to_string(), self.blobs.put(c)))
+            .iter_blobs()
+            .map(|(p, b)| (Arc::clone(p), self.blobs.put_blob(b)))
             .collect();
         self.commits.push(Commit {
             id,
@@ -190,19 +192,12 @@ impl Repo {
     /// [`RepoError::NoSuchCommit`].
     pub fn checkout(&self, id: CommitId) -> Result<SourceTree, RepoError> {
         let commit = self.get(id)?;
-        Ok(commit
-            .tree
-            .iter()
-            .map(|(p, b)| {
-                (
-                    p.clone(),
-                    self.blobs
-                        .get(*b)
-                        .expect("commit references stored blob")
-                        .to_string(),
-                )
-            })
-            .collect())
+        let mut tree = SourceTree::new();
+        for (p, b) in &commit.tree {
+            let blob = self.blobs.get_blob(*b).expect("commit references stored blob");
+            tree.insert_blob(Arc::clone(p), Arc::clone(blob));
+        }
+        Ok(tree)
     }
 
     /// `git show <id>`: the patch this commit applies relative to its
@@ -231,8 +226,8 @@ impl Repo {
 
     fn diff_trees(
         &self,
-        old: &BTreeMap<String, BlobId>,
-        new: &BTreeMap<String, BlobId>,
+        old: &BTreeMap<Arc<str>, BlobId>,
+        new: &BTreeMap<Arc<str>, BlobId>,
         opts: &DiffOptions,
     ) -> Patch {
         let mut files: Vec<FilePatch> = Vec::new();
@@ -244,8 +239,8 @@ impl Repo {
                     let patch = diff_to_patch(path, "", blob(new_id), opts);
                     let hunks = patch.files.into_iter().flat_map(|f| f.hunks).collect();
                     files.push(FilePatch {
-                        old_path: path.clone(),
-                        new_path: path.clone(),
+                        old_path: path.to_string(),
+                        new_path: path.to_string(),
                         kind: ChangeKind::Create,
                         hunks,
                     });
@@ -265,7 +260,7 @@ impl Repo {
                 let patch = diff_to_patch(path, blob(old_id), "", opts);
                 let hunks = patch.files.into_iter().flat_map(|f| f.hunks).collect();
                 files.push(FilePatch {
-                    old_path: path.clone(),
+                    old_path: path.to_string(),
                     new_path: "/dev/null".to_string(),
                     kind: ChangeKind::Delete,
                     hunks,
@@ -330,19 +325,19 @@ impl Repo {
     /// [`RepoError::NoSuchCommit`].
     pub fn changed_paths(&self, id: CommitId) -> Result<Vec<String>, RepoError> {
         let commit = self.get(id)?;
-        let parent: BTreeMap<String, BlobId> = match commit.parents.first() {
+        let parent: BTreeMap<Arc<str>, BlobId> = match commit.parents.first() {
             Some(p) => self.get(*p)?.tree.clone(),
             None => BTreeMap::new(),
         };
         let mut out = Vec::new();
         for (path, blob) in &commit.tree {
             if parent.get(path) != Some(blob) {
-                out.push(path.clone());
+                out.push(path.to_string());
             }
         }
         for path in parent.keys() {
             if !commit.tree.contains_key(path) {
-                out.push(path.clone());
+                out.push(path.to_string());
             }
         }
         out.sort();

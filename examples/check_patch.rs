@@ -68,7 +68,7 @@ fn main() {
 
     // Scenario 4: an edit under #ifdef MODULE — allyesconfig misses it,
     // the allmodconfig extension catches it.
-    let mut t4 = tree.clone();
+    let mut t4 = tree;
     let old = t4.get(&host_drv.c_path).unwrap().to_string();
     let with_module = format!(
         "{old}\n#ifdef MODULE\nint {}_unload_hint;\n#endif\n",

@@ -15,7 +15,7 @@ echo "==> cargo test -q (workspace)"
 cargo test --workspace -q
 
 echo "==> cargo clippy --all-targets -- -D warnings (workspace)"
-cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings -D clippy::redundant_clone
 
 echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings: broken intra-doc links fail)"
 # The vendored offline stand-ins (rand/proptest/criterion) are excluded:
@@ -28,12 +28,13 @@ CACHED_OUT="$(mktemp /tmp/jmake-eval-cached.XXXXXX.out)"
 UNCACHED_OUT="$(mktemp /tmp/jmake-eval-uncached.XXXXXX.out)"
 trap 'rm -f "$CACHED_OUT" "$UNCACHED_OUT"' EXIT
 # Same window with every host-side acceleration on (object cache +
-# work stealing, the defaults) and with all of them off: every table,
-# figure, and summary line must be byte-identical — the caches may only
-# change wall-clock time.
+# preprocess memo + work stealing, the defaults) and with all of them
+# off: every table, figure, and summary line must be byte-identical —
+# the caches may only change wall-clock time.
 ./target/release/jmake-eval --commits 120 --workers 8 all > "$CACHED_OUT"
 ./target/release/jmake-eval --commits 120 --workers 1 \
-  --no-object-cache --no-work-stealing --no-shared-cache all > "$UNCACHED_OUT"
+  --no-object-cache --no-work-stealing --no-shared-cache \
+  --no-preproc-cache all > "$UNCACHED_OUT"
 diff -u "$UNCACHED_OUT" "$CACHED_OUT"
 
 echo "==> cross-check smoke run (static reachability vs mutation coverage)"
@@ -112,6 +113,32 @@ grep -q "fault recovery: injected" "$FAULT_ERR"
 if grep -q "did not produce a report" "$FAULT_ERR"; then
   echo "fault smoke run left commits without an outcome:" >&2
   cat "$FAULT_ERR" >&2
+  exit 1
+fi
+
+echo "==> bench-regression gate (patches/s vs committed BENCH_4.json, -10% floor)"
+BENCH_OUT="$(mktemp /tmp/jmake-bench.XXXXXX.json)"
+trap 'rm -rf "$CACHE_DIR"; rm -f "$BENCH_OUT" "$FAULT_ERR" "$SERVE_SOCK" "$SERVED_OUT" "$COLD_OUT" "$WARM_OUT" "$WARM_ERR" "$TRACE_FILE" "$CC_A" "$CC_B" "$CACHED_OUT" "$UNCACHED_OUT"' EXIT
+# Re-run the standard 1,200-commit sweep (same seed/workers as the
+# committed baseline) and fail if throughput drops more than 10% below
+# the BENCH_4.json this repo ships. Wall-clock varies by machine, so
+# the gate is a floor, not an equality check; refresh the baseline with
+# the jmake-eval invocation documented in EXPERIMENTS.md when a PR
+# legitimately moves it.
+./target/release/jmake-eval --commits 1200 --seed 319123704645 --workers 4 \
+  --bench-json "$BENCH_OUT" summary > /dev/null
+extract_pps() { sed -n 's/.*"patches_per_sec": \([0-9.]*\).*/\1/p' "$1"; }
+BASELINE_PPS="$(extract_pps BENCH_4.json)"
+CURRENT_PPS="$(extract_pps "$BENCH_OUT")"
+if [ -z "$BASELINE_PPS" ] || [ -z "$CURRENT_PPS" ]; then
+  echo "could not extract patches_per_sec (baseline='$BASELINE_PPS' current='$CURRENT_PPS')" >&2
+  exit 1
+fi
+echo "    baseline $BASELINE_PPS patches/s, current $CURRENT_PPS patches/s"
+# Integer math in awk: fail when current < 0.9 * baseline.
+if ! awk -v cur="$CURRENT_PPS" -v base="$BASELINE_PPS" \
+    'BEGIN { exit !(cur >= 0.9 * base) }'; then
+  echo "bench regression: $CURRENT_PPS patches/s is >10% below the committed $BASELINE_PPS" >&2
   exit 1
 fi
 
