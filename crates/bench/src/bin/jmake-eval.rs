@@ -23,9 +23,10 @@
 //!                      header inclusion is expanded live; slower
 //!                      wall-clock, identical reports)
 //!   --bench-json FILE  write a machine-readable benchmark summary
-//!                      (schema 2: patches/sec, per-stage host CPU µs,
+//!                      (schema 3: patches/sec, per-stage host CPU µs,
 //!                      end-to-end wall µs, cache hit rates, scheduler
-//!                      stage counters — see DESIGN.md) to FILE
+//!                      stage counters, remediate-stage totals — see
+//!                      DESIGN.md) to FILE
 //!   --cache-dir DIR    persist the config and object caches under DIR
 //!                      (created if missing) and pre-load them from it,
 //!                      so a second run starts warm. Entries carry an
@@ -58,10 +59,24 @@
 //!                      print the discrepancy report as JSON on stdout;
 //!                      exits non-zero when static and dynamic verdicts
 //!                      provably disagree (the CI gate)
+//!   --fix              statically root-cause every missed line, then
+//!                      synthesize and *verify* a minimal config delta
+//!                      (or allmodconfig / cross-arch environment) that
+//!                      would have covered it; prints the remediation
+//!                      report as JSON on stdout and grafts per-file FIX
+//!                      lines into the tables. Exits non-zero when a
+//!                      static root cause disagrees with the dynamic
+//!                      classifier or an emitted delta fails its
+//!                      verification re-run (the CI gate). Without
+//!                      `--fix` the reports are byte-identical to a
+//!                      build without the remediator
+//!   --fix-json FILE    write the remediation report to FILE as well
+//!                      (implies --fix)
 //!
-//! With `--reach`/`--cross-check` and no explicit table command, the
-//! tables are suppressed so stdout is pure JSON (pipe into a file and
-//! `diff` across worker counts / cache modes — the bytes must match).
+//! With `--reach`/`--cross-check`/`--fix` and no explicit table command,
+//! the tables are suppressed so stdout is pure JSON (pipe into a file
+//! and `diff` across worker counts / cache modes — the bytes must
+//! match).
 //!
 //! `trace-check` re-parses a `--trace` file, validates every line against
 //! the documented schema, and prints per-stage span counts. It exits
@@ -170,17 +185,19 @@ fn trace_check(path: &str) -> ! {
 /// Machine-readable benchmark summary for `--bench-json` (hand-rolled:
 /// the workspace carries no JSON serializer and the shape is fixed).
 ///
-/// Schema 2 (documented in DESIGN.md): `host_cpu_us` holds the
+/// Schema 3 (documented in DESIGN.md): `host_cpu_us` holds the
 /// per-stage host time *summed over workers* (schema 1 called this
 /// `host_wall_us`, which misread as end-to-end time); `wall_us` is the
 /// actual end-to-end evaluation wall clock; `preproc_cache_stats` and
 /// `scheduler` cover the cross-patch preprocess memo and the typed
-/// warm-packet scheduler.
+/// warm-packet scheduler; `remediate` reports the `--fix` pass (all
+/// zeros with `ran: false` when remediation was off).
 fn render_bench_json(
     profile: &WorkloadProfile,
     driver: &DriverOptions,
     run: &jmake_core::EvaluationRun,
     wall_secs: f64,
+    fix: Option<&(jmake_fix::FixReport, u64)>,
 ) -> String {
     let s = &run.stats;
     let pps = if wall_secs > 0.0 {
@@ -200,10 +217,23 @@ fn render_bench_json(
         })
         .collect::<Vec<_>>()
         .join(",\n");
+    let (fix_ran, fix_host_us, fix_virtual_us, fix_missed, fix_emitted, fix_verified, fix_unfixable) =
+        match fix {
+            Some((f, host_us)) => (
+                true,
+                *host_us,
+                f.virtual_us,
+                f.missed,
+                f.deltas_emitted,
+                f.deltas_verified,
+                f.unfixable,
+            ),
+            None => (false, 0, 0, 0, 0, 0, 0),
+        };
     format!(
         concat!(
             "{{\n",
-            "  \"schema\": 2,\n",
+            "  \"schema\": 3,\n",
             "  \"commits\": {},\n",
             "  \"seed\": {},\n",
             "  \"workers\": {},\n",
@@ -220,6 +250,7 @@ fn render_bench_json(
             "  \"config_cache_stats\": {{ \"hits\": {}, \"misses\": {}, \"entries\": {}, \"hit_rate\": {:.4} }},\n",
             "  \"object_cache_stats\": {{ \"hits\": {}, \"negative_hits\": {}, \"misses\": {}, \"entries\": {}, \"hit_rate\": {:.4} }},\n",
             "  \"preproc_cache_stats\": {{ \"hits\": {}, \"misses\": {}, \"entries\": {}, \"hit_rate\": {:.4}, \"closure_hits\": {}, \"closure_misses\": {} }},\n",
+            "  \"remediate\": {{ \"ran\": {}, \"host_us\": {}, \"virtual_us\": {}, \"missed\": {}, \"deltas_emitted\": {}, \"deltas_verified\": {}, \"unfixable\": {} }},\n",
             "  \"scheduler\": {{\n{}\n  }}\n",
             "}}\n",
         ),
@@ -254,6 +285,13 @@ fn render_bench_json(
         s.preproc.hit_rate(),
         s.preproc.closure_hits,
         s.preproc.closure_misses,
+        fix_ran,
+        fix_host_us,
+        fix_virtual_us,
+        fix_missed,
+        fix_emitted,
+        fix_verified,
+        fix_unfixable,
         sched,
     )
 }
@@ -288,6 +326,8 @@ fn main() {
     let mut show_metrics = false;
     let mut do_reach = false;
     let mut do_cross_check = false;
+    let mut do_fix = false;
+    let mut fix_json: Option<String> = None;
     let mut bench_json: Option<String> = None;
     let mut cache_dir: Option<String> = None;
     let mut fault_spec: Option<FaultSpec> = None;
@@ -371,6 +411,15 @@ fn main() {
             }
             "--reach" => do_reach = true,
             "--cross-check" => do_cross_check = true,
+            "--fix" => do_fix = true,
+            "--fix-json" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--fix-json needs a file path");
+                    std::process::exit(2);
+                };
+                fix_json = Some(path.clone());
+                do_fix = true;
+            }
             cmd if !cmd.starts_with("--") => explicit_command = Some(cmd.to_string()),
             other => {
                 eprintln!("unknown option {other}");
@@ -429,7 +478,7 @@ fn main() {
         if driver.shared_cache { "on" } else { "off" },
     );
     let started = std::time::Instant::now();
-    let ctx = build_context_with_driver(&profile, &driver);
+    let mut ctx = build_context_with_driver(&profile, &driver);
     eprintln!(
         "evaluation finished in {:.1}s wall clock ({} patches)",
         started.elapsed().as_secs_f64(),
@@ -476,11 +525,41 @@ fn main() {
     if fault_spec.is_some() {
         eprintln!("fault recovery: {}", ctx.run.stats.faults);
     }
+    // Freeze the evaluation wall clock before the remediation pass so
+    // `patches_per_sec` keeps measuring checking throughput, with or
+    // without `--fix`.
+    let wall_secs = started.elapsed().as_secs_f64();
+    let fix_summary: Option<(jmake_fix::FixReport, u64)> = if do_fix {
+        let fctx = jmake_fix::FixContext {
+            configs: driver
+                .config_cache_handle
+                .clone()
+                .unwrap_or_else(|| std::sync::Arc::new(ConfigCache::new())),
+            objects: driver.object_cache_handle.clone(),
+            preproc: driver.preproc_cache_handle.clone(),
+            tracer: tracer.clone(),
+        };
+        let fix_started = std::time::Instant::now();
+        let fix = jmake_fix::remediate_with(&ctx.workload.repo, &ctx.run, &fctx);
+        let host_us = fix_started.elapsed().as_micros() as u64;
+        jmake_fix::annotate_run(&mut ctx.run, &fix);
+        eprintln!(
+            "remediation finished in {:.1}s wall clock ({} missed line(s), {} delta(s) emitted, {} verified, {} unfixable)",
+            fix_started.elapsed().as_secs_f64(),
+            fix.missed,
+            fix.deltas_emitted,
+            fix.deltas_verified,
+            fix.unfixable,
+        );
+        Some((fix, host_us))
+    } else {
+        None
+    };
     if show_stats {
         eprint!("{}", ctx.run.stats.render());
     }
     if let Some(path) = &bench_json {
-        let json = render_bench_json(&profile, &driver, &ctx.run, started.elapsed().as_secs_f64());
+        let json = render_bench_json(&profile, &driver, &ctx.run, wall_secs, fix_summary.as_ref());
         if let Err(e) = write_bench_json(path, &json) {
             eprintln!("cannot write bench summary {path}: {e}");
             // Flush the trace file before bailing out: exiting with spans
@@ -548,9 +627,33 @@ fn main() {
             );
         }
     }
-    // With `--reach`/`--cross-check` and no explicit command, stdout
-    // stays pure JSON for CI diffing.
-    if explicit_command.is_none() && (do_reach || do_cross_check) {
+    if let Some((fix, _)) = &fix_summary {
+        let json = fix.to_json();
+        print!("{json}");
+        if let Some(path) = &fix_json {
+            if let Err(e) = write_bench_json(path, &json) {
+                eprintln!("cannot write remediation report {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("remediation report written to {path}");
+        }
+        if fix.is_clean() {
+            eprintln!(
+                "remediation clean: {} missed line(s), every emitted delta verified ({} of {}), {} unfixable, 0 disagreements",
+                fix.missed, fix.deltas_verified, fix.deltas_emitted, fix.unfixable
+            );
+        } else {
+            eprintln!(
+                "REMEDIATION FAILED: {} static/dynamic disagreement(s), {} delta(s) failed verification",
+                fix.disagreements.len(),
+                fix.verification_failures,
+            );
+            exit_code = 1;
+        }
+    }
+    // With `--reach`/`--cross-check`/`--fix` and no explicit command,
+    // stdout stays pure JSON for CI diffing.
+    if explicit_command.is_none() && (do_reach || do_cross_check || do_fix) {
         std::process::exit(exit_code);
     }
 

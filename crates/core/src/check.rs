@@ -699,6 +699,7 @@ impl JMake {
                     header_covered_by_patch_c: w.header_covered_by_patch_c,
                     errors: w.errors,
                     degraded_trials: w.degraded,
+                    remediations: Vec::new(),
                 };
                 if both_branches {
                     for u in &mut report.uncovered {

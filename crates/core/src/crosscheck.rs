@@ -207,7 +207,7 @@ struct ArchStatic {
 
 /// Architectures the dynamic side exercised: every certifying target's
 /// arch plus every arch whose allyesconfig was at least attempted.
-fn arches_used(files: &[FileReport]) -> BTreeSet<String> {
+pub fn arches_used(files: &[FileReport]) -> BTreeSet<String> {
     let mut arches = BTreeSet::new();
     for f in files {
         for (_, desc) in &f.covered {
@@ -369,8 +369,11 @@ fn check_file(
 
 /// What a physical line is, for token-region attribution. Lines absent
 /// from the map are plain (token and analyzer agree on the region).
+///
+/// Public because the remediation pass (`jmake-fix`) attributes tokens
+/// to regions with exactly the same rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum LineShape {
+pub enum LineShape {
     /// `#if`/`#ifdef`/`#ifndef`/`#elif`/`#else`: the mutation engine
     /// places the token *after* the directive, inside the branch it
     /// opens. `end` is the last physical line of the (possibly spliced)
@@ -388,7 +391,7 @@ enum LineShape {
 }
 
 /// Map physical lines to their [`LineShape`].
-fn line_shapes(src: &str) -> BTreeMap<u32, LineShape> {
+pub fn line_shapes(src: &str) -> BTreeMap<u32, LineShape> {
     let mut shapes = BTreeMap::new();
     for ll in logical_lines(src) {
         let Some((name, _)) = ll.directive() else {
@@ -431,21 +434,28 @@ fn line_shapes(src: &str) -> BTreeMap<u32, LineShape> {
 ///
 /// `Define` tokens live on their `#define`/continuation line and take
 /// the plain-line path.
-fn token_class<'a>(
+pub fn token_class<'a>(
     fr: Option<&'a jmake_reach::FileReach>,
     shapes: &BTreeMap<u32, LineShape>,
     line: u32,
 ) -> Option<&'a ReachClass> {
-    let fr = fr?;
+    fr?.class(token_region_line(shapes, line)?)
+}
+
+/// The pristine-file line whose region a token recorded at `line`
+/// actually certifies, per the attribution rules of [`token_class`].
+/// `None` for ambiguous sites (`#endif` keys, spliced directives,
+/// `#elif`/`#else` neighbors).
+pub fn token_region_line(shapes: &BTreeMap<u32, LineShape>, line: u32) -> Option<u32> {
     match shapes.get(&line) {
-        None => fr.class(line),
+        None => Some(line),
         Some(LineShape::Closer) => None,
         Some(LineShape::Opens { multi: true, .. })
         | Some(LineShape::OpensFresh { multi: true, .. }) => None,
         Some(LineShape::Opens { end, .. }) | Some(LineShape::OpensFresh { end, .. }) => {
             let candidate = end + 1;
             match shapes.get(&candidate) {
-                None | Some(LineShape::OpensFresh { multi: false, .. }) => fr.class(candidate),
+                None | Some(LineShape::OpensFresh { multi: false, .. }) => Some(candidate),
                 _ => None,
             }
         }

@@ -66,7 +66,10 @@ pub use archsel::{ArchSelector, Target};
 pub use check::{JMake, Options, WarmProbe};
 pub use classify::UncoveredReason;
 pub use covsel::{branch_wants, generate_cover_targets, Want};
-pub use crosscheck::{cross_check, CrossCheckReport, Discrepancy, DiscrepancyKind};
+pub use crosscheck::{
+    arches_used, cross_check, line_shapes, token_class, token_region_line, CrossCheckReport,
+    Discrepancy, DiscrepancyKind, LineShape,
+};
 pub use driver::{
     run_evaluation, DriverOptions, DriverStats, EvaluationRun, PatchOutcome, PatchResult,
     SchedulerStats, StageQueueStats,

@@ -88,6 +88,11 @@ pub struct FileReport {
     /// budget. Always empty without `--faults`, and rendered/serialized
     /// only when non-empty, so fault-free reports are byte-identical.
     pub degraded_trials: Vec<String>,
+    /// Remediation lines from the `jmake-fix` pass: one rendered
+    /// suggestion (or `unfixable` verdict) per uncovered mutation.
+    /// Always empty without `--fix`, and rendered/serialized only when
+    /// non-empty, so fix-off reports are byte-identical.
+    pub remediations: Vec<String>,
 }
 
 impl FileReport {
@@ -111,6 +116,9 @@ impl fmt::Display for FileReport {
         }
         for u in &self.uncovered {
             writeln!(f, "  NOT COMPILED: line {:>5} — {}", u.token.line, u.reason)?;
+        }
+        for r in &self.remediations {
+            writeln!(f, "  FIX: {r}")?;
         }
         if !self.errors.is_empty() {
             for e in &self.errors {
@@ -262,6 +270,18 @@ impl PatchReport {
                 out.push_str(&json_string(e));
             }
             out.push(']');
+            // Key present only when the fix pass emitted something, so
+            // fix-off JSON is byte-identical to pre-remediation output.
+            if !f.remediations.is_empty() {
+                out.push_str(",\"remediations\":[");
+                for (j, r) in f.remediations.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&json_string(r));
+                }
+                out.push(']');
+            }
             // Key present only when a trial actually degraded, so
             // fault-free JSON is byte-identical to builds without the
             // fault layer.
@@ -330,6 +350,7 @@ mod tests {
             header_covered_by_patch_c: false,
             errors: vec![],
             degraded_trials: vec![],
+            remediations: vec![],
         }
     }
 
@@ -424,6 +445,29 @@ mod tests {
         assert!(json.contains("\"line\":9"));
         assert!(json.contains("\\\"quoted\\\""));
         assert!(json.contains("\\n"));
+    }
+
+    #[test]
+    fn remediations_render_only_when_present() {
+        let plain = file("a.c", false, FileStatus::PartiallyCovered);
+        let mk = |files: Vec<FileReport>| PatchReport {
+            author: "a".into(),
+            files,
+            elapsed_us: 0,
+            config_creations: 0,
+            i_invocations: 0,
+            o_invocations: 0,
+        };
+        let off = mk(vec![plain.clone()]);
+        assert!(!off.to_json().contains("remediations"));
+        assert!(!off.to_string().contains("FIX:"));
+        let mut fixed = plain;
+        fixed
+            .remediations
+            .push("line 9 — set CONFIG_FULL=n (verified)".into());
+        let on = mk(vec![fixed]);
+        assert!(on.to_json().contains("\"remediations\":[\"line 9"));
+        assert!(on.to_string().contains("  FIX: line 9 — set CONFIG_FULL=n (verified)"));
     }
 
     #[test]

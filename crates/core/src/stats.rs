@@ -236,14 +236,14 @@ mod tests {
     use crate::report::{FileReport, FileStatus, PatchReport};
     use crate::token::{MutationKind, MutationToken};
 
-    fn file(path: &str, status: FileStatus, via: &str) -> FileReport {
+    fn file(path: &str, status: &FileStatus, via: &str) -> FileReport {
         let is_header = path.ends_with(".h");
         FileReport {
             path: path.into(),
             is_header,
             status: status.clone(),
             mutation_count: 1,
-            covered: if status == FileStatus::FullyCovered {
+            covered: if *status == FileStatus::FullyCovered {
                 vec![(
                     MutationToken::new(MutationKind::Context, path, 1),
                     via.into(),
@@ -262,15 +262,16 @@ mod tests {
             targets_tried: vec![via.into()],
             o_attempts: 1,
             compiled_somewhere: true,
-            full_on_first_success: status == FileStatus::FullyCovered,
+            full_on_first_success: *status == FileStatus::FullyCovered,
             full_with_host_allyes: via == "x86_64/allyesconfig"
-                && status == FileStatus::FullyCovered,
+                && *status == FileStatus::FullyCovered,
             full_with_allyes_only: via.ends_with("/allyesconfig")
-                && status == FileStatus::FullyCovered,
+                && *status == FileStatus::FullyCovered,
             header_candidates_used: 0,
-            header_covered_by_patch_c: is_header && status == FileStatus::FullyCovered,
+            header_covered_by_patch_c: is_header && *status == FileStatus::FullyCovered,
             errors: vec![],
             degraded_trials: vec![],
+            remediations: vec![],
         }
     }
 
@@ -298,20 +299,20 @@ mod tests {
         let results = vec![
             result(
                 "alice",
-                vec![file("a.c", FileStatus::FullyCovered, "x86_64/allyesconfig")],
+                vec![file("a.c", &FileStatus::FullyCovered, "x86_64/allyesconfig")],
                 10,
             ),
             result(
                 "bob",
                 vec![
-                    file("b.c", FileStatus::FullyCovered, "arm/allyesconfig"),
-                    file("b.h", FileStatus::FullyCovered, "arm/allyesconfig"),
+                    file("b.c", &FileStatus::FullyCovered, "arm/allyesconfig"),
+                    file("b.h", &FileStatus::FullyCovered, "arm/allyesconfig"),
                 ],
                 20,
             ),
             result(
                 "alice",
-                vec![file("c.c", FileStatus::Uncovered, "x86_64/allyesconfig")],
+                vec![file("c.c", &FileStatus::Uncovered, "x86_64/allyesconfig")],
                 30,
             ),
         ];
@@ -335,8 +336,8 @@ mod tests {
         let results = vec![result(
             "a",
             vec![
-                file("x.c", FileStatus::FullyCovered, "x86_64/allyesconfig"),
-                file("y.c", FileStatus::FullyCovered, "arm/allyesconfig"),
+                file("x.c", &FileStatus::FullyCovered, "x86_64/allyesconfig"),
+                file("y.c", &FileStatus::FullyCovered, "arm/allyesconfig"),
             ],
             1,
         )];
@@ -349,7 +350,7 @@ mod tests {
 
     #[test]
     fn comment_only_files_do_not_count_as_instances() {
-        let mut f = file("z.c", FileStatus::FullyCovered, "x86_64/allyesconfig");
+        let mut f = file("z.c", &FileStatus::FullyCovered, "x86_64/allyesconfig");
         f.status = FileStatus::CommentOnly;
         f.covered.clear();
         let results = vec![result("a", vec![f], 1)];

@@ -1,0 +1,881 @@
+//! `jmake-fix`: static root-cause analysis and *verified* configuration
+//! remediation for the lines JMake could not certify.
+//!
+//! The mutation pipeline ([`jmake_core::check`]) tells a janitor *that* a
+//! changed line escaped the compiler and labels it with the paper's
+//! Table IV reason ([`jmake_core::classify`]). This crate answers the two
+//! follow-up questions:
+//!
+//! 1. **Why, provably?** For every missed line the remediator derives the
+//!    line's *presence condition* — the `#if` stack (with the Kbuild
+//!    `MODULE` substitution) conjoined with the file's Kbuild guard chain
+//!    and the Kconfig constraints — via [`jmake_reach`], and root-causes
+//!    the miss into a static taxonomy ([`StaticCause`]) *from the
+//!    condition alone*. The static verdict is cross-checked against the
+//!    dynamic Table IV label; a provable clash is surfaced as a
+//!    [`Disagreement`], exactly like `--cross-check` discrepancies.
+//!
+//! 2. **What should I flip?** When the reachability analyzer holds a
+//!    solver witness for the line, the remediator minimizes it over
+//!    [`jmake_kconfig::KconfigModel::minimize_delta`] into the smallest
+//!    set of symbol flips against `allyesconfig` (fewest flips;
+//!    deterministic name-order tie-breaking) and renders it as a
+//!    `CONFIG_FOO=m`-style suggestion. **Every emitted delta is
+//!    verified**: the driver re-runs that single (file × arch) trial —
+//!    re-mutate, `make file.i` under the synthesized config, scan for the
+//!    token, `make file.o` pristine — before the suggestion may appear in
+//!    a report. Deltas that fail re-verification are downgraded to
+//!    [`Remedy::Unfixable`] with the failure reason; conjunctions the
+//!    solver proves hopeless carry the solver's proof and (when one
+//!    exists) a locally-minimal unsatisfiable core.
+//!
+//! The pass is a deterministic post-run replay, the same shape as
+//! [`jmake_core::crosscheck`]: commits in run order, files and tokens in
+//! report order, no wall-clock in the JSON. Running it does not perturb
+//! the evaluation — with `--fix` off, reports are byte-identical to a
+//! build without this crate; with `--fix` on, the remediation output is
+//! identical across worker counts, cache modes, and disk-tier
+//! temperature.
+
+#![deny(missing_docs)]
+
+use jmake_core::{
+    arches_used, line_shapes, mutate, token_class, token_region_line, EvaluationRun, FileReport,
+    LineShape, MutationKind, MutationToken, UncoveredReason,
+};
+use jmake_diff::{ChangedLine, ChangedLines};
+use jmake_kbuild::{BuildEngine, ConfigCache, ConfigKind, ObjectCache, PreprocCache, SourceTree};
+use jmake_kconfig::Tristate;
+use jmake_reach::{Reach, ReachClass, ReachEnv, TreeReach, Witness};
+use jmake_trace::{Stage, Tracer};
+use jmake_vcs::Repo;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// The static root-cause taxonomy, derived from the presence condition
+/// alone (paper Table IV, restated over proofs instead of guard shapes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StaticCause {
+    /// The `#if` stack is constant-false (`#if 0` and friends).
+    IfZero,
+    /// The condition requires the `MODULE` macro, which no built-in
+    /// compilation defines (`allmodconfig` territory).
+    IfdefModule,
+    /// The condition requires a symbol declared nowhere in Kconfig.
+    NeverDefined(String),
+    /// Satisfiable, but not under `allyesconfig` — the delta-synthesis
+    /// case.
+    UnsettableUnderAllyes,
+    /// The file lives under `arch/<a>/` for an architecture the
+    /// classifying environment does not cover.
+    ArchGated(String),
+    /// Statically dead with a solver or Kbuild proof (dead symbol,
+    /// choice conflict, never-built translation unit, …).
+    DeadByProof(String),
+    /// No definite static claim (ambiguous token region, analyzer
+    /// bounds, or a statically allyes-reachable miss, which is
+    /// `--cross-check`'s department).
+    Unclassified,
+}
+
+impl StaticCause {
+    /// Stable report tag.
+    pub fn label(&self) -> String {
+        match self {
+            StaticCause::IfZero => "if-0".to_string(),
+            StaticCause::IfdefModule => "ifdef-module".to_string(),
+            StaticCause::NeverDefined(s) => format!("never-defined:{s}"),
+            StaticCause::UnsettableUnderAllyes => "unsettable-under-allyes".to_string(),
+            StaticCause::ArchGated(a) => format!("arch-gated:{a}"),
+            StaticCause::DeadByProof(p) => format!("dead-by-proof:{p}"),
+            StaticCause::Unclassified => "unclassified".to_string(),
+        }
+    }
+
+    /// Can this static claim coexist with the dynamic Table IV label?
+    ///
+    /// Each definite static cause lists the dynamic rows it legitimately
+    /// co-occurs with; the permissive dynamic rows (`Unknown`,
+    /// `UnusedMacro`, `IfdefAndElse`) never clash because they make no
+    /// claim about the guard the static side reasoned over. Anything
+    /// outside the listed sets is a provable taxonomy clash and becomes a
+    /// [`Disagreement`].
+    pub fn compatible_with(&self, dynamic: UncoveredReason) -> bool {
+        use UncoveredReason as R;
+        if matches!(dynamic, R::Unknown | R::UnusedMacro | R::IfdefAndElse) {
+            return true;
+        }
+        match self {
+            StaticCause::IfZero => dynamic == R::IfZero,
+            StaticCause::IfdefModule => dynamic == R::IfdefModule,
+            StaticCause::NeverDefined(_) => dynamic == R::IfdefNeverSetInKernel,
+            StaticCause::UnsettableUnderAllyes => matches!(
+                dynamic,
+                R::IfdefNotSetByAllyesconfig | R::IfndefOrElse | R::IfdefNeverSetInKernel
+            ),
+            // Kbuild-gate and solver proofs have no dynamic counterpart
+            // row; the dynamic side reads guards only.
+            StaticCause::DeadByProof(_) | StaticCause::ArchGated(_) | StaticCause::Unclassified => {
+                true
+            }
+        }
+    }
+}
+
+/// The remediation attached to one missed line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Remedy {
+    /// A minimal, *verified* config delta against `allyesconfig`.
+    Delta {
+        /// `CONFIG_FOO=m CONFIG_BAR=n`-style rendering of the flips.
+        suggestion: String,
+        /// Number of symbols flipped.
+        flips: usize,
+    },
+    /// A whole-environment switch (e.g. `allmodconfig`, another arch's
+    /// `allyesconfig`), verified by re-running the trial under it.
+    Environment {
+        /// `arch/kind` description of the verified environment.
+        target: String,
+    },
+    /// No verified remedy exists; the reason carries the proof or the
+    /// verification failure.
+    Unfixable {
+        /// Why nothing could be (or needed to be) synthesized.
+        reason: String,
+    },
+}
+
+impl fmt::Display for Remedy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Remedy::Delta { suggestion, .. } => write!(f, "set {suggestion} (verified)"),
+            Remedy::Environment { target } => write!(f, "build with {target} (verified)"),
+            Remedy::Unfixable { reason } => write!(f, "unfixable: {reason}"),
+        }
+    }
+}
+
+/// One missed line's full remediation record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Remediation {
+    /// Commit whose patch missed the line.
+    pub commit: String,
+    /// File the token lives in.
+    pub file: String,
+    /// 1-based line of the mutation token.
+    pub line: u32,
+    /// Architecture whose model/configuration the static side used.
+    pub arch: String,
+    /// Static root cause ([`StaticCause::label`]).
+    pub cause: String,
+    /// The dynamic Table IV label the pipeline recorded.
+    pub dynamic: String,
+    /// Whether the static and dynamic verdicts are compatible.
+    pub agrees: bool,
+    /// The verified remedy (or the reason there is none).
+    pub remedy: Remedy,
+}
+
+impl Remediation {
+    /// The per-file report line grafted into
+    /// [`jmake_core::FileReport::remediations`].
+    pub fn render(&self) -> String {
+        format!("line {} — {}", self.line, self.remedy)
+    }
+}
+
+/// A provable static-vs-dynamic taxonomy clash, surfaced exactly like a
+/// `--cross-check` discrepancy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Disagreement {
+    /// Commit whose patch exposed the clash.
+    pub commit: String,
+    /// File the token lives in.
+    pub file: String,
+    /// 1-based line of the mutation token.
+    pub line: u32,
+    /// The static claim ([`StaticCause::label`]).
+    pub static_cause: String,
+    /// The dynamic Table IV label.
+    pub dynamic: String,
+}
+
+/// The outcome of the remediation pass over one [`EvaluationRun`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FixReport {
+    /// Commits examined (checked patches only).
+    pub patches: usize,
+    /// File reports examined.
+    pub files: usize,
+    /// Missed (uncovered) tokens examined.
+    pub missed: usize,
+    /// Config deltas emitted — every one verified by a driver re-run.
+    pub deltas_emitted: usize,
+    /// Deltas that passed verification (equals `deltas_emitted` by
+    /// construction: failures are downgraded, never emitted).
+    pub deltas_verified: usize,
+    /// Synthesized deltas that *failed* the verification re-run and were
+    /// downgraded to [`Remedy::Unfixable`].
+    pub verification_failures: usize,
+    /// Missed lines with no verified remedy.
+    pub unfixable: usize,
+    /// Simulated build time the verification re-runs charged (config
+    /// solving, preprocessing, compiling). Cache modes and worker counts
+    /// do not perturb it — hits charge the clock what a live run would —
+    /// so it participates in the byte-identity contract.
+    pub virtual_us: u64,
+    /// Deterministic notes about commits/files the pass could not replay.
+    pub skipped: Vec<String>,
+    /// Every provable static-vs-dynamic clash, in run order.
+    pub disagreements: Vec<Disagreement>,
+    /// One record per missed token, in run order.
+    pub remediations: Vec<Remediation>,
+}
+
+impl FixReport {
+    /// True when no taxonomy clash was found and every emitted delta was
+    /// verified.
+    pub fn is_clean(&self) -> bool {
+        self.disagreements.is_empty() && self.deltas_emitted == self.deltas_verified
+    }
+
+    /// Deterministic JSON rendering — no wall-clock; byte-identical
+    /// across worker counts, cache modes, and disk-tier temperature.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"clean\": {},\n  \"patches\": {},\n  \"files\": {},\n  \"missed\": {},\n  \"deltas_emitted\": {},\n  \"deltas_verified\": {},\n  \"verification_failures\": {},\n  \"unfixable\": {},\n",
+            self.is_clean(),
+            self.patches,
+            self.files,
+            self.missed,
+            self.deltas_emitted,
+            self.deltas_verified,
+            self.verification_failures,
+            self.unfixable
+        ));
+        out.push_str(&format!("  \"virtual_us\": {},\n", self.virtual_us));
+        out.push_str("  \"skipped\": [");
+        for (i, s) in self.skipped.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(s));
+        }
+        out.push_str("],\n  \"disagreements\": [");
+        for (i, d) in self.disagreements.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            out.push_str(&format!(
+                "{{\"commit\": {}, \"file\": {}, \"line\": {}, \"static\": {}, \"dynamic\": {}}}",
+                json_string(&d.commit),
+                json_string(&d.file),
+                d.line,
+                json_string(&d.static_cause),
+                json_string(&d.dynamic)
+            ));
+        }
+        if !self.disagreements.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"remediations\": [");
+        for (i, r) in self.remediations.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            let remedy = match &r.remedy {
+                Remedy::Delta { suggestion, flips } => format!(
+                    "\"delta\", \"suggestion\": {}, \"flips\": {flips}",
+                    json_string(suggestion)
+                ),
+                Remedy::Environment { target } => {
+                    format!("\"environment\", \"target\": {}", json_string(target))
+                }
+                Remedy::Unfixable { reason } => {
+                    format!("\"unfixable\", \"reason\": {}", json_string(reason))
+                }
+            };
+            out.push_str(&format!(
+                "{{\"commit\": {}, \"file\": {}, \"line\": {}, \"arch\": {}, \"cause\": {}, \"dynamic\": {}, \"agrees\": {}, \"remedy\": {remedy}}}",
+                json_string(&r.commit),
+                json_string(&r.file),
+                r.line,
+                json_string(&r.arch),
+                json_string(&r.cause),
+                json_string(&r.dynamic),
+                r.agrees
+            ));
+        }
+        if !self.remediations.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Shared infrastructure for the pass: the caches a warm daemon (or the
+/// evaluation that just ran) already holds, plus the tracer that tags the
+/// verification re-runs with [`Stage::Remediate`].
+#[derive(Clone, Default)]
+pub struct FixContext {
+    /// Cross-patch configuration cache (shared with the evaluation run
+    /// for warm reuse).
+    pub configs: Arc<ConfigCache>,
+    /// Object cache, when the run had one.
+    pub objects: Option<Arc<ObjectCache>>,
+    /// Preprocessor cache, when the run had one.
+    pub preproc: Option<Arc<PreprocCache>>,
+    /// Tracer for `remediate` spans (disabled by default).
+    pub tracer: Tracer,
+}
+
+/// Replay `run` and remediate every missed line with default (cold,
+/// untraced) infrastructure. See [`remediate_with`].
+pub fn remediate(repo: &Repo, run: &EvaluationRun) -> FixReport {
+    remediate_with(repo, run, &FixContext::default())
+}
+
+/// Replay `run` against the static analyzer, root-cause every uncovered
+/// token, synthesize minimal config deltas where a witness exists, and
+/// verify each one by re-running its (file × arch) trial through a
+/// [`BuildEngine`] sharing `ctx`'s caches.
+pub fn remediate_with(repo: &Repo, run: &EvaluationRun, ctx: &FixContext) -> FixReport {
+    let mut out = FixReport::default();
+    for result in &run.results {
+        let commit = result.commit.to_string();
+        let Some(report) = result.report() else {
+            let why = result.outcome.failure().unwrap_or("not checked");
+            out.skipped.push(format!("{commit}: {why}"));
+            continue;
+        };
+        out.patches += 1;
+        let tree = match repo.checkout(result.commit) {
+            Ok(t) => t,
+            Err(e) => {
+                out.skipped.push(format!("{commit}: re-checkout failed: {e}"));
+                continue;
+            }
+        };
+        remediate_patch(&tree, &report.files, &commit, ctx, &mut out);
+    }
+    out
+}
+
+/// Graft the remediation lines into the run's file reports, so the
+/// per-patch report (text and JSON) carries the suggestions. Only
+/// called with `--fix` on — without it the reports stay byte-identical.
+pub fn annotate_run(run: &mut EvaluationRun, fix: &FixReport) {
+    let mut by_key: BTreeMap<(&str, &str), Vec<&Remediation>> = BTreeMap::new();
+    for r in &fix.remediations {
+        by_key
+            .entry((r.commit.as_str(), r.file.as_str()))
+            .or_default()
+            .push(r);
+    }
+    for result in &mut run.results {
+        let commit = result.commit.to_string();
+        let jmake_core::PatchOutcome::Checked(report) = &mut result.outcome else {
+            continue;
+        };
+        for file in &mut report.files {
+            if let Some(rs) = by_key.get(&(commit.as_str(), file.path.as_str())) {
+                file.remediations = rs.iter().map(|r| r.render()).collect();
+            }
+        }
+    }
+}
+
+/// Per-arch replay context: a build engine for verification re-runs, the
+/// reachability analyzer (kept alive for presence-condition queries), and
+/// the classified files.
+struct ArchCtx<'t> {
+    engine: BuildEngine,
+    reach: Reach<'t>,
+    treach: TreeReach,
+}
+
+fn arch_ctx<'t>(
+    tree: &'t SourceTree,
+    arch: &str,
+    paths: &[String],
+    ctx: &FixContext,
+) -> Result<ArchCtx<'t>, String> {
+    let mut engine = BuildEngine::with_shared_cache(tree.clone(), Arc::clone(&ctx.configs));
+    if let Some(o) = &ctx.objects {
+        engine.set_object_cache(Arc::clone(o));
+    }
+    if let Some(p) = &ctx.preproc {
+        engine.set_preproc_cache(Arc::clone(p));
+    }
+    engine.set_tracer(ctx.tracer.clone());
+    let allyes = engine
+        .make_config(arch, &ConfigKind::AllYes)
+        .map_err(|e| e.to_string())?;
+    let allmod = engine.make_config(arch, &ConfigKind::AllMod);
+    let mut reach = Reach::new(tree);
+    reach.add_model(arch.to_string(), allyes.model.clone());
+    reach.add_env(ReachEnv {
+        label: format!("{arch}-allyes"),
+        arch: arch.to_string(),
+        config: allyes.config.clone(),
+        allyes: true,
+    });
+    if let Ok(am) = &allmod {
+        reach.add_env(ReachEnv {
+            label: format!("{arch}-allmod"),
+            arch: arch.to_string(),
+            config: am.config.clone(),
+            allyes: false,
+        });
+    }
+    let treach = reach.analyze_files(paths);
+    Ok(ArchCtx {
+        engine,
+        reach,
+        treach,
+    })
+}
+
+/// The architecture whose model classifies this file's misses: the same
+/// environment the dynamic classifier used — `x86_64` when it configured
+/// there, else the first architecture it tried.
+fn class_arch(file: &FileReport) -> Option<String> {
+    let mut first = None;
+    for desc in &file.targets_tried {
+        if let Some((arch, _)) = desc.split_once('/') {
+            if arch == "x86_64" {
+                return Some(arch.to_string());
+            }
+            if first.is_none() {
+                first = Some(arch.to_string());
+            }
+        }
+    }
+    first
+}
+
+fn remediate_patch(
+    tree: &SourceTree,
+    files: &[FileReport],
+    commit: &str,
+    ctx: &FixContext,
+    out: &mut FixReport,
+) {
+    let arches = arches_used(files);
+    let paths: Vec<String> = files.iter().map(|f| f.path.clone()).collect();
+    let mut contexts: BTreeMap<String, ArchCtx<'_>> = BTreeMap::new();
+    for arch in &arches {
+        match arch_ctx(tree, arch, &paths, ctx) {
+            Ok(a) => {
+                contexts.insert(arch.clone(), a);
+            }
+            Err(e) => out.skipped.push(format!("{commit}: {arch}: {e}")),
+        }
+    }
+    for file in files {
+        out.files += 1;
+        if file.uncovered.is_empty() {
+            continue;
+        }
+        let Some(arch) = class_arch(file) else {
+            for unc in &file.uncovered {
+                out.missed += 1;
+                push_remediation(
+                    out,
+                    commit,
+                    file,
+                    unc.token.line,
+                    "-",
+                    &StaticCause::Unclassified,
+                    unc.reason,
+                    Remedy::Unfixable {
+                        reason: "no architecture was ever configured for this file".to_string(),
+                    },
+                );
+            }
+            continue;
+        };
+        let Some(actx) = contexts.get_mut(&arch) else {
+            for unc in &file.uncovered {
+                out.missed += 1;
+                push_remediation(
+                    out,
+                    commit,
+                    file,
+                    unc.token.line,
+                    &arch,
+                    &StaticCause::Unclassified,
+                    unc.reason,
+                    Remedy::Unfixable {
+                        reason: format!("architecture {arch} could not be replayed"),
+                    },
+                );
+            }
+            continue;
+        };
+        let content = tree.get(&file.path).unwrap_or("");
+        let shapes = line_shapes(content);
+        for unc in &file.uncovered {
+            out.missed += 1;
+            let (cause, plan) = static_cause(file, &unc.token, &shapes, &arch, actx);
+            let remedy = execute_plan(plan, tree, file, &unc.token, &arch, actx, ctx, out);
+            push_remediation(out, commit, file, unc.token.line, &arch, &cause, unc.reason, remedy);
+        }
+    }
+    for actx in contexts.into_values() {
+        out.virtual_us += actx.engine.clock.now_us();
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_remediation(
+    out: &mut FixReport,
+    commit: &str,
+    file: &FileReport,
+    line: u32,
+    arch: &str,
+    cause: &StaticCause,
+    dynamic: UncoveredReason,
+    remedy: Remedy,
+) {
+    let agrees = cause.compatible_with(dynamic);
+    if !agrees {
+        out.disagreements.push(Disagreement {
+            commit: commit.to_string(),
+            file: file.path.clone(),
+            line,
+            static_cause: cause.label(),
+            dynamic: dynamic.to_string(),
+        });
+    }
+    match &remedy {
+        Remedy::Delta { .. } => {
+            out.deltas_emitted += 1;
+            out.deltas_verified += 1;
+        }
+        Remedy::Environment { .. } => {}
+        Remedy::Unfixable { .. } => out.unfixable += 1,
+    }
+    out.remediations.push(Remediation {
+        commit: commit.to_string(),
+        file: file.path.clone(),
+        line,
+        arch: arch.to_string(),
+        cause: cause.label(),
+        dynamic: dynamic.to_string(),
+        agrees,
+        remedy,
+    });
+}
+
+/// What the verification driver should attempt for one missed line.
+enum Plan {
+    /// Minimize the solver witness into a config delta, then verify it.
+    Delta(BTreeMap<String, Tristate>),
+    /// Verify a whole named environment (kind solved for `arch`).
+    Env(String, ConfigKind, String),
+    /// Nothing to verify; the reason ships as [`Remedy::Unfixable`].
+    Nothing(String),
+}
+
+/// Root-cause one missed token from its presence condition, and decide
+/// what (if anything) the driver should try to verify.
+fn static_cause(
+    file: &FileReport,
+    token: &MutationToken,
+    shapes: &BTreeMap<u32, LineShape>,
+    arch: &str,
+    actx: &ArchCtx<'_>,
+) -> (StaticCause, Plan) {
+    if token.kind != MutationKind::Context {
+        return (
+            StaticCause::Unclassified,
+            Plan::Nothing(
+                "changed macro surfaced in no attempted configuration; no config delta applies"
+                    .to_string(),
+            ),
+        );
+    }
+    let Some(region) = token_region_line(shapes, token.line) else {
+        return (
+            StaticCause::Unclassified,
+            Plan::Nothing("ambiguous token region (directive splice or #endif)".to_string()),
+        );
+    };
+    // Files owned by another architecture: the classifying environment
+    // never sees them; the remedy is that arch's own allyesconfig.
+    if let Some(owner) = file
+        .path
+        .strip_prefix("arch/")
+        .and_then(|rest| rest.split('/').next())
+    {
+        if owner != arch {
+            return (
+                StaticCause::ArchGated(owner.to_string()),
+                Plan::Env(
+                    owner.to_string(),
+                    ConfigKind::AllYes,
+                    format!("{owner}/allyesconfig"),
+                ),
+            );
+        }
+    }
+    if actx.reach.line_condition(&file.path, region).is_none() {
+        return (
+            StaticCause::Unclassified,
+            Plan::Nothing("unbalanced or out-of-range conditional stack".to_string()),
+        );
+    }
+    let raw_mentions_module = jmake_reach::analyze_file(actx.reach_src(&file.path))
+        .conds
+        .get(region as usize - 1)
+        .is_some_and(|raw| {
+            let mut atoms = BTreeSet::new();
+            raw.atoms(&mut atoms);
+            atoms.contains("MODULE")
+        });
+    let class = token_class(actx.treach.files.get(&file.path), shapes, token.line);
+    match class {
+        None => (
+            StaticCause::Unclassified,
+            Plan::Nothing("no static class for the token's region".to_string()),
+        ),
+        Some(ReachClass::Dead { proof }) => {
+            if let Some(sym) = proof.strip_prefix("undeclared symbol ") {
+                let s = sym.to_string();
+                (
+                    StaticCause::NeverDefined(s.clone()),
+                    Plan::Nothing(format!("symbol {s} is declared nowhere in Kconfig")),
+                )
+            } else if proof == "constant-false" {
+                (
+                    StaticCause::IfZero,
+                    Plan::Nothing("the #if stack is constant-false".to_string()),
+                )
+            } else {
+                (
+                    StaticCause::DeadByProof(proof.clone()),
+                    Plan::Nothing(format!("statically dead: {proof}")),
+                )
+            }
+        }
+        Some(ReachClass::AllyesReachable) => (
+            StaticCause::Unclassified,
+            Plan::Nothing(
+                "statically allyes-reachable — a cross-check case, not a config problem"
+                    .to_string(),
+            ),
+        ),
+        Some(ReachClass::ConditionallyReachable { witness }) => {
+            if raw_mentions_module {
+                return (
+                    StaticCause::IfdefModule,
+                    Plan::Env(arch.to_string(), ConfigKind::AllMod, format!("{arch}/allmodconfig")),
+                );
+            }
+            match witness {
+                Some(Witness::Env(label)) => {
+                    let kind = if label.ends_with("-allmod") {
+                        ConfigKind::AllMod
+                    } else {
+                        ConfigKind::AllYes
+                    };
+                    (
+                        StaticCause::UnsettableUnderAllyes,
+                        Plan::Env(
+                            arch.to_string(),
+                            kind.clone(),
+                            format!("{arch}/{kind}"),
+                        ),
+                    )
+                }
+                Some(Witness::Pins(pins)) => {
+                    (StaticCause::UnsettableUnderAllyes, Plan::Delta(pins.clone()))
+                }
+                None => (
+                    StaticCause::Unclassified,
+                    Plan::Nothing(
+                        "conditionally reachable, but no witness within analyzer bounds"
+                            .to_string(),
+                    ),
+                ),
+            }
+        }
+    }
+}
+
+impl ArchCtx<'_> {
+    /// Raw source text of `path` from the analyzer's tree (empty when
+    /// absent — the caller already validated presence).
+    fn reach_src(&self, path: &str) -> &str {
+        self.tree_src(path)
+    }
+
+    fn tree_src(&self, path: &str) -> &str {
+        self.engine.tree().get(path).unwrap_or("")
+    }
+}
+
+/// Execute a remediation plan: minimize, verify, and downgrade on any
+/// verification failure.
+#[allow(clippy::too_many_arguments)]
+fn execute_plan(
+    plan: Plan,
+    tree: &SourceTree,
+    file: &FileReport,
+    token: &MutationToken,
+    arch: &str,
+    actx: &mut ArchCtx<'_>,
+    ctx: &FixContext,
+    out: &mut FixReport,
+) -> Remedy {
+    match plan {
+        Plan::Nothing(reason) => Remedy::Unfixable { reason },
+        Plan::Env(env_arch, kind, target) => {
+            if file.is_header {
+                return Remedy::Unfixable {
+                    reason: format!(
+                        "{target} reaches the line, but verifying a header needs an including \
+                         translation unit"
+                    ),
+                };
+            }
+            match verify_trial(tree, &file.path, token, &env_arch, &kind, actx, ctx) {
+                Ok(()) => Remedy::Environment { target },
+                Err(why) => Remedy::Unfixable {
+                    reason: format!("{target} failed verification: {why}"),
+                },
+            }
+        }
+        Plan::Delta(pins) => {
+            if file.is_header {
+                return Remedy::Unfixable {
+                    reason: "a solver witness exists, but verifying a header needs an including \
+                             translation unit"
+                        .to_string(),
+                };
+            }
+            let Some(region) = token_region_line(&line_shapes(actx.tree_src(&file.path)), token.line)
+            else {
+                return Remedy::Unfixable {
+                    reason: "ambiguous token region".to_string(),
+                };
+            };
+            let Some((_, model)) = actx.reach.model_for(&file.path) else {
+                return Remedy::Unfixable {
+                    reason: "no Kconfig model for this file".to_string(),
+                };
+            };
+            let path = file.path.clone();
+            let reach = &actx.reach;
+            let minimized =
+                model.minimize_delta(&pins, &|cfg| reach.line_present(&path, region, cfg));
+            match minimized {
+                Err(proof) => {
+                    let core = model
+                        .unsat_core(&pins)
+                        .map(|(core, _)| {
+                            let parts: Vec<String> = core
+                                .iter()
+                                .map(|(n, v)| format!("CONFIG_{n}={v}"))
+                                .collect();
+                            format!(" (unsatisfiable core: {})", parts.join(" "))
+                        })
+                        .unwrap_or_default();
+                    Remedy::Unfixable {
+                        reason: format!("no witness: {proof}{core}"),
+                    }
+                }
+                Ok(delta) => {
+                    let kind = ConfigKind::Custom {
+                        name: format!("fix:{}:{}", file.path, token.line),
+                        content: delta.config.render(),
+                    };
+                    match verify_trial(tree, &file.path, token, arch, &kind, actx, ctx) {
+                        Ok(()) => Remedy::Delta {
+                            suggestion: delta.suggestion(),
+                            flips: delta.flips.len(),
+                        },
+                        Err(why) => {
+                            out.verification_failures += 1;
+                            Remedy::Unfixable {
+                                reason: format!("delta failed verification: {why}"),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Re-run the single (file × arch) trial under `kind`: re-mutate the one
+/// changed line, preprocess the mutated tree, require the token to
+/// surface, then certify by compiling the pristine file.
+fn verify_trial(
+    tree: &SourceTree,
+    path: &str,
+    token: &MutationToken,
+    arch: &str,
+    kind: &ConfigKind,
+    actx: &mut ArchCtx<'_>,
+    ctx: &FixContext,
+) -> Result<(), String> {
+    let mut span = ctx.tracer.span(Stage::Remediate);
+    if ctx.tracer.is_enabled() {
+        span = span.with_file(path).with_arch(arch).with_config(&kind.to_string());
+    }
+    let _span = span;
+    let cfg = actx
+        .engine
+        .make_config(arch, kind)
+        .map_err(|e| format!("config: {e}"))?;
+    let content = tree.get(path).ok_or_else(|| "file missing".to_string())?;
+    let changed = ChangedLines {
+        positions: vec![ChangedLine::Line(token.line)],
+    };
+    let plan = mutate(path, content, &changed);
+    let expect = MutationToken::new(MutationKind::Context, path, token.line);
+    if !plan.mutations.contains(&expect) {
+        return Err("mutation replay did not reproduce the token".to_string());
+    }
+    let mut mutated = tree.clone();
+    mutated.insert(path, plan.mutated);
+    let results = actx
+        .engine
+        .make_i(&cfg, &mutated, &[path.to_string()])
+        .map_err(|e| format!("make_i: {e}"))?;
+    let Some((_, ires)) = results.into_iter().next() else {
+        return Err("empty make_i result".to_string());
+    };
+    let ifile = ires.map_err(|e| format!("preprocess: {e}"))?;
+    if !MutationToken::scan(&ifile.text).contains(&expect) {
+        return Err("token did not surface under the synthesized config".to_string());
+    }
+    actx.engine
+        .make_o(&cfg, tree, path)
+        .map_err(|e| format!("make_o: {e}"))?;
+    Ok(())
+}
+
+/// JSON string literal with escaping.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests;

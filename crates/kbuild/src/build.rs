@@ -968,7 +968,7 @@ impl BuildEngine {
             *invocation_us += self.heavy_rebuild_us(tree);
         }
         if let (Some(cache), Some(k)) = (&self.object, key) {
-            let entry = o_entry_from_pp(file, pp);
+            let entry = o_entry_from_pp(file, &pp);
             let CachedObj::O { result, .. } = &entry else {
                 unreachable!("o_entry_from_pp builds O entries")
             };
@@ -1142,7 +1142,7 @@ fn i_result_from_entry(entry: &CachedObj, file: &str) -> Result<IFile, BuildErro
 
 /// Fold one preprocess run into the cache entry `make_o` stores: the
 /// preprocess diagnostics and the front-end verdict, success or not.
-fn o_entry_from_pp(file: &str, pp: PreprocessOutput) -> CachedObj {
+fn o_entry_from_pp(file: &str, pp: &PreprocessOutput) -> CachedObj {
     let text_len = pp.text.len() as u64;
     let result = if let Some(first) = pp.errors.first() {
         Err(BuildError::PreprocessFailed {
@@ -1200,7 +1200,7 @@ pub fn warm_object_entry(
     let pp = preprocess_file(tree, cfg, module, file, memo.as_ref());
     let entry = match kind {
         ObjKind::I => i_entry_from_pp(file, pp),
-        ObjKind::O => o_entry_from_pp(file, pp),
+        ObjKind::O => o_entry_from_pp(file, &pp),
     };
     cache.insert(key, Arc::new(entry));
 }

@@ -51,10 +51,10 @@ pub mod tristate;
 
 pub use ast::{Symbol, SymbolType};
 pub use expr::Expr;
-pub use lint::{DeadSymbols, UndeadSymbols};
+pub use lint::{DeadSymbols, UndeadSymbols, UndeclaredRefs};
 pub use model::KconfigModel;
 pub use parse::ParseKconfigError;
-pub use solve::{Config, ConjunctionVerdict, DeadnessProof};
+pub use solve::{Config, ConfigDelta, ConjunctionVerdict, DeadnessProof, DeltaFlip};
 pub use tristate::Tristate;
 
 #[cfg(test)]

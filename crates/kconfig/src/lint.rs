@@ -8,7 +8,7 @@
 
 use crate::model::KconfigModel;
 use crate::tristate::Tristate;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The set of symbols that can never be enabled under any configuration.
 #[derive(Debug, Clone, Default)]
@@ -93,6 +93,85 @@ impl DeadSymbols {
     /// True when every declared symbol is satisfiable.
     pub fn is_empty(&self) -> bool {
         self.dead.is_empty()
+    }
+}
+
+/// Symbols referenced by `depends on` or `select` clauses but declared
+/// nowhere in the model — the "never-defined symbol" root cause of
+/// Table IV, caught at the model level rather than at an `#ifdef`.
+///
+/// [`DeadSymbols`] already treats references to such symbols as
+/// unsatisfiable; this lint *names* them, so a janitor (or the
+/// `jmake-fix` remediator, which shares this detector) can tell "the
+/// symbol exists but this expression kills it" apart from "the symbol
+/// was never declared at all".
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UndeclaredRefs {
+    /// Undeclared name → declared symbols referencing it (both in
+    /// name order, so reports are deterministic).
+    refs: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl UndeclaredRefs {
+    /// Scan every declared symbol's `depends on` expression, `select`
+    /// targets, and `select … if` conditions for names the model never
+    /// declares.
+    pub fn compute(model: &KconfigModel) -> Self {
+        let mut refs: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        let mut note = |name: &str, referencer: &str| {
+            if !model.is_declared(name) {
+                refs.entry(name.to_string())
+                    .or_default()
+                    .insert(referencer.to_string());
+            }
+        };
+        for sym in model.symbols() {
+            if let Some(dep) = &sym.depends {
+                for name in dep.symbols() {
+                    note(name, &sym.name);
+                }
+            }
+            for (target, cond) in &sym.selects {
+                note(target, &sym.name);
+                if let Some(c) = cond {
+                    for name in c.symbols() {
+                        note(name, &sym.name);
+                    }
+                }
+            }
+        }
+        UndeclaredRefs { refs }
+    }
+
+    /// True when `name` is referenced somewhere but declared nowhere.
+    pub fn contains(&self, name: &str) -> bool {
+        self.refs.contains_key(name)
+    }
+
+    /// The declared symbols whose clauses reference undeclared `name`
+    /// (empty when `name` is declared or never referenced).
+    pub fn referencers(&self, name: &str) -> impl Iterator<Item = &str> {
+        self.refs
+            .get(name)
+            .into_iter()
+            .flat_map(|s| s.iter().map(String::as_str))
+    }
+
+    /// Iterate `(undeclared name, referencing symbols)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, impl Iterator<Item = &str>)> {
+        self.refs
+            .iter()
+            .map(|(n, rs)| (n.as_str(), rs.iter().map(String::as_str)))
+    }
+
+    /// Number of distinct undeclared names referenced.
+    pub fn len(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// True when every referenced symbol is declared.
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty()
     }
 }
 
@@ -382,5 +461,51 @@ mod tests {
             model("config X\n\tbool \"x\"\n\tdepends on MISSING || A\nconfig A\n\tbool \"a\"\n");
         let d = DeadSymbols::compute(&m);
         assert!(!d.is_dead(&m, "X"));
+    }
+
+    #[test]
+    fn undeclared_refs_from_depends() {
+        let m = model("config A\n\tbool \"a\"\n\tdepends on MISSING && A2\nconfig A2\n\tbool \"a2\"\n");
+        let u = UndeclaredRefs::compute(&m);
+        assert!(u.contains("MISSING"));
+        assert!(!u.contains("A2"), "declared symbols are not reported");
+        assert_eq!(u.len(), 1);
+        let refs: Vec<&str> = u.referencers("MISSING").collect();
+        assert_eq!(refs, vec!["A"]);
+    }
+
+    #[test]
+    fn undeclared_refs_from_select_target_and_condition() {
+        let m = model(
+            "config A\n\tbool \"a\"\n\tselect GHOST_TARGET if GHOST_GATE\nconfig B\n\tbool \"b\"\n\tdepends on GHOST_GATE\n",
+        );
+        let u = UndeclaredRefs::compute(&m);
+        assert!(u.contains("GHOST_TARGET"));
+        assert!(u.contains("GHOST_GATE"));
+        assert_eq!(u.len(), 2);
+        // Both A (select condition) and B (depends) reference GHOST_GATE.
+        let refs: Vec<&str> = u.referencers("GHOST_GATE").collect();
+        assert_eq!(refs, vec!["A", "B"]);
+    }
+
+    #[test]
+    fn clean_model_has_no_undeclared_refs() {
+        let m = model("config A\n\tbool \"a\"\nconfig B\n\tbool \"b\"\n\tdepends on A\n\tselect A\n");
+        let u = UndeclaredRefs::compute(&m);
+        assert!(u.is_empty());
+        assert_eq!(u.iter().count(), 0);
+    }
+
+    #[test]
+    fn undeclared_refs_agree_with_dead_symbols() {
+        // Anything depending (positively, conjunctively) on an undeclared
+        // ref must also be dead — the two lints describe the same root
+        // cause at different granularities.
+        let m = model("config A\n\tbool \"a\"\n\tdepends on NOWHERE\n");
+        let u = UndeclaredRefs::compute(&m);
+        let d = DeadSymbols::compute(&m);
+        assert!(u.contains("NOWHERE"));
+        assert!(d.is_dead(&m, "A"));
+        assert!(d.is_dead(&m, "NOWHERE"), "undeclared names are dead by definition");
     }
 }

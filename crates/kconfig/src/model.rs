@@ -135,6 +135,44 @@ impl KconfigModel {
     ) -> crate::solve::ConjunctionVerdict {
         crate::solve::solve_conjunction(self, pins)
     }
+
+    /// Whether `cfg` is internally consistent with this model: no enabled
+    /// undeclared names, no `m` on bools, every value within
+    /// `max(dependency limit, select floor)`, at most one enabled member
+    /// per choice group. Every configuration the solvers return passes;
+    /// the check exists to reject hand-edited ones.
+    pub fn is_consistent(&self, cfg: &Config) -> bool {
+        crate::solve::is_consistent(self, cfg)
+    }
+
+    /// Find a witness for `pins` whose delta against [`Self::allyesconfig`]
+    /// is locally minimal, subject to `accept` (the remediator's
+    /// full-presence-condition check). See `crate::solve::minimize_delta`
+    /// for the descent and its determinism/minimality contract.
+    ///
+    /// # Errors
+    ///
+    /// A [`crate::solve::DeadnessProof`] when the pins are unsatisfiable
+    /// or no strategy witness passes `accept`.
+    pub fn minimize_delta(
+        &self,
+        pins: &BTreeMap<String, crate::tristate::Tristate>,
+        accept: &dyn Fn(&Config) -> bool,
+    ) -> Result<crate::solve::ConfigDelta, crate::solve::DeadnessProof> {
+        crate::solve::minimize_delta(self, pins, accept)
+    }
+
+    /// Shrink an unsatisfiable conjunction to a locally-minimal core plus
+    /// its deadness proof; `None` when `pins` is satisfiable.
+    pub fn unsat_core(
+        &self,
+        pins: &BTreeMap<String, crate::tristate::Tristate>,
+    ) -> Option<(
+        BTreeMap<String, crate::tristate::Tristate>,
+        crate::solve::DeadnessProof,
+    )> {
+        crate::solve::unsat_core(self, pins)
+    }
 }
 
 #[cfg(test)]

@@ -173,4 +173,126 @@ proptest! {
         let md = m.allmodconfig().enabled_count();
         prop_assert_eq!(yes, md);
     }
+
+    /// A minimized delta's witness satisfies every pin, stays consistent
+    /// with the model, and its flip list is exactly the diff against
+    /// allyesconfig. When minimization fails instead, the pins really
+    /// are unsatisfiable: an unsat core exists.
+    #[test]
+    fn minimized_delta_satisfies_the_model(
+        m in random_model(),
+        spec in prop::collection::vec((0usize..12, prop::bool::ANY), 1..3),
+    ) {
+        let pins = pins_from_spec(&m, &spec);
+        match m.minimize_delta(&pins, &|_| true) {
+            Ok(delta) => {
+                for (name, v) in &pins {
+                    prop_assert_eq!(delta.config.get(name), *v, "pin {} lost", name);
+                }
+                prop_assert!(m.is_consistent(&delta.config));
+                let allyes = m.allyesconfig();
+                for f in &delta.flips {
+                    prop_assert_eq!(f.from, allyes.get(&f.name));
+                    prop_assert_eq!(f.to, delta.config.get(&f.name));
+                    prop_assert_ne!(f.from, f.to, "non-flip {} listed", f.name);
+                }
+                let listed: std::collections::BTreeSet<&str> =
+                    delta.flips.iter().map(|f| f.name.as_str()).collect();
+                for s in m.symbols() {
+                    prop_assert_eq!(
+                        listed.contains(s.name.as_str()),
+                        delta.config.get(&s.name) != allyes.get(&s.name),
+                        "flip list disagrees with the diff at {}", &s.name
+                    );
+                }
+            }
+            Err(_) => prop_assert!(
+                m.unsat_core(&pins).is_some(),
+                "minimization failed yet the pins have a witness"
+            ),
+        }
+    }
+
+    /// Local minimality: reverting any single unpinned flip back to its
+    /// allyesconfig value leaves an inconsistent configuration — no flip
+    /// is gratuitous. (Pinned flips are trivially load-bearing.)
+    #[test]
+    fn minimized_delta_is_locally_minimal(
+        m in random_model(),
+        spec in prop::collection::vec((0usize..12, prop::bool::ANY), 1..3),
+    ) {
+        let pins = pins_from_spec(&m, &spec);
+        if let Ok(delta) = m.minimize_delta(&pins, &|_| true) {
+            let allyes = m.allyesconfig();
+            for f in &delta.flips {
+                if pins.contains_key(&f.name) {
+                    continue;
+                }
+                let mut reverted = delta.config.clone();
+                reverted.set(f.name.clone(), allyes.get(&f.name));
+                prop_assert!(
+                    !m.is_consistent(&reverted),
+                    "flip {} reverts without breaking anything", &f.name
+                );
+            }
+        }
+    }
+
+    /// With a conditional soup as the accept check (a conjunction of
+    /// possibly-negated symbol atoms, like a `#if` stack's presence
+    /// condition), any delta that comes back satisfies the soup and every
+    /// flip is load-bearing against pins ∧ consistency ∧ soup. The search
+    /// is deterministic either way.
+    #[test]
+    fn minimized_delta_respects_conditional_soups(
+        m in random_model(),
+        spec in prop::collection::vec((0usize..12, prop::bool::ANY), 1..2),
+        soup in prop::collection::vec((0usize..12, prop::bool::ANY), 1..4),
+    ) {
+        let pins = pins_from_spec(&m, &spec);
+        let lits: Vec<(String, bool)> = soup
+            .iter()
+            .map(|(i, neg)| (format!("S{}", i % 12), *neg))
+            .collect();
+        let accept = |cfg: &crate::solve::Config| {
+            lits.iter()
+                .all(|(name, neg)| (cfg.get(name) != Tristate::N) != *neg)
+        };
+        let first = m.minimize_delta(&pins, &accept);
+        prop_assert_eq!(&first, &m.minimize_delta(&pins, &accept), "nondeterministic search");
+        if let Ok(delta) = first {
+            prop_assert!(accept(&delta.config), "witness fails the soup it was solved under");
+            let allyes = m.allyesconfig();
+            for f in &delta.flips {
+                if pins.contains_key(&f.name) {
+                    continue;
+                }
+                let mut reverted = delta.config.clone();
+                reverted.set(f.name.clone(), allyes.get(&f.name));
+                let pins_ok = pins.iter().all(|(n, v)| reverted.get(n) == *v);
+                prop_assert!(
+                    !(pins_ok && m.is_consistent(&reverted) && accept(&reverted)),
+                    "flip {} reverts without breaking pins, consistency, or the soup",
+                    &f.name
+                );
+            }
+        }
+    }
+}
+
+/// Pin `S{i % n}` to y (or n) for each spec entry; later entries for the
+/// same symbol win, mirroring how a caller would build the map.
+fn pins_from_spec(
+    m: &KconfigModel,
+    spec: &[(usize, bool)],
+) -> std::collections::BTreeMap<String, Tristate> {
+    let n = m.symbols().count().max(1);
+    spec.iter()
+        .map(|(i, yes)| {
+            (
+                format!("S{}", i % n),
+                if *yes { Tristate::Y } else { Tristate::N },
+            )
+        })
+        .collect()
 }

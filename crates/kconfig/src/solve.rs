@@ -358,37 +358,302 @@ pub(crate) fn solve_conjunction(
     // shared fixed point with the pins as the target and a different policy
     // for unpinned symbols; the result only counts when every pin survived
     // dependency clamping and select floors.
-    let defaults = |sym: &crate::ast::Symbol| match sym.defaults.first() {
-        Some((v, None)) => *v,
-        Some((v, Some(_))) if sym.prompt.is_none() => *v,
-        _ => Tristate::N,
-    };
-    let strategies: [&dyn Fn(&crate::ast::Symbol) -> Tristate; 4] = [
-        // defconfig-style: unpinned symbols follow their defaults — the
-        // closest match to a hand-prepared configuration.
-        &|sym| pins.get(&sym.name).copied().unwrap_or_else(|| defaults(sym)),
-        // minimal: everything unpinned stays off (good for `!X` pins).
-        &|sym| pins.get(&sym.name).copied().unwrap_or(Tristate::N),
-        // allyes-style: drive unpinned symbols up (good for deep
-        // positive dependency chains with no defaults).
-        &|sym| pins.get(&sym.name).copied().unwrap_or(Tristate::Y),
-        // allmod-style: tristates to m (good when a pin needs a
-        // module-value dependency).
-        &|sym| {
-            pins.get(&sym.name).copied().unwrap_or(if sym.is_tristate() {
-                Tristate::M
-            } else {
-                Tristate::Y
-            })
-        },
-    ];
-    for target in strategies {
-        let cfg = fixed_point(model, target);
+    for s in 0..STRATEGY_COUNT {
+        let cfg = fixed_point(model, |sym| strategy_target(s, pins, sym));
         if pins.iter().all(|(name, v)| cfg.get(name) == *v) {
             return ConjunctionVerdict::Witness(cfg);
         }
     }
     ConjunctionVerdict::Dead(DeadnessProof::Exhausted)
+}
+
+/// First default clause of a symbol, as `solve_defconfig` applies it.
+fn default_value(sym: &crate::ast::Symbol) -> Tristate {
+    match sym.defaults.first() {
+        Some((v, None)) => *v,
+        Some((v, Some(_))) if sym.prompt.is_none() => *v,
+        _ => Tristate::N,
+    }
+}
+
+/// Number of witness strategies `solve_conjunction` tries.
+const STRATEGY_COUNT: usize = 4;
+
+/// Target value of `sym` under strategy `s`: the pin when pinned, else a
+/// per-strategy policy for unpinned symbols —
+/// 0 defconfig-style (defaults, the closest match to a hand-prepared
+/// configuration), 1 minimal (off, good for `!X` pins), 2 allyes-style
+/// (up, good for deep positive dependency chains with no defaults),
+/// 3 allmod-style (tristates to `m`, good when a pin needs a module-value
+/// dependency).
+fn strategy_target(
+    s: usize,
+    pins: &BTreeMap<String, Tristate>,
+    sym: &crate::ast::Symbol,
+) -> Tristate {
+    if let Some(v) = pins.get(&sym.name) {
+        return *v;
+    }
+    match s {
+        0 => default_value(sym),
+        1 => Tristate::N,
+        2 => Tristate::Y,
+        _ => {
+            if sym.is_tristate() {
+                Tristate::M
+            } else {
+                Tristate::Y
+            }
+        }
+    }
+}
+
+/// Every distinct pin-satisfying configuration the witness strategies can
+/// produce, in strategy order (so the first entry is exactly the witness
+/// [`solve_conjunction`] would return).
+fn conjunction_candidates(model: &KconfigModel, pins: &BTreeMap<String, Tristate>) -> Vec<Config> {
+    let mut out: Vec<Config> = Vec::new();
+    for s in 0..STRATEGY_COUNT {
+        let cfg = fixed_point(model, |sym| strategy_target(s, pins, sym));
+        if pins.iter().all(|(name, v)| cfg.get(name) == *v) && !out.contains(&cfg) {
+            out.push(cfg);
+        }
+    }
+    out
+}
+
+/// Check that `cfg` is internally consistent against `model`: the
+/// invariant the solver's final lowering phase enforces. Specifically —
+/// no enabled value on an undeclared name, no `m` on a bool symbol, every
+/// value within `max(dependency limit, select floor)`, and at most one
+/// enabled member per mutually-exclusive choice group.
+///
+/// Every configuration the solvers in this module return is consistent;
+/// the check exists so hand-edited deltas (a janitor reverting one flip
+/// of a suggestion) can be rejected before anything re-runs a build.
+pub(crate) fn is_consistent(model: &KconfigModel, cfg: &Config) -> bool {
+    for (name, _) in cfg.enabled_symbols() {
+        if !model.is_declared(name) {
+            return false;
+        }
+    }
+    // Reverse select index, as in the fixed point.
+    let mut selectors_of: BTreeMap<&str, Vec<(&str, Option<&crate::expr::Expr>)>> = BTreeMap::new();
+    for sym in model.symbols() {
+        for (sel_target, cond) in &sym.selects {
+            selectors_of
+                .entry(sel_target.as_str())
+                .or_default()
+                .push((sym.name.as_str(), cond.as_ref()));
+        }
+    }
+    let lookup = |name: &str| cfg.get(name);
+    let mut group_enabled: BTreeMap<u32, usize> = BTreeMap::new();
+    for sym in model.symbols() {
+        let v = cfg.get(&sym.name);
+        if !sym.is_tristate() && v == Tristate::M {
+            return false;
+        }
+        let dep_limit = match &sym.depends {
+            Some(e) => e.eval(&lookup),
+            None => Tristate::Y,
+        };
+        let dep_limit = if sym.is_tristate() {
+            dep_limit
+        } else {
+            dep_limit.to_bool_value()
+        };
+        let mut floor = Tristate::N;
+        if let Some(sels) = selectors_of.get(sym.name.as_str()) {
+            for (selector, cond) in sels {
+                let cond_v = cond.map(|c| c.eval(&lookup)).unwrap_or(Tristate::Y);
+                floor = floor.max(lookup(selector).min(cond_v));
+            }
+        }
+        let floor = if sym.is_tristate() {
+            floor
+        } else {
+            floor.to_bool_value()
+        };
+        if v > dep_limit.max(floor) {
+            return false;
+        }
+        if v.enabled() {
+            if let Some(g) = sym.choice_group {
+                let n = group_enabled.entry(g).or_insert(0);
+                *n += 1;
+                if *n > 1 {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// One symbol whose value a remediation witness changes relative to
+/// `allyesconfig`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaFlip {
+    /// Symbol name (without the `CONFIG_` prefix).
+    pub name: String,
+    /// The symbol's value under `allyesconfig`.
+    pub from: Tristate,
+    /// The symbol's value in the witness.
+    pub to: Tristate,
+}
+
+/// A minimized configuration delta: a full witness configuration
+/// satisfying a conjunction of pins, plus the locally-minimal set of
+/// symbols whose values differ from `allyesconfig`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigDelta {
+    /// Flipped symbols, in name order.
+    pub flips: Vec<DeltaFlip>,
+    /// The witness configuration the flips describe.
+    pub config: Config,
+}
+
+impl ConfigDelta {
+    /// Render the flips as a janitor-facing suggestion:
+    /// `CONFIG_FOO=m CONFIG_BAR=n`.
+    pub fn suggestion(&self) -> String {
+        let parts: Vec<String> = self
+            .flips
+            .iter()
+            .map(|f| format!("CONFIG_{}={}", f.name, f.to))
+            .collect();
+        parts.join(" ")
+    }
+}
+
+/// The symbols where `cfg` differs from `allyes`, in name order.
+fn flipped(model: &KconfigModel, allyes: &Config, cfg: &Config) -> Vec<String> {
+    model
+        .symbols()
+        .filter(|s| cfg.get(&s.name) != allyes.get(&s.name))
+        .map(|s| s.name.clone())
+        .collect()
+}
+
+/// Find a witness for `pins` whose delta against `allyesconfig` is
+/// locally minimal, subject to the caller's `accept` check (the
+/// remediator passes the line's full presence condition there, since a
+/// pin-satisfying configuration can still miss it through an unpinned
+/// `#ifndef CONFIG_X_MODULE`-style atom).
+///
+/// The search seeds with the fewest-flips strategy witness (strategy
+/// order breaks ties, so the result is deterministic), then descends
+/// greedily: each round tries, per flipped symbol in name order, (a)
+/// reverting just that symbol to its allyes value and (b) re-solving with
+/// that symbol aimed back at allyes while the other flips keep their
+/// witness values — adopting the first candidate that still satisfies the
+/// pins, passes `accept`, stays [consistent](KconfigModel::is_consistent),
+/// and strictly shrinks the flip set. On return, reverting any single
+/// flip breaks one of those conditions — the local-minimality contract
+/// the proptests pin down.
+///
+/// # Errors
+///
+/// The hard [`DeadnessProof`]s surface unchanged; [`DeadnessProof::Exhausted`]
+/// also covers "witnesses exist but none passes `accept`".
+pub(crate) fn minimize_delta(
+    model: &KconfigModel,
+    pins: &BTreeMap<String, Tristate>,
+    accept: &dyn Fn(&Config) -> bool,
+) -> Result<ConfigDelta, DeadnessProof> {
+    if let ConjunctionVerdict::Dead(proof) = solve_conjunction(model, pins) {
+        return Err(proof);
+    }
+    let allyes = solve_allconfig(model, Goal::AllYes);
+    let mut best: Option<(usize, Config)> = None;
+    for cfg in conjunction_candidates(model, pins) {
+        if !accept(&cfg) {
+            continue;
+        }
+        let n = flipped(model, &allyes, &cfg).len();
+        if best.as_ref().is_none_or(|(bn, _)| n < *bn) {
+            best = Some((n, cfg));
+        }
+    }
+    let Some((_, mut cfg)) = best else {
+        return Err(DeadnessProof::Exhausted);
+    };
+    let good = |cand: &Config| {
+        pins.iter().all(|(name, v)| cand.get(name) == *v)
+            && is_consistent(model, cand)
+            && accept(cand)
+    };
+    'descend: loop {
+        let flips = flipped(model, &allyes, &cfg);
+        for f in &flips {
+            if pins.contains_key(f) {
+                continue; // reverting a pinned flip breaks the pin
+            }
+            // (a) Revert just this symbol. One flip fewer by construction.
+            let mut direct = cfg.clone();
+            direct.set(f.clone(), allyes.get(f));
+            if good(&direct) {
+                cfg = direct;
+                continue 'descend;
+            }
+            // (b) Re-solve with this symbol aimed back at allyes; the
+            // fixed point may cascade and drop several flips at once.
+            let cand = fixed_point(model, |sym| {
+                if let Some(v) = pins.get(&sym.name) {
+                    *v
+                } else if sym.name != *f && flips.contains(&sym.name) {
+                    cfg.get(&sym.name)
+                } else {
+                    allyes.get(&sym.name)
+                }
+            });
+            if flipped(model, &allyes, &cand).len() < flips.len() && good(&cand) {
+                cfg = cand;
+                continue 'descend;
+            }
+        }
+        break;
+    }
+    let flips = flipped(model, &allyes, &cfg)
+        .into_iter()
+        .map(|name| DeltaFlip {
+            from: allyes.get(&name),
+            to: cfg.get(&name),
+            name,
+        })
+        .collect();
+    Ok(ConfigDelta { flips, config: cfg })
+}
+
+/// Shrink an unsatisfiable conjunction to a locally-minimal core: drop
+/// pins one at a time (name order), keeping a pin only when its removal
+/// makes the rest satisfiable. Returns the core and the final verdict's
+/// proof tag, or `None` when `pins` is satisfiable to begin with.
+///
+/// With a hard proof the core really is unsatisfiable; under
+/// [`DeadnessProof::Exhausted`] it is "minimal among conjunctions every
+/// strategy fails on" — same caveat as the verdict itself.
+pub(crate) fn unsat_core(
+    model: &KconfigModel,
+    pins: &BTreeMap<String, Tristate>,
+) -> Option<(BTreeMap<String, Tristate>, DeadnessProof)> {
+    let ConjunctionVerdict::Dead(mut proof) = solve_conjunction(model, pins) else {
+        return None;
+    };
+    let mut core = pins.clone();
+    let names: Vec<String> = core.keys().cloned().collect();
+    for name in names {
+        let Some(v) = core.remove(&name) else { continue };
+        match solve_conjunction(model, &core) {
+            // Still unsatisfiable without it: the pin was not load-bearing.
+            ConjunctionVerdict::Dead(p) => proof = p,
+            ConjunctionVerdict::Witness(_) => {
+                core.insert(name, v);
+            }
+        }
+    }
+    Some((core, proof))
 }
 
 #[cfg(test)]
@@ -717,5 +982,139 @@ mod tests {
         let cfg = m.defconfig("CONFIG_USER=y\n");
         assert_eq!(cfg.get("HAVE_X"), Tristate::Y);
         assert_eq!(cfg.get("USER"), Tristate::Y);
+    }
+
+    fn accept_all(_: &Config) -> bool {
+        true
+    }
+
+    #[test]
+    fn solver_outputs_are_consistent() {
+        let m = model(
+            "config A\n\tbool \"a\"\nconfig B\n\ttristate \"b\"\n\tdepends on A\nconfig C\n\tbool \"c\"\n\tdepends on !A\n",
+        );
+        for cfg in [m.allyesconfig(), m.allmodconfig(), m.defconfig("CONFIG_B=m\n")] {
+            assert!(is_consistent(&m, &cfg), "{}", cfg.render());
+        }
+    }
+
+    #[test]
+    fn tampered_configs_are_inconsistent() {
+        let m = model(
+            "config A\n\tbool \"a\"\nconfig B\n\ttristate \"b\"\n\tdepends on A\nchoice\nconfig X\n\tbool \"x\"\nconfig Y\n\tbool \"y\"\nendchoice\n",
+        );
+        // Dependency violated: B on while A off.
+        let mut c1 = m.allyesconfig();
+        c1.set("A", Tristate::N);
+        assert!(!is_consistent(&m, &c1));
+        // m on a bool.
+        let mut c2 = m.allyesconfig();
+        c2.set("A", Tristate::M);
+        assert!(!is_consistent(&m, &c2));
+        // Enabled undeclared name.
+        let mut c3 = m.allyesconfig();
+        c3.set("GHOST", Tristate::Y);
+        assert!(!is_consistent(&m, &c3));
+        // Two enabled members of one choice group.
+        let mut c4 = m.allyesconfig();
+        c4.set("X", Tristate::Y);
+        c4.set("Y", Tristate::Y);
+        assert!(!is_consistent(&m, &c4));
+    }
+
+    #[test]
+    fn minimize_delta_flips_only_what_the_pin_needs() {
+        // Reaching TINY needs FULL off; OTHER is independent and must not
+        // appear in the delta even though the minimal strategy witness
+        // leaves it off.
+        let m = model(
+            "config FULL\n\tbool \"full\"\nconfig TINY\n\tbool \"tiny\"\n\tdepends on !FULL\nconfig OTHER\n\tbool \"o\"\n",
+        );
+        let d = minimize_delta(&m, &pins(&[("TINY", Tristate::Y)]), &accept_all).unwrap();
+        let names: Vec<&str> = d.flips.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["FULL", "TINY"]);
+        assert_eq!(d.flips[0].from, Tristate::Y);
+        assert_eq!(d.flips[0].to, Tristate::N);
+        assert_eq!(d.suggestion(), "CONFIG_FULL=n CONFIG_TINY=y");
+        assert!(d.config.is_builtin("OTHER"), "independent symbol reverted to allyes");
+        assert!(is_consistent(&m, &d.config));
+    }
+
+    #[test]
+    fn minimize_delta_is_empty_when_allyes_already_satisfies() {
+        let m = model("config NET\n\tbool \"net\"\nconfig VLAN\n\tbool \"v\"\n\tdepends on NET\n");
+        let d = minimize_delta(&m, &pins(&[("VLAN", Tristate::Y)]), &accept_all).unwrap();
+        assert!(d.flips.is_empty(), "{}", d.suggestion());
+        assert_eq!(d.config, m.allyesconfig());
+    }
+
+    #[test]
+    fn minimize_delta_module_pin() {
+        let m = model("config BUS\n\ttristate \"bus\"\nconfig DEV\n\ttristate \"dev\"\n\tdepends on BUS\n");
+        let d = minimize_delta(&m, &pins(&[("DEV", Tristate::M)]), &accept_all).unwrap();
+        // allyes has both at y; only DEV itself must move to m.
+        assert_eq!(d.suggestion(), "CONFIG_DEV=m");
+        assert!(d.config.is_builtin("BUS"));
+    }
+
+    #[test]
+    fn minimize_delta_reports_hard_proofs() {
+        let m = model("config DOOMED\n\tbool \"d\"\n\tdepends on MISSING\n");
+        let err = minimize_delta(&m, &pins(&[("DOOMED", Tristate::Y)]), &accept_all).unwrap_err();
+        assert_eq!(err, DeadnessProof::DeadSymbol("DOOMED".to_string()));
+    }
+
+    #[test]
+    fn minimize_delta_exhausts_when_accept_rejects_everything() {
+        let m = model("config A\n\tbool \"a\"\n");
+        let err =
+            minimize_delta(&m, &pins(&[("A", Tristate::Y)]), &|_| false).unwrap_err();
+        assert_eq!(err, DeadnessProof::Exhausted);
+    }
+
+    #[test]
+    fn minimize_delta_is_deterministic() {
+        let m = model(
+            "config FULL\n\tbool \"f\"\nconfig TINY\n\tbool \"t\"\n\tdepends on !FULL\nconfig MID\n\ttristate \"m\"\n\tdepends on !FULL\n",
+        );
+        let p = pins(&[("TINY", Tristate::Y), ("MID", Tristate::M)]);
+        let a = minimize_delta(&m, &p, &accept_all).unwrap();
+        let b = minimize_delta(&m, &p, &accept_all).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unsat_core_drops_satisfiable_pins() {
+        let m = model(
+            "config DOOMED\n\tbool \"d\"\n\tdepends on MISSING\nconfig FINE\n\tbool \"f\"\n",
+        );
+        let (core, proof) = unsat_core(
+            &m,
+            &pins(&[("DOOMED", Tristate::Y), ("FINE", Tristate::Y)]),
+        )
+        .expect("conjunction is dead");
+        assert_eq!(core.len(), 1);
+        assert_eq!(core.get("DOOMED"), Some(&Tristate::Y));
+        assert_eq!(proof, DeadnessProof::DeadSymbol("DOOMED".to_string()));
+    }
+
+    #[test]
+    fn unsat_core_none_when_satisfiable() {
+        let m = model("config A\n\tbool \"a\"\n");
+        assert!(unsat_core(&m, &pins(&[("A", Tristate::Y)])).is_none());
+    }
+
+    #[test]
+    fn unsat_core_keeps_both_halves_of_a_choice_conflict() {
+        let m = model(
+            "choice\nconfig HZ_100\n\tbool \"100\"\nconfig HZ_1000\n\tbool \"1000\"\nendchoice\n",
+        );
+        let (core, proof) = unsat_core(
+            &m,
+            &pins(&[("HZ_100", Tristate::Y), ("HZ_1000", Tristate::Y)]),
+        )
+        .expect("choice conflict is dead");
+        assert_eq!(core.len(), 2, "dropping either member would satisfy the rest");
+        assert!(matches!(proof, DeadnessProof::ChoiceConflict(_, _)));
     }
 }

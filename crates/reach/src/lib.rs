@@ -313,6 +313,56 @@ impl<'t> Reach<'t> {
         self.analyze_paths(Some(&set))
     }
 
+    /// The `#if`-stack presence condition of 1-based `line` in `path`,
+    /// with the `MODULE` macro substituted by its Kbuild-derived symbolic
+    /// truth (for simple-chain `.c` files). `None` when the file is
+    /// missing, the line is out of range, or its conditional stack is
+    /// unbalanced — the same cases the classifier treats conservatively.
+    ///
+    /// This is the remediator's entry point: the condition's atoms are
+    /// what a config delta must satisfy for the compiler to see the line.
+    pub fn line_condition(&self, path: &str, line: u32) -> Option<CondExpr> {
+        let src = self.tree.get(path)?;
+        let fa = analyze_file(src);
+        if !fa.balanced {
+            return None;
+        }
+        let raw = fa.conds.get(line.checked_sub(1)? as usize)?;
+        let is_c = path.ends_with(".c");
+        let module_expr = if is_c {
+            self.module_expr(&self.chain_of(path))
+        } else {
+            None
+        };
+        Some(match &module_expr {
+            Some(m) => raw.substitute("MODULE", m),
+            None => raw.clone(),
+        })
+    }
+
+    /// End-to-end presence of `line` in `path` under a candidate
+    /// configuration: the `#if` stack must evaluate to definitely-true
+    /// and, for a `.c` file, the Kbuild guard chain must open the
+    /// translation unit. Headers only check the condition (whether some
+    /// compiled unit includes them is the build engine's job — the
+    /// remediation driver verifies that by actually re-running the trial).
+    pub fn line_present(&self, path: &str, line: u32, cfg: &Config) -> bool {
+        let Some(cond) = self.line_condition(path, line) else {
+            return false;
+        };
+        let gate_ok = !path.ends_with(".c") || self.graph.gating_value(path, cfg).enabled();
+        gate_ok && cond.eval(cfg) == Truth::True
+    }
+
+    /// The Kconfig model governing `path` (the arch-specific model for
+    /// files under `arch/<a>/`, else the primary model), with its arch
+    /// name. `None` when no model is registered.
+    pub fn model_for(&self, path: &str) -> Option<(&str, &KconfigModel)> {
+        let i = self.model_idx_for(path)?;
+        let (arch, model) = &self.models[i];
+        Some((arch.as_str(), model))
+    }
+
     fn analyze_paths(&self, only: Option<&BTreeSet<String>>) -> TreeReach {
         let sources: Vec<String> = self
             .tree
@@ -1019,6 +1069,75 @@ mod tests {
         let main = &tr.files["kernel/main.c"];
         assert_eq!(main.class(2), Some(&ReachClass::AllyesReachable));
         assert_eq!(main.class(4), Some(&ReachClass::AllyesReachable), "NET=y under allyes");
+    }
+
+    #[test]
+    fn line_condition_exposes_the_if_stack() {
+        let t = demo_tree();
+        let m = demo_model();
+        let allyes = m.allyesconfig();
+        let mut r = Reach::new(&t);
+        r.add_model("x86_64", m);
+        // Unconditional line: trivially true condition.
+        let c2 = r.line_condition("kernel/main.c", 2).unwrap();
+        assert_eq!(c2.eval(&allyes), Truth::True);
+        // `#ifdef CONFIG_NET` body: true exactly when NET is builtin.
+        let c4 = r.line_condition("kernel/main.c", 4).unwrap();
+        assert_eq!(c4.eval(&allyes), Truth::True);
+        let mut off = allyes;
+        off.set("NET", Tristate::N);
+        assert_eq!(c4.eval(&off), Truth::False);
+        // Out-of-range lines and line 0 yield nothing.
+        assert!(r.line_condition("kernel/main.c", 0).is_none());
+        assert!(r.line_condition("kernel/main.c", 999).is_none());
+        assert!(r.line_condition("no/such/file.c", 1).is_none());
+    }
+
+    #[test]
+    fn line_condition_substitutes_module_from_the_chain() {
+        let t = demo_tree();
+        let m = demo_model();
+        let allyes = m.allyesconfig();
+        let allmod = m.allmodconfig();
+        let mut r = Reach::new(&t);
+        r.add_model("x86_64", m);
+        // `#ifdef MODULE` in an obj-$(CONFIG_E1000) file: true exactly
+        // when E1000 is built as a module.
+        let c = r.line_condition("drivers/e1000.c", 3).unwrap();
+        assert_eq!(c.eval(&allyes), Truth::False, "builtin build defines no MODULE");
+        assert_eq!(c.eval(&allmod), Truth::True, "E1000=m build defines MODULE");
+    }
+
+    #[test]
+    fn line_present_demands_gate_and_condition() {
+        let t = demo_tree();
+        let m = demo_model();
+        let allyes = m.allyesconfig();
+        let allmod = m.allmodconfig();
+        let mut r = Reach::new(&t);
+        r.add_model("x86_64", m);
+        assert!(r.line_present("drivers/e1000.c", 1, &allyes));
+        assert!(!r.line_present("drivers/e1000.c", 3, &allyes));
+        assert!(r.line_present("drivers/e1000.c", 3, &allmod));
+        // Gate closed: E1000 off keeps even unconditional lines out.
+        let mut off = allyes;
+        off.set("E1000", Tristate::N);
+        assert!(!r.line_present("drivers/e1000.c", 1, &off));
+        // Headers only check the condition.
+        assert!(r.line_present("include/linux/foo.h", 3, &off));
+    }
+
+    #[test]
+    fn model_for_picks_arch_models() {
+        let t = demo_tree();
+        let mut r = Reach::new(&t);
+        r.add_model("x86_64", demo_model());
+        r.add_model("arm", KconfigModel::new());
+        let (arch, m) = r.model_for("kernel/main.c").unwrap();
+        assert_eq!(arch, "x86_64");
+        assert!(m.is_declared("NET"));
+        let (arch, _) = r.model_for("arch/arm/setup.c").unwrap();
+        assert_eq!(arch, "arm");
     }
 
     #[test]

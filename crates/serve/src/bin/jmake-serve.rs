@@ -16,13 +16,15 @@
 //!
 //! ```text
 //! jmake-serve --client PATH [--id N] [--commits N] [--seed S]
-//!             [--workers W] [--allmodconfig] [--coverage] [COMMAND]
+//!             [--workers W] [--allmodconfig] [--coverage] [--fix] [COMMAND]
 //! jmake-serve --client PATH --stats
 //! jmake-serve --client PATH --shutdown
 //! ```
 //!
 //! Prints the served report to stdout — byte-identical to `jmake-eval
-//! COMMAND` with the same workload flags.
+//! COMMAND` with the same workload flags. With `--fix` the daemon also
+//! runs the remediation pass against its warm caches; the remediation
+//! JSON precedes the report, exactly as `jmake-eval --fix` prints it.
 
 use jmake_serve::{request, serve, EvalRequest, Request, Response, ServerOptions};
 use std::path::PathBuf;
@@ -31,7 +33,7 @@ use std::process::exit;
 const USAGE: &str = "usage:
   jmake-serve --socket PATH [--parallel N] [--queue N] [--cache-dir DIR]
   jmake-serve --client PATH [--id N] [--commits N] [--seed S] [--workers W]
-              [--allmodconfig] [--coverage] [COMMAND]
+              [--allmodconfig] [--coverage] [--fix] [COMMAND]
   jmake-serve --client PATH --stats
   jmake-serve --client PATH --shutdown";
 
@@ -75,6 +77,7 @@ fn main() {
             "--workers" => eval.workers = numeric(&value(&mut args, "--workers"), "--workers"),
             "--allmodconfig" => eval.allmodconfig = true,
             "--coverage" => eval.coverage = true,
+            "--fix" => eval.fix = true,
             "--stats" => stats = true,
             "--shutdown" => shutdown = true,
             "--help" | "-h" => {

@@ -10,7 +10,7 @@
 //!
 //! ```text
 //! {"id":1,"commits":40,"seed":3735928559,"workers":4,
-//!  "allmodconfig":false,"coverage":false,"command":"summary"}
+//!  "allmodconfig":false,"coverage":false,"fix":false,"command":"summary"}
 //! {"stats":true}
 //! {"shutdown":true}
 //! ```
@@ -46,6 +46,10 @@ pub struct EvalRequest {
     pub allmodconfig: bool,
     /// Also try coverage-maximizing generated configs.
     pub coverage: bool,
+    /// Also run the `jmake-fix` remediation pass: the remediation report
+    /// (JSON) is prepended to the rendered section and per-file FIX lines
+    /// appear in the tables — byte-identical to `jmake-eval --fix`.
+    pub fix: bool,
     /// Report section (`all`, `summary`, `table1`…`fig6`).
     pub command: String,
 }
@@ -60,6 +64,7 @@ impl Default for EvalRequest {
             workers: 4,
             allmodconfig: false,
             coverage: false,
+            fix: false,
             command: "all".to_string(),
         }
     }
@@ -111,8 +116,8 @@ pub enum Response {
 pub fn encode_request(request: &Request) -> String {
     match request {
         Request::Eval(r) => format!(
-            "{{\"id\":{},\"commits\":{},\"seed\":{},\"workers\":{},\"allmodconfig\":{},\"coverage\":{},\"command\":\"{}\"}}",
-            r.id, r.commits, r.seed, r.workers, r.allmodconfig, r.coverage, escape(&r.command),
+            "{{\"id\":{},\"commits\":{},\"seed\":{},\"workers\":{},\"allmodconfig\":{},\"coverage\":{},\"fix\":{},\"command\":\"{}\"}}",
+            r.id, r.commits, r.seed, r.workers, r.allmodconfig, r.coverage, r.fix, escape(&r.command),
         ),
         Request::Stats => "{\"stats\":true}".to_string(),
         Request::Shutdown => "{\"shutdown\":true}".to_string(),
@@ -160,6 +165,10 @@ pub fn decode_request(line: &str) -> Result<Request, String> {
             }
             "coverage" => {
                 eval.coverage = p.boolean()?;
+                saw_eval_field = true;
+            }
+            "fix" => {
+                eval.fix = p.boolean()?;
                 saw_eval_field = true;
             }
             "command" => {
@@ -279,6 +288,7 @@ mod tests {
                 workers: 8,
                 allmodconfig: true,
                 coverage: false,
+                fix: true,
                 command: "summary".to_string(),
             }),
             Request::Eval(EvalRequest::default()),
@@ -325,6 +335,7 @@ mod tests {
         assert_eq!(r.commits, profile.commits);
         assert_eq!(r.seed, profile.seed);
         assert_eq!(r.workers, 4);
+        assert!(!r.fix, "remediation is opt-in, like jmake-eval --fix");
         assert_eq!(r.command, "all");
     }
 

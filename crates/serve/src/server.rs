@@ -198,7 +198,11 @@ impl Engine {
 
     /// Run one evaluation and render the requested report section —
     /// exactly the bytes `jmake-eval` would print for the same
-    /// parameters.
+    /// parameters. With `fix`, the remediation pass replays the run
+    /// against the daemon's warm caches; its JSON report is prepended to
+    /// the rendered section and FIX lines land in the tables, matching
+    /// `jmake-eval --fix COMMAND` byte for byte (the fix report is
+    /// host-time free, so warm caches never change the bytes).
     fn evaluate(&self, req: &EvalRequest) -> Result<String, String> {
         let profile = WorkloadProfile {
             commits: req.commits,
@@ -217,9 +221,23 @@ impl Engine {
             preproc_cache_handle: Some(Arc::clone(&self.preproc)),
             ..DriverOptions::default()
         };
-        let ctx = build_context_with_driver(&profile, &driver);
-        render_command(&ctx, &req.command)
-            .ok_or_else(|| format!("unknown command {:?}", req.command))
+        let mut ctx = build_context_with_driver(&profile, &driver);
+        let mut out = String::new();
+        if req.fix {
+            let fctx = jmake_fix::FixContext {
+                configs: Arc::clone(&self.configs),
+                objects: Some(Arc::clone(&self.objects)),
+                preproc: Some(Arc::clone(&self.preproc)),
+                ..jmake_fix::FixContext::default()
+            };
+            let fix = jmake_fix::remediate_with(&ctx.workload.repo, &ctx.run, &fctx);
+            jmake_fix::annotate_run(&mut ctx.run, &fix);
+            out.push_str(&fix.to_json());
+        }
+        let rendered = render_command(&ctx, &req.command)
+            .ok_or_else(|| format!("unknown command {:?}", req.command))?;
+        out.push_str(&rendered);
+        Ok(out)
     }
 }
 
@@ -478,6 +496,28 @@ mod tests {
         // An unknown command answers an error, not a hang.
         let resp = request(&socket, &Request::Eval(eval_request(9, 10, "tableX"))).unwrap();
         assert!(matches!(resp, Response::Error { id: 9, .. }), "{resp:?}");
+
+        // A fix request serves remediation JSON + annotated section,
+        // byte-identical to `jmake-eval --fix summary` run locally.
+        let mut fix_req = eval_request(4, 10, "summary");
+        fix_req.fix = true;
+        let mut local = build_context_with_driver(&profile, &driver);
+        let fix = jmake_fix::remediate(&local.workload.repo, &local.run);
+        jmake_fix::annotate_run(&mut local.run, &fix);
+        let expected_fix = format!(
+            "{}{}",
+            fix.to_json(),
+            render_command(&local, "summary").unwrap()
+        );
+        let resp = request(&socket, &Request::Eval(fix_req)).unwrap();
+        assert_eq!(
+            resp,
+            Response::Report {
+                id: 4,
+                report: expected_fix
+            },
+            "served --fix output must match the local pass byte for byte"
+        );
 
         // Per-client stats over one multi-request connection.
         let mut stream = UnixStream::connect(&socket).unwrap();

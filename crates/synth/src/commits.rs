@@ -112,7 +112,7 @@ pub fn generate_stream(
     profile: &WorkloadProfile,
     tree: SourceTree,
     layout: KernelLayout,
-    personas: Vec<Persona>,
+    personas: &[Persona],
     rng: &mut StdRng,
 ) -> SynthOutput {
     let mut repo = Repo::new();
@@ -120,7 +120,7 @@ pub fn generate_stream(
     let base = repo.commit(&[], "Linus Torvalds", "Linux v4.3", &current);
     repo.tag("v4.3", base);
 
-    let prewindow = prewindow_activity(profile, &layout, &personas, rng);
+    let prewindow = prewindow_activity(profile, &layout, personas, rng);
     let janitors: Vec<&Persona> = personas
         .iter()
         .filter(|p| matches!(p.role, Role::Janitor { .. }))

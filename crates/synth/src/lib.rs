@@ -41,7 +41,7 @@ pub fn generate(profile: &WorkloadProfile) -> SynthOutput {
     let mut rng = StdRng::seed_from_u64(profile.seed);
     let (tree, layout) = kernel::generate_kernel(profile, &mut rng);
     let personas = authors::personas(profile, &layout, &mut rng);
-    commits::generate_stream(profile, tree, layout, personas, &mut rng)
+    commits::generate_stream(profile, tree, layout, &personas, &mut rng)
 }
 
 /// Convenience: just the base tree (for examples and benches that need a

@@ -70,6 +70,9 @@ pub enum Stage {
     BuildO,
     /// Classify scan results into per-file coverage verdicts.
     Classify,
+    /// Root-cause missed lines and verify synthesized config deltas
+    /// (`jmake-fix`; only emitted when remediation is requested).
+    Remediate,
     /// A failed attempt was retried after exponential backoff; `virtual_us`
     /// carries the backoff charged to the virtual clock.
     Retry,
@@ -83,7 +86,7 @@ pub enum Stage {
 impl Stage {
     /// Every stage: the pipeline stages in order, then the recovery stages
     /// (`retry`, `timeout`, `quarantine`) emitted only under fault injection.
-    pub const ALL: [Stage; 11] = [
+    pub const ALL: [Stage; 12] = [
         Stage::Checkout,
         Stage::Show,
         Stage::Check,
@@ -92,6 +95,7 @@ impl Stage {
         Stage::BuildI,
         Stage::BuildO,
         Stage::Classify,
+        Stage::Remediate,
         Stage::Retry,
         Stage::Timeout,
         Stage::Quarantine,
@@ -108,6 +112,7 @@ impl Stage {
             Stage::BuildI => "build_i",
             Stage::BuildO => "build_o",
             Stage::Classify => "classify",
+            Stage::Remediate => "remediate",
             Stage::Retry => "retry",
             Stage::Timeout => "timeout",
             Stage::Quarantine => "quarantine",

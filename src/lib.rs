@@ -53,6 +53,7 @@ pub use jmake_core as core;
 pub use jmake_cpp as cpp;
 pub use jmake_diff as diff;
 pub use jmake_faults as faults;
+pub use jmake_fix as fix;
 pub use jmake_janitor as janitor;
 pub use jmake_kbuild as kbuild;
 pub use jmake_kconfig as kconfig;

@@ -79,6 +79,9 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Run one benchmark parameterized by `input`.
+    // Upstream criterion consumes the id; the stand-in must keep the
+    // by-value signature even though it only formats it.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
