@@ -10,6 +10,18 @@
 //!   --full             shorthand for --commits 12000
 //!   --allmodconfig     also try allmodconfig (the paper's Table IV remedy)
 //!   --coverage         also try coverage-maximizing generated configs
+//!   --portfolio K      select a K-config portfolio up front (greedy
+//!                      newly-reachable-lines per virtual-clock dollar
+//!                      over the v4.4 tree's presence conditions; member
+//!                      0 is always allyesconfig, the rest are seeded
+//!                      randconfigs) and fan every trial out to its
+//!                      members; prints the portfolio report — static
+//!                      line coverage plus measured per-config token
+//!                      attribution — as JSON on stdout
+//!   --rand-seed N      base seed for the randconfig candidate pool
+//!                      (default 1; candidate i samples with seed N+i,
+//!                      deterministically — same seed, same configs,
+//!                      everywhere)
 //!   --no-shared-cache  solve every configuration per patch (original
 //!                      per-patch-cleanup behavior; slower wall-clock,
 //!                      identical reports)
@@ -23,10 +35,10 @@
 //!                      header inclusion is expanded live; slower
 //!                      wall-clock, identical reports)
 //!   --bench-json FILE  write a machine-readable benchmark summary
-//!                      (schema 3: patches/sec, per-stage host CPU µs,
+//!                      (schema 4: patches/sec, per-stage host CPU µs,
 //!                      end-to-end wall µs, cache hit rates, scheduler
-//!                      stage counters, remediate-stage totals — see
-//!                      DESIGN.md) to FILE
+//!                      stage counters, remediate-stage totals, portfolio
+//!                      coverage summary — see DESIGN.md) to FILE
 //!   --cache-dir DIR    persist the config and object caches under DIR
 //!                      (created if missing) and pre-load them from it,
 //!                      so a second run starts warm. Entries carry an
@@ -73,17 +85,17 @@
 //!   --fix-json FILE    write the remediation report to FILE as well
 //!                      (implies --fix)
 //!
-//! With `--reach`/`--cross-check`/`--fix` and no explicit table command,
-//! the tables are suppressed so stdout is pure JSON (pipe into a file
-//! and `diff` across worker counts / cache modes — the bytes must
-//! match).
+//! With `--reach`/`--cross-check`/`--fix`/`--portfolio` and no explicit
+//! table command, the tables are suppressed so stdout is pure JSON (pipe
+//! into a file and `diff` across worker counts / cache modes / disk-tier
+//! states — the bytes must match).
 //!
 //! `trace-check` re-parses a `--trace` file, validates every line against
 //! the documented schema, and prints per-stage span counts. It exits
 //! non-zero on the first malformed line.
 //! ```
 
-use jmake_bench::{build_context_with_driver, render_command};
+use jmake_bench::{build_context_from_workload, render_command, render_portfolio_json};
 use jmake_core::DriverOptions;
 use jmake_faults::{FaultSpec, Faults};
 use jmake_kbuild::{
@@ -91,7 +103,7 @@ use jmake_kbuild::{
 };
 use jmake_reach::{Reach, ReachEnv};
 use jmake_synth::WorkloadProfile;
-use jmake_trace::Tracer;
+use jmake_trace::{Stage, Tracer};
 
 /// Classify the whole `tree` statically: one model and one
 /// allyes/allmod environment pair per architecture present, host
@@ -185,19 +197,22 @@ fn trace_check(path: &str) -> ! {
 /// Machine-readable benchmark summary for `--bench-json` (hand-rolled:
 /// the workspace carries no JSON serializer and the shape is fixed).
 ///
-/// Schema 3 (documented in DESIGN.md): `host_cpu_us` holds the
+/// Schema 4 (documented in DESIGN.md): `host_cpu_us` holds the
 /// per-stage host time *summed over workers* (schema 1 called this
 /// `host_wall_us`, which misread as end-to-end time); `wall_us` is the
 /// actual end-to-end evaluation wall clock; `preproc_cache_stats` and
 /// `scheduler` cover the cross-patch preprocess memo and the typed
 /// warm-packet scheduler; `remediate` reports the `--fix` pass (all
-/// zeros with `ran: false` when remediation was off).
+/// zeros with `ran: false` when remediation was off); `portfolio`
+/// (schema 4) summarizes `--portfolio` selection and measured randconfig
+/// token attribution (all zeros with `ran: false` when off).
 fn render_bench_json(
     profile: &WorkloadProfile,
     driver: &DriverOptions,
     run: &jmake_core::EvaluationRun,
     wall_secs: f64,
     fix: Option<&(jmake_fix::FixReport, u64)>,
+    portfolio: Option<&(jmake_core::Portfolio, usize)>,
 ) -> String {
     let s = &run.stats;
     let pps = if wall_secs > 0.0 {
@@ -230,10 +245,26 @@ fn render_bench_json(
             ),
             None => (false, 0, 0, 0, 0, 0, 0),
         };
+    let (pf_ran, pf_requested, pf_selected, pf_seed, pf_covered, pf_cond, pf_dead, pf_unfix, pf_cost, pf_tokens) =
+        match portfolio {
+            Some((p, tokens_by_rand)) => (
+                true,
+                p.requested,
+                p.members.len(),
+                p.rand_seed,
+                p.covered_lines(),
+                p.covered_conditional_lines,
+                p.dead_lines,
+                p.unfixable_lines,
+                p.total_cost_virtual_us(),
+                *tokens_by_rand,
+            ),
+            None => (false, 0, 0, 0, 0, 0, 0, 0, 0, 0),
+        };
     format!(
         concat!(
             "{{\n",
-            "  \"schema\": 3,\n",
+            "  \"schema\": 4,\n",
             "  \"commits\": {},\n",
             "  \"seed\": {},\n",
             "  \"workers\": {},\n",
@@ -251,6 +282,7 @@ fn render_bench_json(
             "  \"object_cache_stats\": {{ \"hits\": {}, \"negative_hits\": {}, \"misses\": {}, \"entries\": {}, \"hit_rate\": {:.4} }},\n",
             "  \"preproc_cache_stats\": {{ \"hits\": {}, \"misses\": {}, \"entries\": {}, \"hit_rate\": {:.4}, \"closure_hits\": {}, \"closure_misses\": {} }},\n",
             "  \"remediate\": {{ \"ran\": {}, \"host_us\": {}, \"virtual_us\": {}, \"missed\": {}, \"deltas_emitted\": {}, \"deltas_verified\": {}, \"unfixable\": {} }},\n",
+            "  \"portfolio\": {{ \"ran\": {}, \"requested\": {}, \"selected\": {}, \"rand_seed\": {}, \"covered_lines\": {}, \"covered_conditional_lines\": {}, \"dead_lines\": {}, \"unfixable_lines\": {}, \"cost_virtual_us\": {}, \"tokens_by_rand\": {} }},\n",
             "  \"scheduler\": {{\n{}\n  }}\n",
             "}}\n",
         ),
@@ -292,6 +324,16 @@ fn render_bench_json(
         fix_emitted,
         fix_verified,
         fix_unfixable,
+        pf_ran,
+        pf_requested,
+        pf_selected,
+        pf_seed,
+        pf_covered,
+        pf_cond,
+        pf_dead,
+        pf_unfix,
+        pf_cost,
+        pf_tokens,
         sched,
     )
 }
@@ -327,6 +369,8 @@ fn main() {
     let mut do_reach = false;
     let mut do_cross_check = false;
     let mut do_fix = false;
+    let mut portfolio_k: Option<usize> = None;
+    let mut rand_seed: u64 = 1;
     let mut fix_json: Option<String> = None;
     let mut bench_json: Option<String> = None;
     let mut cache_dir: Option<String> = None;
@@ -356,6 +400,20 @@ fn main() {
             "--full" => profile.commits = 12_000,
             "--allmodconfig" => driver.jmake.use_allmodconfig = true,
             "--coverage" => driver.jmake.use_coverage_configs = true,
+            "--portfolio" => {
+                let Some(k) = it.next().and_then(|v| v.parse().ok()).filter(|k| *k >= 1) else {
+                    eprintln!("--portfolio needs an integer K >= 1");
+                    std::process::exit(2);
+                };
+                portfolio_k = Some(k);
+            }
+            "--rand-seed" => {
+                let Some(seed) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--rand-seed needs an integer");
+                    std::process::exit(2);
+                };
+                rand_seed = seed;
+            }
             "--no-shared-cache" => driver.shared_cache = false,
             "--no-object-cache" => driver.object_cache = false,
             "--no-work-stealing" => driver.work_stealing = false,
@@ -478,7 +536,48 @@ fn main() {
         if driver.shared_cache { "on" } else { "off" },
     );
     let started = std::time::Instant::now();
-    let mut ctx = build_context_with_driver(&profile, &driver);
+    let workload = jmake_synth::generate(&profile);
+    // Portfolio selection runs before the evaluation: pick the randconfig
+    // seeds on the v4.4 tree, then hand them to every worker's pipeline
+    // options. Selection is a pure function of (tree, arch, K, seed) on a
+    // scratch engine, so it never perturbs the run's virtual clock.
+    let portfolio = portfolio_k.map(|k| {
+        let tree = match workload
+            .repo
+            .resolve_tag("v4.4")
+            .and_then(|id| workload.repo.checkout(id))
+        {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("--portfolio: cannot check out v4.4: {e}");
+                std::process::exit(1);
+            }
+        };
+        let mut span = tracer.span(Stage::Portfolio).with_arch("x86_64");
+        let selected = match jmake_core::select_portfolio(&tree, "x86_64", k, rand_seed) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("--portfolio: {e}");
+                std::process::exit(1);
+            }
+        };
+        span.set_virtual_us(selected.total_cost_virtual_us());
+        drop(span);
+        driver.jmake.portfolio = selected.seeds();
+        eprintln!(
+            "portfolio: K={} rand-seed {} → {} member(s) from {} candidate(s); {} conditional line(s) covered beyond allyes ({} dead, {} beyond the pool), cost {}µs virtual",
+            k,
+            rand_seed,
+            selected.members.len(),
+            selected.pool,
+            selected.covered_conditional_lines,
+            selected.dead_lines,
+            selected.unfixable_lines,
+            selected.total_cost_virtual_us(),
+        );
+        selected
+    });
+    let mut ctx = build_context_from_workload(&profile, workload, &driver);
     eprintln!(
         "evaluation finished in {:.1}s wall clock ({} patches)",
         started.elapsed().as_secs_f64(),
@@ -559,7 +658,17 @@ fn main() {
         eprint!("{}", ctx.run.stats.render());
     }
     if let Some(path) = &bench_json {
-        let json = render_bench_json(&profile, &driver, &ctx.run, wall_secs, fix_summary.as_ref());
+        let portfolio_summary = portfolio
+            .as_ref()
+            .map(|p| (p.clone(), jmake_bench::rand_certified_tokens(&ctx, &p.seeds())));
+        let json = render_bench_json(
+            &profile,
+            &driver,
+            &ctx.run,
+            wall_secs,
+            fix_summary.as_ref(),
+            portfolio_summary.as_ref(),
+        );
         if let Err(e) = write_bench_json(path, &json) {
             eprintln!("cannot write bench summary {path}: {e}");
             // Flush the trace file before bailing out: exiting with spans
@@ -651,9 +760,20 @@ fn main() {
             exit_code = 1;
         }
     }
-    // With `--reach`/`--cross-check`/`--fix` and no explicit command,
-    // stdout stays pure JSON for CI diffing.
-    if explicit_command.is_none() && (do_reach || do_cross_check || do_fix) {
+    if let Some(p) = &portfolio {
+        print!("{}", render_portfolio_json(p, &ctx));
+        eprintln!(
+            "portfolio report: {} member(s), {}/{} line(s) covered, {} dead, {} beyond the pool",
+            p.members.len(),
+            p.covered_lines(),
+            p.total_lines(),
+            p.dead_lines,
+            p.unfixable_lines,
+        );
+    }
+    // With `--reach`/`--cross-check`/`--fix`/`--portfolio` and no explicit
+    // command, stdout stays pure JSON for CI diffing.
+    if explicit_command.is_none() && (do_reach || do_cross_check || do_fix || portfolio.is_some()) {
         std::process::exit(exit_code);
     }
 

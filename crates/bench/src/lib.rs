@@ -56,6 +56,19 @@ pub fn build_context_with(
 /// options, shared configuration cache on or off).
 pub fn build_context_with_driver(profile: &WorkloadProfile, driver: &DriverOptions) -> EvalContext {
     let workload = jmake_synth::generate(profile);
+    build_context_from_workload(profile, workload, driver)
+}
+
+/// [`build_context_with_driver`] over a pre-generated workload. The
+/// portfolio path needs this split: `jmake-eval --portfolio` generates the
+/// workload once, selects randconfig seeds on its `v4.4` tree
+/// ([`jmake_core::select_portfolio`]), stores them in
+/// `driver.jmake.portfolio`, and only then runs the evaluation.
+pub fn build_context_from_workload(
+    profile: &WorkloadProfile,
+    workload: SynthOutput,
+    driver: &DriverOptions,
+) -> EvalContext {
     let commits = workload
         .repo
         .log(&LogOptions::paper_defaults().range("v4.3", "v4.4"))
@@ -94,6 +107,105 @@ pub fn build_context_with_driver(profile: &WorkloadProfile, driver: &DriverOptio
         thresholds,
         janitor_table,
     }
+}
+
+/// Render the portfolio report as deterministic JSON: the greedy
+/// selection (static coverage per member, virtual-clock cost) plus the
+/// measured per-config token attribution from the evaluation run —
+/// `tokens.by_rand > 0` is the dynamic proof that portfolio members
+/// certified mutations allyesconfig alone missed. The bytes depend only
+/// on the selection and the run's reports, both of which are
+/// byte-identical across worker counts, cache modes, and disk-tier
+/// states, so the rendered JSON is too (the CI gate diffs it).
+pub fn render_portfolio_json(portfolio: &jmake_core::Portfolio, ctx: &EvalContext) -> String {
+    // Attribute every certified token to the configuration family that
+    // certified it; `covered` descriptors are `arch/<kind key>`.
+    let seeds = portfolio.seeds();
+    let mut total = 0usize;
+    let mut by_allyes = 0usize;
+    let mut by_rand = vec![0usize; seeds.len()];
+    let mut by_other = 0usize;
+    for report in ctx.run.results.iter().filter_map(|r| r.report()) {
+        for file in &report.files {
+            for (_token, desc) in &file.covered {
+                total += 1;
+                let kind = desc.rsplit('/').next().unwrap_or(desc);
+                if kind == "allyesconfig" {
+                    by_allyes += 1;
+                } else if let Some(i) = kind
+                    .strip_prefix("randconfig:")
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .and_then(|seed| seeds.iter().position(|s| *s == seed))
+                {
+                    by_rand[i] += 1;
+                } else {
+                    by_other += 1;
+                }
+            }
+        }
+    }
+    let by_rand_total: usize = by_rand.iter().sum();
+
+    let mut members = String::new();
+    let mut rand_idx = 0usize;
+    for (i, m) in portfolio.members.iter().enumerate() {
+        let tokens = match m.kind {
+            jmake_kbuild::ConfigKind::Rand { .. } => {
+                rand_idx += 1;
+                by_rand[rand_idx - 1]
+            }
+            _ => by_allyes,
+        };
+        members.push_str(&format!(
+            "{}    {{\"config\": \"{}\", \"cost_virtual_us\": {}, \"new_lines\": {}, \"tokens_certified\": {}}}",
+            if i == 0 { "" } else { ",\n" },
+            m.kind,
+            m.cost_virtual_us,
+            m.new_lines,
+            tokens,
+        ));
+    }
+    format!(
+        "{{\n  \"schema\": 1,\n  \"arch\": \"{}\",\n  \"requested\": {},\n  \"rand_seed\": {},\n  \"pool\": {},\n  \"cost_virtual_us\": {},\n  \"lines\": {{\"total\": {}, \"allyes\": {}, \"conditional\": {}, \"covered_conditional\": {}, \"covered\": {}, \"dead\": {}, \"unfixable\": {}}},\n  \"tokens\": {{\"certified\": {}, \"by_allyes\": {}, \"by_rand\": {}, \"by_other\": {}}},\n  \"members\": [\n{}\n  ]\n}}\n",
+        portfolio.arch,
+        portfolio.requested,
+        portfolio.rand_seed,
+        portfolio.pool,
+        portfolio.total_cost_virtual_us(),
+        portfolio.total_lines(),
+        portfolio.allyes_lines,
+        portfolio.conditional_lines,
+        portfolio.covered_conditional_lines,
+        portfolio.covered_lines(),
+        portfolio.dead_lines,
+        portfolio.unfixable_lines,
+        total,
+        by_allyes,
+        by_rand_total,
+        by_other,
+        members,
+    )
+}
+
+/// Count certified tokens attributed to any of the given randconfig
+/// seeds — the `--bench-json` schema-4 `tokens_by_rand` field and the CI
+/// gate's dynamic evidence that the portfolio certified mutations
+/// allyesconfig alone missed.
+pub fn rand_certified_tokens(ctx: &EvalContext, seeds: &[u64]) -> usize {
+    ctx.run
+        .results
+        .iter()
+        .filter_map(|r| r.report())
+        .flat_map(|report| &report.files)
+        .flat_map(|file| &file.covered)
+        .filter(|(_, desc)| {
+            desc.rsplit('/')
+                .next()
+                .and_then(|kind| kind.strip_prefix("randconfig:"))
+                .and_then(|s| s.parse::<u64>().ok())
+                .is_some_and(|seed| seeds.contains(&seed))
+        })
+        .count()
 }
 
 /// Render a CDF as a fixed set of `(seconds, fraction)` checkpoints plus

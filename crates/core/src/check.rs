@@ -48,6 +48,11 @@ pub struct Options {
     pub use_coverage_configs: bool,
     /// Cap on synthesized coverage configurations per file.
     pub max_coverage_configs: usize,
+    /// Randconfig portfolio: for each seed, every file's trials also fan
+    /// out to `ConfigKind::Rand { seed }` on its selected architectures
+    /// (the seeds come from `covsel::select_portfolio`). Empty (the
+    /// default) keeps the paper's allyes-first behaviour byte-identical.
+    pub portfolio: Vec<u64>,
 }
 
 impl Default for Options {
@@ -67,6 +72,7 @@ impl Default for Options {
             naive_mutations: false,
             use_coverage_configs: false,
             max_coverage_configs: 4,
+            portfolio: Vec::new(),
         }
     }
 }
@@ -229,6 +235,22 @@ impl JMake {
                 let t = Target::new(arch, ConfigKind::AllMod);
                 if !out.contains(&t) {
                     out.push(t);
+                }
+            }
+        }
+        // Portfolio members fan out after the standard targets: trials try
+        // allyes/defconfig/allmod first, then each selected randconfig, so
+        // attribution ("which config first covered this token") and report
+        // bytes are independent of worker count and cache mode — the same
+        // global target order every phase (and warm-probe planning) uses.
+        if !self.options.portfolio.is_empty() {
+            let arches: Vec<String> = out.iter().map(|t| t.arch.clone()).collect();
+            for seed in &self.options.portfolio {
+                for arch in &arches {
+                    let t = Target::new(arch.clone(), ConfigKind::Rand { seed: *seed });
+                    if !out.contains(&t) {
+                        out.push(t);
+                    }
                 }
             }
         }
@@ -820,7 +842,9 @@ pub struct WarmProbe {
     /// Architecture to probe under.
     pub arch: String,
     /// Configuration kind to probe under (never `Custom` — coverage
-    /// configs are synthesized per patch and not worth pre-warming).
+    /// configs are synthesized per patch and not worth pre-warming;
+    /// portfolio `Rand` members *are* probed, since their seed names the
+    /// configuration globally).
     pub kind: ConfigKind,
     /// Preprocess the mutated tree (`I`) or compile the pristine one (`O`).
     pub op: ObjKind,

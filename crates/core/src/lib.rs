@@ -65,7 +65,9 @@ pub mod token;
 pub use archsel::{ArchSelector, Target};
 pub use check::{JMake, Options, WarmProbe};
 pub use classify::UncoveredReason;
-pub use covsel::{branch_wants, generate_cover_targets, Want};
+pub use covsel::{
+    branch_wants, generate_cover_targets, select_portfolio, Portfolio, PortfolioMember, Want,
+};
 pub use crosscheck::{
     arches_used, cross_check, line_shapes, token_class, token_region_line, CrossCheckReport,
     Discrepancy, DiscrepancyKind, LineShape,

@@ -38,6 +38,16 @@ pub enum ConfigKind {
         /// `.config`-format assignments.
         content: String,
     },
+    /// `make randconfig KCONFIG_SEED=seed` — a model-satisfying assignment
+    /// sampled deterministically from the seed
+    /// ([`KconfigModel::randconfig`]). The seed fully names the
+    /// configuration: the same `(arch, seed)` pair solves to byte-identical
+    /// content everywhere, so randconfigs are content-addressed by their
+    /// `randconfig:{seed}` key exactly like every other solved config.
+    Rand {
+        /// The sampling seed (`--rand-seed` + portfolio member index).
+        seed: u64,
+    },
 }
 
 impl ConfigKind {
@@ -47,6 +57,7 @@ impl ConfigKind {
             ConfigKind::AllMod => "allmodconfig".to_string(),
             ConfigKind::Defconfig(p) => format!("defconfig:{p}"),
             ConfigKind::Custom { name, .. } => format!("custom:{name}"),
+            ConfigKind::Rand { seed } => format!("randconfig:{seed}"),
         }
     }
 
@@ -693,6 +704,7 @@ impl BuildEngine {
                 model.defconfig(content)
             }
             ConfigKind::Custom { content, .. } => model.defconfig(content),
+            ConfigKind::Rand { seed } => model.randconfig(*seed),
         };
         self.charge_config_creation(model.len() as u64, &arch_info);
         let env_fp = env_fingerprint_of(&config);

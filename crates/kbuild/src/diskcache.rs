@@ -1052,6 +1052,10 @@ fn encode_config_entry(fingerprint: u64, content_fp: u64, cfg: &BuildConfig) -> 
             e.str(name);
             e.str(content);
         }
+        ConfigKind::Rand { seed } => {
+            e.tag("rand");
+            e.u64(*seed);
+        }
     }
     // The Config's `.config` rendering lists every symbol (set *and*
     // explicitly-unset) in BTreeMap order — a lossless, deterministic
@@ -1113,6 +1117,7 @@ fn decode_config_entry(
             name: d.str()?,
             content: d.str()?,
         },
+        "rand" => ConfigKind::Rand { seed: d.u64()? },
         other => return Err(format!("bad kind tag {other:?}")),
     };
     let config = parse_config_render(&d.str()?)?;

@@ -92,6 +92,39 @@ impl KconfigModel {
         solve_allconfig(self, Goal::AllMod)
     }
 
+    /// `make randconfig KCONFIG_SEED=seed`: a model-satisfying assignment
+    /// sampled deterministically from the seed. Each symbol's target is a
+    /// pure hash of `(seed, name)` (tristates weight `n`/`m`/`y` at 1/3
+    /// each, bools `n`/`y` at 1/2), then the usual fixed point clamps it by
+    /// dependencies, applies `select` floors, and keeps choice groups
+    /// exclusive — so the result always passes [`Self::is_consistent`].
+    ///
+    /// The same `(model, seed)` pair renders byte-identically everywhere —
+    /// no RNG state exists to drift:
+    ///
+    /// ```
+    /// use jmake_kconfig::KconfigModel;
+    ///
+    /// let mut model = KconfigModel::new();
+    /// model
+    ///     .parse_str(
+    ///         "Kconfig",
+    ///         "config A\n\tbool \"a\"\n\nconfig B\n\ttristate \"b\"\n\tdepends on A\n",
+    ///     )
+    ///     .unwrap();
+    /// let a = model.randconfig(17);
+    /// let b = model.randconfig(17);
+    /// assert_eq!(a.render(), b.render()); // same seed → same bytes
+    /// assert!(model.is_consistent(&a)); // and always satisfying
+    /// assert_ne!(
+    ///     (0..64).map(|s| model.randconfig(s).render()).collect::<Vec<_>>(),
+    ///     vec![a.render(); 64], // seeds actually vary
+    /// );
+    /// ```
+    pub fn randconfig(&self, seed: u64) -> Config {
+        crate::solve::solve_randconfig(self, seed)
+    }
+
     /// Load a prepared configuration (`arch/*/configs/*_defconfig`
     /// content: `CONFIG_X=y` lines plus `# CONFIG_X is not set` comments)
     /// and complete it against dependencies.

@@ -46,6 +46,39 @@ fn random_model() -> impl Strategy<Value = KconfigModel> {
     })
 }
 
+/// Strategy: like [`random_model`], with each symbol optionally assigned
+/// to one of three mutually-exclusive choice groups — the randconfig
+/// sampler must keep at most one member of each group enabled no matter
+/// which members its hash aims at.
+fn choicy_model() -> impl Strategy<Value = KconfigModel> {
+    let sym = (
+        prop::bool::ANY,             // tristate?
+        prop::option::of(0usize..8), // depends on S<k>
+        prop::option::of(0u32..3),   // choice group
+    );
+    prop::collection::vec(sym, 1..12).prop_map(|specs| {
+        let mut m = KconfigModel::new();
+        for (i, (tri, dep, grp)) in specs.into_iter().enumerate() {
+            let mut s = Symbol::new(
+                format!("S{i}"),
+                if tri {
+                    SymbolType::Tristate
+                } else {
+                    SymbolType::Bool
+                },
+            );
+            if let Some(d) = dep {
+                if d < i {
+                    s.add_depends(Expr::sym(format!("S{d}")));
+                }
+            }
+            s.choice_group = grp;
+            m.insert(s);
+        }
+        m
+    })
+}
+
 /// Strategy: monotone models — positive dependencies only, no selects.
 /// These have a unique maximal solution, so the strongest properties hold.
 fn monotone_model() -> impl Strategy<Value = KconfigModel> {
@@ -235,6 +268,60 @@ proptest! {
                     "flip {} reverts without breaking anything", &f.name
                 );
             }
+        }
+    }
+
+    /// Every sampled randconfig satisfies the Kconfig model, for any seed,
+    /// on models with dependency knots, selects, and choice groups — the
+    /// determinism-contract half is covered below and by the doc-test on
+    /// [`KconfigModel::randconfig`].
+    #[test]
+    fn randconfig_satisfies_the_model(m in random_model(), seed in 0u64..u64::MAX) {
+        let cfg = m.randconfig(seed);
+        prop_assert!(
+            m.is_consistent(&cfg),
+            "seed {} sampled an inconsistent configuration:\n{}",
+            seed, cfg.render()
+        );
+    }
+
+    /// Same (model, seed) → byte-identical configuration; the sample is a
+    /// pure function with no RNG state to drift between calls or workers.
+    #[test]
+    fn randconfig_is_deterministic(m in random_model(), seed in 0u64..u64::MAX) {
+        let a = m.randconfig(seed);
+        let b = m.randconfig(seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.render(), b.render());
+    }
+
+    /// Choice groups stay mutually exclusive under randconfig: at most one
+    /// member of each group is enabled, whichever members the hash aims at.
+    #[test]
+    fn randconfig_respects_choice_groups(m in choicy_model(), seed in 0u64..u64::MAX) {
+        let cfg = m.randconfig(seed);
+        prop_assert!(m.is_consistent(&cfg));
+        let mut enabled_per_group = std::collections::BTreeMap::new();
+        for sym in m.symbols() {
+            if let Some(g) = sym.choice_group {
+                if cfg.get(&sym.name).enabled() {
+                    *enabled_per_group.entry(g).or_insert(0u32) += 1;
+                }
+            }
+        }
+        for (g, count) in enabled_per_group {
+            prop_assert!(count <= 1, "choice group {} has {} enabled members", g, count);
+        }
+    }
+
+    /// Dead symbols stay off under randconfig too — the sampler can aim a
+    /// target at them, but the fixed point's dependency clamp wins.
+    #[test]
+    fn randconfig_keeps_dead_symbols_off(m in random_model(), seed in 0u64..u64::MAX) {
+        let dead = DeadSymbols::compute(&m);
+        let cfg = m.randconfig(seed);
+        for name in dead.iter() {
+            prop_assert_eq!(cfg.get(name), Tristate::N, "dead symbol {} was enabled", name);
         }
     }
 

@@ -261,6 +261,60 @@ pub(crate) fn solve_defconfig(model: &KconfigModel, wanted: &BTreeMap<String, Tr
     })
 }
 
+/// Seeded randconfig: a model-satisfying assignment sampled
+/// deterministically from `seed`.
+///
+/// Each symbol's *target* value is a pure function of `(seed, name)`: an
+/// FNV-1a hash of the symbol name is mixed with the seed through a
+/// splitmix64-style finalizer, and the result picks `n`/`m`/`y` for
+/// tristates (each weight 1/3) or `n`/`y` for bools (each 1/2). The target
+/// then runs through the same [`fixed_point`] machinery as every other
+/// solver: dependencies clamp it, `select` puts a floor under it, choice
+/// groups keep at most one eligible member enabled, and the final
+/// monotone-lowering phase guarantees the result is consistent for *any*
+/// target function. Two consequences fall out:
+///
+/// - **Determinism.** No RNG state is threaded anywhere; the whole
+///   assignment is a function of the seed and the model text, so the same
+///   `(model, seed)` pair yields a byte-identical `.config` on every call,
+///   every worker, and every process (the property the disk tier's
+///   content-addressed `randconfig:{seed}` keys rely on).
+/// - **Satisfiability.** The sampled assignment passes
+///   [`is_consistent`] by construction — the proptest suite checks this
+///   for arbitrary seeds over generated models with dependency knots,
+///   selects, and choice groups.
+pub(crate) fn solve_randconfig(model: &KconfigModel, seed: u64) -> Config {
+    // splitmix64-style finalizer over (seed, fnv1a(name)). Constants are
+    // the standard splitmix64 increments; the seed enters pre-multiplied
+    // by the golden-ratio increment so seed 0 and seed 1 diverge fully.
+    let mixed_seed = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let sample = move |name: &str| -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut z = h ^ mixed_seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    fixed_point(model, move |sym| {
+        let h = sample(&sym.name);
+        if sym.is_tristate() {
+            match h % 3 {
+                0 => Tristate::N,
+                1 => Tristate::M,
+                _ => Tristate::Y,
+            }
+        } else if h % 2 == 0 {
+            Tristate::N
+        } else {
+            Tristate::Y
+        }
+    })
+}
+
 /// Why a conjunction of pinned symbol values has no satisfying
 /// configuration. The first three variants are *proofs* — the conjunction
 /// really is unsatisfiable; [`DeadnessProof::Exhausted`] only records that

@@ -73,6 +73,10 @@ pub enum Stage {
     /// Root-cause missed lines and verify synthesized config deltas
     /// (`jmake-fix`; only emitted when remediation is requested).
     Remediate,
+    /// Greedy randconfig-portfolio selection over the reach analyzer's
+    /// presence conditions (`covsel::select_portfolio`; only emitted when
+    /// `--portfolio` is requested).
+    Portfolio,
     /// A failed attempt was retried after exponential backoff; `virtual_us`
     /// carries the backoff charged to the virtual clock.
     Retry,
@@ -86,7 +90,7 @@ pub enum Stage {
 impl Stage {
     /// Every stage: the pipeline stages in order, then the recovery stages
     /// (`retry`, `timeout`, `quarantine`) emitted only under fault injection.
-    pub const ALL: [Stage; 12] = [
+    pub const ALL: [Stage; 13] = [
         Stage::Checkout,
         Stage::Show,
         Stage::Check,
@@ -96,6 +100,7 @@ impl Stage {
         Stage::BuildO,
         Stage::Classify,
         Stage::Remediate,
+        Stage::Portfolio,
         Stage::Retry,
         Stage::Timeout,
         Stage::Quarantine,
@@ -113,6 +118,7 @@ impl Stage {
             Stage::BuildO => "build_o",
             Stage::Classify => "classify",
             Stage::Remediate => "remediate",
+            Stage::Portfolio => "portfolio",
             Stage::Retry => "retry",
             Stage::Timeout => "timeout",
             Stage::Quarantine => "quarantine",

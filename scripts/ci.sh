@@ -79,11 +79,11 @@ TRACE_FILE="$(mktemp /tmp/jmake-trace.XXXXXX.jsonl)"
 trap 'rm -f "$TRACE_FILE" "$FIX_A" "$FIX_B" "$CC_A" "$CC_B" "$CACHED_OUT" "$UNCACHED_OUT"' EXIT
 ./target/release/jmake-eval --commits 120 --trace "$TRACE_FILE" --metrics summary > /dev/null
 # The file must parse line-by-line against the documented schema, and
-# every stage name must be one of the documented twelve.
+# every stage name must be one of the documented thirteen.
 ./target/release/jmake-eval trace-check "$TRACE_FILE" | tee /tmp/jmake-trace-check.out
 for stage in $(awk 'NR > 1 { print $1 }' /tmp/jmake-trace-check.out); do
   case "$stage" in
-    checkout|show|check|mutation_plan|config_solve|build_i|build_o|classify|remediate|retry|timeout|quarantine) ;;
+    checkout|show|check|mutation_plan|config_solve|build_i|build_o|classify|remediate|retry|timeout|quarantine|portfolio) ;;
     *) echo "unexpected stage name in trace: $stage" >&2; exit 1 ;;
   esac
 done
@@ -139,9 +139,39 @@ if grep -q "did not produce a report" "$FAULT_ERR"; then
   exit 1
 fi
 
+echo "==> portfolio smoke run (--portfolio 4: coverage beyond allyes, byte-identity)"
+PF_A="$(mktemp /tmp/jmake-portfolio-a.XXXXXX.json)"
+PF_B="$(mktemp /tmp/jmake-portfolio-b.XXXXXX.json)"
+trap 'rm -rf "$CACHE_DIR"; rm -f "$PF_A" "$PF_B" "$FAULT_ERR" "$SERVE_SOCK" "$SERVED_OUT" "$COLD_OUT" "$WARM_OUT" "$WARM_ERR" "$TRACE_FILE" "$FIX_A" "$FIX_B" "$CC_A" "$CC_B" "$CACHED_OUT" "$UNCACHED_OUT"' EXIT
+# A K=4 seeded portfolio must strictly beat the allyes-only baseline
+# (covered > allyes ⇔ covered_conditional > 0, and randconfig members
+# must certify tokens allyes missed), and the report must be
+# byte-identical across worker counts and cache modes — selection is a
+# pure function of (tree, arch, K, seed).
+./target/release/jmake-eval --commits 120 --workers 8 \
+  --portfolio 4 --rand-seed 1 > "$PF_A"
+./target/release/jmake-eval --commits 120 --workers 1 \
+  --no-object-cache --no-work-stealing --no-shared-cache \
+  --no-preproc-cache --portfolio 4 --rand-seed 1 > "$PF_B"
+diff -u "$PF_A" "$PF_B"
+extract_pf() { sed -n "s/.*\"$2\": \([0-9]*\).*/\1/p" "$1" | head -n 1; }
+PF_COND="$(extract_pf "$PF_A" covered_conditional)"
+PF_RAND="$(extract_pf "$PF_A" by_rand)"
+if [ -z "$PF_COND" ] || [ "$PF_COND" -eq 0 ]; then
+  echo "portfolio covered no conditional lines beyond allyes:" >&2
+  cat "$PF_A" >&2
+  exit 1
+fi
+if [ -z "$PF_RAND" ] || [ "$PF_RAND" -eq 0 ]; then
+  echo "portfolio randconfig members certified no tokens:" >&2
+  cat "$PF_A" >&2
+  exit 1
+fi
+echo "    portfolio covers $PF_COND conditional line(s), $PF_RAND token(s) via randconfig"
+
 echo "==> bench-regression gate (patches/s vs committed BENCH_5.json, -10% floor)"
 BENCH_OUT="$(mktemp /tmp/jmake-bench.XXXXXX.json)"
-trap 'rm -rf "$CACHE_DIR"; rm -f "$BENCH_OUT" "$FAULT_ERR" "$SERVE_SOCK" "$SERVED_OUT" "$COLD_OUT" "$WARM_OUT" "$WARM_ERR" "$TRACE_FILE" "$FIX_A" "$FIX_B" "$CC_A" "$CC_B" "$CACHED_OUT" "$UNCACHED_OUT"' EXIT
+trap 'rm -rf "$CACHE_DIR"; rm -f "$BENCH_OUT" "$PF_A" "$PF_B" "$FAULT_ERR" "$SERVE_SOCK" "$SERVED_OUT" "$COLD_OUT" "$WARM_OUT" "$WARM_ERR" "$TRACE_FILE" "$FIX_A" "$FIX_B" "$CC_A" "$CC_B" "$CACHED_OUT" "$UNCACHED_OUT"' EXIT
 # Re-run the standard 1,200-commit sweep (same seed/workers as the
 # committed baseline) and fail if throughput drops more than 10% below
 # the BENCH_5.json this repo ships. Wall-clock varies by machine, so
@@ -150,6 +180,10 @@ trap 'rm -rf "$CACHE_DIR"; rm -f "$BENCH_OUT" "$FAULT_ERR" "$SERVE_SOCK" "$SERVE
 # legitimately moves it.
 ./target/release/jmake-eval --commits 1200 --seed 319123704645 --workers 4 \
   --bench-json "$BENCH_OUT" summary > /dev/null
+# The artifact must carry the documented schema and the portfolio
+# summary block (with "ran": false on a portfolio-less sweep).
+grep -q '"schema": 4' "$BENCH_OUT"
+grep -q '"portfolio": { "ran": false' "$BENCH_OUT"
 extract_pps() { sed -n 's/.*"patches_per_sec": \([0-9.]*\).*/\1/p' "$1"; }
 BASELINE_PPS="$(extract_pps BENCH_5.json)"
 CURRENT_PPS="$(extract_pps "$BENCH_OUT")"
